@@ -1,0 +1,42 @@
+"""Shared plumbing for the figure-reproduction benchmark suite.
+
+Every bench runs a complete simulated experiment exactly once per
+measurement round (``pedantic`` mode) — re-running a deterministic
+simulation many times would only measure the simulator, not change the
+reproduced numbers.  The *simulated* results (the paper's quantities)
+are attached to ``benchmark.extra_info`` and printed, and each test
+asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-full",
+        action="store_true",
+        default=False,
+        help="run the full paper-scale sweeps instead of the quick ones",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return not request.config.getoption("--paper-full")
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run a figure entry point once under pytest-benchmark and report it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        rendered = result.render()
+        print("\n" + rendered)
+        benchmark.extra_info["figure"] = result.exp_id
+        benchmark.extra_info["rendered"] = rendered
+        return result
+
+    return _run

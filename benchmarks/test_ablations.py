@@ -1,0 +1,53 @@
+"""Ablation benches for the design choices called out in DESIGN.md §4."""
+
+from repro.bench import figures
+
+
+def test_dup_policy_amortization(run_figure):
+    """Subfield derivation amortizes the PGCID over 255 dups (§III-B3)."""
+    res = run_figure(figures.ablation_dup_policy)
+    s = res.series["per-iteration dup time"]
+    pgcid = s.y_at("pgcid-per-dup")
+    subfield = s.y_at("subfield")
+    assert subfield < pgcid / 2, (
+        f"subfield ({subfield}) should amortize far below pgcid-per-dup ({pgcid})"
+    )
+
+
+def test_fragmentation_hurts_consensus_not_excid(run_figure):
+    """§IV-C2: CID-space fragmentation degrades the consensus algorithm
+    while the exCID generator is immune."""
+    res = run_figure(figures.ablation_fragmentation)
+    s = res.series["per-iteration dup time"]
+    assert s.y_at("consensus/fragmented") > 1.5 * s.y_at("consensus/clean")
+    excid_delta = s.y_at("excid/fragmented") / s.y_at("excid/clean")
+    assert 0.9 < excid_delta < 1.1
+
+
+def test_hierarchical_grpcomm_beats_flat(run_figure):
+    """§III-A: the three-stage hierarchy scales better than a flat
+    all-to-all among servers."""
+    res = run_figure(figures.ablation_grpcomm)
+    tree = res.series["tree (hierarchical)"]
+    flat = res.series["flat all-to-all"]
+    biggest = tree.xs()[-1]
+    assert flat.y_at(biggest) > tree.y_at(biggest)
+
+
+def test_local_cid_switch_pays_off(run_figure):
+    """§III-B4: forcing extended headers on every message costs
+    measurable message rate at small sizes."""
+    res = run_figure(figures.ablation_handshake)
+    ratios = res.series["forced-extended / normal message rate"]
+    assert ratios.points[0][1] < 0.9
+
+
+def test_eager_limit_crossover(run_figure):
+    """Rendezvous hurts mid-size messages; large sizes are insensitive."""
+    res = run_figure(figures.ablation_eager_limit)
+    small_limit = res.series["eager_limit=256"]
+    big_limit = res.series["eager_limit=65536"]
+    # At 4 KiB the small-limit config is already in rendezvous: slower.
+    assert small_limit.y_at(4096) < big_limit.y_at(4096)
+    # At 1 MiB both are rendezvous-bound: equal.
+    assert small_limit.y_at(1048576) == big_limit.y_at(1048576)

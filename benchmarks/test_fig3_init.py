@@ -1,0 +1,46 @@
+"""Fig 3: MPI initialization time, MPI_Init vs the Sessions sequence.
+
+Paper shape: the sessions approach (MPI_Session_init +
+MPI_Group_from_session_pset + MPI_Comm_create_from_group) costs ~20%
+more than MPI_Init; at 28 ppn about 30% of the sessions-specific time
+is session-handle initialization (the rest is communicator
+construction); at 1 ppn the handle initialization dominates.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.osu import osu_init
+
+
+def test_fig3a(run_figure, quick):
+    res = run_figure(figures.fig3a, quick)
+    for x, ratio in res.ratio("Sessions", "MPI_Init"):
+        assert 1.02 < ratio < 1.6, f"nodes={x}: sessions/init ratio {ratio}"
+
+
+def test_fig3b(run_figure, quick):
+    res = run_figure(figures.fig3b, quick)
+    for x, ratio in res.ratio("Sessions", "MPI_Init"):
+        assert 1.05 < ratio < 1.6, f"nodes={x}: sessions/init ratio {ratio}"
+
+
+def test_breakdown_28ppn(benchmark):
+    """§IV-C1: ~30% of sessions-specific time is handle init at 28 ppn."""
+    timing = benchmark.pedantic(osu_init, args=(4, 28, "sessions"), rounds=1, iterations=1)
+    specific = timing.handle + timing.comm_construct
+    frac = timing.handle / specific
+    assert 0.2 < frac < 0.45, f"handle fraction {frac}"
+
+
+def test_breakdown_1ppn_handle_dominates(benchmark):
+    """§IV-C1: at 1 ppn, startup is dominated by MPI resource init."""
+    timing = benchmark.pedantic(osu_init, args=(8, 1, "sessions"), rounds=1, iterations=1)
+    specific = timing.handle + timing.comm_construct
+    assert timing.handle / specific > 0.6
+
+
+def test_init_grows_with_scale(benchmark):
+    small = osu_init(2, 1, "world").total
+    large = benchmark.pedantic(osu_init, args=(16, 1, "world"), rounds=1, iterations=1).total
+    assert large > small

@@ -1,0 +1,29 @@
+"""Fig 4: MPI_Comm_dup per-iteration time.
+
+Paper shape: the sessions prototype's dup is clearly slower than the
+baseline's consensus-algorithm dup, with the overhead "accounted for by
+the overhead of acquiring a PMIx group context identifier".
+"""
+
+from repro.bench import figures
+
+
+def test_fig4(run_figure, quick):
+    res = run_figure(figures.fig4, quick)
+    for x, ratio in res.ratio("Sessions", "MPI_Init"):
+        assert ratio > 3.0, f"nodes={x}: sessions dup should be clearly slower ({ratio:.1f}x)"
+    # Both curves in a credible range: us-scale baseline, sub-10ms sessions.
+    for label, lo, hi in (("MPI_Init", 1e-6, 1e-3), ("Sessions", 1e-5, 1e-2)):
+        for _x, y in res.series[label].points:
+            assert lo < y < hi, f"{label} dup time {y}"
+
+
+def test_fig4_consensus_grows_with_scale(benchmark, quick):
+    """The consensus allreduce cost grows with the communicator size."""
+    from repro.bench.osu import osu_comm_dup
+
+    small = osu_comm_dup(2, 28, "world")
+    large = benchmark.pedantic(
+        osu_comm_dup, args=(4 if quick else 16, 28, "world"), rounds=1, iterations=1
+    )
+    assert large > small

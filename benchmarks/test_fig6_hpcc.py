@@ -1,0 +1,32 @@
+"""Fig 6: HPCC 8-byte random/natural ring latency.
+
+Paper shape: "the latencies obtained using sessions are practically
+identical to what is achieved using the unmodified application and the
+baseline Open MPI" — for both ring orderings.  The sessions run keeps
+MPI_Init for the application and opens a session only inside the
+latency/bandwidth component (the compartmentalization demo).
+"""
+
+from repro.bench import figures
+from repro.bench.hpcc import hpcc_ring_latency
+
+
+def test_fig6a_random_ring(run_figure, quick):
+    res = run_figure(figures.fig6a, quick)
+    for x, ratio in res.ratio("Sessions", "MPI_Init"):
+        assert 0.95 < ratio < 1.05, f"nodes={x}: random-ring ratio {ratio}"
+
+
+def test_fig6b_natural_ring(run_figure, quick):
+    res = run_figure(figures.fig6b, quick)
+    for x, ratio in res.ratio("Sessions", "MPI_Init"):
+        assert 0.95 < ratio < 1.05, f"nodes={x}: natural-ring ratio {ratio}"
+
+
+def test_random_ring_slower_than_natural(benchmark):
+    """Random ordering crosses nodes on almost every hop."""
+    natural = hpcc_ring_latency(2, 28, "world", "natural")
+    rand = benchmark.pedantic(
+        hpcc_ring_latency, args=(2, 28, "world", "random"), rounds=1, iterations=1
+    )
+    assert rand > 1.3 * natural

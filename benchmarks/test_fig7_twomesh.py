@@ -1,0 +1,17 @@
+"""Fig 7: normalized 2MESH execution times.
+
+Paper shape: "for the three problems tested our prototype imposes
+minimal (<= 3%) overhead over the baseline without MPI Sessions
+support", attributed to the Ibarrier+nanosleep quiescence emulation.
+P1/P2 run 256 processes, P3 runs 1,024, fully subscribing 32-core
+Trinity nodes.  (P3 runs only with --paper-full: it simulates 1,024
+ranks.)
+"""
+
+from repro.bench import figures
+
+
+def test_fig7(run_figure, quick):
+    res = run_figure(figures.fig7, quick)
+    for problem, norm in res.series["Sessions/Baseline"].points:
+        assert 1.0 < norm < 1.035, f"{problem}: normalized time {norm}"

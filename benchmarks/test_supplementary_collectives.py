@@ -1,0 +1,43 @@
+"""Supplementary bench (not a paper figure): collective latency under
+sessions vs baseline communicators.
+
+The paper measures pt2pt and application behavior; this closes the loop
+for collectives — after the exCID switch the collective data paths are
+identical, so sessions-derived communicators show baseline collective
+latency.
+"""
+
+import pytest
+
+from repro.bench.osu import osu_collective
+
+COLLECTIVES = ["allreduce", "bcast", "barrier", "allgather", "alltoall"]
+
+
+@pytest.mark.parametrize("op_name", COLLECTIVES)
+def test_sessions_collectives_match_baseline(benchmark, op_name):
+    base = osu_collective("world", op_name)
+    sess = benchmark.pedantic(
+        osu_collective, args=("sessions", op_name), rounds=1, iterations=1
+    )
+    for size in base:
+        ratio = sess[size] / base[size]
+        print(f"{op_name} size={size}: sessions/baseline = {ratio:.3f}")
+        assert 0.9 < ratio < 1.1, (op_name, size, ratio)
+
+
+def test_collective_latency_grows_with_size(benchmark):
+    lat = benchmark.pedantic(
+        osu_collective, args=("world", "allreduce"),
+        kwargs={"sizes": (8, 65536)}, rounds=1, iterations=1,
+    )
+    assert lat[65536] > lat[8]
+
+
+def test_collective_latency_grows_with_scale(benchmark):
+    small = osu_collective("world", "barrier", nodes=2, ppn=4)
+    large = benchmark.pedantic(
+        osu_collective, args=("world", "barrier"),
+        kwargs={"nodes": 8, "ppn": 4}, rounds=1, iterations=1,
+    )
+    assert large[0] > small[0]

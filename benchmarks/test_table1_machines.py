@@ -1,0 +1,26 @@
+"""Table I: the hardware/software models used throughout the study."""
+
+from repro.bench import figures
+from repro.machine.presets import jupiter, trinity
+
+
+def test_table1(run_figure):
+    res = run_figure(figures.table1)
+    text = "\n".join(res.notes)
+    assert "Trinity" in text
+    assert "Jupiter" in text
+
+
+def test_table1_core_counts(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Table I: Trinity 2x16-core, Jupiter 2x14-core.
+    assert trinity(1).cores_per_node == 32
+    assert jupiter(1).cores_per_node == 28
+
+
+def test_table1_aries_like_network(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Both systems use Aries: low single-digit-us inter-node latency.
+    for machine in (trinity(1), jupiter(1)):
+        assert machine.inter_node_latency < 3e-6
+        assert machine.inter_node_bandwidth > 5e9

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Fault isolation with sessions (paper §II-C).
+
+In classic MPI, connecting a client and a server yields one set of
+connected processes: a client failure can cascade into the server.
+Sessions permit "isolating resources used for internal coordination of
+server processes from resources used to manage client connections" —
+a clean separation that "avoids a cascade failure and permits the
+server to continue serving other clients".
+
+This example runs 2 server ranks and 4 client ranks.  Each server uses
+*two* sessions: an internal one (server-to-server heartbeats) and one
+per client connection.  Mid-run, one client is killed; its server sees
+the PMIx termination event, drops that connection, and keeps serving
+everyone else — its internal session never notices.
+
+Run with::
+
+    python examples/client_server_isolation.py
+"""
+
+from repro.api import make_world
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+from repro.ompi.constants import SUM
+from repro.ompi.group import Group
+from repro.pmix.types import PMIX_ERR_PROC_TERMINATED
+from repro.simtime.process import Sleep
+
+SERVERS = [0, 1]
+CLIENTS = [2, 3, 4, 5]
+DOOMED = 3            # this client dies mid-run
+ROUNDS = 8
+TAG_REQ, TAG_RESP = 10, 11
+
+
+def server_of(client: int) -> int:
+    return SERVERS[client % len(SERVERS)]
+
+
+def server_program(mpi, log):
+    session_internal = yield from mpi.session_init()
+    session_clients = yield from mpi.session_init()   # isolated resources
+
+    dead = set()
+    mpi.pmix.register_event_handler(
+        [PMIX_ERR_PROC_TERMINATED],
+        lambda code, src, info: dead.add(src.rank),
+    )
+
+    # Internal coordination communicator (server pset).
+    grp = yield from session_internal.group_from_pset("svc://servers")
+    internal = yield from mpi.comm_create_from_group(grp, "svc-internal")
+
+    # One connection communicator per client, from the client-facing session.
+    my_clients = [c for c in CLIENTS if server_of(c) == mpi.rank_in_job]
+    conns = {}
+    for c in my_clients:
+        pair = Group([mpi.job.proc(mpi.rank_in_job), mpi.job.proc(c)])
+        pair.session = session_clients
+        conns[c] = yield from mpi.comm_create_from_group(pair, f"conn-{c}")
+
+    served = {c: 0 for c in my_clients}
+    finished = set()
+    while len(finished | dead.intersection(my_clients)) < len(my_clients):
+        # Poll each live connection for a request (never block on one
+        # client: a dead client must not stall the loop).
+        for c, conn in conns.items():
+            if c in dead or c in finished:
+                continue
+            status = conn.iprobe(source=conn.group.rank_of(mpi.job.proc(c)), tag=TAG_REQ)
+            if status is None:
+                continue
+            request = yield from conn.recv(status.source, TAG_REQ)
+            if request == "bye":
+                finished.add(c)
+                continue
+            yield from conn.send(request * 2, status.source, TAG_RESP, nbytes=8)
+            served[c] += 1
+        yield Sleep(20e-6)
+
+    # The internal session was never touched by the client failure:
+    # server-to-server coordination still works after the death.
+    total = yield from internal.allreduce(1, op=SUM, nbytes=8)
+    assert total == len(SERVERS)
+    heartbeats = 1
+
+    log.append(("server", mpi.rank_in_job, dict(served), sorted(dead), heartbeats))
+    for conn in conns.values():
+        conn.free()
+    internal.free()
+    yield from session_clients.finalize()
+    yield from session_internal.finalize()
+
+
+def client_program(mpi, log, progress):
+    session = yield from mpi.session_init()
+    me = mpi.rank_in_job
+    srv = server_of(me)
+    pair = Group([mpi.job.proc(srv), mpi.job.proc(me)])
+    pair.session = session
+    conn = yield from mpi.comm_create_from_group(pair, f"conn-{me}")
+    srv_rank = conn.group.rank_of(mpi.job.proc(srv))
+
+    answers = []
+    for i in range(ROUNDS):
+        yield from conn.send(me * 100 + i, srv_rank, TAG_REQ, nbytes=8)
+        answers.append((yield from conn.recv(srv_rank, TAG_RESP)))
+        progress[me] = len(answers)
+        yield Sleep(50e-6)
+    yield from conn.send("bye", srv_rank, TAG_REQ, nbytes=8)
+
+    log.append(("client", me, answers))
+    conn.free()
+    yield from session.finalize()
+
+
+def main() -> None:
+    world = make_world(
+        len(SERVERS) + len(CLIENTS),
+        machine=laptop(num_nodes=2),
+        ppn=3,
+        config=MpiConfig.sessions_prototype(),
+        psets={"svc://servers": SERVERS},
+    )
+    log = []
+    progress = {c: 0 for c in CLIENTS}
+    procs = {}
+    for rank in SERVERS:
+        procs[rank] = world.cluster.spawn(server_program(world.runtimes[rank], log), f"server{rank}")
+    for rank in CLIENTS:
+        procs[rank] = world.cluster.spawn(
+            client_program(world.runtimes[rank], log, progress), f"client{rank}"
+        )
+    for p in procs.values():
+        p.defuse()
+
+    def chaos():
+        # Kill the doomed client only once it is past connection setup
+        # and mid-conversation (a kill during the collective group
+        # construct would stall its partner — a different failure mode).
+        while progress[DOOMED] < 2:
+            yield Sleep(50e-6)
+        world.cluster.fail_process(world.job, DOOMED, procs[DOOMED])
+
+    world.cluster.spawn(chaos(), "chaos")
+    world.run()
+
+    for kind, rank, *rest in sorted(log):
+        if kind == "server":
+            served, dead, heartbeats = rest
+            print(f"server {rank}: served={served} observed-dead={dead} heartbeats={heartbeats}")
+        else:
+            print(f"client {rank}: got {len(rest[0])} responses")
+
+    servers = [entry for entry in log if entry[0] == "server"]
+    assert len(servers) == len(SERVERS), "every server survived the client failure"
+    doomed_server = next(e for e in servers if e[1] == server_of(DOOMED))
+    assert DOOMED in doomed_server[3], "the server learned of the client death"
+    surviving = [c for c in CLIENTS if c != DOOMED]
+    for e in log:
+        if e[0] == "client" and e[1] in surviving:
+            assert len(e[2]) == ROUNDS
+    print(f"client {DOOMED} died; both servers finished serving everyone else — OK")
+
+
+if __name__ == "__main__":
+    main()

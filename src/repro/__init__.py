@@ -1,0 +1,30 @@
+"""repro — a simulated Open MPI + PMIx + PRRTE stack reproducing
+"MPI Sessions: Evaluation of an Implementation in Open MPI"
+(Hjelm et al., IEEE CLUSTER 2019).
+
+Quick start::
+
+    from repro.api import run_mpi
+    from repro.ompi.constants import SUM
+
+    def main(mpi):
+        session = yield from mpi.session_init()
+        group = yield from session.group_from_pset("mpi://world")
+        comm = yield from mpi.comm_create_from_group(group, "quickstart")
+        total = yield from comm.allreduce(comm.rank, op=SUM)
+        comm.free()
+        yield from session.finalize()
+        return total
+
+    print(run_mpi(8, main))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import make_world, run_mpi
+from repro.cluster import Cluster
+
+__all__ = ["run_mpi", "make_world", "Cluster", "__version__"]

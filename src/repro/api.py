@@ -1,0 +1,124 @@
+"""The public entry point: launch simulated MPI programs.
+
+    from repro.api import run_mpi
+
+    def main(mpi):
+        world = yield from mpi.mpi_init()
+        value = yield from world.allreduce(world.rank, op=SUM)
+        yield from mpi.mpi_finalize()
+        return value
+
+    results = run_mpi(8, main)
+
+Each rank's ``main`` is a generator receiving its
+:class:`~repro.ompi.runtime.MpiRuntime`; blocking MPI calls are
+``yield from``-ed.  ``run_mpi`` boots a cluster, launches the job,
+runs the simulation to quiescence, and returns per-rank results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster
+from repro.machine.model import MachineModel
+from repro.ompi.config import MpiConfig
+from repro.ompi.pml.ob1 import Fabric
+from repro.ompi.runtime import MpiRuntime
+from repro.prrte.launch import Job
+
+
+@dataclass
+class MpiWorld:
+    """A launched job plus everything needed to run rank programs."""
+
+    cluster: Cluster
+    job: Job
+    fabric: Fabric
+    runtimes: List[MpiRuntime]
+
+    @property
+    def num_ranks(self) -> int:
+        return self.job.num_ranks
+
+    def spawn_ranks(self, main: Callable, args: Sequence[Any] = ()) -> List:
+        """Start ``main(runtime, *args)`` on every rank; returns processes."""
+        procs = []
+        for rank, rt in enumerate(self.runtimes):
+            gen = main(rt, *args)
+            procs.append(self.cluster.spawn(gen, name=f"rank{rank}"))
+        for p in procs:
+            p.defuse()
+        return procs
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.cluster.run(until=until)
+
+
+def make_world(
+    nprocs: int,
+    machine: Optional[MachineModel] = None,
+    ppn: Optional[int] = None,
+    config: Optional[MpiConfig] = None,
+    psets: Optional[Dict[str, Sequence[int]]] = None,
+    grpcomm_mode: str = "tree",
+    tracer=None,
+    cluster: Optional[Cluster] = None,
+    fabric: Optional[Fabric] = None,
+) -> MpiWorld:
+    """Boot a cluster and launch (but do not run) an MPI job.
+
+    Pass an existing ``cluster`` (and optionally ``fabric``) to co-host
+    several jobs on one DVM — the PRRTE model, where one set of daemons
+    serves many ``prun`` invocations.  Co-hosted jobs share the PMIx
+    servers and the PGCID space but have distinct namespaces.
+    """
+    if cluster is None:
+        cluster = Cluster(machine=machine, grpcomm_mode=grpcomm_mode, tracer=tracer)
+    elif machine is not None and machine is not cluster.machine:
+        raise ValueError("pass machine or an existing cluster, not both")
+    job = cluster.launch(nprocs, ppn=ppn, psets=psets)
+    fabric = fabric or Fabric(cluster)
+    config = config or MpiConfig.baseline()
+    runtimes = [MpiRuntime(cluster, job, fabric, r, config) for r in range(nprocs)]
+    return MpiWorld(cluster=cluster, job=job, fabric=fabric, runtimes=runtimes)
+
+
+def run_mpi(
+    nprocs: int,
+    main: Callable,
+    *,
+    machine: Optional[MachineModel] = None,
+    ppn: Optional[int] = None,
+    config: Optional[MpiConfig] = None,
+    psets: Optional[Dict[str, Sequence[int]]] = None,
+    args: Sequence[Any] = (),
+    grpcomm_mode: str = "tree",
+    tracer=None,
+    return_world: bool = False,
+):
+    """Run ``main`` on ``nprocs`` simulated ranks to completion.
+
+    Returns the list of per-rank return values (or ``(results, world)``
+    when ``return_world`` is set, for benchmarks that need the clock or
+    counters afterwards).  Raises the first rank failure, if any.
+    """
+    world = make_world(
+        nprocs,
+        machine=machine,
+        ppn=ppn,
+        config=config,
+        psets=psets,
+        grpcomm_mode=grpcomm_mode,
+        tracer=tracer,
+    )
+    procs = world.spawn_ranks(main, args)
+    world.run()
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    results = [p.result for p in procs]
+    if return_world:
+        return results, world
+    return results

@@ -1,0 +1,1 @@
+"""Applications built on the simulated MPI stack."""

@@ -1,0 +1,26 @@
+"""2MESH: a mini version of the LANL multi-physics application (§IV-E).
+
+Two coupled libraries share one executable: L0 simulates physics on a
+structured mesh with an MPI-everywhere decomposition; L1 simulates a
+different physics with MPI+OpenMP (few ranks per node, many threads).
+Phases interleave; QUO quiesces the ranks idled by each phase.  The
+reproduction measures the same quantity as the paper's Fig 7: total
+execution time with QUO_barrier vs the sessions-based quiescence.
+"""
+
+from repro.apps.twomesh.mesh import CartGrid, dims_create
+from repro.apps.twomesh.driver import (
+    TwoMeshProblem,
+    PROBLEMS,
+    run_twomesh,
+    twomesh_rank_program,
+)
+
+__all__ = [
+    "CartGrid",
+    "dims_create",
+    "TwoMeshProblem",
+    "PROBLEMS",
+    "run_twomesh",
+    "twomesh_rank_program",
+]

@@ -1,0 +1,35 @@
+"""L0: the MPI-everywhere physics library.
+
+Every rank owns a tile of an adaptive structured mesh; each timestep is
+local compute, a 4-neighbor halo exchange, and a global residual
+allreduce — the classic bulk-synchronous stencil shape.
+"""
+
+from __future__ import annotations
+
+from repro.apps.twomesh.mesh import CartGrid
+from repro.ompi.constants import SUM
+from repro.simtime.process import Sleep
+
+_TAG_HALO = 77
+
+
+def l0_phase(comm, grid: CartGrid, steps: int, compute_time: float, halo_bytes: int):
+    """Sub-generator: run ``steps`` of the L0 physics on ``comm``.
+
+    Returns the final (synthetic) residual, identical on all ranks.
+    """
+    rank = comm.rank
+    neighbors = grid.neighbors(rank)
+    residual = 0.0
+    for step in range(steps):
+        yield Sleep(compute_time)
+        # Halo exchange: post all receives, then send to each neighbor.
+        rreqs = [comm.irecv(source=n, tag=_TAG_HALO) for n in neighbors]
+        for n in neighbors:
+            yield from comm.send(None, n, tag=_TAG_HALO, nbytes=halo_bytes)
+        for req in rreqs:
+            yield from req.wait()
+        local = 1.0 / (1 + rank + step)
+        residual = yield from comm.allreduce(local, op=SUM, nbytes=8)
+    return residual

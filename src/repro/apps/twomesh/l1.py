@@ -1,0 +1,65 @@
+"""L1: the MPI+OpenMP physics library.
+
+A few ranks per node ("workers") compute with many threads over the
+cores freed by their quiesced node-mates; workers halo-exchange among
+themselves on a worker sub-communicator.
+
+The quiescence *mechanism* matters for performance: QUO_barrier parks
+processes without waking up (futex wait); the sessions replacement
+polls MPI_Ibarrier every nanosleep quantum.  Each polling wakeup steals
+cycles from the worker's OpenMP threads, modeled as a compute-time
+inflation factor (see :func:`poll_interference`) — the paper's
+"sub-optimal process quiescence" overhead.
+"""
+
+from __future__ import annotations
+
+from repro.apps.twomesh.mesh import CartGrid
+from repro.ompi.constants import MAX
+from repro.simtime.process import Sleep
+
+_TAG_L1_HALO = 78
+POLL_CPU_COST = 0.5e-6    # CPU time per Ibarrier poll (test + nanosleep syscall)
+
+
+def poll_interference(machine, parked_procs: int) -> float:
+    """Fraction of node compute throughput lost to quiesced-rank polling.
+
+    Each parked process wakes every ``nanosleep_quantum`` and burns
+    ``POLL_CPU_COST`` of a core; the loss is spread over the node's
+    cores, which the L1 threads otherwise own exclusively.
+    """
+    if parked_procs <= 0:
+        return 0.0
+    per_proc = POLL_CPU_COST / machine.nanosleep_quantum
+    return (parked_procs * per_proc) / machine.cores_per_node
+
+
+def l1_phase(
+    worker_comm,
+    grid: CartGrid,
+    steps: int,
+    compute_time: float,
+    threads: int,
+    halo_bytes: int,
+    interference: float = 0.0,
+):
+    """Sub-generator: run ``steps`` of the threaded L1 physics.
+
+    ``compute_time`` is the single-thread cost per step; ``threads``
+    divides it; ``interference`` (from polling quiesced ranks) inflates
+    it.  Returns the final (synthetic) coupling value.
+    """
+    step_time = compute_time / max(1, threads) * (1.0 + interference)
+    rank = worker_comm.rank
+    neighbors = grid.neighbors(rank)
+    value = 0.0
+    for _step in range(steps):
+        yield Sleep(step_time)
+        rreqs = [worker_comm.irecv(source=n, tag=_TAG_L1_HALO) for n in neighbors]
+        for n in neighbors:
+            yield from worker_comm.send(None, n, tag=_TAG_L1_HALO, nbytes=halo_bytes)
+        for req in rreqs:
+            yield from req.wait()
+        value = yield from worker_comm.allreduce(float(rank), op=MAX, nbytes=8)
+    return value

@@ -1,0 +1,72 @@
+"""Structured-mesh decomposition helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+def dims_create(nnodes: int, ndims: int = 2) -> List[int]:
+    """Balanced factorization of ``nnodes`` into ``ndims`` factors
+    (MPI_Dims_create semantics: factors in non-increasing order)."""
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("nnodes and ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Repeatedly strip the largest prime factor onto the smallest dim.
+    factors: List[int] = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims.sort()
+        dims[0] *= factor
+    return sorted(dims, reverse=True)
+
+
+class CartGrid:
+    """A 2-D periodic process grid with 4-point halo neighbors."""
+
+    def __init__(self, size: int, dims: Optional[Tuple[int, int]] = None, periodic: bool = True) -> None:
+        if dims is None:
+            dy, dx = dims_create(size, 2)
+        else:
+            dy, dx = dims
+        if dy * dx != size:
+            raise ValueError(f"grid {dy}x{dx} != {size} ranks")
+        self.dims = (dy, dx)
+        self.size = size
+        self.periodic = periodic
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        dy, dx = self.dims
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        return divmod(rank, dx)
+
+    def rank_at(self, y: int, x: int) -> Optional[int]:
+        dy, dx = self.dims
+        if self.periodic:
+            y %= dy
+            x %= dx
+        elif not (0 <= y < dy and 0 <= x < dx):
+            return None
+        return y * dx + x
+
+    def neighbors(self, rank: int) -> List[int]:
+        """North/South/West/East neighbor ranks, deduplicated.
+
+        On periodic dimensions of extent 2 the wrap-around neighbor
+        coincides with the direct one; each distinct peer appears once.
+        """
+        y, x = self.coords(rank)
+        out: List[int] = []
+        for ny, nx in ((y - 1, x), (y + 1, x), (y, x - 1), (y, x + 1)):
+            n = self.rank_at(ny, nx)
+            if n is not None and n != rank and n not in out:
+                out.append(n)
+        return out

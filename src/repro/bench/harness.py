@@ -1,0 +1,115 @@
+"""Shared benchmark plumbing: result containers and table printing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One line of a figure: label + (x, y) points."""
+
+    label: str
+    points: List[Tuple[Any, float]] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> List[float]:
+        return [y for _x, y in self.points]
+
+    def xs(self) -> List[Any]:
+        return [x for x, _y in self.points]
+
+    def y_at(self, x: Any) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(x)
+
+
+@dataclass
+class BenchResult:
+    """Output of one figure/table reproduction."""
+
+    exp_id: str                     # e.g. "fig3a"
+    title: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def series_for(self, label: str) -> Series:
+        if label not in self.series:
+            self.series[label] = Series(label)
+        return self.series[label]
+
+    def ratio(self, num_label: str, den_label: str) -> List[Tuple[Any, float]]:
+        """Pointwise ratio of two series sharing x values."""
+        num = self.series[num_label]
+        den = self.series[den_label]
+        return [(x, y / den.y_at(x)) for x, y in num.points]
+
+    def to_csv(self) -> str:
+        """CSV rendering: one row per x, one column per series (for
+        plotting the reproduced figures with external tooling)."""
+        labels = list(self.series)
+        xs: List[Any] = []
+        for s in self.series.values():
+            for x in s.xs():
+                if x not in xs:
+                    xs.append(x)
+        lines = ["x," + ",".join(str(lbl) for lbl in labels)]
+        for x in xs:
+            cells = [str(x)]
+            for lbl in labels:
+                try:
+                    cells.append(repr(self.series[lbl].y_at(x)))
+                except KeyError:
+                    cells.append("")
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def render(self, unit: str = "") -> str:
+        """Paper-style text rendering: one row per x, one column per series."""
+        labels = list(self.series)
+        xs: List[Any] = []
+        for s in self.series.values():
+            for x in s.xs():
+                if x not in xs:
+                    xs.append(x)
+        headers = ["x"] + [f"{lbl}{f' [{unit}]' if unit else ''}" for lbl in labels]
+        rows = []
+        for x in xs:
+            row: List[str] = [str(x)]
+            for lbl in labels:
+                try:
+                    row.append(f"{self.series[lbl].y_at(x):.6g}")
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        out = [f"== {self.exp_id}: {self.title} =="]
+        out.append(format_table(headers, rows))
+        for note in self.notes:
+            out.append(f"   note: {note}")
+        return "\n".join(out)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("no values")
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))

@@ -1,0 +1,88 @@
+"""One-call bootstrapping of the whole simulated system.
+
+A :class:`Cluster` owns the simulation engine, the machine model, the
+PRRTE DVM (daemon per node), the PMIx servers, and the pset registry —
+everything below the MPI library.  Higher layers (``repro.api``) launch
+jobs and MPI rank processes on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.machine.model import MachineModel
+from repro.machine.presets import laptop
+from repro.pmix.server import PmixServer
+from repro.prrte.dvm import DVM
+from repro.prrte.launch import Job, JobSpec, Launcher
+from repro.prrte.psets import PsetRegistry
+from repro.simtime.engine import Engine
+from repro.simtime.process import SimProcess
+from repro.simtime.trace import NullTracer, Tracer
+
+
+class Cluster:
+    """A booted simulated machine: engine + DVM + PMIx servers."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineModel] = None,
+        grpcomm_mode: str = "tree",
+        grpcomm_radix: int = 2,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.machine = machine or laptop()
+        self.engine = Engine()
+        self.tracer = tracer or NullTracer()
+        self.psets = PsetRegistry()
+        self.dvm = DVM(self.engine, self.machine, grpcomm_mode, grpcomm_radix)
+        self.servers = [PmixServer(daemon, self.psets) for daemon in self.dvm.daemons]
+        self.launcher = Launcher(self.dvm, self.psets)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def launch(
+        self,
+        num_ranks: int,
+        ppn: Optional[int] = None,
+        psets: Optional[Dict[str, Sequence[int]]] = None,
+        nspace: Optional[str] = None,
+    ) -> Job:
+        """Launch a job (prun equivalent); ppn defaults to filling nodes."""
+        if ppn is None:
+            ppn = min(num_ranks, self.machine.cores_per_node)
+        spec = JobSpec(num_ranks=num_ranks, ppn=ppn, psets=psets or {}, nspace=nspace)
+        return self.launcher.launch(spec)
+
+    def spawn(self, gen, name: str = "") -> SimProcess:
+        """Start a simulated process on this cluster's engine."""
+        proc = SimProcess(self.engine, gen, name)
+        proc.start()
+        return proc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation until quiescent (or ``until``)."""
+        return self.engine.run(until=until)
+
+    def trace(self, category: str, event: str, **detail) -> None:
+        self.tracer.emit(self.engine.now, category, event, **detail)
+
+    def fail_process(self, job: Job, rank: int, sim_proc: Optional[SimProcess] = None) -> None:
+        """Inject a process failure (fault-tolerance demos, §II-C).
+
+        Kills the rank's simulated process (if given), deregisters it
+        from its PMIx server, and raises a PMIX_ERR_PROC_TERMINATED
+        event so registered handlers (e.g. a server avoiding a dead
+        client) learn about the death.
+        """
+        from repro.pmix.types import PMIX_ERR_PROC_TERMINATED
+
+        if sim_proc is not None:
+            sim_proc.kill(f"injected failure of rank {rank}")
+        proc = job.proc(rank)
+        node = job.topology.node_of(rank)
+        server = self.servers[node]
+        server.deregister_client(proc)
+        server.notify_event(PMIX_ERR_PROC_TERMINATED, proc, {"reason": "injected"})

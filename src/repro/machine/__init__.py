@@ -1,0 +1,14 @@
+"""Machine models: the hardware-substitution layer.
+
+The paper's testbeds (Table I) are Cray XC systems we cannot access; a
+:class:`MachineModel` encodes the cost structure that drives every
+simulated timing — link latencies and bandwidths, per-message software
+overheads, PMIx RPC costs, and the NFS-filesystem startup penalty the
+paper calls out for its MPI-initialization numbers.
+"""
+
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.machine.presets import trinity, jupiter, laptop
+
+__all__ = ["MachineModel", "Topology", "trinity", "jupiter", "laptop"]

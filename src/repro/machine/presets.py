@@ -1,0 +1,70 @@
+"""Machine presets encoding Table I of the paper.
+
+=========  ==========================  ==========================
+           Trinity                     Jupiter
+=========  ==========================  ==========================
+Model      Cray XC40                   Cray XC30
+CPU        2x 16-core E5-2698 v3       2x 14-core E5-2690 v4
+RAM        128 GB                      64 GB
+Network    Aries                       Aries
+=========  ==========================  ==========================
+
+The latency/bandwidth constants approximate published Aries numbers;
+the NFS startup constants reflect the paper's remark that its software
+stack lived on "a relatively slow NFS-mounted file system".
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+
+
+def trinity(num_nodes: int = 4) -> MachineModel:
+    """LANL Trinity: Cray XC40, 32 cores/node, Aries interconnect."""
+    return MachineModel(
+        name="Trinity (Cray XC40)",
+        num_nodes=num_nodes,
+        cores_per_node=32,
+        intra_node_latency=0.35e-6,
+        intra_node_bandwidth=7.0e9,
+        inter_node_latency=1.30e-6,
+        inter_node_bandwidth=9.7e9,
+    )
+
+
+def jupiter(num_nodes: int = 4) -> MachineModel:
+    """Jupiter: Cray XC30, 28 cores/node, Aries interconnect."""
+    return MachineModel(
+        name="Jupiter (Cray XC30)",
+        num_nodes=num_nodes,
+        cores_per_node=28,
+        intra_node_latency=0.30e-6,
+        intra_node_bandwidth=8.0e9,
+        inter_node_latency=1.40e-6,
+        inter_node_bandwidth=8.5e9,
+    )
+
+
+def laptop(num_nodes: int = 1) -> MachineModel:
+    """A small shared-memory box; convenient for examples and tests.
+
+    Startup costs are scaled way down so unit tests spend their budget
+    on protocol logic rather than simulated NFS stalls.
+    """
+    return MachineModel(
+        name="laptop",
+        num_nodes=num_nodes,
+        cores_per_node=8,
+        intra_node_latency=0.20e-6,
+        intra_node_bandwidth=12.0e9,
+        inter_node_latency=20.0e-6,
+        inter_node_bandwidth=1.0e9,
+        nfs_base_load=1.0e-3,
+        nfs_contention=1.0e-5,
+        proc_local_init=0.2e-3,
+        session_subsys_init=0.1e-3,
+        session_handle_init_cost=0.5e-3,
+        fence_client_cost_cold=20.0e-6,
+        group_client_cost_cold=40.0e-6,
+        add_procs_local_cost=5.0e-6,
+    )

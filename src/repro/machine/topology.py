@@ -1,0 +1,69 @@
+"""Rank-to-node placement.
+
+The launcher maps ranks onto nodes; all cost decisions downstream only
+need "are these two ranks on the same node" plus the list of node-local
+peers, both of which this class answers in O(1)/O(ppn).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Topology:
+    """Block ("by node") placement of ``num_ranks`` over nodes.
+
+    ``ppn`` is the number of processes per node; the final node may be
+    partially filled.  This matches the default mapping used by prun and
+    srun in the paper's experiments.
+    """
+
+    def __init__(self, num_ranks: int, ppn: int) -> None:
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        if ppn < 1:
+            raise ValueError("ppn must be >= 1")
+        self.num_ranks = num_ranks
+        self.ppn = ppn
+        self.num_nodes = (num_ranks + ppn - 1) // ppn
+
+    @classmethod
+    def from_nodes(cls, num_nodes: int, ppn: int) -> "Topology":
+        """Topology that fully subscribes ``num_nodes`` at ``ppn`` each."""
+        return cls(num_nodes * ppn, ppn)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check(rank)
+        return rank // self.ppn
+
+    def local_rank_of(self, rank: int) -> int:
+        """Rank's index among the processes of its node."""
+        self._check(rank)
+        return rank % self.ppn
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        """All ranks hosted by ``node``, in rank order."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0,{self.num_nodes})")
+        lo = node * self.ppn
+        hi = min(lo + self.ppn, self.num_ranks)
+        return list(range(lo, hi))
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def node_leader(self, node: int) -> int:
+        """Lowest rank on a node (acts as the node's representative)."""
+        return self.ranks_on_node(node)[0]
+
+    def nodes_of(self, ranks: Sequence[int]) -> List[int]:
+        """Sorted list of distinct nodes hosting any of ``ranks``."""
+        return sorted({self.node_of(r) for r in ranks})
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0,{self.num_ranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Topology(num_ranks={self.num_ranks}, ppn={self.ppn})"

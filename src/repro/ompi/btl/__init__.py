@@ -1,0 +1,13 @@
+"""Byte Transfer Layers: the transports under the PML.
+
+Each BTL computes injection (sender CPU/NIC serialization) and wire
+(latency + in-flight) costs for a transfer.  The PML picks the BTL per
+peer: shared memory on-node, the network BTL off-node — mirroring Open
+MPI's vader/ugni split on the paper's Cray testbeds.
+"""
+
+from repro.ompi.btl.base import BTL
+from repro.ompi.btl.sm import SharedMemoryBTL
+from repro.ompi.btl.net import NetworkBTL
+
+__all__ = ["BTL", "SharedMemoryBTL", "NetworkBTL"]

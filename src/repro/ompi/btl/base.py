@@ -1,0 +1,30 @@
+"""BTL interface."""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+
+
+class BTL:
+    """A transport with an injection cost and a wire cost.
+
+    * ``injection_time``: how long the sending process's CPU/NIC is busy
+      pushing the message out (serializes consecutive sends — this is
+      what bounds message rate).
+    * ``wire_time``: additional in-flight time before the first byte can
+      be matched at the receiver (does not occupy the sender).
+    """
+
+    name = "base"
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+
+    def injection_time(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def wire_time(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BTL {self.name}>"

@@ -1,0 +1,21 @@
+"""Inter-node network BTL (Aries-like).
+
+Injection serializes at the NIC (bandwidth term); wire time adds the
+one-way network latency.  The same class models slower fabrics by
+swapping the machine constants (see ``machine.presets.laptop``).
+"""
+
+from __future__ import annotations
+
+from repro.ompi.btl.base import BTL
+
+
+class NetworkBTL(BTL):
+    name = "net"
+
+    def injection_time(self, nbytes: int) -> float:
+        m = self.machine
+        return m.send_overhead + nbytes / m.inter_node_bandwidth
+
+    def wire_time(self, nbytes: int) -> float:
+        return self.machine.inter_node_latency

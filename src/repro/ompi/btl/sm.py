@@ -1,0 +1,21 @@
+"""Shared-memory BTL (vader-like).
+
+On-node transfers: injection is dominated by the copy into the shared
+segment; wire time is the copy-out latency.  Single-copy mechanisms
+(CMA/xpmem) are approximated by the bandwidth constant.
+"""
+
+from __future__ import annotations
+
+from repro.ompi.btl.base import BTL
+
+
+class SharedMemoryBTL(BTL):
+    name = "sm"
+
+    def injection_time(self, nbytes: int) -> float:
+        m = self.machine
+        return m.send_overhead + nbytes / m.intra_node_bandwidth
+
+    def wire_time(self, nbytes: int) -> float:
+        return self.machine.intra_node_latency

@@ -1,0 +1,32 @@
+"""Collective algorithms built on ob1 point-to-point.
+
+Algorithms mirror Open MPI's "tuned" defaults at small/medium scale:
+binomial trees for rooted collectives, recursive doubling for
+allreduce, ring for allgather, pairwise exchange for alltoall, and a
+fan-in/fan-out barrier for small communicators (like coll/sm on-node —
+deliberately *not* pairwise, which is why a pre-loop ``MPI_Barrier``
+does not complete the exCID handshake between osu_mbw_mr's rank pairs:
+paper §IV-C3).
+"""
+
+from repro.ompi.coll.barrier import barrier, ibarrier_runner
+from repro.ompi.coll.bcast import bcast
+from repro.ompi.coll.reduce import reduce, allreduce
+from repro.ompi.coll.gather import gather, scatter
+from repro.ompi.coll.allgather import allgather
+from repro.ompi.coll.alltoall import alltoall
+from repro.ompi.coll.scan import scan, exscan
+
+__all__ = [
+    "barrier",
+    "ibarrier_runner",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "scan",
+    "exscan",
+]

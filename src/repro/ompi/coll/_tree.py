@@ -1,0 +1,46 @@
+"""Binomial-tree helpers shared by rooted collectives.
+
+The tree is defined on *virtual* ranks (vrank = (rank - root) mod size)
+so any root works: vrank 0 is the root; the parent of a nonzero vrank
+is the vrank with its lowest set bit cleared; its children are
+``vrank | m`` for power-of-two ``m`` below its lowest set bit (all
+powers for the root), bounded by the communicator size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def vrank_of(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def rank_of(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def parent_vrank(vrank: int) -> Optional[int]:
+    """Parent in the binomial tree, or None for the root."""
+    if vrank == 0:
+        return None
+    return vrank & (vrank - 1)
+
+
+def children_vranks(vrank: int, size: int) -> List[int]:
+    """Children in the binomial tree, largest subtree first."""
+    if vrank == 0:
+        limit = 1
+        while limit < size:
+            limit <<= 1
+        top = limit >> 1
+    else:
+        top = (vrank & -vrank) >> 1
+    out = []
+    m = top
+    while m >= 1:
+        child = vrank | m
+        if child < size:
+            out.append(child)
+        m >>= 1
+    return out

@@ -1,0 +1,32 @@
+"""Pairwise-exchange alltoall."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ompi.constants import _TAG_ALLTOALL
+from repro.ompi.datatype import sizeof_payload
+from repro.ompi.errors import MPIErrArg
+
+
+def alltoall(comm, values: List, nbytes=None, tag: int = _TAG_ALLTOALL):
+    """Sub-generator: rank i's values[j] arrives at rank j's result[i].
+
+    size-1 exchange steps; at step s rank r exchanges with (r+s) mod
+    size (sending) and (r-s) mod size (receiving) — the classic
+    pairwise pattern that avoids hot spots.
+    """
+    size = comm.size
+    rank = comm.rank
+    if values is None or len(values) != size:
+        raise MPIErrArg(f"alltoall needs exactly {size} values")
+    out: List = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        block_bytes = nbytes if nbytes is not None else sizeof_payload(values[dst])
+        sreq = yield from comm._isend_internal(values[dst], dst, tag, nbytes=block_bytes)
+        out[src] = yield from comm._recv_internal(src, tag)
+        yield from sreq.wait()
+    return out

@@ -1,0 +1,88 @@
+"""Broadcast: binomial tree for small payloads, scatter + ring
+allgather (Van de Geijn) for large ones — Open MPI tuned's split.
+
+The binomial tree moves the whole payload log2(p) times along the
+critical path; the Van de Geijn algorithm moves ~2x the payload total
+but pipelines it, which wins once the bandwidth term dominates."""
+
+from __future__ import annotations
+
+from repro.ompi.coll._tree import children_vranks, parent_vrank, rank_of, vrank_of
+from repro.ompi.constants import _TAG_BCAST
+from repro.ompi.datatype import sizeof_payload
+from repro.ompi.errors import MPIErrRank
+
+#: Payloads above this use scatter+allgather (tuned's large-message path).
+LARGE_BCAST_THRESHOLD = 128 * 1024
+
+
+def bcast(comm, obj, root: int = 0, nbytes=None, tag: int = _TAG_BCAST):
+    """Sub-generator: broadcast ``obj`` from ``root``; returns the object."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise MPIErrRank(f"bcast root {root} out of range")
+    if size == 1:
+        return obj
+    # Algorithm selection must agree on every rank.  MPI's bcast takes
+    # (count, datatype) everywhere, so all ranks know the size; in this
+    # object-model API only an explicit ``nbytes`` carries that
+    # guarantee — without it, non-roots see None and must not guess.
+    if nbytes is not None and nbytes > LARGE_BCAST_THRESHOLD and size > 2:
+        return (yield from _bcast_scatter_allgather(comm, obj, root, nbytes, tag))
+    return (yield from _bcast_binomial(comm, obj, root, nbytes, tag))
+
+
+def _bcast_binomial(comm, obj, root: int, nbytes, tag: int):
+    size = comm.size
+    vrank = vrank_of(comm.rank, root, size)
+    parent = parent_vrank(vrank)
+    if parent is not None:
+        obj = yield from comm._recv_internal(rank_of(parent, root, size), tag)
+        # The payload travels with its size; nbytes recomputed below.
+    payload_bytes = nbytes if nbytes is not None else sizeof_payload(obj)
+    for child in children_vranks(vrank, size):
+        yield from comm._send_internal(
+            obj, rank_of(child, root, size), tag, nbytes=payload_bytes
+        )
+    return obj
+
+
+def _bcast_scatter_allgather(comm, obj, root: int, payload_bytes: int, tag: int):
+    """Van de Geijn: binomial-scatter the blocks, ring-allgather them.
+
+    The simulator moves the whole object reference with correctly sized
+    block costs: block i's wire charge is ~payload/p per hop.
+    """
+    size = comm.size
+    block = max(1, payload_bytes // size)
+    vrank = vrank_of(comm.rank, root, size)
+
+    # Phase 1: binomial scatter — each hop forwards only the subtree's
+    # share of the payload.
+    parent = parent_vrank(vrank)
+    if parent is not None:
+        obj = yield from comm._recv_internal(rank_of(parent, root, size), tag)
+    for child in children_vranks(vrank, size):
+        # Each hop carries only the blocks of the child's subtree.
+        subtree = min(_subtree_limit(child), size - child)
+        yield from comm._send_internal(
+            obj, rank_of(child, root, size), tag, nbytes=block * subtree
+        )
+
+    # Phase 2: ring allgather of the p blocks (each step moves one block).
+    right = (comm.rank + 1) % size
+    left = (comm.rank - 1) % size
+    for _step in range(size - 1):
+        sreq = yield from comm._isend_internal(obj, right, tag, nbytes=block)
+        incoming = yield from comm._recv_internal(left, tag)
+        yield from sreq.wait()
+        if incoming is not None and obj is None:  # pragma: no cover - defensive
+            obj = incoming
+    return obj
+
+
+def _subtree_limit(vrank: int) -> int:
+    """Size of the binomial subtree rooted at ``vrank`` (its lowest set bit)."""
+    if vrank == 0:
+        raise ValueError("root subtree is the whole tree")
+    return vrank & -vrank

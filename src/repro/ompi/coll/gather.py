@@ -1,0 +1,46 @@
+"""Linear gather and scatter."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ompi.constants import _TAG_GATHER, _TAG_SCATTER
+from repro.ompi.datatype import sizeof_payload
+from repro.ompi.errors import MPIErrArg, MPIErrRank
+
+
+def gather(comm, value, root: int = 0, nbytes=None, tag: int = _TAG_GATHER):
+    """Sub-generator: collect one value per rank at the root.
+
+    Returns the list (indexed by rank) at root, None elsewhere.
+    """
+    size = comm.size
+    if not 0 <= root < size:
+        raise MPIErrRank(f"gather root {root} out of range")
+    payload_bytes = nbytes if nbytes is not None else sizeof_payload(value)
+    if comm.rank == root:
+        out: List = [None] * size
+        out[root] = value
+        for src in range(size):
+            if src != root:
+                out[src] = yield from comm._recv_internal(src, tag)
+        return out
+    yield from comm._send_internal(value, root, tag, nbytes=payload_bytes)
+    return None
+
+
+def scatter(comm, values: Optional[List], root: int = 0, nbytes=None, tag: int = _TAG_SCATTER):
+    """Sub-generator: root distributes values[i] to rank i; returns own."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise MPIErrRank(f"scatter root {root} out of range")
+    if comm.rank == root:
+        if values is None or len(values) != size:
+            raise MPIErrArg(f"scatter needs exactly {size} values at the root")
+        for dst in range(size):
+            if dst != root:
+                item_bytes = nbytes if nbytes is not None else sizeof_payload(values[dst])
+                yield from comm._send_internal(values[dst], dst, tag, nbytes=item_bytes)
+        return values[root]
+    item = yield from comm._recv_internal(root, tag)
+    return item

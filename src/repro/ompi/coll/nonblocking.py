@@ -1,0 +1,74 @@
+"""Nonblocking collectives.
+
+Like :func:`~repro.ompi.coll.barrier.ibarrier_runner`, each nonblocking
+collective runs its blocking algorithm in a helper process and
+completes a request — Open MPI's libnbc progression collapsed into the
+simulator's concurrency.  Results land in ``request.payload``.
+
+All ranks of a communicator must use the matching nonblocking call (the
+helper traffic uses dedicated internal tags so it cannot interfere with
+blocking collectives issued afterwards).
+"""
+
+from __future__ import annotations
+
+from repro.ompi import coll
+from repro.ompi.constants import Op
+from repro.ompi.status import Status
+
+_TAG_IBCAST = -30
+_TAG_IALLREDUCE = -31
+_TAG_IGATHER = -32
+_TAG_IALLGATHER = -33
+
+
+def _runner(gen, request):
+    def run():
+        result = yield from gen
+        request.complete(Status(), payload=result)
+
+    return run()
+
+
+def ibcast(comm, obj, root: int = 0, nbytes=None):
+    """Sub-generator: MPI_Ibcast; request.payload is the object."""
+    from repro.ompi.request import Request
+    from repro.simtime.process import Spawn
+
+    req = Request("ibcast")
+    gen = coll.bcast(comm, obj, root, nbytes, tag=_TAG_IBCAST)
+    yield Spawn(_runner(gen, req), name=f"ibcast-{comm.name}-r{comm.rank}")
+    return req
+
+
+def iallreduce(comm, value, op: Op, nbytes=None):
+    """Sub-generator: MPI_Iallreduce; request.payload is the result."""
+    from repro.ompi.request import Request
+    from repro.simtime.process import Spawn
+
+    req = Request("iallreduce")
+    gen = coll.allreduce(comm, value, op, nbytes, tag=_TAG_IALLREDUCE)
+    yield Spawn(_runner(gen, req), name=f"iallreduce-{comm.name}-r{comm.rank}")
+    return req
+
+
+def igather(comm, value, root: int = 0, nbytes=None):
+    """Sub-generator: MPI_Igather; request.payload is the list at root."""
+    from repro.ompi.request import Request
+    from repro.simtime.process import Spawn
+
+    req = Request("igather")
+    gen = coll.gather(comm, value, root, nbytes, tag=_TAG_IGATHER)
+    yield Spawn(_runner(gen, req), name=f"igather-{comm.name}-r{comm.rank}")
+    return req
+
+
+def iallgather(comm, value, nbytes=None):
+    """Sub-generator: MPI_Iallgather; request.payload is the list."""
+    from repro.ompi.request import Request
+    from repro.simtime.process import Spawn
+
+    req = Request("iallgather")
+    gen = coll.allgather(comm, value, nbytes, tag=_TAG_IALLGATHER)
+    yield Spawn(_runner(gen, req), name=f"iallgather-{comm.name}-r{comm.rank}")
+    return req

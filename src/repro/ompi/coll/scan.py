@@ -1,0 +1,33 @@
+"""Inclusive and exclusive prefix reductions (linear chain)."""
+
+from __future__ import annotations
+
+from repro.ompi.constants import _TAG_SCAN, Op
+from repro.ompi.datatype import sizeof_payload
+
+
+def scan(comm, value, op: Op, nbytes=None, tag: int = _TAG_SCAN):
+    """Sub-generator: rank r returns op(value_0, ..., value_r)."""
+    rank, size = comm.rank, comm.size
+    payload_bytes = nbytes if nbytes is not None else sizeof_payload(value)
+    acc = value
+    if rank > 0:
+        upstream = yield from comm._recv_internal(rank - 1, tag)
+        acc = op(upstream, acc)
+    if rank < size - 1:
+        yield from comm._send_internal(acc, rank + 1, tag, nbytes=payload_bytes)
+    return acc
+
+
+def exscan(comm, value, op: Op, nbytes=None, tag: int = _TAG_SCAN):
+    """Sub-generator: rank r returns op(value_0, ..., value_{r-1});
+    rank 0 returns None (MPI leaves it undefined)."""
+    rank, size = comm.rank, comm.size
+    payload_bytes = nbytes if nbytes is not None else sizeof_payload(value)
+    upstream = None
+    if rank > 0:
+        upstream = yield from comm._recv_internal(rank - 1, tag)
+    if rank < size - 1:
+        outgoing = value if upstream is None else op(upstream, value)
+        yield from comm._send_internal(outgoing, rank + 1, tag, nbytes=payload_bytes)
+    return upstream

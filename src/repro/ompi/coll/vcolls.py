@@ -1,0 +1,97 @@
+"""Vector (v-variant) collectives and reduce_scatter.
+
+The v-variants take per-rank payloads of different sizes; wire costs
+follow each block's own size (``nbytes_of`` hooks for synthetic runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.ompi.constants import _TAG_ALLGATHER, _TAG_GATHER, _TAG_REDUCE, _TAG_SCATTER, Op
+from repro.ompi.datatype import sizeof_payload
+from repro.ompi.errors import MPIErrArg, MPIErrRank
+
+
+def gatherv(comm, value, root: int = 0, nbytes: Optional[int] = None, tag: int = _TAG_GATHER):
+    """Sub-generator: like gather, but blocks may differ in size."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise MPIErrRank(f"gatherv root {root} out of range")
+    if comm.rank == root:
+        out: List = [None] * size
+        out[root] = value
+        for src in range(size):
+            if src != root:
+                out[src] = yield from comm._recv_internal(src, tag)
+        return out
+    block = nbytes if nbytes is not None else sizeof_payload(value)
+    yield from comm._send_internal(value, root, tag, nbytes=block)
+    return None
+
+
+def scatterv(comm, values: Optional[List], root: int = 0, tag: int = _TAG_SCATTER):
+    """Sub-generator: root sends values[i] (any sizes) to rank i."""
+    size = comm.size
+    if not 0 <= root < size:
+        raise MPIErrRank(f"scatterv root {root} out of range")
+    if comm.rank == root:
+        if values is None or len(values) != size:
+            raise MPIErrArg(f"scatterv needs exactly {size} values at the root")
+        for dst in range(size):
+            if dst != root:
+                yield from comm._send_internal(
+                    values[dst], dst, tag, nbytes=sizeof_payload(values[dst])
+                )
+        return values[root]
+    return (yield from comm._recv_internal(root, tag))
+
+
+def allgatherv(comm, value, nbytes: Optional[int] = None, tag: int = _TAG_ALLGATHER):
+    """Sub-generator: ring allgather with heterogeneous block sizes."""
+    size = comm.size
+    rank = comm.rank
+    out: List = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    send_block = rank
+    for _step in range(size - 1):
+        block = out[send_block]
+        sreq = yield from comm._isend_internal(
+            (send_block, block), right, tag,
+            nbytes=(nbytes if nbytes is not None else sizeof_payload(block)) + 8,
+        )
+        idx, incoming = yield from comm._recv_internal(left, tag)
+        yield from sreq.wait()
+        out[idx] = incoming
+        send_block = idx
+    return out
+
+
+def reduce_scatter_block(comm, values: List, op: Op, nbytes: Optional[int] = None,
+                         tag: int = _TAG_REDUCE):
+    """Sub-generator: MPI_Reduce_scatter_block.
+
+    Each rank contributes ``values`` (one block per destination rank);
+    rank i returns op-combined values[i] across all ranks.  Implemented
+    as reduce-to-root + scatter, the simple tuned fallback.
+    """
+    size = comm.size
+    if values is None or len(values) != size:
+        raise MPIErrArg(f"reduce_scatter_block needs exactly {size} blocks")
+    from repro.ompi.coll.gather import scatter
+    from repro.ompi.coll.reduce import reduce
+
+    combined = yield from reduce(comm, values, _Elementwise(op), root=0, nbytes=nbytes, tag=tag)
+    mine = yield from scatter(comm, combined, root=0, nbytes=nbytes, tag=tag)
+    return mine
+
+
+class _Elementwise(Op):
+    """Lift a scalar Op to act elementwise over equal-length lists."""
+
+    def __init__(self, op: Op) -> None:
+        super().__init__(f"elementwise({op.name})", lambda a, b: [op(x, y) for x, y in zip(a, b)])

@@ -1,0 +1,620 @@
+"""MPI Communicators.
+
+The user-facing object: point-to-point (mpi4py-style lowercase
+methods, all blocking calls are sub-generators), collectives, and the
+constructors whose CID machinery is the heart of the paper:
+
+* ``dup`` / ``split`` / ``create`` / ``create_group`` — in consensus
+  mode they agree on a CID with the legacy allreduce loop over the
+  parent; in exCID mode they derive ids per the configured policy;
+* ``comm_create_from_group`` (module function; also exposed via
+  :meth:`repro.ompi.runtime.MpiRuntime.comm_create_from_group`) — the
+  new Sessions constructor with *no parent*, which is exactly why the
+  exCID generator exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Tuple
+
+from repro.ompi import coll
+from repro.ompi.cid import allocate_consensus_cid
+from repro.ompi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    _TAG_SENDRECV,
+    UNDEFINED,
+    Op,
+)
+from repro.ompi.datatype import sizeof_payload
+from repro.ompi.errors import (
+    ERRORS_ARE_FATAL,
+    Errhandler,
+    MPIErrArg,
+    MPIErrComm,
+    MPIErrGroup,
+    MPIErrRank,
+    MPIErrTag,
+)
+from repro.ompi.excid import ExcidState
+from repro.ompi.group import Group
+from repro.ompi.request import Request
+from repro.ompi.status import Status
+from repro.simtime.process import Spawn
+
+
+class Communicator:
+    """A communication context over an ordered group of processes."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        runtime,
+        group: Group,
+        local_cid: int,
+        excid_state: Optional[ExcidState] = None,
+        name: str = "",
+        session=None,
+    ) -> None:
+        self.runtime = runtime
+        self.group = group
+        self.local_cid = local_cid
+        self.excid_state = excid_state
+        self.session = session
+        self.name = name or f"comm-{next(self._ids)}"
+        self.rank = group.rank_of(runtime.proc)
+        if self.rank == UNDEFINED:
+            raise MPIErrGroup(f"{runtime.proc} is not a member of {self.name}")
+        self.size = group.size
+        self.errhandler: Errhandler = ERRORS_ARE_FATAL
+        self.attrs = runtime.new_attr_cache()
+        self.freed = False
+        # exCID handshake state (paper §III-B4).
+        self.peer_cids: dict = {}      # peer rank -> peer's local CID
+        self.acks_sent: set = set()    # peer ranks we already ACKed
+        self._dup_serial = itertools.count()
+        # Globally consistent identity (cached: used per-message for the
+        # per-(pair, communicator) ordering key).
+        if self.excid_state is not None:
+            self._identity = str(self.excid_state.excid)
+        else:
+            self._identity = f"builtin-cid{local_cid}"
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def excid(self):
+        return self.excid_state.excid if self.excid_state is not None else None
+
+    def _check(self) -> None:
+        if self.freed:
+            raise MPIErrComm(f"{self.name} used after free")
+
+    def get_rank(self) -> int:
+        self._check()
+        return self.rank
+
+    def get_size(self) -> int:
+        self._check()
+        return self.size
+
+    def get_group(self) -> Group:
+        self._check()
+        return self.group
+
+    def set_errhandler(self, handler: Errhandler) -> None:
+        self._check()
+        self.errhandler = handler
+
+    def identity(self) -> str:
+        """Globally consistent name for runtime-side disambiguation."""
+        return self._identity
+
+    # ------------------------------------------------------------------
+    # attribute caching
+    # ------------------------------------------------------------------
+    def set_attr(self, keyval: int, value: Any) -> None:
+        self._check()
+        self.attrs.set(keyval, value)
+
+    def get_attr(self, keyval: int) -> Tuple[bool, Any]:
+        self._check()
+        return self.attrs.get(keyval)
+
+    def delete_attr(self, keyval: int) -> None:
+        self._check()
+        self.attrs.delete(keyval)
+
+    # ------------------------------------------------------------------
+    # point-to-point (user tags must be >= 0)
+    # ------------------------------------------------------------------
+    def _check_user_tag(self, tag: int, recv: bool = False) -> None:
+        if recv and tag == ANY_TAG:
+            return
+        if tag < 0:
+            raise MPIErrTag(f"user tag must be >= 0 (got {tag})")
+
+    def _check_peer(self, rank: int, recv: bool = False) -> None:
+        if recv and rank == ANY_SOURCE:
+            return
+        if not 0 <= rank < self.size:
+            raise MPIErrRank(f"peer rank {rank} out of range for size {self.size}")
+
+    def isend(self, obj, dest: int, tag: int = 0, nbytes: Optional[int] = None):
+        """Sub-generator: start a nonblocking send; returns a Request."""
+        self._check()
+        self._check_user_tag(tag)
+        self._check_peer(dest)
+        return (yield from self._isend_internal(obj, dest, tag, nbytes))
+
+    def _isend_internal(self, obj, dest: int, tag: int, nbytes: Optional[int] = None):
+        size = nbytes if nbytes is not None else sizeof_payload(obj)
+        req = Request("send")
+        yield from self.runtime.endpoint.isend(self, obj, dest, tag, size, req)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Post a nonblocking receive (instantaneous); returns a Request."""
+        self._check()
+        self._check_user_tag(tag, recv=True)
+        self._check_peer(source, recv=True)
+        return self._irecv_internal(source, tag)
+
+    def _irecv_internal(self, source: int, tag: int) -> Request:
+        req = Request("recv")
+        self.runtime.endpoint.irecv(self, source, tag, req)
+        return req
+
+    def send(self, obj, dest: int, tag: int = 0, nbytes: Optional[int] = None):
+        """Sub-generator: blocking send."""
+        req = yield from self.isend(obj, dest, tag, nbytes)
+        yield from req.wait()
+
+    def _send_internal(self, obj, dest: int, tag: int, nbytes: Optional[int] = None):
+        req = yield from self._isend_internal(obj, dest, tag, nbytes)
+        yield from req.wait()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Optional[Status] = None):
+        """Sub-generator: blocking receive; returns the payload."""
+        req = self.irecv(source, tag)
+        st = yield from req.wait()
+        if status is not None:
+            status.source, status.tag, status.count = st.source, st.tag, st.count
+        return req.payload
+
+    def _recv_internal(self, source: int, tag: int):
+        req = self._irecv_internal(source, tag)
+        yield from req.wait()
+        return req.payload
+
+    def sendrecv(
+        self,
+        sendobj,
+        dest: int,
+        recvsource: int,
+        sendtag: int = _TAG_SENDRECV & 0x7FFFFFFF,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[int] = None,
+    ):
+        """Sub-generator: simultaneous send + receive (deadlock-free)."""
+        self._check()
+        self._check_peer(dest)
+        self._check_peer(recvsource, recv=True)
+        rreq = self._irecv_internal(recvsource, recvtag)
+        sreq = yield from self._isend_internal(sendobj, dest, sendtag, nbytes)
+        yield from sreq.wait()
+        yield from rreq.wait()
+        return rreq.payload
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Instantaneous probe of the unexpected queue."""
+        self._check()
+        return self.runtime.endpoint.probe(self, source, tag)
+
+    def improbe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """MPI_Improbe: claim a matched message, or None.
+
+        The returned :class:`MatchedMessage` is removed from the
+        matching queues — no other receive can take it — and is
+        consumed with its :meth:`MatchedMessage.mrecv`."""
+        self._check()
+        msg = self.runtime.endpoint.matching.mprobe(self.local_cid, source, tag)
+        if msg is None:
+            return None
+        return MatchedMessage(self, msg)
+
+    def mprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+               timeout: Optional[float] = None):
+        """Sub-generator: blocking MPI_Mprobe (polls the unexpected queue).
+
+        Being a poll, a probe nobody ever satisfies evades the engine's
+        deadlock detector (simulated time keeps advancing); pass
+        ``timeout`` (simulated seconds) to fail loudly instead —
+        raises :class:`~repro.simtime.process.SimTimeout`.
+        """
+        from repro.simtime.process import Sleep, SimTimeout
+
+        deadline = None if timeout is None else self.runtime.engine.now + timeout
+        while True:
+            matched = self.improbe(source, tag)
+            if matched is not None:
+                return matched
+            if deadline is not None and self.runtime.engine.now >= deadline:
+                raise SimTimeout(
+                    f"mprobe(source={source}, tag={tag}) timed out after {timeout}s"
+                )
+            yield Sleep(self.runtime.machine.match_overhead * 4)
+
+    # -- persistent requests -------------------------------------------------
+    def send_init(self, obj, dest: int, tag: int = 0, nbytes: Optional[int] = None):
+        """MPI_Send_init: freeze send arguments (local, instantaneous)."""
+        self._check()
+        self._check_user_tag(tag)
+        self._check_peer(dest)
+        from repro.ompi.persistent import PersistentSend
+
+        return PersistentSend(self, obj, dest, tag, nbytes)
+
+    def recv_init(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """MPI_Recv_init: freeze receive arguments (local, instantaneous)."""
+        self._check()
+        self._check_user_tag(tag, recv=True)
+        self._check_peer(source, recv=True)
+        from repro.ompi.persistent import PersistentRecv
+
+        return PersistentRecv(self, source, tag)
+
+    # -- topology --------------------------------------------------------------
+    def create_cart(self, dims=None, periods=True, ndims: int = 2):
+        """Sub-generator: MPI_Cart_create; returns a comm with ``.cart``."""
+        from repro.ompi.topo import cart_create
+
+        return (yield from cart_create(self, dims, periods, ndims))
+
+    # -- error handler dispatch ---------------------------------------------------
+    def call_errhandler(self, error) -> None:
+        """MPI_Comm_call_errhandler: route ``error`` through this
+        communicator's handler (ERRORS_ARE_FATAL aborts the rank)."""
+        self._check()
+        self.errhandler.invoke(self, error)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self):
+        self._check()
+        yield from coll.barrier(self)
+
+    def ibarrier(self):
+        """Sub-generator: returns a Request completed when all arrive."""
+        self._check()
+        req = Request("ibarrier")
+        yield Spawn(coll.ibarrier_runner(self, req), name=f"ibarrier-{self.name}-r{self.rank}")
+        return req
+
+    def bcast(self, obj, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.bcast(self, obj, root, nbytes))
+
+    def reduce(self, value, op: Op, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.reduce(self, value, op, root, nbytes))
+
+    def allreduce(self, value, op: Op, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.allreduce(self, value, op, nbytes))
+
+    def _internal_allreduce(self, value, op: Op, tag: int):
+        return (yield from coll.allreduce(self, value, op, nbytes=8, tag=tag))
+
+    def gather(self, value, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.gather(self, value, root, nbytes))
+
+    def scatter(self, values, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.scatter(self, values, root, nbytes))
+
+    def allgather(self, value, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.allgather(self, value, nbytes))
+
+    def alltoall(self, values, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.alltoall(self, values, nbytes))
+
+    def scan(self, value, op: Op, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.scan(self, value, op, nbytes))
+
+    def exscan(self, value, op: Op, nbytes: Optional[int] = None):
+        self._check()
+        return (yield from coll.exscan(self, value, op, nbytes))
+
+    # -- v-variants and reduce_scatter ----------------------------------
+    def gatherv(self, value, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.vcolls import gatherv
+
+        return (yield from gatherv(self, value, root, nbytes))
+
+    def scatterv(self, values, root: int = 0):
+        self._check()
+        from repro.ompi.coll.vcolls import scatterv
+
+        return (yield from scatterv(self, values, root))
+
+    def allgatherv(self, value, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.vcolls import allgatherv
+
+        return (yield from allgatherv(self, value, nbytes))
+
+    def reduce_scatter_block(self, values, op: Op, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.vcolls import reduce_scatter_block
+
+        return (yield from reduce_scatter_block(self, values, op, nbytes))
+
+    # -- nonblocking collectives ------------------------------------------
+    def ibcast(self, obj, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.nonblocking import ibcast
+
+        return (yield from ibcast(self, obj, root, nbytes))
+
+    def iallreduce(self, value, op: Op, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.nonblocking import iallreduce
+
+        return (yield from iallreduce(self, value, op, nbytes))
+
+    def igather(self, value, root: int = 0, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.nonblocking import igather
+
+        return (yield from igather(self, value, root, nbytes))
+
+    def iallgather(self, value, nbytes: Optional[int] = None):
+        self._check()
+        from repro.ompi.coll.nonblocking import iallgather
+
+        return (yield from iallgather(self, value, nbytes))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    def dup(self):
+        """Sub-generator: MPI_Comm_dup (collective over the communicator)."""
+        self._check()
+        runtime = self.runtime
+        if not runtime.excid_enabled:
+            cid = yield from allocate_consensus_cid(self)
+            new = Communicator(
+                runtime, self.group, cid, name=f"{self.name}.dup", session=self.session
+            )
+        else:
+            excid_state = yield from self._derive_excid_for_dup()
+            cid = runtime.cid_table.lowest_free()
+            new = Communicator(
+                runtime,
+                self.group,
+                cid,
+                excid_state=excid_state,
+                name=f"{self.name}.dup",
+                session=self.session,
+            )
+        new.errhandler = self.errhandler
+        new.attrs = self.attrs.copy_for_dup()
+        runtime.register_comm(new)
+        return new
+
+    def _derive_excid_for_dup(self):
+        """Sub-generator: obtain the child's exCID state per the policy."""
+        runtime = self.runtime
+        policy = runtime.config.excid_dup_policy
+        if (
+            policy == "subfield"
+            and self.excid_state is not None
+            and self.excid_state.can_derive()
+        ):
+            # Purely local derivation; a barrier stands in for Open MPI's
+            # communicator-activation collective.
+            child = self.excid_state.derive()
+            yield from coll.barrier(self)
+            return child
+        # Acquire a fresh PGCID via PMIx group construction (what the
+        # measured prototype did on every dup — Fig 4).
+        serial = next(self._dup_serial)
+        gid = f"dup:{self.identity()}:{serial}"
+        pgcid = yield from runtime.pmix.group_construct(gid, list(self.group.members()))
+        return ExcidState.from_pgcid(pgcid)
+
+    def split(self, color: int, key: int = 0):
+        """Sub-generator: MPI_Comm_split.  color=UNDEFINED -> None."""
+        self._check()
+        triples = yield from coll.allgather(self, (color, key, self.rank), nbytes=24)
+        if color == UNDEFINED:
+            # Open MPI's split derives subgroup ids from the gathered
+            # data; excluded ranks are done after the allgather.
+            return None
+        mine = sorted(
+            [(k, r) for (c, k, r) in triples if c == color],
+        )
+        members = [self.group.proc(r) for _k, r in mine]
+        new_group = Group(members)
+        name = f"{self.name}.split{color}"
+        comm = yield from self._make_subset_comm(new_group, f"split:{self.identity()}:{color}", name)
+        return comm
+
+    def split_type(self, split_type: str = "shared", key: int = 0):
+        """Sub-generator: MPI_Comm_split_type.
+
+        ``"shared"`` (MPI_COMM_TYPE_SHARED) groups ranks by node — the
+        communicator the ``mpi://shared`` pset also describes.
+        """
+        self._check()
+        if split_type != "shared":
+            raise MPIErrArg(f"unsupported split type {split_type!r}")
+        server = self.runtime.pmix.server
+        color = server.node_of(self.runtime.proc)
+        return (yield from self.split(color=color, key=key if key else self.rank))
+
+    def create(self, group: Group):
+        """Sub-generator: MPI_Comm_create (all ranks of self call).
+
+        Ranks outside ``group`` get None.
+        """
+        self._check()
+        if self.runtime.proc not in group:
+            if not self.runtime.excid_enabled:
+                # Everyone participates in the agreement on the parent.
+                yield from allocate_consensus_cid(self)
+            return None
+        return (yield from self._comm_create_common(group, "create"))
+
+    def create_group(self, group: Group, tag: int = 0):
+        """Sub-generator: MPI_Comm_create_group (only group members call)."""
+        self._check()
+        if self.runtime.proc not in group:
+            raise MPIErrGroup("create_group caller must be a group member")
+        return (yield from self._comm_create_common(group, f"cgrp{tag}"))
+
+    def _comm_create_common(self, group: Group, what: str):
+        runtime = self.runtime
+        if not runtime.excid_enabled:
+            if what == "create":
+                cid = yield from allocate_consensus_cid(self)
+            else:
+                cid = yield from self._subset_consensus_cid(group)
+            new = Communicator(
+                runtime, group, cid, name=f"{self.name}.{what}", session=self.session
+            )
+        else:
+            # "not all processes are participating in the communicator
+            # creation" -> always a new PGCID (paper §III-B3).
+            gid = f"{what}:{self.identity()}"
+            pgcid = yield from runtime.pmix.group_construct(gid, list(group.members()))
+            new = Communicator(
+                runtime,
+                group,
+                runtime.cid_table.lowest_free(),
+                excid_state=ExcidState.from_pgcid(pgcid),
+                name=f"{self.name}.{what}",
+                session=self.session,
+            )
+        runtime.register_comm(new)
+        return new
+
+    def _subset_consensus_cid(self, group: Group):
+        """Consensus among a subgroup, communicating over the parent.
+
+        Models Open MPI's create_group path: the agreement allreduce runs
+        on parent point-to-point among group members only.
+        """
+        from repro.ompi import constants
+        from repro.ompi.cid import MAX_CID
+
+        table = self.runtime.cid_table
+        members = [self.group.rank_of(p) for p in group.members()]
+        my_idx = members.index(self.rank)
+        floor = 0
+        while True:
+            proposed = table.lowest_free(at_least=floor)
+            agreed = yield from self._subset_allreduce(members, my_idx, proposed, constants.MAX)
+            unanimous = proposed == agreed and table.is_free(agreed)
+            all_ok = yield from self._subset_allreduce(
+                members, my_idx, 1 if unanimous else 0, constants.MIN
+            )
+            if all_ok:
+                return agreed
+            floor = agreed
+            if floor >= MAX_CID:  # pragma: no cover - defensive
+                raise MPIErrArg("CID space exhausted in subset consensus")
+
+    def _subset_allreduce(self, members: List[int], my_idx: int, value, op: Op):
+        """Allreduce among a rank subset of self (consensus-CID agreement)."""
+        from repro.ompi.coll.reduce import allreduce_indexed
+        from repro.ompi.constants import _TAG_CID
+
+        return (
+            yield from allreduce_indexed(
+                self, members, my_idx, value, op, nbytes=8, tag=_TAG_CID
+            )
+        )
+
+    def _make_subset_comm(self, group: Group, gid: str, name: str):
+        """Shared by split: build a communicator over ``group``."""
+        runtime = self.runtime
+        if not runtime.excid_enabled:
+            cid = yield from self._subset_consensus_cid(group)
+            new = Communicator(runtime, group, cid, name=name, session=self.session)
+        else:
+            pgcid = yield from runtime.pmix.group_construct(gid, list(group.members()))
+            new = Communicator(
+                runtime,
+                group,
+                runtime.cid_table.lowest_free(),
+                excid_state=ExcidState.from_pgcid(pgcid),
+                name=name,
+                session=self.session,
+            )
+        runtime.register_comm(new)
+        return new
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def free(self) -> None:
+        """Release this communicator (local bookkeeping; the prototype's
+        sessions comms do not run a collective destructor — see DESIGN)."""
+        self._check()
+        self.attrs.clear()
+        self.runtime.deregister_comm(self)
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        ex = f" {self.excid}" if self.excid is not None else ""
+        return f"<Communicator {self.name} rank={self.rank}/{self.size} cid={self.local_cid}{ex}>"
+
+
+class MatchedMessage:
+    """A message claimed by improbe/mprobe, consumed by :meth:`mrecv`."""
+
+    __slots__ = ("comm", "_msg", "consumed")
+
+    def __init__(self, comm: Communicator, msg) -> None:
+        self.comm = comm
+        self._msg = msg
+        self.consumed = False
+
+    @property
+    def source(self) -> int:
+        return self._msg.src
+
+    @property
+    def tag(self) -> int:
+        return self._msg.tag
+
+    @property
+    def count(self) -> int:
+        return self._msg.nbytes
+
+    def mrecv(self, status: Optional[Status] = None):
+        """Sub-generator: MPI_Mrecv — receive exactly this message."""
+        if self.consumed:
+            raise MPIErrArg("matched message received twice")
+        self.consumed = True
+        from repro.ompi.pml.matching import PostedRecv
+
+        req = Request("recv")
+        endpoint = self.comm.runtime.endpoint
+        posted = PostedRecv(src=self._msg.src, tag=self._msg.tag, request=req)
+        endpoint._consume_match(self.comm, posted, self._msg)
+        st = yield from req.wait()
+        if status is not None:
+            status.source, status.tag, status.count = st.source, st.tag, st.count
+        return req.payload

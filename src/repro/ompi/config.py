@@ -1,0 +1,64 @@
+"""Per-runtime configuration knobs.
+
+The benchmarks instantiate two configurations side by side:
+
+* ``MpiConfig.baseline()`` — models the unmodified Open MPI master
+  branch the paper benchmarks against: CID agreement via the legacy
+  multi-round consensus algorithm; no extended headers ever.
+* ``MpiConfig.sessions_prototype()`` — models the sessions-enabled
+  prototype: the exCID generator is used (PMIx supports groups and ob1
+  is the PML), communicators created from groups carry exCIDs, and
+  first messages run the exCID handshake.
+
+``excid_dup_policy`` selects how ``MPI_Comm_dup`` derives ids in exCID
+mode; see DESIGN.md §4.1 and the Fig 4 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MpiConfig:
+    # "consensus": legacy allreduce-based CID agreement (needs a parent comm).
+    # "excid": the prototype's 128-bit extended-CID generator.
+    cid_mode: str = "consensus"
+
+    # Only meaningful with cid_mode="excid":
+    #  "pgcid-per-dup": every dup acquires a fresh PGCID (what the measured
+    #                   prototype did; reproduces Fig 4's gap).
+    #  "subfield":      derive from the parent's active subfield, acquiring a
+    #                   PGCID only on exhaustion (the paper's §III-B3 design;
+    #                   exercised by the ablation bench).
+    excid_dup_policy: str = "pgcid-per-dup"
+
+    # PML component name (only ob1 supports exCIDs, as in the prototype).
+    pml: str = "ob1"
+
+    # Collect endpoint blobs in the init-time fence (WPM only).
+    modex_collect: bool = True
+
+    # Linear fan-in/fan-out barrier below this communicator size (models
+    # coll/sm and tuned's small-comm algorithms); tree above.
+    barrier_linear_max: int = 32
+
+    # Ablation: never switch to receiver-local CIDs — every message on an
+    # exCID communicator carries the extended header (DESIGN.md §4.2).
+    excid_always_extended: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cid_mode not in ("consensus", "excid"):
+            raise ValueError(f"unknown cid_mode {self.cid_mode!r}")
+        if self.excid_dup_policy not in ("pgcid-per-dup", "subfield"):
+            raise ValueError(f"unknown excid_dup_policy {self.excid_dup_policy!r}")
+
+    @classmethod
+    def baseline(cls) -> "MpiConfig":
+        """Unmodified Open MPI master (the paper's comparison baseline)."""
+        return cls(cid_mode="consensus")
+
+    @classmethod
+    def sessions_prototype(cls, dup_policy: str = "pgcid-per-dup") -> "MpiConfig":
+        """The sessions-enabled prototype branch."""
+        return cls(cid_mode="excid", excid_dup_policy=dup_policy)

@@ -1,0 +1,120 @@
+"""MPI datatypes.
+
+Basic numeric types map to numpy dtypes; derived types (contiguous and
+vector) carry the layout needed to compute wire sizes.  The simulator
+moves Python objects, so datatypes exist to (a) size messages for the
+cost model and (b) mirror the API shape of an MPI library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ompi.errors import MPIErrArg
+
+
+class Datatype:
+    """An MPI datatype: a name, an extent in bytes, and (for derived
+    types) a block layout."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        np_dtype: Optional[np.dtype] = None,
+        committed: bool = True,
+    ) -> None:
+        if size < 0:
+            raise MPIErrArg("datatype size must be >= 0")
+        self.name = name
+        self.size = size            # true data bytes per element
+        self.extent = size          # span including gaps (derived types differ)
+        self.np_dtype = np_dtype
+        self.committed = committed
+        self.freed = False
+
+    # -- derived constructors ----------------------------------------------
+    def create_contiguous(self, count: int) -> "Datatype":
+        if count < 0:
+            raise MPIErrArg("count must be >= 0")
+        dt = Datatype(f"contig({count})x{self.name}", self.size * count, committed=False)
+        dt.extent = self.extent * count
+        return dt
+
+    def create_vector(self, count: int, blocklength: int, stride: int) -> "Datatype":
+        if count < 0 or blocklength < 0:
+            raise MPIErrArg("count and blocklength must be >= 0")
+        dt = Datatype(
+            f"vector({count},{blocklength},{stride})x{self.name}",
+            self.size * count * blocklength,
+            committed=False,
+        )
+        if count > 0:
+            dt.extent = self.extent * (stride * (count - 1) + blocklength)
+        else:
+            dt.extent = 0
+        return dt
+
+    def commit(self) -> "Datatype":
+        self._check()
+        self.committed = True
+        return self
+
+    def free(self) -> None:
+        self._check()
+        self.freed = True
+
+    def _check(self) -> None:
+        if self.freed:
+            raise MPIErrArg(f"datatype {self.name} used after free")
+
+    def wire_size(self, count: int) -> int:
+        """Bytes on the wire for ``count`` elements of this type."""
+        self._check()
+        if not self.committed:
+            raise MPIErrArg(f"datatype {self.name} used before commit")
+        return self.size * count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Datatype {self.name} size={self.size}>"
+
+
+BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+CHAR = Datatype("MPI_CHAR", 1, np.dtype("S1"))
+SHORT = Datatype("MPI_SHORT", 2, np.dtype(np.int16))
+INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
+LONG = Datatype("MPI_LONG", 8, np.dtype(np.int64))
+UNSIGNED = Datatype("MPI_UNSIGNED", 4, np.dtype(np.uint32))
+UNSIGNED_LONG = Datatype("MPI_UNSIGNED_LONG", 8, np.dtype(np.uint64))
+FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))
+COMPLEX = Datatype("MPI_COMPLEX", 8, np.dtype(np.complex64))
+DOUBLE_COMPLEX = Datatype("MPI_DOUBLE_COMPLEX", 16, np.dtype(np.complex128))
+BOOL = Datatype("MPI_C_BOOL", 1, np.dtype(np.bool_))
+
+
+def sizeof_payload(payload, datatype: Optional[Datatype] = None, count: Optional[int] = None) -> int:
+    """Best-effort wire size of a python payload.
+
+    Priority: explicit (datatype, count) > numpy nbytes > bytes len >
+    rough pickle-free structural estimate.
+    """
+    if datatype is not None and count is not None:
+        return datatype.wire_size(count)
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float, complex, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload)
+    if isinstance(payload, (list, tuple, set)):
+        return 8 + sum(sizeof_payload(v) for v in payload)
+    if isinstance(payload, dict):
+        return 8 + sum(sizeof_payload(k) + sizeof_payload(v) for k, v in payload.items())
+    return 64

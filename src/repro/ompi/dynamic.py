@@ -1,0 +1,105 @@
+"""Dynamic process connection: MPI_Open_port / Comm_accept / Comm_connect.
+
+Paper §II-C's client/server discussion assumes connected communicators;
+this module provides them on top of two substrates already in the
+stack: the PMIx publish/lookup board (port rendezvous) and the
+intercommunicator machinery (the connected pair).
+
+Flow (matching the MPI model):
+
+* the server's root calls :func:`open_port` and publishes the name
+  (``publish_name``);
+* the server side collectively calls :func:`comm_accept`;
+* the client side looks the port up (``lookup_name``) and collectively
+  calls :func:`comm_connect`;
+* both get an :class:`~repro.ompi.intercomm.Intercomm` whose remote
+  group is the other side.
+
+The rendezvous itself exchanges the two groups through the port's
+published mailbox slots — no pre-existing common communicator needed,
+exactly the property MPI_Comm_connect has over MPI_Intercomm_create.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ompi.errors import MPIErrArg
+from repro.ompi.group import Group
+from repro.ompi.intercomm import Intercomm, build_bridge
+from repro.simtime.process import Sleep
+
+_port_serial = itertools.count()
+
+
+def open_port(runtime) -> str:
+    """MPI_Open_port: mint a unique port name (local)."""
+    return f"port://{runtime.proc.nspace}/{runtime.proc.rank}/{next(_port_serial)}"
+
+
+def publish_name(runtime, service: str, port: str):
+    """Sub-generator: MPI_Publish_name via the PMIx data board."""
+    yield from runtime.pmix.publish(f"mpi.svc.{service}", port)
+
+
+def lookup_name(runtime, service: str, timeout: Optional[float] = None):
+    """Sub-generator: MPI_Lookup_name; waits for the service to appear."""
+    found, port = yield from runtime.pmix.lookup(
+        f"mpi.svc.{service}", wait=True, timeout=timeout
+    )
+    if not found:  # pragma: no cover - wait=True only returns on found
+        raise MPIErrArg(f"service {service!r} not published")
+    return port
+
+
+def unpublish_name(runtime, service: str):
+    """Sub-generator: MPI_Unpublish_name."""
+    yield from runtime.pmix.unpublish(f"mpi.svc.{service}")
+
+
+def comm_accept(local_comm, port: str, root: int = 0, timeout: Optional[float] = None):
+    """Sub-generator: MPI_Comm_accept — collective over ``local_comm``.
+
+    Blocks until a connector arrives on ``port``.
+    """
+    return (yield from _rendezvous(local_comm, port, root, accept=True, timeout=timeout))
+
+
+def comm_connect(local_comm, port: str, root: int = 0, timeout: Optional[float] = None):
+    """Sub-generator: MPI_Comm_connect — collective over ``local_comm``.
+
+    One connector per accept: a port pairs exactly one client side with
+    one server side at a time (concurrent connects to the same port
+    would overwrite each other's rendezvous slot — serialize them, as
+    real servers do by looping accept).
+    """
+    return (yield from _rendezvous(local_comm, port, root, accept=False, timeout=timeout))
+
+
+def _rendezvous(local_comm, port: str, root: int, accept: bool, timeout: Optional[float]):
+    runtime = local_comm.runtime
+    my_members = list(local_comm.group.members())
+    side = "server" if accept else "client"
+    other = "client" if accept else "server"
+    if local_comm.rank == root:
+        # Post my group, then wait for the other side's.
+        yield from runtime.pmix.publish(f"{port}/{side}", my_members)
+        _found, remote_members = yield from runtime.pmix.lookup(
+            f"{port}/{other}", wait=True, timeout=timeout
+        )
+        # Consume the slots so the port can be reused for the next pair.
+        if accept:
+            yield Sleep(runtime.machine.local_rpc_cost)
+            yield from runtime.pmix.unpublish(f"{port}/{side}")
+            yield from runtime.pmix.unpublish(f"{port}/{other}")
+    else:
+        remote_members = None
+    remote_members = yield from local_comm.bcast(remote_members, root=root)
+    remote_group = Group(remote_members)
+
+    bridge = yield from build_bridge(
+        runtime, local_comm.session, my_members, remote_members,
+        f"connect:{port}", 7001,
+    )
+    return Intercomm(bridge, Group(my_members), remote_group)

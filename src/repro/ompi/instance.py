@@ -1,0 +1,118 @@
+"""The MPI instance: lazy, reference-counted subsystem lifecycle.
+
+Paper §III-B5: instead of initializing the whole library in MPI_Init
+and tearing it down in a carefully ordered MPI_Finalize, the prototype
+initializes subsystems on demand, counts references, registers cleanup
+callbacks with the OPAL framework, and runs them when the *last*
+session is finalized — after which a new session can start the cycle
+over.  Both the Sessions path and the restructured legacy
+MPI_Init/MPI_Finalize path (which wrap an internal session) share this
+machinery, "removing the need for any duplicate code".
+"""
+
+from __future__ import annotations
+
+from repro.simtime.process import Sleep
+
+#: Subsystems the instance brings up, in dependency order.  Each costs
+#: ``machine.session_subsys_init`` on its first initialization per epoch.
+SUBSYSTEMS = (
+    "opal_util",
+    "mca_base",
+    "info",
+    "errhandler",
+    "attributes",
+    "datatype",
+    "btl",
+    "pml_ob1",
+    "coll_base",
+    "group",
+)
+
+
+def instance_acquire(runtime):
+    """Sub-generator: retain (initializing on first use) every subsystem."""
+    machine = runtime.machine
+    for name in SUBSYSTEMS:
+        if name == "pml_ob1":
+            init_fn = lambda: _pml_init(runtime)  # noqa: E731
+            cleanup_fn = lambda: _pml_cleanup(runtime)  # noqa: E731
+        elif name == "mca_base":
+            init_fn = lambda: _mca_init(runtime)  # noqa: E731
+            cleanup_fn = lambda: _mca_cleanup(runtime)  # noqa: E731
+        else:
+            init_fn = lambda: _generic_init(runtime)  # noqa: E731
+            cleanup_fn = None
+        yield from runtime.subsystems.acquire(name, init_fn, cleanup_fn)
+    runtime.instance_refcount += 1
+
+
+def instance_release(runtime):
+    """Sub-generator: drop one instance reference; the last one triggers
+    the cleanup framework (LIFO teardown of every subsystem)."""
+    if runtime.instance_refcount <= 0:
+        from repro.ompi.errors import MPIErrIntern
+
+        raise MPIErrIntern("instance released more times than acquired")
+    for name in SUBSYSTEMS:
+        runtime.subsystems.release(name)
+    runtime.instance_refcount -= 1
+    if runtime.instance_refcount == 0:
+        yield Sleep(runtime.machine.proc_local_init / 2)  # teardown work
+        runtime.cleanup.run_all()
+    return
+    yield  # pragma: no cover
+
+
+def _generic_init(runtime):
+    yield Sleep(runtime.machine.session_subsys_init)
+
+
+def _mca_init(runtime):
+    """Open MCA frameworks and register the standard components."""
+    from repro.ompi.opal.mca import MCAComponent
+
+    yield Sleep(runtime.machine.session_subsys_init)
+    pml = runtime.mca.framework("pml")
+    if not pml.components():
+        pml.register(MCAComponent("ob1", priority=20))
+        pml.register(MCAComponent("cm", priority=10))
+    btl = runtime.mca.framework("btl")
+    if not btl.components():
+        btl.register(MCAComponent("sm", priority=50))
+        btl.register(MCAComponent("net", priority=30))
+    coll = runtime.mca.framework("coll")
+    if not coll.components():
+        coll.register(MCAComponent("tuned", priority=30))
+        coll.register(MCAComponent("basic", priority=10))
+    for name in ("pml", "btl", "coll"):
+        runtime.mca.framework(name).open()
+    pml.select(prefer=runtime.config.pml)
+    btl.select()
+    coll.select()
+
+
+def _mca_cleanup(runtime):
+    for name in ("pml", "btl", "coll"):
+        fw = runtime.mca.framework(name)
+        if fw.is_open:
+            fw.close()
+
+
+def _pml_init(runtime):
+    """Bring up ob1: create the endpoint and publish our modex blob."""
+    from repro.ompi.pml.ob1 import ENDPOINT_KEY, Ob1Endpoint
+
+    yield Sleep(runtime.machine.session_subsys_init)
+    runtime.endpoint = Ob1Endpoint(runtime)
+    runtime.pmix.put(
+        ENDPOINT_KEY, {"node": runtime.node, "addr": f"ob1-{runtime.proc.rank}"}
+    )
+    yield from runtime.pmix.commit()
+
+
+def _pml_cleanup(runtime):
+    if runtime.endpoint is not None:
+        runtime.fabric.deregister(runtime.proc)
+        runtime.endpoint = None
+    runtime.reset_cid_state()

@@ -1,0 +1,20 @@
+"""Simulated OPAL: Open Platform Abstraction Layer.
+
+The slice of OPAL the paper's prototype leaned on: a reference-counted
+object system, the *cleanup-callback framework* that replaced Open
+MPI's carefully-ordered teardown (enabling repeated init/finalize
+cycles, §III-B5), and the Modular Component Architecture registry.
+"""
+
+from repro.ompi.opal.object import OpalObject
+from repro.ompi.opal.cleanup import CleanupFramework, SubsystemRegistry
+from repro.ompi.opal.mca import MCARegistry, MCAFramework, MCAComponent
+
+__all__ = [
+    "OpalObject",
+    "CleanupFramework",
+    "SubsystemRegistry",
+    "MCARegistry",
+    "MCAFramework",
+    "MCAComponent",
+]

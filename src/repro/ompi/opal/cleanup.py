@@ -1,0 +1,110 @@
+"""The OPAL cleanup-callback framework (paper §III-B5).
+
+Classic Open MPI initialized everything in ``MPI_Init`` and tore it
+down in a carefully ordered ``MPI_Finalize``.  The sessions prototype
+replaces that with lazy, reference-counted subsystems: the first user
+of a subsystem initializes it and registers a cleanup callback; when
+the last MPI Session is finalized the accumulated callbacks run in LIFO
+order and the library returns to a truly uninitialized state, ready
+for a new init cycle.
+
+:class:`SubsystemRegistry` implements the refcounts;
+:class:`CleanupFramework` implements the callback stack.  Both are
+per-simulated-process."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class CleanupError(RuntimeError):
+    """Cleanup misuse (double-run, register after run, ...)."""
+
+
+class CleanupFramework:
+    """LIFO stack of cleanup callbacks for one init epoch."""
+
+    def __init__(self) -> None:
+        self._callbacks: List[Tuple[str, Callable[[], None]]] = []
+        self.epochs_completed = 0
+
+    def register(self, name: str, fn: Callable[[], None]) -> None:
+        self._callbacks.append((name, fn))
+
+    @property
+    def pending(self) -> int:
+        return len(self._callbacks)
+
+    def run_all(self) -> List[str]:
+        """Run and clear every callback, newest first; returns the order."""
+        order: List[str] = []
+        while self._callbacks:
+            name, fn = self._callbacks.pop()
+            fn()
+            order.append(name)
+        self.epochs_completed += 1
+        return order
+
+
+class SubsystemRegistry:
+    """Reference-counted lazy subsystem initialization.
+
+    ``acquire(name, init_fn, cleanup_fn)``: on first acquisition run
+    ``init_fn`` (which may be a sub-generator charging simulated time)
+    and register ``cleanup_fn`` with the cleanup framework; subsequent
+    acquisitions only bump the refcount.  ``release(name)`` decrements;
+    the actual teardown happens when the *framework* runs (i.e. at
+    last-session-finalize), mirroring the prototype.
+    """
+
+    def __init__(self, cleanup: CleanupFramework) -> None:
+        self.cleanup = cleanup
+        self._refcounts: Dict[str, int] = {}
+        self._initialized: set = set()
+        self.init_epochs: Dict[str, int] = {}   # name -> times initialized ever
+
+    def refcount(self, name: str) -> int:
+        return self._refcounts.get(name, 0)
+
+    def is_initialized(self, name: str) -> bool:
+        return name in self._initialized
+
+    @property
+    def live_subsystems(self) -> List[str]:
+        return sorted(n for n, c in self._refcounts.items() if c > 0)
+
+    def acquire(self, name: str, init_fn: Optional[Callable] = None,
+                cleanup_fn: Optional[Callable[[], None]] = None):
+        """Sub-generator: initialize-or-retain subsystem ``name``.
+
+        A subsystem whose refcount dropped to zero but whose cleanup has
+        not yet run (the framework only fires at last-session-finalize)
+        is still initialized and is *not* re-initialized here.
+        """
+        if name not in self._initialized:
+            if init_fn is not None:
+                result = init_fn()
+                if result is not None and hasattr(result, "__next__"):
+                    yield from result
+            self._initialized.add(name)
+            self.init_epochs[name] = self.init_epochs.get(name, 0) + 1
+
+            def _teardown() -> None:
+                self._refcounts.pop(name, None)
+                self._initialized.discard(name)
+                if cleanup_fn is not None:
+                    cleanup_fn()
+
+            self.cleanup.register(name, _teardown)
+        self._refcounts[name] = self._refcounts.get(name, 0) + 1
+        return
+        yield  # pragma: no cover - makes this a generator even on fast path
+
+    def release(self, name: str) -> None:
+        count = self._refcounts.get(name, 0)
+        if count <= 0:
+            raise CleanupError(f"release of unacquired subsystem {name!r}")
+        self._refcounts[name] = count - 1
+
+    def all_released(self) -> bool:
+        return all(c == 0 for c in self._refcounts.values())

@@ -1,0 +1,57 @@
+"""Reference-counted object system (OBJ_NEW / OBJ_RETAIN / OBJ_RELEASE).
+
+Python has its own garbage collector, but Open MPI's object lifetimes
+are *explicit*: the last release triggers the destructor, and releasing
+an already-destroyed object is a bug the real code base guards with
+assertions.  The sessions prototype depends on exact destructor timing
+(subsystems tear down when their refcount hits zero), so we model the
+discipline rather than leaning on ``__del__``.
+"""
+
+from __future__ import annotations
+
+
+class OpalObjectError(RuntimeError):
+    """Refcounting misuse (release after destruction, negative count)."""
+
+
+class OpalObject:
+    """Base class for explicitly refcounted objects.
+
+    Subclasses override :meth:`_destruct` for cleanup logic; it runs
+    exactly once, when the refcount falls to zero.
+    """
+
+    def __init__(self) -> None:
+        self._refcount = 1
+        self._destructed = False
+
+    @property
+    def refcount(self) -> int:
+        return self._refcount
+
+    @property
+    def destructed(self) -> bool:
+        return self._destructed
+
+    def retain(self) -> "OpalObject":
+        if self._destructed:
+            raise OpalObjectError(f"retain of destructed {type(self).__name__}")
+        self._refcount += 1
+        return self
+
+    def release(self) -> bool:
+        """Drop one reference; returns True if the object was destroyed."""
+        if self._destructed:
+            raise OpalObjectError(f"release of destructed {type(self).__name__}")
+        if self._refcount <= 0:
+            raise OpalObjectError(f"negative refcount on {type(self).__name__}")
+        self._refcount -= 1
+        if self._refcount == 0:
+            self._destructed = True
+            self._destruct()
+            return True
+        return False
+
+    def _destruct(self) -> None:
+        """Subclass hook; runs exactly once."""

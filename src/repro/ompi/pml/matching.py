@@ -1,0 +1,142 @@
+"""Tag-matching engine: posted-receive and unexpected-message queues.
+
+One engine per process; queues are segregated by the *receiver-local*
+communicator id (the ctx field of the match header — constant-time
+array-index semantics, like Open MPI's communicator array).
+
+MPI matching rules implemented here:
+
+* a receive matches the earliest compatible unexpected message
+  (arrival order), and an arriving message matches the earliest
+  compatible posted receive (post order) — non-overtaking;
+* ``ANY_SOURCE`` matches any source, ``ANY_TAG`` matches any
+  *user* tag (>= 0) but never the negative internal collective tags.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional
+
+from repro.ompi.constants import ANY_SOURCE, ANY_TAG
+
+
+@dataclass
+class PostedRecv:
+    """A receive waiting for a message."""
+
+    src: int
+    tag: int
+    request: Any                       # ompi Request
+    cb: Any = None                     # protocol callback on match
+
+
+@dataclass
+class IncomingMsg:
+    """An arrived message (or rendezvous RTS) awaiting a receive."""
+
+    src: int
+    tag: int
+    seq: int
+    nbytes: int                        # user payload bytes
+    payload: Any = None
+    protocol: str = "eager"            # "eager" | "rts"
+    sender: Any = None                 # sender proc id (for CTS routing)
+    sender_req: Any = None             # sender-side request (rendezvous)
+    extended: bool = False             # carried an extended header
+    arrival: float = 0.0
+
+
+def _compatible(posted: PostedRecv, msg: IncomingMsg) -> bool:
+    if posted.src != ANY_SOURCE and posted.src != msg.src:
+        return False
+    if posted.tag == ANY_TAG:
+        return msg.tag >= 0
+    return posted.tag == msg.tag
+
+
+@dataclass
+class _CommQueues:
+    posted: Deque[PostedRecv] = field(default_factory=deque)
+    unexpected: Deque[IncomingMsg] = field(default_factory=deque)
+
+
+class MatchingEngine:
+    """All matching state for one process."""
+
+    def __init__(self) -> None:
+        self._by_cid: Dict[int, _CommQueues] = {}
+        self.matches = 0
+        self.unexpected_hits = 0
+
+    def _queues(self, cid: int) -> _CommQueues:
+        q = self._by_cid.get(cid)
+        if q is None:
+            q = _CommQueues()
+            self._by_cid[cid] = q
+        return q
+
+    def post_recv(self, cid: int, posted: PostedRecv) -> Optional[IncomingMsg]:
+        """Post a receive; returns the matched unexpected message if any
+        (already removed from the queue), else enqueues the receive."""
+        q = self._queues(cid)
+        for i, msg in enumerate(q.unexpected):
+            if _compatible(posted, msg):
+                del q.unexpected[i]
+                self.matches += 1
+                self.unexpected_hits += 1
+                return msg
+        q.posted.append(posted)
+        return None
+
+    def incoming(self, cid: int, msg: IncomingMsg) -> Optional[PostedRecv]:
+        """An arriving message; returns the matched posted receive if any
+        (already removed), else enqueues as unexpected."""
+        q = self._queues(cid)
+        for i, posted in enumerate(q.posted):
+            if _compatible(posted, msg):
+                del q.posted[i]
+                self.matches += 1
+                return posted
+        q.unexpected.append(msg)
+        return None
+
+    def probe(self, cid: int, src: int, tag: int) -> Optional[IncomingMsg]:
+        """Non-destructive search of the unexpected queue (MPI_Iprobe)."""
+        fake = PostedRecv(src=src, tag=tag, request=None)
+        for msg in self._queues(cid).unexpected:
+            if _compatible(fake, msg):
+                return msg
+        return None
+
+    def mprobe(self, cid: int, src: int, tag: int) -> Optional[IncomingMsg]:
+        """Matched probe (MPI_Improbe): REMOVE and return the earliest
+        compatible unexpected message.  Once removed, no other receive
+        can steal it — the thread-safe claim MPI-3 added mprobe for."""
+        q = self._queues(cid)
+        fake = PostedRecv(src=src, tag=tag, request=None)
+        for i, msg in enumerate(q.unexpected):
+            if _compatible(fake, msg):
+                del q.unexpected[i]
+                self.matches += 1
+                self.unexpected_hits += 1
+                return msg
+        return None
+
+    def pending_posted(self, cid: int) -> int:
+        return len(self._queues(cid).posted)
+
+    def pending_unexpected(self, cid: int) -> int:
+        return len(self._queues(cid).unexpected)
+
+    def drop_comm(self, cid: int) -> None:
+        """Forget queues for a freed communicator (must be empty)."""
+        q = self._by_cid.pop(cid, None)
+        if q and (q.posted or q.unexpected):
+            from repro.ompi.errors import MPIErrPending
+
+            raise MPIErrPending(
+                f"communicator freed with {len(q.posted)} posted / "
+                f"{len(q.unexpected)} unexpected messages (cid {cid})"
+            )

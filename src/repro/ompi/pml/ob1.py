@@ -1,0 +1,388 @@
+"""The ob1 PML: eager/rendezvous point-to-point with exCID support.
+
+Protocol summary (paper §III-B4):
+
+* Every user message carries the 14-byte match header.  On a
+  communicator with an exCID, the sender does not initially know the
+  receiver's local CID, so it prepends a ~20-byte extended header
+  carrying the full exCID and the sender's local CID.
+* The receiver resolves the exCID to its local communicator (hash
+  lookup — costed separately from the fast array-index match), stores
+  the sender's CID, and sends back an ACK with its own local CID.
+* Once the ACK arrives, the sender switches to the compact header whose
+  ctx field is the *receiver's* CID: matching is again a constant-time
+  array index.  Messages already in flight keep the extended header.
+* Messages above the eager limit use rendezvous: an RTS header travels
+  first; the receiver answers CTS when matched; the bulk data follows.
+
+Cost accounting:
+
+* the sender's NIC serializes injections (``nic_free`` timestamp) —
+  this bounds message rate;
+* the receiver's matching path serializes completions
+  (``match_busy`` timestamp) — extended-header messages pay an extra
+  exCID-resolution cost, which is what Fig 5c measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ompi.btl.net import NetworkBTL
+from repro.ompi.btl.sm import SharedMemoryBTL
+from repro.ompi.errors import MPIErrIntern
+from repro.ompi.pml.headers import ExtendedHeader, MatchHeader, header_bytes
+from repro.ompi.pml.matching import IncomingMsg, MatchingEngine, PostedRecv
+from repro.ompi.status import Status
+from repro.pmix.types import PmixProc
+from repro.simtime.process import Sleep
+
+ENDPOINT_KEY = "ompi.ep"          # modex key holding a rank's endpoint blob
+FIRST_PEER_SETUP = 1.0e-6         # one-time add_procs cost per new peer
+
+
+@dataclass
+class Packet:
+    kind: str                     # "user" | "ack" | "cts" | "data"
+    src_proc: PmixProc
+    hdr: Optional[MatchHeader] = None
+    ext: Optional[ExtendedHeader] = None
+    payload: Any = None
+    nbytes: int = 0               # user payload bytes
+    protocol: str = "eager"       # for kind="user": "eager" | "rts"
+    sender_req: Any = None
+    recv_req: Any = None
+    ack_excid: Any = None
+    ack_cid: int = 0
+
+    def wire_bytes(self) -> int:
+        if self.kind == "user":
+            size = header_bytes(self.ext)
+            if self.protocol == "eager":
+                size += self.nbytes
+            return size
+        if self.kind == "data":
+            return 8 + self.nbytes
+        return 18  # control packets: ACK / CTS
+
+
+class Fabric:
+    """Routes packets between endpoints with modeled delays."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.machine = cluster.machine
+        self._endpoints: Dict[PmixProc, "Ob1Endpoint"] = {}
+        self.packets = 0
+        self.bytes = 0
+
+    def register(self, proc: PmixProc, endpoint: "Ob1Endpoint") -> None:
+        self._endpoints[proc] = endpoint
+
+    def deregister(self, proc: PmixProc) -> None:
+        self._endpoints.pop(proc, None)
+
+    def endpoint(self, proc: PmixProc) -> "Ob1Endpoint":
+        ep = self._endpoints.get(proc)
+        if ep is None:
+            raise MPIErrIntern(f"no endpoint registered for {proc}")
+        return ep
+
+    def same_node(self, a: PmixProc, b: PmixProc) -> bool:
+        return self.endpoint(a).node == self.endpoint(b).node
+
+    def deliver_at(self, when: float, dst: PmixProc, pkt: Packet) -> None:
+        self.packets += 1
+        self.bytes += pkt.wire_bytes()
+        ep = self.endpoint(dst)
+        self.engine.call_at(when, lambda: ep.deliver(pkt))
+
+
+class Ob1Endpoint:
+    """Per-process PML state."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.proc: PmixProc = runtime.proc
+        self.node: int = runtime.node
+        self.engine = runtime.engine
+        self.machine = runtime.machine
+        self.fabric: Fabric = runtime.fabric
+        self.matching = MatchingEngine()
+        self.btl_sm = SharedMemoryBTL(self.machine)
+        self.btl_net = NetworkBTL(self.machine)
+        self.nic_free = 0.0
+        self.match_busy = 0.0
+        self._send_seq: Dict[PmixProc, int] = {}
+        self._recv_seq: Dict[PmixProc, int] = {}
+        self._known_peers: set = set()
+        self.stats = {"sent": 0, "recv": 0, "ext_sent": 0, "ext_recv": 0, "acks": 0}
+        self.fabric.register(self.proc, self)
+
+    # ------------------------------------------------------------------
+    # peer discovery (lazy add_procs, paper §III-B1)
+    # ------------------------------------------------------------------
+    def _discover_peer(self, peer: PmixProc):
+        """Sub-generator: one-time endpoint setup for a new peer."""
+        if peer in self._known_peers:
+            return
+        yield Sleep(FIRST_PEER_SETUP)
+        server = self.runtime.pmix.server
+        found, _ = server.datastore.get(peer, ENDPOINT_KEY)
+        if not found and server.node_of(peer) != self.node:
+            # Sessions path: endpoint info was never fenced; direct modex.
+            from repro.simtime.process import Wait
+
+            yield Sleep(self.machine.local_rpc_cost)
+            ev = server.request_remote(peer, ENDPOINT_KEY)
+            yield Wait(ev)
+        self._known_peers.add(peer)
+
+    # ------------------------------------------------------------------
+    # injection helpers
+    # ------------------------------------------------------------------
+    def _btl_for(self, peer: PmixProc) -> Any:
+        peer_node = self.runtime.pmix.server.node_of(peer)
+        return self.btl_sm if peer_node == self.node else self.btl_net
+
+    def _inject(self, peer: PmixProc, pkt: Packet) -> Tuple[float, float]:
+        """Reserve the NIC; returns (injection_done, delivery_time)."""
+        btl = self._btl_for(peer)
+        now = self.engine.now
+        start = max(now, self.nic_free)
+        done = start + btl.injection_time(pkt.wire_bytes())
+        self.nic_free = done
+        delivery = done + btl.wire_time(pkt.wire_bytes())
+        self.fabric.deliver_at(delivery, peer, pkt)
+        return done, delivery
+
+    def _next_seq(self, peer: PmixProc, comm) -> int:
+        """Per (peer, communicator) ordering sequence.
+
+        Keyed on the communicator's global identity (not the local CID)
+        so both ends agree; early-packet stash/replay preserves order
+        within a communicator, which is exactly MPI's guarantee."""
+        key = (peer, comm.identity())
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def isend(self, comm, payload, dest_rank: int, tag: int, nbytes: int, request):
+        """Sub-generator: start a send; the caller's process is occupied
+        for the injection time (MPI_Isend CPU cost)."""
+        peer = comm.group.proc(dest_rank)
+        yield from self._discover_peer(peer)
+
+        ext = None
+        ctx = comm.local_cid
+        if comm.excid is not None:
+            peer_cid = comm.peer_cids.get(dest_rank)
+            if peer_cid is not None and not self.runtime.config.excid_always_extended:
+                ctx = peer_cid
+            else:
+                ext = ExtendedHeader(excid=comm.excid.key(), sender_cid=comm.local_cid)
+
+        hdr = MatchHeader(ctx=ctx, src=comm.rank, tag=tag, seq=self._next_seq(peer, comm))
+        protocol = "eager" if nbytes <= self.machine.eager_limit else "rts"
+        pkt = Packet(
+            kind="user",
+            src_proc=self.proc,
+            hdr=hdr,
+            ext=ext,
+            payload=payload if protocol == "eager" else None,
+            nbytes=nbytes,
+            protocol=protocol,
+            sender_req=request if protocol == "rts" else None,
+        )
+        if protocol == "rts":
+            # RTS: only headers travel now; the payload is handed over in
+            # the data phase after CTS (stashed on the packet object — the
+            # wire cost in wire_bytes() deliberately excludes it).
+            pkt._rts_payload = payload
+        self.stats["sent"] += 1
+        if ext is not None:
+            self.stats["ext_sent"] += 1
+            self.runtime.cluster.trace("pml", "ext_send", dst=str(peer), tag=tag)
+
+        injection_done, _delivery = self._inject(peer, pkt)
+        busy = injection_done - self.engine.now
+        if busy > 0:
+            yield Sleep(busy)
+        if protocol == "eager":
+            # Eager sends complete locally once the data is buffered/injected.
+            request.complete(Status(source=comm.rank, tag=tag, count=nbytes))
+        return request
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def irecv(self, comm, src_rank: int, tag: int, request) -> None:
+        """Post a receive (instantaneous bookkeeping)."""
+        posted = PostedRecv(src=src_rank, tag=tag, request=request)
+        msg = self.matching.post_recv(comm.local_cid, posted)
+        if msg is not None:
+            self._consume_match(comm, posted, msg)
+
+    def probe(self, comm, src_rank: int, tag: int) -> Optional[Status]:
+        msg = self.matching.probe(comm.local_cid, src_rank, tag)
+        if msg is None:
+            return None
+        return Status(source=msg.src, tag=msg.tag, count=msg.nbytes)
+
+    # ------------------------------------------------------------------
+    # delivery (engine callback context — not a simulated process)
+    # ------------------------------------------------------------------
+    def deliver(self, pkt: Packet) -> None:
+        if pkt.kind == "user":
+            self._deliver_user(pkt)
+        elif pkt.kind == "ack":
+            self._deliver_ack(pkt)
+        elif pkt.kind == "cts":
+            self._deliver_cts(pkt)
+        elif pkt.kind == "data":
+            self._deliver_data(pkt)
+        else:  # pragma: no cover
+            raise MPIErrIntern(f"unknown packet kind {pkt.kind}")
+
+    def _deliver_user(self, pkt: Packet) -> None:
+        # Resolve the target communicator first: a packet may arrive
+        # before this process finished registering the communicator
+        # (constructor collectives release ranks at different times).
+        # Stash such packets with NO state mutation — they are replayed
+        # verbatim at registration.
+        if pkt.ext is not None:
+            comm = self.runtime.comm_by_excid(pkt.ext.excid)
+            if comm is None:
+                self.runtime.stash_early_packet(pkt.ext.excid, pkt)
+                return
+        else:
+            comm = self.runtime.comm_by_cid(pkt.hdr.ctx)
+            if comm is None:
+                self.runtime.stash_early_cid_packet(pkt.hdr.ctx, pkt)
+                return
+
+        self.stats["recv"] += 1
+        seq_key = (pkt.src_proc, comm.identity())
+        expected = self._recv_seq.get(seq_key, 0)
+        if pkt.hdr.seq != expected:
+            raise MPIErrIntern(
+                f"out-of-order delivery from {pkt.src_proc} on {comm.identity()}: "
+                f"seq {pkt.hdr.seq} != expected {expected}"
+            )
+        self._recv_seq[seq_key] = expected + 1
+
+        match_cost = self.machine.match_overhead
+        if pkt.ext is not None:
+            self.stats["ext_recv"] += 1
+            match_cost += self.machine.extended_match_overhead
+            # Learn the sender's CID; reply with ours exactly once.
+            if pkt.hdr.src not in comm.peer_cids:
+                comm.peer_cids[pkt.hdr.src] = pkt.ext.sender_cid
+            if pkt.hdr.src not in comm.acks_sent:
+                comm.acks_sent.add(pkt.hdr.src)
+                self._send_ack(comm, pkt.hdr.src)
+            cid = comm.local_cid
+        else:
+            if comm.excid is not None:
+                # Fast path: receiver-local CID arrived in the ctx field —
+                # constant-time array lookup, marginally cheaper than the
+                # baseline's hash+validate (paper: "in some cases showing
+                # an improvement").
+                match_cost *= 0.97
+            cid = pkt.hdr.ctx
+
+        msg = IncomingMsg(
+            src=pkt.hdr.src,
+            tag=pkt.hdr.tag,
+            seq=pkt.hdr.seq,
+            nbytes=pkt.nbytes,
+            payload=pkt.payload,
+            protocol=pkt.protocol,
+            sender=pkt.src_proc,
+            sender_req=pkt.sender_req,
+            extended=pkt.ext is not None,
+            arrival=self.engine.now,
+        )
+        if pkt.protocol == "rts":
+            msg.payload = getattr(pkt, "_rts_payload", None)
+
+        start = max(self.engine.now, self.match_busy)
+        complete_at = start + match_cost
+        self.match_busy = complete_at
+
+        posted = self.matching.incoming(cid, msg)
+        if posted is not None:
+            comm_obj = comm
+            self.engine.call_at(
+                complete_at, lambda: self._match_complete(comm_obj, posted, msg)
+            )
+
+    def _consume_match(self, comm, posted: PostedRecv, msg: IncomingMsg) -> None:
+        """A freshly posted receive matched an unexpected message."""
+        start = max(self.engine.now, self.match_busy)
+        complete_at = start + self.machine.match_overhead
+        self.match_busy = complete_at
+        self.engine.call_at(complete_at, lambda: self._match_complete(comm, posted, msg))
+
+    def _match_complete(self, comm, posted: PostedRecv, msg: IncomingMsg) -> None:
+        if msg.protocol == "eager":
+            posted.request.complete(
+                Status(source=msg.src, tag=msg.tag, count=msg.nbytes), payload=msg.payload
+            )
+        else:
+            # Rendezvous: ask the sender for the bulk data.
+            cts = Packet(
+                kind="cts",
+                src_proc=self.proc,
+                sender_req=msg.sender_req,
+                recv_req=posted.request,
+                payload=(msg.payload, msg.src, msg.tag, msg.nbytes),
+            )
+            self._inject(msg.sender, cts)
+
+    def _send_ack(self, comm, peer_rank: int) -> None:
+        self.stats["acks"] += 1
+        peer = comm.group.proc(peer_rank)
+        ack = Packet(
+            kind="ack",
+            src_proc=self.proc,
+            ack_excid=comm.excid.key(),
+            ack_cid=comm.local_cid,
+        )
+        self.runtime.cluster.trace("pml", "cid_ack", dst=str(peer))
+        self._inject(peer, ack)
+
+    def _deliver_ack(self, pkt: Packet) -> None:
+        comm = self.runtime.comm_by_excid(pkt.ack_excid)
+        if comm is None:
+            return  # communicator freed while the ACK was in flight
+        rank = comm.group.rank_of(pkt.src_proc)
+        if rank >= 0 and rank not in comm.peer_cids:
+            comm.peer_cids[rank] = pkt.ack_cid
+            self.runtime.cluster.trace("pml", "cid_switch", peer=rank)
+
+    def _deliver_cts(self, pkt: Packet) -> None:
+        payload, src, tag, nbytes = pkt.payload
+        data = Packet(
+            kind="data",
+            src_proc=self.proc,
+            payload=(payload, src, tag, nbytes),
+            nbytes=nbytes,
+            recv_req=pkt.recv_req,
+            sender_req=pkt.sender_req,
+        )
+        injection_done, _ = self._inject(pkt.src_proc, data)
+        sender_req = pkt.sender_req
+        self.engine.call_at(
+            injection_done,
+            lambda: sender_req.complete(Status(source=0, tag=tag, count=nbytes)),
+        )
+
+    def _deliver_data(self, pkt: Packet) -> None:
+        payload, src, tag, nbytes = pkt.payload
+        pkt.recv_req.complete(Status(source=src, tag=tag, count=nbytes), payload=payload)

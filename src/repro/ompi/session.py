@@ -1,0 +1,134 @@
+"""MPI Sessions (paper Fig 1 flow).
+
+A :class:`Session` identifies one stream of MPI usage.  It is created
+by ``MPI_Session_init`` (:meth:`repro.ompi.runtime.MpiRuntime.session_init`
+— local, light-weight, repeatable, thread-safe by construction in the
+simulator), queried for *process sets*, turned into MPI Groups with
+:meth:`group_from_pset`, and finalized independently of any other
+session.
+
+The prototype's three default process sets are implemented here:
+``mpi://world`` (every process of the job), ``mpi://self``, and
+``mpi://shared`` (the node-local processes).  Additional sets come from
+the PMIx/PRRTE registry (:meth:`get_num_psets` queries
+``PMIX_QUERY_PSET_NAMES`` under the hood).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.ompi.attributes import AttributeCache
+from repro.ompi.errors import (
+    ERRORS_ARE_FATAL,
+    Errhandler,
+    MPIErrArg,
+    MPIErrSession,
+)
+from repro.ompi.group import Group
+from repro.pmix.types import PMIX_QUERY_PSET_NAMES, PmixError
+
+BUILTIN_PSETS = ("mpi://world", "mpi://self", "mpi://shared")
+
+
+class Session:
+    """An MPI Session handle."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        runtime,
+        thread_level: int,
+        info=None,
+        errhandler: Errhandler = ERRORS_ARE_FATAL,
+        internal: bool = False,
+    ) -> None:
+        self.runtime = runtime
+        self.thread_level = thread_level
+        self.info = info
+        self.errhandler = errhandler
+        self.internal = internal            # the session backing MPI_Init
+        self.handle_id = next(self._ids)
+        self.finalized = False
+        self.attrs: AttributeCache = runtime.new_attr_cache()
+
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        if self.finalized:
+            raise MPIErrSession(f"session {self.handle_id} used after finalize")
+
+    def mark_finalized(self) -> None:
+        self.attrs.clear()
+        self.finalized = True
+
+    def get_info(self):
+        self._check()
+        return self.info
+
+    # ------------------------------------------------------------------
+    # process sets
+    # ------------------------------------------------------------------
+    def _runtime_pset_names(self):
+        """Sub-generator: names from the PMIx registry."""
+        out = yield from self.runtime.pmix.query([PMIX_QUERY_PSET_NAMES])
+        return list(out[PMIX_QUERY_PSET_NAMES])
+
+    def get_num_psets(self):
+        """Sub-generator: MPI_Session_get_num_psets."""
+        self._check()
+        names = yield from self._runtime_pset_names()
+        return len(BUILTIN_PSETS) + len(names)
+
+    def get_nth_pset(self, n: int):
+        """Sub-generator: MPI_Session_get_nth_pset."""
+        self._check()
+        names = list(BUILTIN_PSETS) + (yield from self._runtime_pset_names())
+        if not 0 <= n < len(names):
+            raise MPIErrArg(f"pset index {n} out of range (have {len(names)})")
+        return names[n]
+
+    def get_pset_info(self, name: str):
+        """Sub-generator: MPI_Session_get_pset_info -> {'mpi_size': N}."""
+        self._check()
+        members = yield from self._pset_members(name)
+        return {"mpi_size": len(members)}
+
+    def _pset_members(self, name: str):
+        job = self.runtime.job
+        if name == "mpi://world":
+            return list(job.all_procs)
+        if name == "mpi://self":
+            return [self.runtime.proc]
+        if name == "mpi://shared":
+            local = job.topology.ranks_on_node(self.runtime.node)
+            return [job.proc(r) for r in local]
+        try:
+            members = yield from self.runtime.pmix.pset_membership(name)
+        except PmixError:
+            raise MPIErrArg(f"unknown process set {name!r}") from None
+        return list(members)
+
+    def group_from_pset(self, name: str):
+        """Sub-generator: MPI_Group_from_session_pset — local + light."""
+        self._check()
+        members = yield from self._pset_members(name)
+        group = Group(members)
+        group.session = self
+        return group
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def finalize(self):
+        """Sub-generator: MPI_Session_finalize."""
+        self._check()
+        if self.internal:
+            raise MPIErrSession("the World-Process-Model session is finalized via MPI_Finalize")
+        yield from self.runtime.session_finalize(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "internal" if self.internal else "user"
+        state = "finalized" if self.finalized else "active"
+        return f"<Session #{self.handle_id} {kind} {state}>"

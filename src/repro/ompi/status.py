@@ -1,0 +1,33 @@
+"""MPI_Status objects."""
+
+from __future__ import annotations
+
+from repro.ompi.constants import ANY_SOURCE, ANY_TAG
+
+
+class Status:
+    """Receive status: source, tag, and received byte count."""
+
+    __slots__ = ("source", "tag", "count", "cancelled", "error")
+
+    def __init__(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, count: int = 0) -> None:
+        self.source = source
+        self.tag = tag
+        self.count = count
+        self.cancelled = False
+        self.error = 0
+
+    def get_source(self) -> int:
+        return self.source
+
+    def get_tag(self) -> int:
+        return self.tag
+
+    def get_count(self) -> int:
+        return self.count
+
+    def is_cancelled(self) -> bool:
+        return self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Status(source={self.source}, tag={self.tag}, count={self.count})"

@@ -1,0 +1,192 @@
+"""Asynchronous PMIx group construction: the invite/join model.
+
+Paper §III-A: "Asynchronous construction is based on an *invite, join*
+model that allows the initiator to replace processes that refuse the
+invitation or fail to respond within a specified time ... processes can
+depart the group at any time (with remaining participants receiving
+asynchronous notifications of the departure)".
+
+The collective form (used by the MPI prototype) lives in
+``pmix.server``; this module adds the asynchronous form:
+
+* the initiator calls :meth:`AsyncGroupMixin.group_invite`;
+* each target's registered invite handler decides join/decline;
+* non-responders are dropped when the timeout expires;
+* everyone who joined receives a ``grp_ready`` callback with the PGCID;
+* members may later call :meth:`AsyncGroupMixin.group_leave`, raising a
+  ``PMIX_GROUP_LEFT`` event at the survivors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.pmix.types import PmixProc
+from repro.simtime.primitives import SimEvent
+
+#: Event code for departure notifications (PMIx group extension).
+PMIX_GROUP_LEFT = 152
+
+
+@dataclass
+class AsyncGroupResult:
+    gid: str
+    pgcid: int
+    members: Tuple[PmixProc, ...]     # inviter + everyone who accepted
+    declined: Tuple[PmixProc, ...]
+    timed_out: Tuple[PmixProc, ...]
+
+
+@dataclass
+class _InviteState:
+    gid: str
+    inviter: PmixProc
+    targets: List[PmixProc]
+    responses: Dict[PmixProc, bool] = field(default_factory=dict)
+    event: SimEvent = field(default_factory=SimEvent)
+    timer: Any = None
+    done: bool = False
+
+
+class AsyncGroupServerMixin:
+    """Server-side machinery, mixed into PmixServer."""
+
+    def _init_async_groups(self) -> None:
+        self._invites: Dict[Tuple[str, int], _InviteState] = {}
+        self._invite_serials = itertools.count()
+        self.daemon.add_handler("grp_invite", self._handle_invite)
+        self.daemon.add_handler("grp_invite_resp", self._handle_invite_resp)
+        self.daemon.add_handler("grp_ready", self._handle_ready)
+        self.daemon.add_handler("grp_leave", self._handle_leave)
+
+    # -- initiator side ----------------------------------------------------
+    def start_invite(
+        self, inviter: PmixProc, gid: str, targets: List[PmixProc],
+        timeout: Optional[float],
+    ) -> SimEvent:
+        serial = next(self._invite_serials)
+        state = _InviteState(gid=gid, inviter=inviter, targets=list(targets))
+        self._invites[(gid, serial)] = state
+        for target in targets:
+            self.daemon.send(
+                self.node_of(target),
+                "grp_invite",
+                {"gid": gid, "serial": serial, "inviter": inviter,
+                 "reply_to": self.node, "target": target},
+            )
+        if timeout is not None:
+            state.timer = self.engine.call_later(
+                timeout, lambda: self._invite_timeout(gid, serial)
+            )
+        if not targets:
+            self._finish_invite(gid, serial)
+        return state.event
+
+    def _handle_invite_resp(self, msg) -> None:
+        key = (msg.payload["gid"], msg.payload["serial"])
+        state = self._invites.get(key)
+        if state is None or state.done:
+            return
+        state.responses[msg.payload["target"]] = msg.payload["accept"]
+        if len(state.responses) == len(state.targets):
+            self._finish_invite(*key)
+
+    def _invite_timeout(self, gid: str, serial: int) -> None:
+        state = self._invites.get((gid, serial))
+        if state is not None and not state.done:
+            self._finish_invite(gid, serial)
+
+    def _finish_invite(self, gid: str, serial: int) -> None:
+        state = self._invites[(gid, serial)]
+        state.done = True
+        if state.timer is not None:
+            state.timer.cancel()
+        accepted = [t for t in state.targets if state.responses.get(t)]
+        declined = tuple(t for t in state.targets if state.responses.get(t) is False)
+        timed_out = tuple(t for t in state.targets if t not in state.responses)
+        members = tuple([state.inviter] + accepted)
+        pgcid = self.daemon.dvm.allocate_pgcid()
+
+        from repro.pmix.server import GroupRecord
+
+        result = AsyncGroupResult(
+            gid=gid, pgcid=pgcid, members=members,
+            declined=declined, timed_out=timed_out,
+        )
+        self.groups[gid] = GroupRecord(gid=gid, members=members, pgcid=pgcid)
+        # Tell every joined member (including remote ones) the group is up.
+        for member in accepted:
+            self.daemon.send(
+                self.node_of(member),
+                "grp_ready",
+                {"gid": gid, "pgcid": pgcid, "members": members, "target": member},
+            )
+        self._invites.pop((gid, serial), None)
+        self.engine.call_later(
+            self.machine.local_rpc_cost, lambda: state.event.succeed(result)
+        )
+
+    # -- target side ------------------------------------------------------------
+    def _handle_invite(self, msg) -> None:
+        target = msg.payload["target"]
+        client = self.local_clients.get(target)
+        accept = False
+        if client is not None and client.invite_handler is not None:
+            decision = client.invite_handler(
+                msg.payload["gid"], msg.payload["inviter"], {}
+            )
+            if decision is None:
+                # The target deferred: no response is ever sent, so the
+                # initiator's timeout decides (the "fail to respond
+                # within a specified time" case of §III-A).
+                return
+            accept = bool(decision)
+        self.daemon.send(
+            msg.payload["reply_to"],
+            "grp_invite_resp",
+            {"gid": msg.payload["gid"], "serial": msg.payload["serial"],
+             "target": target, "accept": accept},
+        )
+
+    def _handle_ready(self, msg) -> None:
+        target = msg.payload["target"]
+        client = self.local_clients.get(target)
+        from repro.pmix.server import GroupRecord
+
+        self.groups[msg.payload["gid"]] = GroupRecord(
+            gid=msg.payload["gid"],
+            members=msg.payload["members"],
+            pgcid=msg.payload["pgcid"],
+        )
+        if client is not None and client.group_ready_handler is not None:
+            self.engine.call_later(
+                self.machine.local_rpc_cost,
+                lambda: client.group_ready_handler(
+                    msg.payload["gid"], msg.payload["pgcid"], msg.payload["members"]
+                ),
+            )
+
+    # -- departure ------------------------------------------------------------------
+    def group_leave(self, proc: PmixProc, gid: str) -> None:
+        """A member departs: every server updates its record and raises
+        PMIX_GROUP_LEFT at its local registered clients."""
+        for node in range(self.machine.num_nodes):
+            self.daemon.send(node, "grp_leave", {"gid": gid, "proc": proc})
+
+    def _handle_leave(self, msg) -> None:
+        gid = msg.payload["gid"]
+        proc = msg.payload["proc"]
+        record = self.groups.get(gid)
+        if record is not None:
+            from repro.pmix.server import GroupRecord
+
+            remaining = tuple(m for m in record.members if m != proc)
+            self.groups[gid] = GroupRecord(gid=gid, members=remaining, pgcid=record.pgcid)
+        for reg in list(self._event_regs):
+            if reg.codes is None or PMIX_GROUP_LEFT in reg.codes:
+                self.engine.call_later(
+                    self.machine.local_rpc_cost,
+                    lambda r=reg: r.callback(PMIX_GROUP_LEFT, proc, {"gid": gid}),
+                )

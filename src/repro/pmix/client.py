@@ -1,0 +1,283 @@
+"""PMIx client library (the process-side API).
+
+Every simulated MPI process owns one :class:`PmixClient` connected to
+its node's :class:`~repro.pmix.server.PmixServer`.  All potentially
+blocking calls are sub-generators used as ``result = yield from
+client.fence(...)`` inside a simulated process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.pmix.server import PmixServer
+from repro.pmix.types import (
+    PMIX_ERR_NOT_FOUND,
+    PMIX_ERR_TIMEOUT,
+    PMIX_JOB_SIZE,
+    PMIX_QUERY_NUM_PSETS,
+    PMIX_QUERY_PSET_NAMES,
+    PMIX_RANK_WILDCARD,
+    PMIX_TIMEOUT,
+    PmixError,
+    PmixProc,
+    info_dict,
+)
+from repro.simtime.process import Sleep, SimTimeout, Wait
+
+
+class PmixClient:
+    """Client-side PMIx connection for one process."""
+
+    def __init__(self, proc: PmixProc, server: PmixServer) -> None:
+        self.proc = proc
+        self.server = server
+        self.engine = server.engine
+        self.machine = server.machine
+        self.initialized = False
+        self._staged: Dict[str, Any] = {}
+        self._coll_counters: Dict[Hashable, "itertools.count"] = {}
+        self._group_pgcids: Dict[str, int] = {}
+        # Asynchronous group construction (invite/join model).
+        self.invite_handler: Optional[Callable] = None
+        self.group_ready_handler: Optional[Callable] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def init(self):
+        """PMIx_Init: connect to the local server (idempotent refcount elided:
+        the MPI layer tracks its own refcounts; a second init is an error)."""
+        if self.initialized:
+            raise PmixError(PMIX_ERR_NOT_FOUND, "client already initialized")
+        yield Sleep(self.machine.local_rpc_cost)
+        self.server.register_client(self)
+        self.initialized = True
+        return self.proc
+
+    def finalize(self):
+        yield Sleep(self.machine.local_rpc_cost)
+        self.server.deregister_client(self.proc)
+        self.initialized = False
+
+    # -- kvs ---------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        """Stage a (key, value); visible to others after commit + fence."""
+        self._staged[key] = value
+
+    def commit(self):
+        """Push staged data to the local server."""
+        if self._staged:
+            yield Sleep(self.machine.local_rpc_cost)
+            for key, value in self._staged.items():
+                self.server.datastore.put(self.proc, key, value)
+            self._staged.clear()
+
+    def get(self, proc: PmixProc, key: str):
+        """PMIx_Get: local lookup, falling back to direct modex."""
+        yield Sleep(self.machine.local_rpc_cost)
+        found, value = self.server.datastore.get(proc, key)
+        if found:
+            return value
+        if proc.rank == PMIX_RANK_WILDCARD or self.server.node_of(proc) == self.server.node:
+            raise PmixError(PMIX_ERR_NOT_FOUND, f"{key} for {proc}")
+        ev = self.server.request_remote(proc, key)
+        yield Wait(ev)
+        found, value = self.server.datastore.get(proc, key)
+        if not found:
+            raise PmixError(PMIX_ERR_NOT_FOUND, f"{key} for {proc}")
+        return value
+
+    # -- collectives ---------------------------------------------------------------
+    @staticmethod
+    def _member_key(participants) -> Hashable:
+        """Cheap membership fingerprint for collective signatures.
+
+        Avoids hashing the full (possibly huge) participant tuple on
+        every operation.  Two *concurrent* collectives collide only if
+        they share kind, extra id, count, endpoints, and rank sum — and
+        MPI/PMIx ordering rules already forbid the overlapping cases.
+        """
+        n = len(participants)
+        ranksum = 0
+        for p in participants:
+            ranksum += p.rank
+        return (n, participants[0], participants[-1], ranksum)
+
+    @staticmethod
+    def _ordered(procs) -> Tuple[PmixProc, ...]:
+        """Participants in canonical order (fast path: already sorted)."""
+        procs = tuple(procs)
+        for i in range(len(procs) - 1):
+            if procs[i + 1] < procs[i]:
+                return tuple(sorted(procs))
+        return procs
+
+    def _next_sig(self, kind: str, member_key: Hashable, extra: Hashable = None) -> Hashable:
+        key = (kind, member_key, extra)
+        counter = self._coll_counters.setdefault(key, itertools.count())
+        return (kind, member_key, extra, next(counter))
+
+    def fence(self, procs: Optional[List[PmixProc]] = None, collect: bool = True):
+        """PMIx_Fence over ``procs`` (default: the whole namespace).
+
+        The whole-namespace form never materializes the participant
+        list — servers resolve membership from the job map.
+        """
+        if procs:
+            participants = self._ordered(procs)
+            member_key: Hashable = self._member_key(participants)
+            send_participants: Optional[list] = list(participants)
+        else:
+            member_key = ("ns-all", self.proc.nspace)
+            send_participants = None
+        sig = self._next_sig("fence", member_key, collect)
+        blob = self.server.datastore.rank_blob(self.proc)
+        yield Sleep(self.machine.local_rpc_cost)
+        ev = self.server.fence_arrive(sig, self.proc, send_participants, blob, collect)
+        result = yield Wait(ev)
+        return result
+
+    def group_construct(
+        self,
+        gid: str,
+        procs: List[PmixProc],
+        directives: Optional[Dict[str, Any]] = None,
+    ):
+        """PMIx_Group_construct (collective form, paper Fig 2).
+
+        Returns the 64-bit PGCID.  Honors the ``PMIX_TIMEOUT`` directive:
+        if any participant fails to arrive in time this raises
+        ``PmixError(PMIX_ERR_TIMEOUT)``.
+        """
+        directives = info_dict(directives)
+        participants = self._ordered(procs)
+        if self.proc not in participants:
+            raise PmixError(PMIX_ERR_NOT_FOUND, f"{self.proc} not in group {gid!r}")
+        sig = self._next_sig("grp", self._member_key(participants), gid)
+        yield Sleep(self.machine.local_rpc_cost)
+        ev = self.server.group_construct_arrive(sig, gid, self.proc, list(participants), directives)
+        timeout = directives.get(PMIX_TIMEOUT)
+        try:
+            result = yield Wait(ev, timeout=timeout)
+        except SimTimeout:
+            raise PmixError(
+                PMIX_ERR_TIMEOUT, f"group {gid!r} construct timed out after {timeout}s"
+            ) from None
+        self._group_pgcids[gid] = result.context_id
+        return result.context_id
+
+    def group_destruct(self, gid: str, procs: List[PmixProc], timeout: Optional[float] = None):
+        """PMIx_Group_destruct (collective)."""
+        participants = self._ordered(procs)
+        sig = self._next_sig("grpdel", self._member_key(participants), gid)
+        yield Sleep(self.machine.local_rpc_cost)
+        ev = self.server.group_destruct_arrive(sig, gid, self.proc, list(participants))
+        try:
+            yield Wait(ev, timeout=timeout)
+        except SimTimeout:
+            raise PmixError(
+                PMIX_ERR_TIMEOUT, f"group {gid!r} destruct timed out after {timeout}s"
+            ) from None
+        self._group_pgcids.pop(gid, None)
+
+    # -- queries -------------------------------------------------------------------
+    def query(self, keys: List[str]):
+        """PMIx_Query_info: pset discovery and friends."""
+        yield Sleep(self.machine.local_rpc_cost)
+        out: Dict[str, Any] = {}
+        for key in keys:
+            if key == PMIX_QUERY_NUM_PSETS:
+                out[key] = self.server.query_psets()[0]
+            elif key == PMIX_QUERY_PSET_NAMES:
+                out[key] = self.server.query_psets()[1]
+            elif key == PMIX_JOB_SIZE:
+                found, value = self.server.datastore.get(
+                    PmixProc(self.proc.nspace, PMIX_RANK_WILDCARD), PMIX_JOB_SIZE
+                )
+                if not found:
+                    raise PmixError(PMIX_ERR_NOT_FOUND, key)
+                out[key] = value
+            else:
+                raise PmixError(PMIX_ERR_NOT_FOUND, f"unsupported query key {key!r}")
+        return out
+
+    def pset_membership(self, name: str):
+        """Resolve a pset name to its member processes."""
+        yield Sleep(self.machine.local_rpc_cost)
+        members = self.server.query_pset_membership(name)
+        if members is None:
+            raise PmixError(PMIX_ERR_NOT_FOUND, f"process set {name!r}")
+        return members
+
+    # -- publish / lookup ------------------------------------------------------------
+    def publish(self, key: str, value: Any):
+        """PMIx_Publish: post (key, value) on the job-global data board.
+
+        The classic dynamic-process rendezvous: a server publishes its
+        "port", clients look it up.
+        """
+        yield Sleep(self.machine.local_rpc_cost)
+        self.server.publish(key, value)
+
+    def lookup(self, key: str, wait: bool = False, timeout: Optional[float] = None):
+        """PMIx_Lookup: fetch a published value.
+
+        ``wait=False``: returns (found, value) immediately (one HNP round
+        trip).  ``wait=True``: blocks until someone publishes the key (or
+        raises PMIX_ERR_TIMEOUT after ``timeout`` seconds).
+        """
+        yield Sleep(self.machine.local_rpc_cost)
+        ev = self.server.lookup(key, wait)
+        try:
+            found, value = yield Wait(ev, timeout=timeout)
+        except SimTimeout:
+            raise PmixError(PMIX_ERR_TIMEOUT, f"lookup of {key!r} timed out") from None
+        return found, value
+
+    def unpublish(self, key: str):
+        """PMIx_Unpublish."""
+        yield Sleep(self.machine.local_rpc_cost)
+        self.server.unpublish(key)
+
+    # -- asynchronous groups (invite/join, paper §III-A) -----------------------------
+    def set_invite_handler(self, fn: Callable[[str, PmixProc, Dict], bool]) -> None:
+        """Register the callback deciding whether to join invited groups."""
+        self.invite_handler = fn
+
+    def set_group_ready_handler(self, fn: Callable[[str, int, tuple], None]) -> None:
+        """Register the callback fired when a joined group completes."""
+        self.group_ready_handler = fn
+
+    def group_invite(
+        self,
+        gid: str,
+        procs: List[PmixProc],
+        timeout: Optional[float] = None,
+    ):
+        """Sub-generator: asynchronously construct a group by invitation.
+
+        Returns an :class:`~repro.pmix.async_groups.AsyncGroupResult`;
+        targets that decline or fail to respond within ``timeout`` are
+        simply left out (the "replace processes that refuse" model).
+        """
+        targets = [p for p in procs if p != self.proc]
+        yield Sleep(self.machine.local_rpc_cost)
+        ev = self.server.start_invite(self.proc, gid, targets, timeout)
+        result = yield Wait(ev)
+        self._group_pgcids[gid] = result.pgcid
+        return result
+
+    def group_leave(self, gid: str):
+        """Sub-generator: depart a group; survivors get PMIX_GROUP_LEFT."""
+        yield Sleep(self.machine.local_rpc_cost)
+        self.server.group_leave(self.proc, gid)
+        self._group_pgcids.pop(gid, None)
+
+    # -- events --------------------------------------------------------------------
+    def register_event_handler(
+        self, codes: Optional[List[int]], callback: Callable[[int, PmixProc, Dict], None]
+    ) -> None:
+        self.server.register_event_handler(self.proc, codes, callback)
+
+    def notify_event(self, code: int, info: Optional[Dict[str, Any]] = None) -> None:
+        self.server.notify_event(code, self.proc, info or {})

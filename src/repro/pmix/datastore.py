@@ -1,0 +1,78 @@
+"""Per-namespace key-value storage.
+
+Each PMIx server keeps one :class:`Datastore`: job-level data (rank
+``PMIX_RANK_WILDCARD``) plus per-rank data published via put/commit and
+propagated by fence or direct-modex requests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.pmix.types import PMIX_RANK_WILDCARD, PmixProc
+
+
+class Datastore:
+    """Nested mapping nspace -> rank -> key -> value."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Dict[int, Dict[str, Any]]] = {}
+
+    def put(self, proc: PmixProc, key: str, value: Any) -> None:
+        self._data.setdefault(proc.nspace, {}).setdefault(proc.rank, {})[key] = value
+
+    def put_job(self, nspace: str, key: str, value: Any) -> None:
+        """Store job-level data (visible via the wildcard rank)."""
+        self.put(PmixProc(nspace, PMIX_RANK_WILDCARD), key, value)
+
+    def get(self, proc: PmixProc, key: str) -> Tuple[bool, Any]:
+        """Return (found, value); falls back to job-level data."""
+        by_rank = self._data.get(proc.nspace)
+        if by_rank is None:
+            return False, None
+        rank_data = by_rank.get(proc.rank)
+        if rank_data is not None and key in rank_data:
+            return True, rank_data[key]
+        if proc.rank != PMIX_RANK_WILDCARD:
+            job = by_rank.get(PMIX_RANK_WILDCARD)
+            if job is not None and key in job:
+                return True, job[key]
+        return False, None
+
+    def has(self, proc: PmixProc, key: str) -> bool:
+        return self.get(proc, key)[0]
+
+    def rank_blob(self, proc: PmixProc) -> Dict[str, Any]:
+        """All committed data for one rank (what fence exchanges)."""
+        return dict(self._data.get(proc.nspace, {}).get(proc.rank, {}))
+
+    def merge_blob(self, proc: PmixProc, blob: Dict[str, Any]) -> None:
+        for key, value in blob.items():
+            self.put(proc, key, value)
+
+    def namespaces(self) -> Iterable[str]:
+        return self._data.keys()
+
+    def drop_namespace(self, nspace: str) -> None:
+        self._data.pop(nspace, None)
+
+    def size_estimate(self, nspace: Optional[str] = None) -> int:
+        """Rough byte size of stored blobs (drives exchange message sizes)."""
+        spaces = [nspace] if nspace else list(self._data)
+        total = 0
+        for ns in spaces:
+            for rank_data in self._data.get(ns, {}).values():
+                for key, value in rank_data.items():
+                    total += len(key) + _value_size(value)
+        return total
+
+
+def _value_size(value: Any) -> int:
+    """Approximate wire size of a stored value in bytes."""
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(_value_size(v) for v in value)
+    if isinstance(value, dict):
+        return 8 + sum(len(str(k)) + _value_size(v) for k, v in value.items())
+    return 8

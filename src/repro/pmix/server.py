@@ -1,0 +1,356 @@
+"""Node-local PMIx server.
+
+One server per node, co-located with (and attached to) the PRRTE daemon.
+Implements the server half of fence, group construct/destruct, direct
+modex, event forwarding, and pset queries.  Collective operations follow
+the paper's three-stage hierarchy: (1) local clients notify their
+server, (2) servers exchange via grpcomm, (3) servers release their
+local clients.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.pmix.datastore import Datastore
+from repro.pmix.types import (
+    PMIX_ERR_NOT_FOUND,
+    PmixError,
+    PmixProc,
+)
+from repro.simtime.primitives import SimEvent
+
+if TYPE_CHECKING:  # break the pmix <-> prrte import cycle; runtime duck-typed
+    from repro.prrte.dvm import Daemon
+    from repro.prrte.psets import PsetRegistry
+
+
+@dataclass
+class _LocalCollective:
+    """Stage-one state: local participants rendezvousing at this server."""
+
+    sig: Hashable
+    local_participants: List[PmixProc] = field(default_factory=list)
+    arrived: Dict[PmixProc, Dict] = field(default_factory=dict)
+    events: Dict[PmixProc, SimEvent] = field(default_factory=dict)
+    launched: bool = False
+
+
+@dataclass
+class _EventRegistration:
+    proc: PmixProc
+    codes: Optional[Tuple[int, ...]]  # None = all codes
+    callback: Callable[[int, PmixProc, Dict], None]
+
+
+@dataclass
+class GroupRecord:
+    gid: str
+    members: Tuple[PmixProc, ...]
+    pgcid: int
+
+
+from repro.pmix.async_groups import AsyncGroupServerMixin
+
+
+class PmixServer(AsyncGroupServerMixin):
+    """The PMIx server for one node."""
+
+    def __init__(self, daemon: "Daemon", psets: "PsetRegistry") -> None:
+        self.daemon = daemon
+        self.node = daemon.node
+        self.engine = daemon.engine
+        self.machine = daemon.machine
+        self.psets = psets
+        self.datastore = Datastore()
+        self.job_maps: Dict[str, Dict[int, int]] = {}   # nspace -> rank -> node
+        self.local_clients: Dict[PmixProc, Any] = {}
+        self.groups: Dict[str, GroupRecord] = {}
+        self._collectives: Dict[Hashable, _LocalCollective] = {}
+        self._event_regs: List[_EventRegistration] = []
+        self._dmodex_pending: Dict[int, SimEvent] = {}
+        self._dmodex_ids = itertools.count()
+        self._busy_until = 0.0
+        self._warm_kinds: set = set()   # "fence"/"group" ops done before
+        daemon.pmix_server = self
+        daemon.add_handler("dmodex_req", self._handle_dmodex_req)
+        daemon.add_handler("dmodex_resp", self._handle_dmodex_resp)
+        daemon.add_handler("event_fwd", self._handle_event_fwd)
+        daemon.add_handler("pub_resp", self._handle_pub_resp)
+        self._pub_pending: Dict[int, SimEvent] = {}
+        self._pub_ids = itertools.count()
+        self._init_async_groups()
+
+    # -- registration -------------------------------------------------------
+    def register_namespace(self, nspace: str, rank_to_node: Dict[int, int], job_info: Dict[str, Any]) -> None:
+        """Install the job map and job-level info (done at launch on every node)."""
+        self.job_maps[nspace] = dict(rank_to_node)
+        by_node: Dict[int, List[int]] = {}
+        for rank, node in rank_to_node.items():
+            by_node.setdefault(node, []).append(rank)
+        self._node_ranks = getattr(self, "_node_ranks", {})
+        self._node_ranks[nspace] = {n: sorted(rs) for n, rs in by_node.items()}
+        for key, value in job_info.items():
+            self.datastore.put_job(nspace, key, value)
+
+    def local_ranks(self, nspace: str) -> List[int]:
+        """Ranks of ``nspace`` hosted on this node."""
+        return self._node_ranks.get(nspace, {}).get(self.node, [])
+
+    def job_nodes(self, nspace: str) -> List[int]:
+        return sorted(self._node_ranks.get(nspace, {}))
+
+    def register_client(self, client: Any) -> None:
+        self.local_clients[client.proc] = client
+
+    def deregister_client(self, proc: PmixProc) -> None:
+        self.local_clients.pop(proc, None)
+        self._event_regs = [r for r in self._event_regs if r.proc != proc]
+
+    def node_of(self, proc: PmixProc) -> int:
+        try:
+            return self.job_maps[proc.nspace][proc.rank]
+        except KeyError:
+            raise PmixError(PMIX_ERR_NOT_FOUND, f"unknown process {proc}") from None
+
+    # -- stage-one collective rendezvous ---------------------------------------
+    def _client_cost(self, kind: str) -> float:
+        """Server-side processing per arriving client for one collective.
+
+        First operation of each kind on this server is "cold": the server
+        establishes internal state/connections (dominant in the paper's
+        startup measurements); later operations are cheap.
+        """
+        warm = kind in self._warm_kinds
+        m = self.machine
+        if kind == "group":
+            return m.group_client_cost_warm if warm else m.group_client_cost_cold
+        return m.fence_client_cost_warm if warm else m.fence_client_cost_cold
+
+    def collective_arrive(
+        self,
+        sig: Hashable,
+        proc: PmixProc,
+        participants: Optional[List[PmixProc]],
+        blob: Dict,
+        need_context_id: bool = False,
+        on_complete: Optional[Callable[[Any], None]] = None,
+        kind: str = "fence",
+    ) -> SimEvent:
+        """A local client arrives at collective ``sig``.
+
+        Returns the event that will succeed (with the grpcomm result)
+        once stage three releases this client.  ``on_complete`` runs once
+        per *server* when the inter-server exchange finishes (used to
+        merge fence data / record groups).  The server's CPU serializes
+        arrival processing — this is stage one of the paper's hierarchy
+        and the source of the per-ppn cost in Fig 3.
+        """
+        state = self._collectives.get(sig)
+        if state is None:
+            if participants is None:
+                # Whole-namespace collective: resolve locals from the job
+                # map without materializing the full participant list.
+                local = [
+                    PmixProc(proc.nspace, r) for r in self.local_ranks(proc.nspace)
+                ]
+            else:
+                local = [p for p in participants if self.node_of(p) == self.node]
+            state = _LocalCollective(sig=sig, local_participants=local)
+            self._collectives[sig] = state
+        if proc in state.arrived:
+            raise PmixError(
+                PMIX_ERR_NOT_FOUND, f"{proc} arrived twice at collective {sig!r}"
+            )
+        state.arrived[proc] = blob
+        ev = SimEvent()
+        state.events[proc] = ev
+
+        # Stage 1: the server processes this notification serially.
+        self._busy_until = max(self.engine.now, self._busy_until) + self._client_cost(kind)
+
+        if not state.launched and len(state.arrived) == len(state.local_participants):
+            state.launched = True
+            self._warm_kinds.add(kind)
+            contribution = {p: b for p, b in state.arrived.items()}
+            if participants is None:
+                nodes = self.job_nodes(proc.nspace)
+            else:
+                nodes = sorted({self.node_of(p) for p in participants})
+            release_cost = self.machine.local_rpc_cost
+
+            def launch() -> None:
+                done = self.daemon.grpcomm.allgather(
+                    sig, nodes, contribution, need_context_id=need_context_id
+                )
+
+                def on_done(result, exc) -> None:
+                    if exc is not None:  # pragma: no cover
+                        raise exc
+                    self._collectives.pop(sig, None)
+                    if on_complete is not None:
+                        on_complete(result)
+                    # Stage 3: release local clients one RPC at a time.
+                    release_at = max(self.engine.now, self._busy_until)
+                    for client_ev in state.events.values():
+                        release_at += release_cost
+                        self.engine.call_at(
+                            release_at, lambda e=client_ev: e.succeed(result)
+                        )
+                    self._busy_until = release_at
+
+                done.add_waiter(on_done)
+
+            # Stage 2 starts once every local notification is processed.
+            self.engine.call_at(max(self.engine.now, self._busy_until), launch)
+        return ev
+
+    # -- fence ---------------------------------------------------------------
+    def fence_arrive(
+        self,
+        sig: Hashable,
+        proc: PmixProc,
+        participants: Optional[List[PmixProc]],
+        blob: Dict,
+        collect: bool,
+    ) -> SimEvent:
+        def merge(result) -> None:
+            if collect:
+                for peer, peer_blob in result.data.items():
+                    self.datastore.merge_blob(peer, peer_blob)
+
+        share = blob if collect else {}
+        return self.collective_arrive(
+            sig, proc, participants, share, on_complete=merge, kind="fence"
+        )
+
+    # -- groups ----------------------------------------------------------------
+    def group_construct_arrive(
+        self,
+        sig: Hashable,
+        gid: str,
+        proc: PmixProc,
+        participants: List[PmixProc],
+        directives: Dict[str, Any],
+    ) -> SimEvent:
+        def record(result) -> None:
+            self.groups[gid] = GroupRecord(
+                gid=gid, members=tuple(sorted(result.data)), pgcid=result.context_id
+            )
+
+        return self.collective_arrive(
+            sig,
+            proc,
+            participants,
+            {proc: True},
+            need_context_id=True,
+            on_complete=record,
+            kind="group",
+        )
+
+    def group_destruct_arrive(
+        self, sig: Hashable, gid: str, proc: PmixProc, participants: List[PmixProc]
+    ) -> SimEvent:
+        def drop(result) -> None:
+            self.groups.pop(gid, None)
+
+        return self.collective_arrive(
+            sig, proc, participants, {proc: True}, on_complete=drop, kind="group"
+        )
+
+    # -- direct modex -------------------------------------------------------------
+    def request_remote(self, proc: PmixProc, key: str) -> SimEvent:
+        """Fetch one remote rank's blob from its home server (dmodex)."""
+        req_id = next(self._dmodex_ids)
+        ev = SimEvent()
+        self._dmodex_pending[req_id] = ev
+        self.daemon.send(
+            self.node_of(proc),
+            "dmodex_req",
+            {
+                "req_id": req_id,
+                "reply_to": self.node,
+                "nspace": proc.nspace,
+                "rank": proc.rank,
+                "key": key,
+            },
+        )
+        return ev
+
+    def _handle_dmodex_req(self, msg) -> None:
+        proc = PmixProc(msg.payload["nspace"], msg.payload["rank"])
+        blob = self.datastore.rank_blob(proc)
+        self.daemon.send(
+            msg.payload["reply_to"],
+            "dmodex_resp",
+            {"req_id": msg.payload["req_id"], "proc": proc, "blob": blob},
+        )
+
+    def _handle_dmodex_resp(self, msg) -> None:
+        ev = self._dmodex_pending.pop(msg.payload["req_id"], None)
+        if ev is None:
+            return
+        self.datastore.merge_blob(msg.payload["proc"], msg.payload["blob"])
+        ev.succeed(msg.payload["blob"])
+
+    # -- publish / lookup (HNP data board) --------------------------------------------
+    def publish(self, key: str, value: Any) -> None:
+        self.daemon.send(self.daemon.dvm.hnp_node, "pub_put", {"key": key, "value": value})
+
+    def unpublish(self, key: str) -> None:
+        self.daemon.send(self.daemon.dvm.hnp_node, "pub_unpublish", {"key": key})
+
+    def lookup(self, key: str, wait: bool) -> SimEvent:
+        """Returns an event succeeding with (found, value)."""
+        req_id = next(self._pub_ids)
+        ev = SimEvent()
+        self._pub_pending[req_id] = ev
+        self.daemon.send(
+            self.daemon.dvm.hnp_node,
+            "pub_lookup",
+            {"key": key, "reply_to": self.node, "req_id": req_id, "wait": wait},
+        )
+        return ev
+
+    def _handle_pub_resp(self, msg) -> None:
+        ev = self._pub_pending.pop(msg.payload["req_id"], None)
+        if ev is not None:
+            ev.succeed((msg.payload["found"], msg.payload["value"]))
+
+    # -- events ----------------------------------------------------------------------
+    def register_event_handler(
+        self,
+        proc: PmixProc,
+        codes: Optional[List[int]],
+        callback: Callable[[int, PmixProc, Dict], None],
+    ) -> None:
+        self._event_regs.append(
+            _EventRegistration(proc=proc, codes=tuple(codes) if codes else None, callback=callback)
+        )
+
+    def notify_event(self, code: int, source: PmixProc, info: Dict[str, Any]) -> None:
+        """Originate an event: forward to every daemon for local delivery."""
+        for node in range(self.machine.num_nodes):
+            self.daemon.send(node, "event_fwd", {"code": code, "source": source, "info": info})
+
+    def _handle_event_fwd(self, msg) -> None:
+        code = msg.payload["code"]
+        source = msg.payload["source"]
+        info = msg.payload["info"]
+        for reg in list(self._event_regs):
+            if reg.codes is None or code in reg.codes:
+                self.engine.call_later(
+                    self.machine.local_rpc_cost,
+                    lambda r=reg: r.callback(code, source, info),
+                )
+
+    # -- queries ------------------------------------------------------------------------
+    def query_psets(self) -> Tuple[int, List[str]]:
+        return self.psets.count(), self.psets.names()
+
+    def query_pset_membership(self, name: str) -> Optional[Tuple[PmixProc, ...]]:
+        return self.psets.members(name)

@@ -1,0 +1,26 @@
+"""Simulated PRRTE: the PMIx reference runtime environment.
+
+Provides what the paper's prototype needed from PRRTE: a distributed
+virtual machine of one daemon per node (§III-A), a runtime messaging
+layer between daemons, the generalized inter-daemon data-exchange
+("grpcomm") used by PMIx fence and group operations, runtime-defined
+process sets, and a prun-style launcher.
+"""
+
+from repro.prrte.rml import RoutingLayer, RmlMessage
+from repro.prrte.grpcomm import GrpcommModule, GrpcommResult
+from repro.prrte.dvm import Daemon, DVM
+from repro.prrte.psets import PsetRegistry
+from repro.prrte.launch import JobSpec, Launcher
+
+__all__ = [
+    "RoutingLayer",
+    "RmlMessage",
+    "GrpcommModule",
+    "GrpcommResult",
+    "Daemon",
+    "DVM",
+    "PsetRegistry",
+    "JobSpec",
+    "Launcher",
+]

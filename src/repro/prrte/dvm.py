@@ -1,0 +1,159 @@
+"""The distributed virtual machine: one daemon per node plus the HNP.
+
+The DVM boots before any job runs (the paper launched with the ``prte``
+daemon and ``prun``).  Daemon 0 doubles as the Head Node Process (HNP),
+which owns the global PGCID allocator — the "resource manager" that the
+PMIx group extension says assigns the unique 64-bit context ids.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.machine.model import MachineModel
+from repro.prrte.grpcomm import GrpcommModule
+from repro.prrte.rml import RmlMessage, RoutingLayer
+from repro.simtime.engine import Engine
+
+
+class Daemon:
+    """Per-node runtime daemon: RML endpoint + grpcomm + local PMIx server."""
+
+    def __init__(
+        self,
+        dvm: "DVM",
+        node: int,
+        grpcomm_mode: str = "tree",
+        grpcomm_radix: int = 2,
+    ) -> None:
+        self.dvm = dvm
+        self.node = node
+        self.engine: Engine = dvm.engine
+        self.machine: MachineModel = dvm.machine
+        self.grpcomm = GrpcommModule(self, mode=grpcomm_mode, radix=grpcomm_radix)
+        self.pmix_server = None  # attached by PmixServer.__init__
+        self._handlers: Dict[str, Callable[[RmlMessage], None]] = {
+            "grpcomm_up": self.grpcomm.handle_up,
+            "grpcomm_down": self.grpcomm.handle_down,
+            "grpcomm_flat": self.grpcomm.handle_flat,
+            "pgcid_req": self._handle_pgcid_req,
+            "pgcid_resp": self.grpcomm.handle_pgcid_resp,
+            "pub_put": self._handle_pub_put,
+            "pub_lookup": self._handle_pub_lookup,
+            "pub_unpublish": self._handle_pub_unpublish,
+        }
+        dvm.rml.register(node, self.deliver)
+
+    def send(self, dst_node: int, tag: str, payload: Dict[str, Any]) -> None:
+        self.dvm.rml.send(RmlMessage(src=self.node, dst=dst_node, tag=tag, payload=payload))
+
+    def deliver(self, msg: RmlMessage) -> None:
+        handler = self._handlers.get(msg.tag)
+        if handler is None:
+            raise KeyError(f"daemon {self.node}: no handler for tag {msg.tag!r}")
+        handler(msg)
+
+    def add_handler(self, tag: str, handler: Callable[[RmlMessage], None]) -> None:
+        """Register an extra dispatch tag (used by the PMIx server)."""
+        if tag in self._handlers:
+            raise ValueError(f"handler for {tag!r} already registered")
+        self._handlers[tag] = handler
+
+    # -- HNP services -----------------------------------------------------
+    def _require_hnp(self) -> None:
+        if self.node != self.dvm.hnp_node:
+            raise RuntimeError("publish/lookup request routed to non-HNP daemon")
+
+    def _handle_pub_put(self, msg: RmlMessage) -> None:
+        """PMIx_Publish: store on the HNP's board; wake pending lookups."""
+        self._require_hnp()
+        key = msg.payload["key"]
+        self.dvm.published[key] = msg.payload["value"]
+        for reply_to, req_id in self.dvm.pending_lookups.pop(key, []):
+            self.send(reply_to, "pub_resp",
+                      {"req_id": req_id, "found": True, "value": msg.payload["value"]})
+
+    def _handle_pub_lookup(self, msg: RmlMessage) -> None:
+        """PMIx_Lookup: answer immediately, or queue if wait requested."""
+        self._require_hnp()
+        key = msg.payload["key"]
+        if key in self.dvm.published:
+            self.send(msg.payload["reply_to"], "pub_resp",
+                      {"req_id": msg.payload["req_id"], "found": True,
+                       "value": self.dvm.published[key]})
+        elif msg.payload.get("wait"):
+            self.dvm.pending_lookups.setdefault(key, []).append(
+                (msg.payload["reply_to"], msg.payload["req_id"])
+            )
+        else:
+            self.send(msg.payload["reply_to"], "pub_resp",
+                      {"req_id": msg.payload["req_id"], "found": False, "value": None})
+
+    def _handle_pub_unpublish(self, msg: RmlMessage) -> None:
+        self._require_hnp()
+        self.dvm.published.pop(msg.payload["key"], None)
+
+    def _handle_pgcid_req(self, msg: RmlMessage) -> None:
+        if self.node != self.dvm.hnp_node:
+            raise RuntimeError("pgcid_req routed to non-HNP daemon")
+        pgcid = self.dvm.allocate_pgcid()
+
+        def respond() -> None:
+            self.send(
+                msg.payload["reply_to"],
+                "pgcid_resp",
+                {"sig": msg.payload["sig"], "context_id": pgcid},
+            )
+
+        self.engine.call_later(self.machine.pgcid_allocate_cost, respond)
+
+
+class DVM:
+    """The booted runtime: daemons on every node, HNP on node 0."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: MachineModel,
+        grpcomm_mode: str = "tree",
+        grpcomm_radix: int = 2,
+    ) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.rml = RoutingLayer(engine, machine)
+        self.hnp_node = 0
+        self._pgcid_counter = itertools.count(1)  # PGCIDs are non-zero
+        self.daemons: List[Daemon] = [
+            Daemon(self, node, grpcomm_mode, grpcomm_radix)
+            for node in range(machine.num_nodes)
+        ]
+        self._job_counter = itertools.count(1)
+        self.boot_time = self._model_boot_time()
+        # PMIx publish/lookup board, owned by the HNP.
+        self.published: Dict[str, Any] = {}
+        self.pending_lookups: Dict[str, List] = {}
+
+    def _model_boot_time(self) -> float:
+        """Simulated DVM bootstrap cost (daemons wire up over a tree)."""
+        import math
+
+        n = self.machine.num_nodes
+        rounds = max(1, math.ceil(math.log2(n + 1)))
+        return self.machine.daemon_wireup_cost * rounds
+
+    def allocate_pgcid(self) -> int:
+        """Allocate the next 64-bit process-group context id (HNP-only)."""
+        return next(self._pgcid_counter)
+
+    def next_job_name(self) -> str:
+        return f"prrte-job-{next(self._job_counter)}"
+
+    def daemon_for(self, node: int) -> Daemon:
+        return self.daemons[node]
+
+    def server_for(self, node: int):
+        server = self.daemons[node].pmix_server
+        if server is None:
+            raise RuntimeError(f"no PMIx server attached on node {node}")
+        return server

@@ -1,0 +1,275 @@
+"""Generalized inter-daemon data exchange ("grpcomm").
+
+This is the all-to-all substrate paper §III-A says PMIx groups and
+fences ride on.  Two wire strategies are provided:
+
+* ``"tree"`` (default): contributions flow up a radix tree rooted at the
+  lowest participating node, the root optionally obtains a Process Group
+  Context ID from the HNP, and the combined result is broadcast back
+  down — the "three-stage hierarchical fashion" of the paper once the
+  node-local gather done by the PMIx server is counted as stage one.
+* ``"flat"``: every daemon sends its contribution directly to every
+  other participant.  Kept as an ablation (DESIGN.md §4.3) to show why
+  the hierarchy matters at scale.
+
+Each daemon owns one :class:`GrpcommModule`; collective instances are
+keyed by an opaque signature that all participants derive identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.simtime.primitives import SimEvent
+
+
+@dataclass
+class GrpcommResult:
+    """Outcome of one allgather: merged payloads + optional context id."""
+
+    data: Dict[Any, Any]
+    context_id: Optional[int] = None
+
+
+@dataclass
+class _Instance:
+    sig: Hashable
+    participants: List[int] = field(default_factory=list)
+    need_context_id: bool = False
+    contribution: Optional[Dict] = None
+    child_payloads: Dict[int, Dict] = field(default_factory=dict)
+    early_up: List[Dict] = field(default_factory=list)   # ups before contribute()
+    early_flat: List[Dict] = field(default_factory=list)
+    flat_received: Dict[int, Dict] = field(default_factory=dict)
+    completed: SimEvent = field(default_factory=SimEvent)
+    up_sent: bool = False
+    awaiting_pgcid: bool = False
+
+
+class GrpcommModule:
+    """Per-daemon collective engine. ``daemon`` supplies rml/node/dvm."""
+
+    def __init__(self, daemon, mode: str = "tree", radix: int = 2) -> None:
+        if mode not in ("tree", "flat"):
+            raise ValueError(f"unknown grpcomm mode {mode!r}")
+        if radix < 1:
+            raise ValueError("radix must be >= 1")
+        self.daemon = daemon
+        self.mode = mode
+        self.radix = radix
+        self._instances: Dict[Hashable, _Instance] = {}
+
+    # -- public API ------------------------------------------------------
+    def allgather(
+        self,
+        sig: Hashable,
+        participants: List[int],
+        contribution: Dict,
+        need_context_id: bool = False,
+    ) -> SimEvent:
+        """Contribute to collective ``sig`` over daemon nodes ``participants``.
+
+        Returns an event that succeeds with a :class:`GrpcommResult` once
+        every participant's payload (and the PGCID, if requested) has
+        arrived at this daemon.
+        """
+        participants = sorted(participants)
+        if self.daemon.node not in participants:
+            raise ValueError(
+                f"daemon {self.daemon.node} not in participants {participants}"
+            )
+        inst = self._get(sig)
+        if inst.contribution is not None:
+            raise RuntimeError(f"duplicate contribution for signature {sig!r}")
+        inst.participants = participants
+        inst.need_context_id = need_context_id
+        inst.contribution = dict(contribution)
+        # Replay any traffic that arrived before we knew the shape.
+        for payload in inst.early_up:
+            self._accept_up(inst, payload)
+        inst.early_up.clear()
+        for payload in inst.early_flat:
+            self._accept_flat(inst, payload)
+        inst.early_flat.clear()
+
+        if len(participants) == 1:
+            self._single_node_complete(inst)
+        elif self.mode == "tree":
+            self._try_send_up(inst)
+        else:
+            self._flat_broadcast(inst)
+            self._check_flat_done(inst)
+        return inst.completed
+
+    # -- message handlers (called by the daemon's dispatcher) --------------
+    def handle_up(self, msg) -> None:
+        inst = self._get(msg.payload["sig"])
+        if inst.contribution is None:
+            inst.early_up.append(msg.payload)
+            return
+        self._accept_up(inst, msg.payload)
+        self._try_send_up(inst)
+
+    def handle_down(self, msg) -> None:
+        inst = self._get(msg.payload["sig"])
+        self._forward_down(inst, msg.payload["data"], msg.payload["context_id"])
+
+    def handle_flat(self, msg) -> None:
+        inst = self._get(msg.payload["sig"])
+        if inst.contribution is None:
+            inst.early_flat.append(msg.payload)
+            return
+        self._accept_flat(inst, msg.payload)
+        self._check_flat_done(inst)
+
+    def handle_pgcid_resp(self, msg) -> None:
+        inst = self._instances.get(msg.payload["sig"])
+        if inst is None or not inst.awaiting_pgcid:
+            return
+        inst.awaiting_pgcid = False
+        self._root_dispatch(inst, msg.payload["context_id"])
+
+    # -- tree mechanics ----------------------------------------------------
+    def _index(self, inst: _Instance) -> int:
+        return inst.participants.index(self.daemon.node)
+
+    def _children(self, inst: _Instance) -> List[int]:
+        idx = self._index(inst)
+        n = len(inst.participants)
+        lo = self.radix * idx + 1
+        return [inst.participants[i] for i in range(lo, min(lo + self.radix, n))]
+
+    def _parent(self, inst: _Instance) -> Optional[int]:
+        idx = self._index(inst)
+        if idx == 0:
+            return None
+        return inst.participants[(idx - 1) // self.radix]
+
+    def _accept_up(self, inst: _Instance, payload: Dict) -> None:
+        inst.child_payloads[payload["from_node"]] = payload["data"]
+
+    def _try_send_up(self, inst: _Instance) -> None:
+        if inst.up_sent or inst.contribution is None:
+            return
+        children = self._children(inst)
+        if any(ch not in inst.child_payloads for ch in children):
+            return
+        combined: Dict = dict(inst.contribution)
+        for ch in children:
+            combined.update(inst.child_payloads[ch])
+        inst.up_sent = True
+        parent = self._parent(inst)
+        if parent is None:
+            self._root_complete(inst, combined)
+        else:
+            self.daemon.send(
+                parent,
+                "grpcomm_up",
+                {"sig": inst.sig, "from_node": self.daemon.node, "data": combined},
+            )
+
+    def _root_complete(self, inst: _Instance, combined: Dict) -> None:
+        inst.child_payloads["__combined__"] = combined
+        if inst.need_context_id:
+            hnp = self.daemon.dvm.hnp_node
+            if self.daemon.node == hnp:
+                pgcid = self.daemon.dvm.allocate_pgcid()
+                delay = self.daemon.machine.pgcid_allocate_cost
+                self.daemon.engine.call_later(
+                    delay, lambda: self._root_dispatch(inst, pgcid)
+                )
+            else:
+                inst.awaiting_pgcid = True
+                self.daemon.send(hnp, "pgcid_req", {"sig": inst.sig, "reply_to": self.daemon.node})
+        else:
+            self._root_dispatch(inst, None)
+
+    def _root_dispatch(self, inst: _Instance, context_id: Optional[int]) -> None:
+        combined = inst.child_payloads["__combined__"]
+        self._forward_down(inst, combined, context_id)
+
+    def _forward_down(self, inst: _Instance, data: Dict, context_id: Optional[int]) -> None:
+        if self.mode == "tree":
+            for ch in self._children(inst):
+                self.daemon.send(
+                    ch, "grpcomm_down", {"sig": inst.sig, "data": data, "context_id": context_id}
+                )
+        self._complete(inst, GrpcommResult(data=data, context_id=context_id))
+
+    # -- flat mechanics ------------------------------------------------------
+    def _flat_broadcast(self, inst: _Instance) -> None:
+        for node in inst.participants:
+            if node != self.daemon.node:
+                self.daemon.send(
+                    node,
+                    "grpcomm_flat",
+                    {"sig": inst.sig, "from_node": self.daemon.node, "data": inst.contribution},
+                )
+
+    def _accept_flat(self, inst: _Instance, payload: Dict) -> None:
+        inst.flat_received[payload["from_node"]] = payload["data"]
+
+    def _check_flat_done(self, inst: _Instance) -> None:
+        others = [n for n in inst.participants if n != self.daemon.node]
+        if any(n not in inst.flat_received for n in others):
+            return
+        combined: Dict = dict(inst.contribution or {})
+        for data in inst.flat_received.values():
+            combined.update(data)
+        if inst.need_context_id:
+            # Flat mode still needs one authoritative PGCID: the lowest
+            # participant asks the HNP and redistributes.
+            root = inst.participants[0]
+            if self.daemon.node == root:
+                inst.child_payloads["__combined__"] = combined
+                self._root_complete_flat(inst)
+            # Non-roots wait for the root's grpcomm_down carrying the id.
+            else:
+                inst.child_payloads["__combined__"] = combined
+        else:
+            self._complete(inst, GrpcommResult(data=combined))
+
+    def _root_complete_flat(self, inst: _Instance) -> None:
+        hnp = self.daemon.dvm.hnp_node
+        if self.daemon.node == hnp:
+            pgcid = self.daemon.dvm.allocate_pgcid()
+            self.daemon.engine.call_later(
+                self.daemon.machine.pgcid_allocate_cost,
+                lambda: self._flat_distribute(inst, pgcid),
+            )
+        else:
+            inst.awaiting_pgcid = True
+            self.daemon.send(hnp, "pgcid_req", {"sig": inst.sig, "reply_to": self.daemon.node})
+
+    def _flat_distribute(self, inst: _Instance, pgcid: int) -> None:
+        combined = inst.child_payloads["__combined__"]
+        for node in inst.participants:
+            if node != self.daemon.node:
+                self.daemon.send(
+                    node, "grpcomm_down", {"sig": inst.sig, "data": combined, "context_id": pgcid}
+                )
+        self._complete(inst, GrpcommResult(data=combined, context_id=pgcid))
+
+    # -- shared ---------------------------------------------------------------
+    def _single_node_complete(self, inst: _Instance) -> None:
+        combined = dict(inst.contribution or {})
+        inst.child_payloads["__combined__"] = combined
+        if inst.need_context_id:
+            self._root_complete(inst, combined)
+        else:
+            self._complete(inst, GrpcommResult(data=combined))
+
+    def _complete(self, inst: _Instance, result: GrpcommResult) -> None:
+        if self.mode == "flat" and inst.need_context_id and result.context_id is None:
+            # Flat non-root: completion happens via the root's grpcomm_down.
+            return
+        self._instances.pop(inst.sig, None)
+        inst.completed.succeed(result)
+
+    def _get(self, sig: Hashable) -> _Instance:
+        inst = self._instances.get(sig)
+        if inst is None:
+            inst = _Instance(sig=sig)
+            self._instances[sig] = inst
+        return inst

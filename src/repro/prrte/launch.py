@@ -1,0 +1,96 @@
+"""prun-style job launcher.
+
+Creates a namespace for the job, replicates the job map and job-level
+info to every node's PMIx server, registers runtime-defined process
+sets, and instantiates one PMIx client per rank.  The MPI layer builds
+its world on top of the returned :class:`Job`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.topology import Topology
+from repro.pmix.client import PmixClient
+from repro.pmix.types import PMIX_JOB_SIZE, PMIX_LOCAL_PEERS, PMIX_UNIV_SIZE, PmixProc
+from repro.prrte.dvm import DVM
+from repro.prrte.psets import PsetRegistry
+
+
+@dataclass
+class JobSpec:
+    """What prun was asked to start."""
+
+    num_ranks: int
+    ppn: int
+    psets: Dict[str, Sequence[int]] = field(default_factory=dict)  # name -> ranks
+    nspace: Optional[str] = None
+
+
+@dataclass
+class Job:
+    nspace: str
+    topology: Topology
+    clients: List[PmixClient]
+
+    def __post_init__(self) -> None:
+        # One shared identifier object per rank: process ids are hashed
+        # on every message and collective, so they are interned per job.
+        self._procs = tuple(
+            PmixProc(self.nspace, r) for r in range(self.topology.num_ranks)
+        )
+
+    @property
+    def num_ranks(self) -> int:
+        return self.topology.num_ranks
+
+    @property
+    def all_procs(self) -> tuple:
+        return self._procs
+
+    def proc(self, rank: int) -> PmixProc:
+        return self._procs[rank]
+
+    def client(self, rank: int) -> PmixClient:
+        return self.clients[rank]
+
+
+class Launcher:
+    """Maps a :class:`JobSpec` onto a booted :class:`DVM`."""
+
+    def __init__(self, dvm: DVM, psets: PsetRegistry) -> None:
+        self.dvm = dvm
+        self.psets = psets
+
+    def launch(self, spec: JobSpec) -> Job:
+        topo = Topology(spec.num_ranks, spec.ppn)
+        if topo.num_nodes > self.dvm.machine.num_nodes:
+            raise ValueError(
+                f"job needs {topo.num_nodes} nodes but machine has "
+                f"{self.dvm.machine.num_nodes}"
+            )
+        nspace = spec.nspace or self.dvm.next_job_name()
+        rank_to_node = {r: topo.node_of(r) for r in range(topo.num_ranks)}
+        job_info = {
+            PMIX_JOB_SIZE: topo.num_ranks,
+            PMIX_UNIV_SIZE: topo.num_ranks,
+            "pmix.node.map": rank_to_node,
+        }
+        clients: List[PmixClient] = []
+        for node in range(topo.num_nodes):
+            server = self.dvm.server_for(node)
+            local_ranks = topo.ranks_on_node(node)
+            info = dict(job_info)
+            info[PMIX_LOCAL_PEERS] = local_ranks
+            server.register_namespace(nspace, rank_to_node, info)
+        # Servers on nodes not used by this job still need the map for
+        # event forwarding and dmodex routing.
+        for node in range(topo.num_nodes, self.dvm.machine.num_nodes):
+            self.dvm.server_for(node).register_namespace(nspace, rank_to_node, job_info)
+        for rank in range(topo.num_ranks):
+            server = self.dvm.server_for(topo.node_of(rank))
+            clients.append(PmixClient(PmixProc(nspace, rank), server))
+        for name, ranks in spec.psets.items():
+            self.psets.define(name, [PmixProc(nspace, r) for r in ranks])
+        return Job(nspace=nspace, topology=topo, clients=clients)

@@ -1,0 +1,46 @@
+"""Runtime-defined process sets.
+
+A process set is *just a name for a list of processes* (paper §III-B6);
+PRRTE owns the registry and PMIx queries read it.  The MPI layer adds
+its reserved names (``mpi://world`` etc.) on top of whatever the user or
+site configured at launch time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.pmix.types import PmixProc
+
+
+class PsetRegistry:
+    """Name -> ordered tuple of :class:`PmixProc` members."""
+
+    def __init__(self) -> None:
+        self._sets: Dict[str, Tuple[PmixProc, ...]] = {}
+
+    def define(self, name: str, members: Iterable[PmixProc]) -> None:
+        """Register a process set; redefining an existing name is an error."""
+        if not name:
+            raise ValueError("process set name must be non-empty")
+        if name in self._sets:
+            raise ValueError(f"process set {name!r} already defined")
+        members = tuple(members)
+        if len(set(members)) != len(members):
+            raise ValueError(f"process set {name!r} has duplicate members")
+        self._sets[name] = members
+
+    def undefine(self, name: str) -> None:
+        self._sets.pop(name, None)
+
+    def names(self) -> List[str]:
+        return sorted(self._sets)
+
+    def count(self) -> int:
+        return len(self._sets)
+
+    def members(self, name: str) -> Optional[Tuple[PmixProc, ...]]:
+        return self._sets.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sets

@@ -1,0 +1,27 @@
+"""Simulated QUO runtime library (paper §IV-E).
+
+QUO ("status quo") reconfigures run-time environments for coupled
+MPI+X applications: phases with different process counts, threading
+factors, and affinities.  The piece the paper measures is *process
+quiescence*: parking the node's MPI processes while a subset runs
+multi-threaded kernels.
+
+Two mechanisms are provided, matching the paper's comparison:
+
+* :meth:`QuoContext.barrier` — QUO_barrier: a low-perturbation
+  node-local shared-memory barrier (the QUO 1.3 baseline);
+* :meth:`QuoContext.sessions_barrier` — the prototype's replacement:
+  a sessions-derived node communicator plus a loop alternating
+  ``MPI_Ibarrier``/``MPI_Test`` with ``nanosleep()``, whose wakeup
+  quantum is the source of the ≤3% overhead in Fig 7.
+"""
+
+from repro.quo.context import QuoContext, QUO_OBJ_MACHINE, QUO_OBJ_NODE, QUO_OBJ_SOCKET, QUO_OBJ_CORE
+
+__all__ = [
+    "QuoContext",
+    "QUO_OBJ_MACHINE",
+    "QUO_OBJ_NODE",
+    "QUO_OBJ_SOCKET",
+    "QUO_OBJ_CORE",
+]

@@ -1,0 +1,147 @@
+"""Event loop and simulated clock.
+
+The engine owns a priority queue of timestamped callbacks.  Ties are
+broken by a monotonically increasing sequence number so that events
+scheduled earlier fire earlier — the FIFO tie-break is part of the
+simulator's determinism contract and is exercised by the property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation core."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Engine.run` when live processes remain but no
+    event is scheduled — every remaining process is blocked forever."""
+
+
+class _Canceled:
+    """Sentinel stored in place of a callback when a timer is canceled."""
+
+    __slots__ = ()
+
+
+_CANCELED = _Canceled()
+
+
+class Timer:
+    """Handle returned by :meth:`Engine.call_at` / :meth:`Engine.call_later`.
+
+    Canceling a timer is O(1): the heap entry is left in place and skipped
+    when popped.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry[0]
+
+    @property
+    def canceled(self) -> bool:
+        return self._entry[2] is _CANCELED
+
+    def cancel(self) -> None:
+        self._entry[2] = _CANCELED
+
+
+class Engine:
+    """Discrete-event scheduler with a float clock (seconds).
+
+    The engine knows nothing about processes; :mod:`repro.simtime.process`
+    layers generator-trampolining on top of :meth:`call_at`.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._live: set = set()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Timer:
+        """Schedule ``fn()`` to run at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self._now})"
+            )
+        entry = [when, next(self._seq), fn]
+        heapq.heappush(self._queue, entry)
+        return Timer(entry)
+
+    def call_later(self, delay: float, fn: Callable[[], Any]) -> Timer:
+        """Schedule ``fn()`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn)
+
+    # -- process accounting (used for deadlock detection) ----------------
+    def _process_started(self, proc=None) -> None:
+        self._live.add(proc)
+
+    def _process_finished(self, proc=None) -> None:
+        self._live.discard(proc)
+
+    @property
+    def live_processes(self) -> int:
+        """Number of spawned processes that have not yet terminated."""
+        return len(self._live)
+
+    # -- run loop ---------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next scheduled event.  Returns False if queue empty."""
+        while self._queue:
+            when, _seq, fn = heapq.heappop(self._queue)
+            if fn is _CANCELED:
+                continue
+            self._now = when
+            fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, *, detect_deadlock: bool = True) -> float:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time at which the run stopped.  If
+        ``detect_deadlock`` is set and live processes remain once the
+        queue drains, a :class:`DeadlockError` is raised with the count
+        of blocked processes — the most common failure mode of an MPI
+        protocol bug (e.g. a rank waiting on a message never sent).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                self.step()
+            if until is not None:
+                self._now = max(self._now, until)
+            if detect_deadlock and self._live and until is None:
+                names = sorted(getattr(p, "name", "?") for p in self._live)
+                shown = ", ".join(names[:10]) + (" …" if len(names) > 10 else "")
+                raise DeadlockError(
+                    f"simulation deadlock: {len(self._live)} process(es) "
+                    f"blocked forever at t={self._now}: {shown}"
+                )
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,320 @@
+"""Generator-based simulated processes.
+
+A simulated process is a Python generator that ``yield``-s *effect*
+objects; the trampoline in :class:`SimProcess` interprets each effect
+against the :class:`~repro.simtime.engine.Engine`.  Sub-routines compose
+with ``yield from`` and return values with ``return``:
+
+    def worker(env):
+        yield Sleep(1e-6)              # advance simulated time
+        value = yield Wait(event)      # block on an event
+        child = yield Spawn(other())   # start a concurrent process
+        result = yield Join(child)     # wait for it and get its result
+        return result
+
+Unhandled exceptions in a process abort the whole simulation run unless
+another process ``Join``-s it (or :meth:`SimProcess.defuse` is called),
+in which case the exception is re-raised at the join site.  This makes
+protocol bugs fail loudly while still supporting deliberate failure
+injection in the fault-tolerance demos.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.simtime.engine import Engine, SimulationError
+from repro.simtime.primitives import SimEvent
+
+
+class ProcessKilled(Exception):
+    """Thrown into a generator when its process is killed (fault injection)."""
+
+
+class SimTimeout(SimulationError):
+    """Raised by ``Wait(event, timeout=...)`` when the timeout expires first."""
+
+
+class Sleep:
+    """Effect: suspend the process for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = float(delay)
+
+
+class Wait:
+    """Effect: block until ``event`` triggers; evaluates to its value.
+
+    With ``timeout`` set, raises :class:`SimTimeout` if the event has not
+    triggered within that many simulated seconds.
+    """
+
+    __slots__ = ("event", "timeout")
+
+    def __init__(self, event: SimEvent, timeout: Optional[float] = None) -> None:
+        self.event = event
+        self.timeout = timeout
+
+
+class WaitAny:
+    """Effect: block until any of ``events`` triggers.
+
+    Evaluates to ``(index, value)`` of the first event to fire.  Events
+    already triggered are served immediately (lowest index wins).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]) -> None:
+        self.events = list(events)
+
+
+class Spawn:
+    """Effect: start ``gen`` as a new concurrent process; evaluates to it."""
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, gen: Generator, name: str = "") -> None:
+        self.gen = gen
+        self.name = name
+
+
+class Join:
+    """Effect: wait for ``proc`` to terminate; evaluates to its result.
+
+    Re-raises the process's exception if it failed.
+    """
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: "SimProcess") -> None:
+        self.proc = proc
+
+
+class Now:
+    """Effect: evaluates to the current simulated time (no suspension)."""
+
+    __slots__ = ()
+
+
+class Self:
+    """Effect: evaluates to the currently running :class:`SimProcess`."""
+
+    __slots__ = ()
+
+
+class SimProcess:
+    """A generator being trampolined by the engine."""
+
+    __slots__ = (
+        "engine",
+        "gen",
+        "name",
+        "done",
+        "result",
+        "exception",
+        "_defused",
+        "_finished",
+        "_pending_timer",
+        "_waiting_on",
+    )
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "proc")
+        self.done = SimEvent()
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._defused = False
+        self._finished = False
+        self._pending_timer = None
+        self._waiting_on: Optional[SimEvent] = None
+        engine._process_started(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._finished else "running"
+        return f"<SimProcess {self.name} {state}>"
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def defuse(self) -> None:
+        """Mark this process's failure as handled (suppresses fail-fast)."""
+        self._defused = True
+
+    def start(self) -> None:
+        """Schedule the first step of the generator at the current time."""
+        self.engine.call_at(self.engine.now, lambda: self._step(None, None))
+
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the process (fault injection).
+
+        A killed process may catch the exception to clean up; if it does
+        not, the kill is treated as handled (it does not abort the run).
+        """
+        if self._finished:
+            return
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        if self._waiting_on is not None:
+            self._waiting_on.discard_waiter(self._step)
+            self._waiting_on = None
+        self._defused = True
+        self._step(None, ProcessKilled(reason))
+
+    # -- trampoline -------------------------------------------------------
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._pending_timer = None
+        self._waiting_on = None
+        try:
+            while True:
+                if exc is not None:
+                    pending, exc = exc, None
+                    effect = self.gen.throw(pending)
+                else:
+                    effect = self.gen.send(value)
+                value = None
+
+                if isinstance(effect, Now):
+                    value = self.engine.now
+                elif isinstance(effect, Self):
+                    value = self
+                elif isinstance(effect, Spawn):
+                    child = SimProcess(self.engine, effect.gen, effect.name)
+                    child.start()
+                    value = child
+                elif isinstance(effect, Sleep):
+                    self._pending_timer = self.engine.call_later(
+                        effect.delay, lambda: self._step(None, None)
+                    )
+                    return
+                elif isinstance(effect, Wait):
+                    self._do_wait(effect)
+                    return
+                elif isinstance(effect, WaitAny):
+                    self._do_wait_any(effect)
+                    return
+                elif isinstance(effect, Join):
+                    self._do_join(effect.proc)
+                    return
+                else:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-effect {effect!r}"
+                    )
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+        except ProcessKilled as killed:
+            self._finish(None, killed)
+        except BaseException as err:  # noqa: BLE001 - deliberate fail-fast
+            self._finish(None, err)
+
+    def _do_wait(self, effect: Wait) -> None:
+        event = effect.event
+        if event.triggered:
+            self.engine.call_at(
+                self.engine.now,
+                lambda: self._step_event_result(event),
+            )
+            return
+        if effect.timeout is None:
+            self._waiting_on = event
+            event.add_waiter(self._step)
+            return
+        # Timed wait: arm both the event and a timer; first wins.
+        fired = [False]
+
+        def on_event(value: Any, exc: Optional[BaseException]) -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            if timer is not None:
+                timer.cancel()
+            self._step(value, exc)
+
+        def on_timeout() -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            event.discard_waiter(on_event)
+            self._step(None, SimTimeout(f"wait timed out after {effect.timeout}s"))
+
+        event.add_waiter(on_event)
+        timer = self.engine.call_later(effect.timeout, on_timeout)
+
+    def _step_event_result(self, event: SimEvent) -> None:
+        if event.exception is not None:
+            self._step(None, event.exception)
+        else:
+            self._step(event.value, None)
+
+    def _do_wait_any(self, effect: WaitAny) -> None:
+        events = effect.events
+        if not events:
+            raise SimulationError("WaitAny on empty event list")
+        for idx, ev in enumerate(events):
+            if ev.triggered:
+                if ev.exception is not None:
+                    exc = ev.exception
+                    self.engine.call_at(self.engine.now, lambda e=exc: self._step(None, e))
+                else:
+                    pair = (idx, ev.value)
+                    self.engine.call_at(self.engine.now, lambda p=pair: self._step(p, None))
+                return
+        fired = [False]
+        callbacks = []
+
+        def make_cb(idx: int, ev: SimEvent):
+            def cb(value: Any, exc: Optional[BaseException]) -> None:
+                if fired[0]:
+                    return
+                fired[0] = True
+                for other, other_cb in callbacks:
+                    if other is not ev:
+                        other.discard_waiter(other_cb)
+                if exc is not None:
+                    self._step(None, exc)
+                else:
+                    self._step((idx, value), None)
+
+            return cb
+
+        for idx, ev in enumerate(events):
+            cb = make_cb(idx, ev)
+            callbacks.append((ev, cb))
+            ev.add_waiter(cb)
+
+    def _do_join(self, proc: "SimProcess") -> None:
+        proc.defuse()
+        if proc._finished:
+            if proc.exception is not None:
+                exc = proc.exception
+                self.engine.call_at(self.engine.now, lambda: self._step(None, exc))
+            else:
+                res = proc.result
+                self.engine.call_at(self.engine.now, lambda: self._step(res, None))
+            return
+        self._waiting_on = proc.done
+        proc.done.add_waiter(self._step)
+
+    def _finish(self, result: Any, exc: Optional[BaseException]) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.result = result
+        self.exception = exc
+        self.engine._process_finished(self)
+        self.gen.close()
+        if exc is not None:
+            if self.done.has_waiters or self._defused:
+                self.done.fail(exc)
+            else:
+                # Fail fast: nobody is watching this process, so surface
+                # the error through the engine's run loop immediately.
+                raise exc
+        else:
+            self.done.succeed(result)

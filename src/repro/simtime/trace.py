@@ -1,0 +1,61 @@
+"""Structured trace records for debugging and white-box tests.
+
+Components emit :class:`TraceRecord`s into a shared :class:`Tracer`;
+tests assert on the sequence (e.g. "the second message between this pair
+carried no extended header").  Tracing is off by default and costs one
+attribute check per emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category."""
+
+    def __init__(self, categories: Optional[set] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self.categories = categories
+        self.enabled = True
+
+    def emit(self, time: float, category: str, event: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, event, detail))
+
+    def find(self, category: Optional[str] = None, event: Optional[str] = None) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            yield rec
+
+    def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        return sum(1 for _ in self.find(category, event))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class NullTracer(Tracer):
+    """Tracer that drops everything (the default)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def emit(self, time: float, category: str, event: str, **detail: Any) -> None:
+        return

@@ -1,0 +1,108 @@
+"""2MESH mini-app tests: mesh decomposition and end-to-end runs."""
+
+import pytest
+
+from repro.apps.twomesh.driver import PROBLEMS, TwoMeshProblem, run_twomesh
+from repro.apps.twomesh.l1 import poll_interference
+from repro.apps.twomesh.mesh import CartGrid, dims_create
+from repro.machine.presets import trinity
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6, 12, 64, 97, 256, 1024])
+    def test_product_preserved(self, n):
+        dims = dims_create(n, 2)
+        assert dims[0] * dims[1] == n
+
+    def test_balanced(self):
+        assert dims_create(64, 2) == [8, 8]
+        assert dims_create(12, 2) == [4, 3]
+
+    def test_prime(self):
+        assert dims_create(7, 2) == [7, 1]
+
+    def test_three_dims(self):
+        dims = dims_create(24, 3)
+        assert len(dims) == 3
+        assert dims[0] * dims[1] * dims[2] == 24
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dims_create(0)
+
+
+class TestCartGrid:
+    def test_coords_roundtrip(self):
+        grid = CartGrid(12)
+        for r in range(12):
+            y, x = grid.coords(r)
+            assert grid.rank_at(y, x) == r
+
+    def test_periodic_neighbors(self):
+        grid = CartGrid(16)  # 4x4
+        n = grid.neighbors(0)
+        assert len(n) == 4
+        assert all(0 <= x < 16 for x in n)
+
+    def test_neighbor_symmetry(self):
+        grid = CartGrid(16)
+        for r in range(16):
+            for n in grid.neighbors(r):
+                assert r in grid.neighbors(n)
+
+    def test_nonperiodic_corner(self):
+        grid = CartGrid(16, periodic=False)
+        assert len(grid.neighbors(0)) == 2
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            CartGrid(12, dims=(5, 2))
+
+    def test_tiny_grid(self):
+        grid = CartGrid(2)
+        assert grid.neighbors(0) == [1]
+
+
+class TestProblems:
+    def test_paper_sizes(self):
+        assert PROBLEMS["P1"].ranks == 256
+        assert PROBLEMS["P2"].ranks == 256
+        assert PROBLEMS["P3"].ranks == 1024
+        for p in PROBLEMS.values():
+            assert p.ppn == 32  # fully subscribing Trinity's 32-core nodes
+
+    def test_poll_interference_shape(self):
+        m = trinity(1)
+        assert poll_interference(m, 0) == 0.0
+        assert poll_interference(m, 30) > poll_interference(m, 10)
+        assert poll_interference(m, 30) < 0.05  # small by construction
+
+
+def small_problem(**overrides):
+    base = dict(
+        name="tiny", ranks=16, ppn=8, couplings=2, l0_steps=2, l1_steps=1,
+        l0_compute=100e-6, l1_compute=4.0e-3, halo_bytes=1024, workers_per_node=2,
+    )
+    base.update(overrides)
+    return TwoMeshProblem(**base)
+
+
+class TestEndToEnd:
+    def test_baseline_runs(self):
+        t = run_twomesh(small_problem(), use_sessions=False)
+        assert t > 0
+
+    def test_sessions_overhead_small_and_positive(self):
+        p = small_problem()
+        base = run_twomesh(p, use_sessions=False)
+        sess = run_twomesh(p, use_sessions=True)
+        assert 1.0 < sess / base < 1.10
+
+    def test_more_couplings_take_longer(self):
+        fast = run_twomesh(small_problem(couplings=1), use_sessions=False)
+        slow = run_twomesh(small_problem(couplings=4), use_sessions=False)
+        assert slow > 2 * fast
+
+    def test_deterministic(self):
+        p = small_problem()
+        assert run_twomesh(p, use_sessions=True) == run_twomesh(p, use_sessions=True)

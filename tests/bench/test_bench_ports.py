@@ -1,0 +1,121 @@
+"""Sanity tests of the OSU/HPCC ports at tiny scale (the full paper
+sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.bench.hpcc import hpcc_ring_latency
+from repro.bench.osu import InitTiming, osu_comm_dup, osu_init, osu_latency, osu_mbw_mr
+from repro.machine.presets import laptop
+
+
+class TestOsuInit:
+    def test_world_mode_fields(self):
+        t = osu_init(2, 2, "world", machine_factory=laptop)
+        assert isinstance(t, InitTiming)
+        assert t.total > 0
+        assert t.handle == 0.0 and t.comm_construct == 0.0
+
+    def test_sessions_mode_breakdown_positive(self):
+        t = osu_init(2, 2, "sessions", machine_factory=laptop)
+        assert t.total > 0
+        assert t.handle > 0
+        assert t.comm_construct > 0
+        assert t.handle + t.comm_construct < t.total
+
+    def test_sessions_costs_more_than_world(self):
+        base = osu_init(2, 4, "world", machine_factory=laptop)
+        sess = osu_init(2, 4, "sessions", machine_factory=laptop)
+        assert sess.total > base.total
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            osu_init(1, 1, "bogus", machine_factory=laptop)
+
+
+class TestOsuDup:
+    def test_sessions_dup_slower(self):
+        base = osu_comm_dup(2, 4, "world", iterations=5, machine_factory=laptop)
+        sess = osu_comm_dup(2, 4, "sessions", iterations=5, machine_factory=laptop)
+        assert sess > base > 0
+
+    def test_subfield_policy_cheaper(self):
+        per_dup = osu_comm_dup(2, 4, "sessions", iterations=5, machine_factory=laptop)
+        amortized = osu_comm_dup(
+            2, 4, "sessions", iterations=5, machine_factory=laptop, dup_policy="subfield"
+        )
+        assert amortized < per_dup
+
+
+class TestOsuLatency:
+    def test_latency_monotone_in_size(self):
+        lats = osu_latency("world", sizes=(8, 65536), machine=laptop(1),
+                           skip=2, iterations=5)
+        assert lats[65536] > lats[8] > 0
+
+    def test_sessions_close_to_world(self):
+        sizes = (8,)
+        base = osu_latency("world", sizes=sizes, machine=laptop(1), skip=2, iterations=10)
+        sess = osu_latency("sessions", sizes=sizes, machine=laptop(1), skip=2, iterations=10)
+        assert sess[8] == pytest.approx(base[8], rel=0.1)
+
+
+class TestOsuMbwMr:
+    def test_bandwidth_grows_with_size(self):
+        out = osu_mbw_mr("world", pairs=2, sizes=(8, 4096), machine=laptop(1),
+                         window=8, iterations=2)
+        assert out[4096][0] > out[8][0]
+
+    def test_rate_and_bw_consistent(self):
+        out = osu_mbw_mr("world", pairs=1, sizes=(64,), machine=laptop(1),
+                         window=8, iterations=2)
+        bw, mr = out[64]
+        assert bw == pytest.approx(mr * 64)
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            osu_mbw_mr("world", pairs=64, machine=laptop(1))
+
+
+class TestHpcc:
+    def test_natural_ring_positive(self):
+        lat = hpcc_ring_latency(2, 2, "world", "natural", iterations=3,
+                                machine_factory=laptop)
+        assert lat > 0
+
+    def test_sessions_matches_world(self):
+        base = hpcc_ring_latency(2, 2, "world", "natural", iterations=3,
+                                 machine_factory=laptop)
+        sess = hpcc_ring_latency(2, 2, "sessions", "natural", iterations=3,
+                                 machine_factory=laptop)
+        assert sess == pytest.approx(base, rel=0.1)
+
+    def test_random_deterministic_given_seed(self):
+        a = hpcc_ring_latency(2, 2, "world", "random", iterations=3,
+                              machine_factory=laptop, seed=1)
+        b = hpcc_ring_latency(2, 2, "world", "random", iterations=3,
+                              machine_factory=laptop, seed=1)
+        assert a == b
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            hpcc_ring_latency(1, 2, "world", "sideways")
+
+
+class TestOsuBw:
+    def test_bandwidth_saturates(self):
+        from repro.bench.osu import osu_bw
+        from repro.machine.presets import laptop
+
+        bw = osu_bw("world", sizes=(64, 1 << 20), machine=laptop(1))
+        assert bw[1 << 20] > bw[64]
+        # Large-message bandwidth approaches the link rate.
+        assert bw[1 << 20] > 0.5 * laptop(1).intra_node_bandwidth
+
+    def test_sessions_matches_world_steady_state(self):
+        from repro.bench.osu import osu_bw
+        from repro.machine.presets import laptop
+        import pytest as _pytest
+
+        base = osu_bw("world", sizes=(4096,), machine=laptop(1))
+        sess = osu_bw("sessions", sizes=(4096,), machine=laptop(1))
+        assert sess[4096] == _pytest.approx(base[4096], rel=0.1)

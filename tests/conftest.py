@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+
+
+def run_procs(cluster: Cluster, *gens, names=None):
+    """Spawn generators as simulated processes, run to quiescence, and
+    return their results in spawn order."""
+    procs = []
+    for i, gen in enumerate(gens):
+        name = names[i] if names else f"proc{i}"
+        procs.append(cluster.spawn(gen, name))
+    for p in procs:
+        p.defuse()
+    cluster.run()
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    return [p.result for p in procs]
+
+
+@pytest.fixture
+def small_cluster():
+    """4-node laptop-class cluster (fast startup constants)."""
+    return Cluster(machine=laptop(num_nodes=4))
+
+
+@pytest.fixture
+def one_node_cluster():
+    return Cluster(machine=laptop(num_nodes=1))

@@ -1,0 +1,68 @@
+"""Unit tests for rank placement."""
+
+import pytest
+
+from repro.machine.topology import Topology
+
+
+class TestBasics:
+    def test_block_mapping(self):
+        topo = Topology(num_ranks=8, ppn=4)
+        assert topo.num_nodes == 2
+        assert [topo.node_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_local_ranks(self):
+        topo = Topology(num_ranks=8, ppn=4)
+        assert [topo.local_rank_of(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_partial_last_node(self):
+        topo = Topology(num_ranks=10, ppn=4)
+        assert topo.num_nodes == 3
+        assert topo.ranks_on_node(2) == [8, 9]
+
+    def test_from_nodes(self):
+        topo = Topology.from_nodes(3, 28)
+        assert topo.num_ranks == 84
+        assert topo.num_nodes == 3
+
+    def test_same_node(self):
+        topo = Topology(num_ranks=8, ppn=4)
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(3, 4)
+
+    def test_node_leader(self):
+        topo = Topology(num_ranks=8, ppn=4)
+        assert topo.node_leader(0) == 0
+        assert topo.node_leader(1) == 4
+
+    def test_nodes_of(self):
+        topo = Topology(num_ranks=12, ppn=4)
+        assert topo.nodes_of([0, 5, 11]) == [0, 1, 2]
+        assert topo.nodes_of([1, 2]) == [0]
+
+
+class TestValidation:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0, 4)
+
+    def test_zero_ppn_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(4, 0)
+
+    def test_rank_out_of_range(self):
+        topo = Topology(4, 2)
+        with pytest.raises(ValueError):
+            topo.node_of(4)
+        with pytest.raises(ValueError):
+            topo.node_of(-1)
+
+    def test_node_out_of_range(self):
+        topo = Topology(4, 2)
+        with pytest.raises(ValueError):
+            topo.ranks_on_node(2)
+
+    def test_single_rank(self):
+        topo = Topology(1, 1)
+        assert topo.num_nodes == 1
+        assert topo.ranks_on_node(0) == [0]

@@ -1,0 +1,57 @@
+"""Helpers for MPI-level integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_mpi
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+
+
+@pytest.fixture
+def mpi_run():
+    """Run a rank program on a small laptop cluster; returns results."""
+
+    def _run(nprocs, fn, *, sessions=False, nodes=2, ppn=None, config=None, **kw):
+        if config is None:
+            needs_sessions = sessions or getattr(fn, "_needs_sessions", False)
+            config = MpiConfig.sessions_prototype() if needs_sessions else MpiConfig.baseline()
+        return run_mpi(
+            nprocs,
+            fn,
+            machine=laptop(num_nodes=nodes),
+            ppn=ppn or max(1, (nprocs + nodes - 1) // nodes),
+            config=config,
+            **kw,
+        )
+
+    return _run
+
+
+def world_program(body):
+    """Wrap ``body(mpi, comm)`` with MPI_Init/Finalize."""
+
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        result = yield from body(mpi, comm)
+        yield from mpi.mpi_finalize()
+        return result
+
+    return main
+
+
+def sessions_program(body, tag="test"):
+    """Wrap ``body(mpi, comm)`` with the sessions bootstrap."""
+
+    def main(mpi):
+        session = yield from mpi.session_init()
+        group = yield from session.group_from_pset("mpi://world")
+        comm = yield from mpi.comm_create_from_group(group, tag)
+        result = yield from body(mpi, comm)
+        comm.free()
+        yield from session.finalize()
+        return result
+
+    main._needs_sessions = True
+    return main

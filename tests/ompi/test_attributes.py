@@ -1,0 +1,104 @@
+"""Attribute keyvals and caching, including dup propagation."""
+
+import pytest
+
+from repro.ompi.attributes import DUP_FN, NULL_COPY_FN, AttributeCache, KeyvalRegistry
+from repro.ompi.errors import MPIErrArg
+from tests.ompi.conftest import world_program
+
+
+class TestKeyvalRegistry:
+    def test_create_distinct_ids(self):
+        reg = KeyvalRegistry()
+        assert reg.create() != reg.create()
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(MPIErrArg):
+            KeyvalRegistry().free(12345)
+
+    def test_free_removes(self):
+        reg = KeyvalRegistry()
+        kv = reg.create()
+        reg.free(kv)
+        assert not reg.known(kv)
+
+
+class TestAttributeCache:
+    def make(self):
+        reg = KeyvalRegistry()
+        return reg, AttributeCache(reg)
+
+    def test_set_get_delete(self):
+        reg, cache = self.make()
+        kv = reg.create()
+        cache.set(kv, "v")
+        assert cache.get(kv) == (True, "v")
+        cache.delete(kv)
+        assert cache.get(kv) == (False, None)
+
+    def test_unknown_keyval_rejected(self):
+        _reg, cache = self.make()
+        with pytest.raises(MPIErrArg):
+            cache.set(999, "v")
+        with pytest.raises(MPIErrArg):
+            cache.get(999)
+
+    def test_delete_unset_rejected(self):
+        reg, cache = self.make()
+        kv = reg.create()
+        with pytest.raises(MPIErrArg):
+            cache.delete(kv)
+
+    def test_null_copy_does_not_propagate(self):
+        reg, cache = self.make()
+        kv = reg.create(copy_fn=NULL_COPY_FN)
+        cache.set(kv, "v")
+        assert cache.copy_for_dup().get(kv) == (False, None)
+
+    def test_dup_fn_propagates_by_reference(self):
+        reg, cache = self.make()
+        kv = reg.create(copy_fn=DUP_FN)
+        value = {"shared": True}
+        cache.set(kv, value)
+        found, copied = cache.copy_for_dup().get(kv)
+        assert found and copied is value
+
+    def test_custom_copy_fn_transforms(self):
+        reg, cache = self.make()
+        kv = reg.create(copy_fn=lambda k, v: (True, v + 1))
+        cache.set(kv, 10)
+        assert cache.copy_for_dup().get(kv) == (True, 11)
+
+    def test_delete_fn_runs_on_overwrite_and_clear(self):
+        reg, cache = self.make()
+        deleted = []
+        kv = reg.create(delete_fn=lambda k, v: deleted.append(v))
+        cache.set(kv, "first")
+        cache.set(kv, "second")      # overwrite triggers delete("first")
+        cache.clear()                # clear triggers delete("second")
+        assert deleted == ["first", "second"]
+
+    def test_len(self):
+        reg, cache = self.make()
+        kv = reg.create()
+        assert len(cache) == 0
+        cache.set(kv, 1)
+        assert len(cache) == 1
+
+
+class TestCommAttributes:
+    def test_attrs_follow_dup_rules(self, mpi_run):
+        def body(mpi, comm):
+            kv_keep = mpi.keyvals.create(copy_fn=DUP_FN)
+            kv_drop = mpi.keyvals.create()  # default: null copy
+            comm.set_attr(kv_keep, "kept")
+            comm.set_attr(kv_drop, "dropped")
+            dup = yield from comm.dup()
+            out = (dup.get_attr(kv_keep), dup.get_attr(kv_drop))
+            dup.free()
+            comm.delete_attr(kv_keep)
+            comm.delete_attr(kv_drop)
+            return out
+
+        results = mpi_run(2, world_program(body))
+        assert set(results) == {((True, "kept"), (False, None))}

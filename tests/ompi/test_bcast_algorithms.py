@@ -1,0 +1,88 @@
+"""Broadcast algorithm selection (binomial vs Van de Geijn)."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.api import run_mpi
+from repro.machine.presets import jupiter, laptop
+from repro.ompi.config import MpiConfig
+
+bcast_mod = importlib.import_module("repro.ompi.coll.bcast")
+
+
+def timed_bcast(nbytes, nprocs=16, machine=None):
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        yield from comm.barrier()
+        t0 = mpi.engine.now
+        yield from comm.bcast(None, root=0, nbytes=nbytes)
+        yield from comm.barrier()
+        out = mpi.engine.now - t0
+        yield from mpi.mpi_finalize()
+        return out
+
+    return max(run_mpi(nprocs, main, machine=machine or jupiter(2), ppn=nprocs // 2,
+                       config=MpiConfig.baseline()))
+
+
+def test_van_de_geijn_wins_for_large_messages(monkeypatch):
+    vdg = timed_bcast(1 << 20)
+    monkeypatch.setattr(bcast_mod, "LARGE_BCAST_THRESHOLD", 10**12)
+    binomial = timed_bcast(1 << 20)
+    assert vdg < binomial
+
+
+def test_binomial_wins_for_small_messages(monkeypatch):
+    """Forcing VdG on a tiny message costs latency (ring steps)."""
+    binomial = timed_bcast(256)
+    monkeypatch.setattr(bcast_mod, "LARGE_BCAST_THRESHOLD", 0)
+    vdg = timed_bcast(256)
+    assert binomial < vdg
+
+
+def test_object_payload_without_nbytes_uses_binomial_everywhere():
+    """Selection must agree on all ranks: without an explicit nbytes,
+    non-roots cannot size the payload, so binomial is forced — a big
+    numpy object still broadcasts correctly."""
+
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        arr = np.arange(1 << 16) if comm.rank == 0 else None  # 512 KB
+        got = yield from comm.bcast(arr, root=0)
+        yield from mpi.mpi_finalize()
+        return int(got.sum())
+
+    results = run_mpi(4, main, machine=laptop(num_nodes=1), ppn=4,
+                      config=MpiConfig.baseline())
+    assert set(results) == {sum(range(1 << 16))}
+
+
+@pytest.mark.parametrize("n", [3, 4, 7, 8])
+def test_vdg_correct_for_any_size(n):
+    """The scatter+allgather path delivers to every rank, any comm size."""
+
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        obj = ("big", comm.rank) if comm.rank == 0 else None
+        got = yield from comm.bcast(obj, root=0, nbytes=1 << 20)
+        yield from mpi.mpi_finalize()
+        return got
+
+    results = run_mpi(n, main, machine=laptop(num_nodes=2), ppn=(n + 1) // 2,
+                      config=MpiConfig.baseline())
+    assert set(results) == {("big", 0)}
+
+
+def test_vdg_nonzero_root():
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        obj = "from-2" if comm.rank == 2 else None
+        got = yield from comm.bcast(obj, root=2, nbytes=1 << 20)
+        yield from mpi.mpi_finalize()
+        return got
+
+    results = run_mpi(6, main, machine=laptop(num_nodes=2), ppn=3,
+                      config=MpiConfig.baseline())
+    assert set(results) == {"from-2"}

@@ -1,0 +1,128 @@
+"""The legacy consensus CID allocator (paper §III-B2)."""
+
+import pytest
+
+from repro.ompi.cid import MAX_CID, CidTable
+from repro.ompi.constants import SUM
+from repro.ompi.errors import MPIErrIntern
+from tests.ompi.conftest import world_program
+
+
+class TestCidTable:
+    def test_lowest_free_fills_holes(self):
+        t = CidTable()
+        for i in range(4):
+            t.reserve(i, object())
+        t.release(1)
+        assert t.lowest_free() == 1
+
+    def test_lowest_free_with_floor(self):
+        t = CidTable()
+        t.reserve(0, object())
+        assert t.lowest_free(at_least=5) == 5
+
+    def test_double_reserve_rejected(self):
+        t = CidTable()
+        t.reserve(3, object())
+        with pytest.raises(MPIErrIntern):
+            t.reserve(3, object())
+
+    def test_release_free_rejected(self):
+        t = CidTable()
+        with pytest.raises(MPIErrIntern):
+            t.release(0)
+
+    def test_get(self):
+        t = CidTable()
+        comm = object()
+        t.reserve(2, comm)
+        assert t.get(2) is comm
+        assert t.get(0) is None
+        assert t.get(99) is None
+
+    def test_live_count(self):
+        t = CidTable()
+        t.reserve(0, object())
+        t.reserve(5, object())
+        assert t.live_count == 2
+        t.release(0)
+        assert t.live_count == 1
+
+
+class TestConsensus:
+    def test_all_ranks_agree(self, mpi_run):
+        def body(mpi, comm):
+            dup = yield from comm.dup()
+            cids = yield from comm.allgather(dup.local_cid)
+            dup.free()
+            return len(set(cids)) == 1
+
+        assert set(mpi_run(4, world_program(body))) == {True}
+
+    def test_agreement_despite_asymmetric_fragmentation(self, mpi_run):
+        """Each rank fragments its table differently; the consensus
+        still converges on a mutually free index."""
+
+        def body(mpi, comm):
+            sentinel = object()
+            # Rank r blocks indices 2+r, 2+r+1 ... staggered holes.
+            for i in range(3):
+                idx = 2 + comm.rank + i * 2
+                if mpi.cid_table.is_free(idx):
+                    mpi.cid_table.reserve(idx, sentinel)
+            dup = yield from comm.dup()
+            agreed = yield from comm.allgather(dup.local_cid)
+            locally_valid = mpi.cid_table.get(dup.local_cid) is dup
+            dup.free()
+            return (len(set(agreed)) == 1, locally_valid)
+
+        assert set(mpi_run(4, world_program(body))) == {(True, True)}
+
+    def test_fragmentation_costs_rounds(self, mpi_run):
+        """More rounds of reductions when proposals conflict (the
+        weakness §IV-C2 discusses)."""
+
+        def clean(mpi, comm):
+            yield from comm.barrier()
+            t0 = mpi.engine.now
+            dup = yield from comm.dup()
+            elapsed = mpi.engine.now - t0
+            dup.free()
+            return elapsed
+
+        def fragmented(mpi, comm):
+            sentinel = object()
+            for i in range(8):
+                idx = 2 + (comm.rank + i * 3) % 24
+                if mpi.cid_table.is_free(idx):
+                    mpi.cid_table.reserve(idx, sentinel)
+            yield from comm.barrier()
+            t0 = mpi.engine.now
+            dup = yield from comm.dup()
+            elapsed = mpi.engine.now - t0
+            dup.free()
+            return elapsed
+
+        t_clean = max(mpi_run(4, world_program(clean)))
+        t_frag = max(mpi_run(4, world_program(fragmented)))
+        assert t_frag > t_clean
+
+    def test_subset_consensus_via_create_group(self, mpi_run):
+        def body(mpi, comm):
+            group = comm.get_group().incl([0, 2])
+            if comm.rank in (0, 2):
+                sub = yield from comm.create_group(group, tag=7)
+                total = yield from sub.allreduce(1, op=SUM)
+                cid = sub.local_cid
+                sub.free()
+                return (total, cid)
+            return None
+
+        results = mpi_run(4, world_program(body))
+        assert results[0][0] == 2
+        assert results[0][1] == results[2][1]  # members agree
+
+    def test_cid_space_bound(self):
+        t = CidTable()
+        with pytest.raises(MPIErrIntern):
+            t.lowest_free(at_least=MAX_CID)

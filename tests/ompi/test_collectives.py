@@ -1,0 +1,241 @@
+"""Collective operations across sizes, roots, and both init models."""
+
+import numpy as np
+import pytest
+
+from repro.ompi.constants import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM
+from tests.ompi.conftest import sessions_program, world_program
+
+
+@pytest.fixture(params=["world", "sessions"])
+def program(request):
+    return world_program if request.param == "world" else sessions_program
+
+
+NPROCS = [2, 3, 5, 8]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_all_ranks_receive(self, mpi_run, program, n):
+        def body(mpi, comm):
+            obj = {"data": list(range(10))} if comm.rank == 0 else None
+            return (yield from comm.bcast(obj, root=0))
+
+        results = mpi_run(n, program(body))
+        assert all(r == {"data": list(range(10))} for r in results)
+
+    def test_nonzero_root(self, mpi_run, program):
+        def body(mpi, comm):
+            obj = "from-root-3" if comm.rank == 3 else None
+            return (yield from comm.bcast(obj, root=3))
+
+        assert set(mpi_run(5, program(body))) == {"from-root-3"}
+
+    def test_large_array(self, mpi_run, program):
+        def body(mpi, comm):
+            arr = np.arange(1 << 16) if comm.rank == 0 else None
+            got = yield from comm.bcast(arr, root=0)
+            return int(got.sum())
+
+        results = mpi_run(4, program(body))
+        assert set(results) == {sum(range(1 << 16))}
+
+
+class TestReduceAllreduce:
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_reduce_sum_at_root(self, mpi_run, program, n):
+        def body(mpi, comm):
+            return (yield from comm.reduce(comm.rank + 1, op=SUM, root=0))
+
+        results = mpi_run(n, program(body))
+        assert results[0] == n * (n + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_allreduce_everyone(self, mpi_run, program, n):
+        def body(mpi, comm):
+            return (yield from comm.allreduce(comm.rank, op=MAX))
+
+        assert set(mpi_run(n, program(body))) == {n - 1}
+
+    @pytest.mark.parametrize(
+        "op,contrib,expected",
+        [
+            (SUM, lambda r, n: r, lambda n: sum(range(n))),
+            (PROD, lambda r, n: r + 1, lambda n: np.prod(range(1, n + 1))),
+            (MIN, lambda r, n: 10 - r, lambda n: 10 - (n - 1)),
+            (LAND, lambda r, n: 1, lambda n: True),
+            (LOR, lambda r, n: 1 if r == 0 else 0, lambda n: True),
+            (BAND, lambda r, n: 0b1111, lambda n: 0b1111),
+            (BOR, lambda r, n: 1 << r, lambda n: (1 << n) - 1),
+        ],
+    )
+    def test_allreduce_ops(self, mpi_run, program, op, contrib, expected):
+        n = 4
+
+        def body(mpi, comm):
+            return (yield from comm.allreduce(contrib(comm.rank, n), op=op))
+
+        assert set(mpi_run(n, program(body))) == {expected(n)}
+
+    def test_maxloc_minloc(self, mpi_run, program):
+        def body(mpi, comm):
+            values = [3, 9, 9, 1]
+            pair = (values[comm.rank], comm.rank)
+            mx = yield from comm.allreduce(pair, op=MAXLOC)
+            mn = yield from comm.allreduce(pair, op=MINLOC)
+            return (mx, mn)
+
+        results = mpi_run(4, program(body))
+        # Ties break toward the lower index.
+        assert set(results) == {((9, 1), (1, 3))}
+
+    def test_allreduce_numpy_arrays(self, mpi_run, program):
+        def body(mpi, comm):
+            vec = np.full(8, comm.rank, dtype=np.float64)
+            out = yield from comm.allreduce(vec, op=SUM)
+            return out.tolist()
+
+        results = mpi_run(4, program(body))
+        assert all(r == [6.0] * 8 for r in results)
+
+    def test_nonzero_root_reduce(self, mpi_run, program):
+        def body(mpi, comm):
+            return (yield from comm.reduce(1, op=SUM, root=2))
+
+        results = mpi_run(5, program(body))
+        assert results[2] == 5
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_gather(self, mpi_run, program, n):
+        def body(mpi, comm):
+            return (yield from comm.gather(comm.rank * 10, root=0))
+
+        results = mpi_run(n, program(body))
+        assert results[0] == [r * 10 for r in range(n)]
+
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_scatter(self, mpi_run, program, n):
+        def body(mpi, comm):
+            values = [f"item{i}" for i in range(n)] if comm.rank == 1 else None
+            return (yield from comm.scatter(values, root=1))
+
+        assert mpi_run(n, program(body)) == [f"item{i}" for i in range(n)]
+
+    def test_scatter_wrong_length_raises(self, mpi_run, program):
+        from repro.ompi.errors import MPIErrArg
+
+        def body(mpi, comm):
+            if comm.rank == 0:
+                try:
+                    yield from comm.scatter([1, 2], root=0)  # size is 1
+                except MPIErrArg:
+                    return "rejected"
+                return "accepted"
+            return "n/a"
+
+        # Only rank 0 participates meaningfully; others exit immediately.
+        results = mpi_run(1, program(body), nodes=1)
+        assert results == ["rejected"]
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_allgather(self, mpi_run, program, n):
+        def body(mpi, comm):
+            return (yield from comm.allgather(comm.rank ** 2))
+
+        results = mpi_run(n, program(body))
+        expected = [r ** 2 for r in range(n)]
+        assert all(r == expected for r in results)
+
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_alltoall(self, mpi_run, program, n):
+        def body(mpi, comm):
+            out = yield from comm.alltoall([(comm.rank, j) for j in range(n)])
+            return out
+
+        results = mpi_run(n, program(body))
+        for j, res in enumerate(results):
+            assert res == [(i, j) for i in range(n)]
+
+
+class TestScan:
+    @pytest.mark.parametrize("n", NPROCS)
+    def test_inclusive_scan(self, mpi_run, program, n):
+        def body(mpi, comm):
+            return (yield from comm.scan(comm.rank + 1, op=SUM))
+
+        results = mpi_run(n, program(body))
+        assert results == [sum(range(1, r + 2)) for r in range(n)]
+
+    def test_exscan(self, mpi_run, program):
+        def body(mpi, comm):
+            return (yield from comm.exscan(comm.rank + 1, op=SUM))
+
+        results = mpi_run(4, program(body))
+        assert results == [None, 1, 3, 6]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_nobody_leaves_before_last_arrives(self, mpi_run, program, n):
+        def body(mpi, comm):
+            from repro.simtime.process import Sleep
+
+            yield Sleep(comm.rank * 50e-6)  # staggered arrivals
+            arrived = mpi.engine.now
+            yield from comm.barrier()
+            released = mpi.engine.now
+            return (arrived, released)
+
+        results = mpi_run(n, program(body))
+        last_arrival = max(a for a, _ in results)
+        assert all(released >= last_arrival for _, released in results)
+
+    def test_tree_barrier_used_for_large_comms(self, mpi_run):
+        """Above barrier_linear_max, the binomial tree path runs."""
+        from repro.ompi.config import MpiConfig
+
+        def main(mpi):
+            comm = yield from mpi.mpi_init()
+            yield from comm.barrier()
+            yield from mpi.mpi_finalize()
+            return "ok"
+
+        config = MpiConfig.baseline()
+        config.barrier_linear_max = 4
+        assert set(mpi_run(8, main, config=config)) == {"ok"}
+
+    def test_ibarrier_overlaps_computation(self, mpi_run, program):
+        def body(mpi, comm):
+            from repro.simtime.process import Sleep
+
+            req = yield from comm.ibarrier()
+            # Do "work" while the barrier progresses in the background.
+            yield Sleep(10e-6)
+            yield from req.wait()
+            return "done"
+
+        assert set(mpi_run(4, program(body))) == {"done"}
+
+    def test_ibarrier_incomplete_until_all_enter(self, mpi_run, program):
+        def body(mpi, comm):
+            from repro.simtime.process import Sleep
+
+            if comm.rank == 0:
+                req = yield from comm.ibarrier()
+                yield Sleep(200e-6)
+                done_before_everyone = req.test()[0]
+                yield from req.wait()
+                return done_before_everyone
+            yield Sleep(500e-6)  # rank 1+ arrive late
+            req = yield from comm.ibarrier()
+            yield from req.wait()
+            return None
+
+        results = mpi_run(3, program(body))
+        assert results[0] is False

@@ -1,0 +1,256 @@
+"""Communicator constructors: dup/split/create/create_group in both CID
+modes, plus the Sessions-only create_from_group."""
+
+import pytest
+
+from repro.ompi.constants import MAX, SUM, UNDEFINED
+from repro.ompi.errors import MPIErrComm, MPIErrGroup
+from tests.ompi.conftest import sessions_program, world_program
+
+
+@pytest.fixture(params=["world", "sessions"])
+def program(request):
+    return world_program if request.param == "world" else sessions_program
+
+
+class TestDup:
+    def test_dup_isolates_traffic(self, mpi_run, program):
+        """A message on the dup never matches a receive on the parent."""
+
+        def body(mpi, comm):
+            from repro.simtime.process import Sleep
+
+            dup = yield from comm.dup()
+            if comm.rank == 0:
+                yield from dup.send("on-dup", 1, tag=5)
+                yield from comm.send("on-parent", 1, tag=5)
+                yield from comm.barrier()
+                dup.free()
+                return None
+            parent_msg = yield from comm.recv(0, tag=5)
+            dup_msg = yield from dup.recv(0, tag=5)
+            yield from comm.barrier()
+            dup.free()
+            return (parent_msg, dup_msg)
+
+        results = mpi_run(2, program(body))
+        assert results[1] == ("on-parent", "on-dup")
+
+    def test_dup_copies_errhandler(self, mpi_run, program):
+        from repro.ompi.errors import ERRORS_RETURN
+
+        def body(mpi, comm):
+            comm.set_errhandler(ERRORS_RETURN)
+            dup = yield from comm.dup()
+            same = dup.errhandler is ERRORS_RETURN
+            dup.free()
+            return same
+
+        assert set(mpi_run(2, program(body))) == {True}
+
+    def test_dup_chain(self, mpi_run, program):
+        def body(mpi, comm):
+            comms = [comm]
+            for _ in range(4):
+                comms.append((yield from comms[-1].dup()))
+            total = yield from comms[-1].allreduce(1, op=SUM)
+            for c in comms[:0:-1]:
+                c.free()
+            return total
+
+        assert set(mpi_run(3, program(body))) == {3}
+
+    def test_dup_excids_unique_per_generation(self, mpi_run):
+        def body(mpi, comm):
+            dups = []
+            for _ in range(6):
+                dups.append((yield from comm.dup()))
+            keys = {d.excid.key() for d in dups} | {comm.excid.key()}
+            for d in dups:
+                d.free()
+            return len(keys)
+
+        results = mpi_run(2, sessions_program(body))
+        assert set(results) == {7}
+
+
+class TestSplit:
+    def test_split_by_parity(self, mpi_run, program):
+        def body(mpi, comm):
+            sub = yield from comm.split(color=comm.rank % 2, key=comm.rank)
+            out = (sub.rank, sub.size, (yield from sub.allreduce(comm.rank, op=SUM)))
+            sub.free()
+            return out
+
+        results = mpi_run(6, program(body))
+        for world_rank, (sub_rank, sub_size, total) in enumerate(results):
+            assert sub_size == 3
+            assert sub_rank == world_rank // 2
+            expected = sum(r for r in range(6) if r % 2 == world_rank % 2)
+            assert total == expected
+
+    def test_split_key_reorders_ranks(self, mpi_run, program):
+        def body(mpi, comm):
+            # Reverse the rank order via the key.
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            out = sub.rank
+            sub.free()
+            return out
+
+        results = mpi_run(4, program(body))
+        assert results == [3, 2, 1, 0]
+
+    def test_split_undefined_gets_none(self, mpi_run, program):
+        def body(mpi, comm):
+            color = 0 if comm.rank == 0 else UNDEFINED
+            sub = yield from comm.split(color=color, key=0)
+            if sub is not None:
+                assert sub.size == 1
+                sub.free()
+                return "member"
+            return "excluded"
+
+        results = mpi_run(3, program(body))
+        assert results == ["member", "excluded", "excluded"]
+
+
+class TestCreate:
+    def test_create_group_members_only(self, mpi_run, program):
+        def body(mpi, comm):
+            evens = comm.get_group().incl(list(range(0, comm.size, 2)))
+            if comm.rank % 2 == 0:
+                sub = yield from comm.create_group(evens, tag=1)
+                total = yield from sub.allreduce(1, op=SUM)
+                sub.free()
+                return total
+            return None
+
+        results = mpi_run(6, program(body))
+        assert results == [3, None, 3, None, 3, None]
+
+    def test_create_group_nonmember_rejected(self, mpi_run, program):
+        def body(mpi, comm):
+            others = comm.get_group().excl([comm.rank])
+            try:
+                yield from comm.create_group(others, tag=1)
+            except MPIErrGroup:
+                return "rejected"
+            return "accepted"
+
+        assert set(mpi_run(2, program(body))) == {"rejected"}
+
+    def test_create_all_ranks_call(self, mpi_run, program):
+        def body(mpi, comm):
+            first_two = comm.get_group().incl([0, 1])
+            sub = yield from comm.create(first_two)
+            if comm.rank < 2:
+                assert sub is not None
+                value = yield from sub.allreduce(comm.rank, op=MAX)
+                sub.free()
+                return value
+            assert sub is None
+            return None
+
+        results = mpi_run(4, program(body))
+        assert results == [1, 1, None, None]
+
+
+class TestCreateFromGroup:
+    def test_requires_excid_mode(self, mpi_run):
+        def main(mpi):
+            comm = yield from mpi.mpi_init()
+            try:
+                yield from mpi.comm_create_from_group(comm.get_group(), "t")
+            except MPIErrComm:
+                result = "rejected"
+            else:
+                result = "accepted"
+            yield from mpi.mpi_finalize()
+            return result
+
+        assert set(mpi_run(2, main)) == {"rejected"}
+
+    def test_subgroup_comm(self, mpi_run):
+        def main(mpi):
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            if mpi.rank_in_job < 2:
+                sub = group.incl([0, 1])
+                sub.session = session
+                comm = yield from mpi.comm_create_from_group(sub, "pair")
+                total = yield from comm.allreduce(1, op=SUM)
+                comm.free()
+            else:
+                total = None
+            yield from session.finalize()
+            return total
+
+        results = mpi_run(4, main, sessions=True)
+        assert results == [2, 2, None, None]
+
+    def test_concurrent_disjoint_creates_same_tag(self, mpi_run):
+        """Disjoint groups may use the same stringtag concurrently."""
+
+        def main(mpi):
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            half = group.incl([0, 1]) if mpi.rank_in_job < 2 else group.incl([2, 3])
+            half.session = session
+            comm = yield from mpi.comm_create_from_group(half, "same-tag")
+            total = yield from comm.allreduce(mpi.rank_in_job, op=SUM)
+            comm.free()
+            yield from session.finalize()
+            return total
+
+        results = mpi_run(4, main, sessions=True)
+        assert results == [1, 1, 5, 5]
+
+    def test_members_agree_on_excid_but_not_local_cid(self, mpi_run):
+        """The paper's decoupling: exCIDs agree globally, local CIDs are
+        free to differ between processes (§III-B3)."""
+
+        def main(mpi):
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            # Stagger local CID spaces: rank 1 burns extra slots first.
+            if mpi.rank_in_job == 1:
+                placeholders = []
+                for i in range(3):
+                    mpi.cid_table.reserve(mpi.cid_table.lowest_free(), object())
+            comm = yield from mpi.comm_create_from_group(group, "decouple")
+            out = (comm.excid.key(), comm.local_cid)
+            pair = yield from comm.allgather(out)
+            comm.free()
+            yield from session.finalize()
+            return pair
+
+        results = mpi_run(2, main, sessions=True)
+        (excid0, cid0), (excid1, cid1) = results[0]
+        assert excid0 == excid1
+        assert cid0 != cid1
+
+
+class TestFree:
+    def test_use_after_free_rejected(self, mpi_run, program):
+        def body(mpi, comm):
+            dup = yield from comm.dup()
+            dup.free()
+            try:
+                yield from dup.barrier()
+            except MPIErrComm:
+                return "rejected"
+            return "accepted"
+
+        assert set(mpi_run(2, program(body))) == {"rejected"}
+
+    def test_consensus_cid_reused_after_free(self, mpi_run):
+        def body(mpi, comm):
+            a = yield from comm.dup()
+            first_cid = a.local_cid
+            a.free()
+            b = yield from comm.dup()
+            second_cid = b.local_cid
+            b.free()
+            return first_cid == second_cid
+
+        assert set(mpi_run(2, world_program(body))) == {True}

@@ -1,0 +1,89 @@
+"""Datatypes and payload sizing."""
+
+import numpy as np
+import pytest
+
+from repro.ompi.datatype import (
+    BYTE,
+    DOUBLE,
+    INT,
+    Datatype,
+    sizeof_payload,
+)
+from repro.ompi.errors import MPIErrArg
+
+
+class TestBasicTypes:
+    @pytest.mark.parametrize("dt,size", [(BYTE, 1), (INT, 4), (DOUBLE, 8)])
+    def test_sizes(self, dt, size):
+        assert dt.size == size
+        assert dt.wire_size(10) == 10 * size
+
+    def test_numpy_mapping(self):
+        assert DOUBLE.np_dtype == np.dtype(np.float64)
+
+
+class TestDerivedTypes:
+    def test_contiguous(self):
+        dt = INT.create_contiguous(5).commit()
+        assert dt.size == 20
+        assert dt.extent == 20
+
+    def test_vector_with_gaps(self):
+        # 3 blocks of 2 ints, stride 4 ints: data 24B, extent covers gaps.
+        dt = INT.create_vector(3, 2, 4).commit()
+        assert dt.size == 3 * 2 * 4
+        assert dt.extent == (4 * 2 + 2) * 4
+
+    def test_vector_zero_count(self):
+        dt = INT.create_vector(0, 1, 1).commit()
+        assert dt.size == 0
+        assert dt.extent == 0
+
+    def test_uncommitted_rejected(self):
+        dt = INT.create_contiguous(2)
+        with pytest.raises(MPIErrArg):
+            dt.wire_size(1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MPIErrArg):
+            INT.create_contiguous(-1)
+
+    def test_use_after_free(self):
+        dt = INT.create_contiguous(2).commit()
+        dt.free()
+        with pytest.raises(MPIErrArg):
+            dt.wire_size(1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MPIErrArg):
+            Datatype("bad", -1)
+
+
+class TestSizeofPayload:
+    def test_explicit_type_count_wins(self):
+        assert sizeof_payload("whatever", DOUBLE, 4) == 32
+
+    def test_numpy_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert sizeof_payload(arr) == 800
+
+    def test_bytes(self):
+        assert sizeof_payload(b"12345") == 5
+
+    def test_none_is_empty(self):
+        assert sizeof_payload(None) == 0
+
+    def test_scalars(self):
+        assert sizeof_payload(1) == 8
+        assert sizeof_payload(1.5) == 8
+
+    def test_containers_recursive(self):
+        assert sizeof_payload([1, 2, 3]) == 8 + 24
+        assert sizeof_payload({"k": 1.0}) >= 9
+
+    def test_unknown_object_default(self):
+        class Thing:
+            pass
+
+        assert sizeof_payload(Thing()) == 64

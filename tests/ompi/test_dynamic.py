@@ -1,0 +1,127 @@
+"""Dynamic connection: open_port/publish/accept/connect (§II-C plumbing)."""
+
+import pytest
+
+from repro.ompi import dynamic
+from repro.ompi.constants import SUM, UNDEFINED
+from repro.ompi.group import Group
+from tests.ompi.conftest import sessions_program, world_program
+
+
+@pytest.fixture(params=["world", "sessions"])
+def program(request):
+    return world_program if request.param == "world" else sessions_program
+
+
+def sides(comm, n_server):
+    """Sub-generator: split into server intracomm (ranks < n_server) and
+    client intracomm (the rest)."""
+    is_server = comm.rank < n_server
+    local = yield from comm.split(color=0 if is_server else 1, key=comm.rank)
+    return is_server, local
+
+
+class TestConnectAccept:
+    def test_basic_connect(self, mpi_run, program):
+        def body(mpi, comm):
+            is_server, local = yield from sides(comm, 2)
+            if is_server:
+                if local.rank == 0:
+                    port = dynamic.open_port(mpi)
+                    yield from dynamic.publish_name(mpi, "calc", port)
+                else:
+                    port = None
+                port = yield from local.bcast(port, root=0)
+                inter = yield from dynamic.comm_accept(local, port)
+            else:
+                if local.rank == 0:
+                    port = yield from dynamic.lookup_name(mpi, "calc", timeout=1.0)
+                else:
+                    port = None
+                port = yield from local.bcast(port, root=0)
+                inter = yield from dynamic.comm_connect(local, port)
+            out = (is_server, inter.local_size, inter.remote_size)
+            yield from inter.barrier()
+            inter.free()
+            local.free()
+            return out
+
+        results = mpi_run(5, program(body))
+        assert results[0] == (True, 2, 3)
+        assert results[2] == (False, 3, 2)
+
+    def test_request_response_over_connection(self, mpi_run, program):
+        def body(mpi, comm):
+            is_server, local = yield from sides(comm, 1)
+            if is_server:
+                port = dynamic.open_port(mpi)
+                yield from dynamic.publish_name(mpi, "echo", port)
+                inter = yield from dynamic.comm_accept(local, port)
+                # Serve one request per client.
+                replies = []
+                for c in range(inter.remote_size):
+                    req = yield from inter.recv(c, tag=1)
+                    yield from inter.send(req * 10, c, tag=2)
+                    replies.append(req)
+                result = sorted(replies)
+            else:
+                port = yield from dynamic.lookup_name(mpi, "echo", timeout=1.0)
+                inter = yield from dynamic.comm_connect(local, port)
+                yield from inter.send(local.rank + 1, 0, tag=1)
+                result = yield from inter.recv(0, tag=2)
+            yield from inter.barrier()
+            inter.free()
+            local.free()
+            return result
+
+        results = mpi_run(4, program(body))
+        assert results[0] == [1, 2, 3]
+        assert results[1:] == [10, 20, 30]
+
+    def test_lookup_times_out_without_server(self, mpi_run, program):
+        from repro.pmix.types import PmixError
+
+        def body(mpi, comm):
+            try:
+                yield from dynamic.lookup_name(mpi, "ghost", timeout=1e-3)
+            except PmixError:
+                return "timed-out"
+            return "found"
+
+        assert mpi_run(1, program(body), nodes=1) == ["timed-out"]
+
+    def test_merge_after_connect(self, mpi_run, program):
+        def body(mpi, comm):
+            is_server, local = yield from sides(comm, 2)
+            if is_server:
+                if local.rank == 0:
+                    port = dynamic.open_port(mpi)
+                    yield from dynamic.publish_name(mpi, "m", port)
+                else:
+                    port = None
+                port = yield from local.bcast(port, root=0)
+                inter = yield from dynamic.comm_accept(local, port)
+            else:
+                if local.rank == 0:
+                    port = yield from dynamic.lookup_name(mpi, "m", timeout=1.0)
+                else:
+                    port = None
+                port = yield from local.bcast(port, root=0)
+                inter = yield from dynamic.comm_connect(local, port)
+            merged = yield from inter.merge(high=not is_server)
+            total = yield from merged.allreduce(1, op=SUM)
+            merged.free()
+            inter.free()
+            local.free()
+            return total
+
+        assert set(mpi_run(4, program(body))) == {4}
+
+    def test_port_names_unique(self, mpi_run, program):
+        def body(mpi, comm):
+            a = dynamic.open_port(mpi)
+            b = dynamic.open_port(mpi)
+            return a != b
+            yield  # pragma: no cover
+
+        assert set(mpi_run(2, program(body))) == {True}

@@ -1,0 +1,88 @@
+"""exCID generator unit tests (paper §III-B3 rules)."""
+
+import pytest
+
+from repro.ompi.errors import MPIErrIntern
+from repro.ompi.excid import SUBFIELD_MAX, SUBFIELDS, ExCid, ExcidState
+
+
+class TestExCid:
+    def test_fresh_excid_shape(self):
+        st = ExcidState.from_pgcid(42)
+        assert st.excid.pgcid == 42
+        assert st.excid.sub == (0,) * SUBFIELDS
+        assert st.active == 7
+        assert st.counter == 1
+
+    def test_pgcid_zero_reserved(self):
+        with pytest.raises(MPIErrIntern):
+            ExcidState.from_pgcid(0)
+
+    def test_pgcid_out_of_range(self):
+        with pytest.raises(MPIErrIntern):
+            ExCid(pgcid=2**64)
+
+    def test_bad_subfields(self):
+        with pytest.raises(MPIErrIntern):
+            ExCid(pgcid=1, sub=(256,) * 8)
+        with pytest.raises(MPIErrIntern):
+            ExCid(pgcid=1, sub=(0,) * 7)
+
+    def test_key_hashable_and_stable(self):
+        a = ExcidState.from_pgcid(5).excid
+        b = ExcidState.from_pgcid(5).excid
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+
+class TestDerivation:
+    def test_child_stamps_parent_active_subfield(self):
+        parent = ExcidState.from_pgcid(7)
+        child = parent.derive()
+        assert child.excid.sub[7] == 1
+        assert child.active == 6
+
+    def test_sequential_children_distinct(self):
+        parent = ExcidState.from_pgcid(7)
+        kids = [parent.derive() for _ in range(10)]
+        assert len({k.excid.key() for k in kids}) == 10
+        assert [k.excid.sub[7] for k in kids] == list(range(1, 11))
+
+    def test_grandchildren_keep_parent_prefix(self):
+        parent = ExcidState.from_pgcid(7)
+        child = parent.derive()
+        grand = child.derive()
+        assert grand.excid.sub[7] == child.excid.sub[7]
+        assert grand.excid.sub[6] == 1
+        assert grand.active == 5
+
+    def test_255_limit(self):
+        parent = ExcidState.from_pgcid(7)
+        for _ in range(SUBFIELD_MAX):
+            parent.derive()
+        assert not parent.can_derive()
+        with pytest.raises(MPIErrIntern):
+            parent.derive()
+
+    def test_depth_limit(self):
+        state = ExcidState.from_pgcid(9)
+        for _ in range(7):  # active walks 7 -> 0
+            state = state.derive()
+        assert state.active == 0
+        assert not state.can_derive()
+        with pytest.raises(MPIErrIntern):
+            state.derive()
+
+    def test_parent_differs_from_all_children(self):
+        parent = ExcidState.from_pgcid(3)
+        keys = {parent.excid.key()}
+        for _ in range(50):
+            keys.add(parent.derive().excid.key())
+        assert len(keys) == 51
+
+    def test_deterministic_across_replicas(self):
+        """Two processes running the same dup sequence agree with zero
+        communication — the property that replaces the consensus rounds."""
+        a, b = ExcidState.from_pgcid(11), ExcidState.from_pgcid(11)
+        for _ in range(5):
+            assert a.derive().excid == b.derive().excid

@@ -1,0 +1,96 @@
+"""MPI_Info semantics — usable before initialization (paper §III-B5)."""
+
+import pytest
+
+from repro.ompi.errors import MPIErrArg
+from repro.ompi.info import MAX_INFO_KEY, MAX_INFO_VAL, Info
+
+
+class TestBasics:
+    def test_set_get(self):
+        info = Info()
+        info.set("mpi_assert_no_any_tag", "true")
+        assert info.get("mpi_assert_no_any_tag") == "true"
+
+    def test_get_missing_returns_none(self):
+        assert Info().get("nope") is None
+
+    def test_overwrite(self):
+        info = Info()
+        info.set("k", "a")
+        info.set("k", "b")
+        assert info.get("k") == "b"
+        assert info.get_nkeys() == 1
+
+    def test_delete(self):
+        info = Info({"k": "v"})
+        info.delete("k")
+        assert info.get("k") is None
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(MPIErrArg):
+            Info().delete("nope")
+
+    def test_nkeys_and_nthkey_in_insertion_order(self):
+        info = Info()
+        for k in ("one", "two", "three"):
+            info.set(k, "x")
+        assert info.get_nkeys() == 3
+        assert [info.get_nthkey(i) for i in range(3)] == ["one", "two", "three"]
+
+    def test_nthkey_out_of_range(self):
+        with pytest.raises(MPIErrArg):
+            Info({"a": "1"}).get_nthkey(1)
+
+    def test_contains_len_keys(self):
+        info = Info({"a": "1", "b": "2"})
+        assert "a" in info and "c" not in info
+        assert len(info) == 2
+        assert info.keys() == ["a", "b"]
+
+
+class TestDup:
+    def test_dup_copies(self):
+        info = Info({"a": "1"})
+        dup = info.dup()
+        dup.set("b", "2")
+        assert "b" not in info
+
+    def test_dup_after_free_rejected(self):
+        info = Info()
+        info.free()
+        with pytest.raises(MPIErrArg):
+            info.dup()
+
+
+class TestLimitsAndFree:
+    def test_key_length_limit(self):
+        with pytest.raises(MPIErrArg):
+            Info().set("k" * (MAX_INFO_KEY + 1), "v")
+
+    def test_value_length_limit(self):
+        with pytest.raises(MPIErrArg):
+            Info().set("k", "v" * (MAX_INFO_VAL + 1))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(MPIErrArg):
+            Info().set("", "v")
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(MPIErrArg):
+            Info().set("k", 42)
+
+    def test_use_after_free(self):
+        info = Info({"k": "v"})
+        info.free()
+        for op in (lambda: info.get("k"), lambda: info.set("k", "v"),
+                   lambda: info.get_nkeys(), lambda: info.free()):
+            with pytest.raises(MPIErrArg):
+                op()
+
+
+def test_info_works_without_any_mpi_state():
+    """The whole point: Info needs no initialized library."""
+    info = Info()
+    info.set("thread_level", "MPI_THREAD_MULTIPLE")
+    assert info.dup().get("thread_level") == "MPI_THREAD_MULTIPLE"

@@ -1,0 +1,144 @@
+"""Intercommunicators: creation, remote addressing, merge."""
+
+import pytest
+
+from repro.ompi.constants import SUM, UNDEFINED
+from repro.ompi.errors import MPIErrRank
+from repro.ompi.intercomm import Intercomm
+from repro.ompi.status import Status
+from tests.ompi.conftest import sessions_program, world_program
+
+
+@pytest.fixture(params=["world", "sessions"])
+def program(request):
+    return world_program if request.param == "world" else sessions_program
+
+
+def split_sides(comm):
+    """Sub-generator: split 2n ranks into two intracomms + the intercomm.
+
+    Evens form side A, odds side B; leaders are local rank 0; the
+    parent comm bridges the leaders.
+    """
+    side = comm.rank % 2
+    local = yield from comm.split(color=side, key=comm.rank)
+    inter = yield from Intercomm.create(
+        local, 0, comm if local.rank == 0 else None,
+        remote_leader=(1 - side), tag=3,
+    )
+    return side, local, inter
+
+
+class TestCreate:
+    def test_sizes_and_disjoint_groups(self, mpi_run, program):
+        def body(mpi, comm):
+            side, local, inter = yield from split_sides(comm)
+            out = (side, inter.rank, inter.local_size, inter.remote_size)
+            yield from inter.barrier()
+            inter.free()
+            local.free()
+            return out
+
+        results = mpi_run(6, program(body))
+        for world_rank, (side, rank, lsize, rsize) in enumerate(results):
+            assert side == world_rank % 2
+            assert rank == world_rank // 2
+            assert lsize == 3 and rsize == 3
+
+    def test_send_addresses_remote_group(self, mpi_run, program):
+        def body(mpi, comm):
+            side, local, inter = yield from split_sides(comm)
+            # Pairwise: A_i <-> B_i by *remote* rank i.
+            if side == 0:
+                yield from inter.send(f"A{inter.rank}", inter.rank, tag=1)
+                reply = yield from inter.recv(inter.rank, tag=2)
+            else:
+                got = yield from inter.recv(inter.rank, tag=1)
+                yield from inter.send(f"B-saw-{got}", inter.rank, tag=2)
+                reply = got
+            yield from inter.barrier()
+            inter.free()
+            local.free()
+            return reply
+
+        results = mpi_run(4, program(body))
+        assert results[0] == "B-saw-A0"
+        assert results[2] == "B-saw-A1"
+        assert results[1] == "A0" and results[3] == "A1"
+
+    def test_status_reports_remote_rank(self, mpi_run, program):
+        def body(mpi, comm):
+            from repro.ompi.constants import ANY_SOURCE
+
+            side, local, inter = yield from split_sides(comm)
+            if side == 0 and inter.rank == 1:
+                yield from inter.send("x", 0, tag=5)
+            if side == 1 and inter.rank == 0:
+                status = Status()
+                yield from inter.recv(ANY_SOURCE, tag=5, status=status)
+                result = status.source
+            else:
+                result = None
+            yield from inter.barrier()
+            inter.free()
+            local.free()
+            return result
+
+        results = mpi_run(4, program(body))
+        assert results[1] == 1  # remote (side-A) rank 1, not a bridge rank
+
+    def test_remote_rank_bounds(self, mpi_run, program):
+        def body(mpi, comm):
+            side, local, inter = yield from split_sides(comm)
+            try:
+                yield from inter.send("x", inter.remote_size, tag=1)
+            except MPIErrRank:
+                result = "rejected"
+            else:
+                result = "accepted"
+            yield from inter.barrier()
+            inter.free()
+            local.free()
+            return result
+
+        assert set(mpi_run(4, program(body))) == {"rejected"}
+
+
+class TestMerge:
+    @pytest.mark.parametrize("high_side", [0, 1])
+    def test_merge_orders_by_high(self, mpi_run, program, high_side):
+        def body(mpi, comm):
+            side, local, inter = yield from split_sides(comm)
+            merged = yield from inter.merge(high=(side == high_side))
+            total = yield from merged.allreduce(1, op=SUM)
+            my_rank = merged.rank
+            merged.free()
+            inter.free()
+            local.free()
+            return (side, my_rank, total)
+
+        results = mpi_run(4, program(body))
+        for side, my_rank, total in results:
+            assert total == 4
+            if side == high_side:
+                assert my_rank >= 2  # the "high" side comes second
+            else:
+                assert my_rank < 2
+
+    def test_merge_tie_consistent(self, mpi_run, program):
+        """Both sides pass high=False: order is still globally agreed."""
+
+        def body(mpi, comm):
+            side, local, inter = yield from split_sides(comm)
+            merged = yield from inter.merge(high=False)
+            ranks = yield from merged.allgather((side, merged.rank))
+            merged.free()
+            inter.free()
+            local.free()
+            return ranks
+
+        results = mpi_run(4, program(body))
+        # All ranks observed the identical placement.
+        assert all(r == results[0] for r in results)
+        placements = dict((mr, s) for s, mr in results[0])
+        assert len(placements) == 4

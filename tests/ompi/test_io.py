@@ -1,0 +1,210 @@
+"""MPI-IO over the simulated shared filesystem."""
+
+import pytest
+
+from repro.ompi.errors import MPIErrArg
+from repro.ompi.io import (
+    MODE_CREATE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+    File,
+    SimFilesystem,
+)
+from tests.ompi.conftest import sessions_program, world_program
+
+
+@pytest.fixture(params=["world", "sessions"])
+def program(request):
+    return world_program if request.param == "world" else sessions_program
+
+
+class TestOpenClose:
+    def test_open_creates(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/scratch/a.dat")
+            size = yield from fh.get_size()
+            yield from fh.close()
+            return size
+
+        assert set(mpi_run(2, program(body))) == {0}
+
+    def test_open_without_create_fails(self, mpi_run, program):
+        def body(mpi, comm):
+            try:
+                yield from File.open(comm, "/missing.dat", MODE_RDWR)
+            except MPIErrArg:
+                return "rejected"
+            return "accepted"
+
+        assert set(mpi_run(2, program(body))) == {"rejected"}
+
+    def test_excl_on_existing_fails(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/x.dat")
+            yield from fh.close()
+            try:
+                yield from File.open(comm, "/x.dat", MODE_RDWR | MODE_CREATE | MODE_EXCL)
+            except MPIErrArg:
+                return "rejected"
+            return "accepted"
+
+        assert set(mpi_run(2, program(body))) == {"rejected"}
+
+    def test_double_close_rejected(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/y.dat")
+            yield from fh.close()
+            try:
+                yield from fh.close()
+            except MPIErrArg:
+                return "rejected"
+            return "accepted"
+
+        assert set(mpi_run(2, program(body))) == {"rejected"}
+
+
+class TestExplicitOffsets:
+    def test_write_read_roundtrip(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/data.bin")
+            # Rank-disjoint stripes, as in the mpi4py tutorial pattern.
+            stripe = bytes([comm.rank] * 8)
+            yield from fh.write_at(comm.rank * 8, stripe)
+            yield from comm.barrier()
+            other = (comm.rank + 1) % comm.size
+            got = yield from fh.read_at(other * 8, 8)
+            yield from fh.close()
+            return got
+
+        results = mpi_run(3, program(body))
+        assert results == [bytes([1] * 8), bytes([2] * 8), bytes([0] * 8)]
+
+    def test_write_extends_with_zero_fill(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/sparse.bin")
+            if comm.rank == 0:
+                yield from fh.write_at(10, b"zz")
+            yield from comm.barrier()
+            data = yield from fh.read_at(0, 12)
+            size = yield from fh.get_size()
+            yield from fh.close()
+            return (data, size)
+
+        results = mpi_run(2, program(body))
+        assert results[0] == (b"\x00" * 10 + b"zz", 12)
+
+    def test_read_past_eof_truncated(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/short.bin")
+            if comm.rank == 0:
+                yield from fh.write_at(0, b"ab")
+            yield from comm.barrier()
+            got = yield from fh.read_at(0, 100)
+            yield from fh.close()
+            return got
+
+        assert set(mpi_run(2, program(body))) == {b"ab"}
+
+    def test_readonly_mode_blocks_writes(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/ro.bin")
+            yield from fh.close()
+            ro = yield from File.open(comm, "/ro.bin", MODE_RDONLY)
+            try:
+                yield from ro.write_at(0, b"x")
+            except MPIErrArg:
+                result = "rejected"
+            else:
+                result = "accepted"
+            yield from ro.close()
+            return result
+
+        assert set(mpi_run(2, program(body))) == {"rejected"}
+
+
+class TestFilePointer:
+    def test_sequential_write_read(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, f"/perrank-{comm.rank}.bin")
+            yield from fh.write(b"hello ")
+            yield from fh.write(b"world")
+            fh.seek(0)
+            got = yield from fh.read(11)
+            yield from fh.close()
+            return got
+
+        assert set(mpi_run(2, program(body))) == {b"hello world"}
+
+    def test_seek_negative_rejected(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/s.bin")
+            try:
+                fh.seek(-1)
+            except MPIErrArg:
+                result = "rejected"
+            else:
+                result = "accepted"
+            yield from fh.close()
+            return result
+
+        assert set(mpi_run(1, program(body), nodes=1)) == {"rejected"}
+
+
+class TestCollectiveIO:
+    def test_write_at_all_stripes(self, mpi_run, program):
+        def body(mpi, comm):
+            fh = yield from File.open(comm, "/coll.bin")
+            stripe = bytes([65 + comm.rank] * 4)
+            yield from fh.write_at_all(comm.rank * 4, stripe)
+            got = yield from fh.read_at_all(0, 4 * comm.size)
+            yield from fh.close()
+            return got
+
+        results = mpi_run(4, program(body))
+        assert set(results) == {b"AAAABBBBCCCCDDDD"}
+
+    def test_collective_cheaper_per_byte_than_independent(self, mpi_run, program):
+        def body(mpi, comm):
+            data = bytes(1 << 16)
+            fh = yield from File.open(comm, "/cost.bin")
+            yield from comm.barrier()
+            t0 = mpi.engine.now
+            yield from fh.write_at(comm.rank << 16, data)
+            yield from comm.barrier()
+            independent = mpi.engine.now - t0
+            t0 = mpi.engine.now
+            yield from fh.write_at_all(comm.rank << 16, data)
+            collective = mpi.engine.now - t0
+            yield from fh.close()
+            return (independent, collective)
+
+        results = mpi_run(4, program(body))
+        indep, coll = results[0]
+        assert coll < indep
+
+
+class TestFromGroup:
+    def test_file_from_group(self, mpi_run):
+        """Paper §III-B6: file creation via an intermediate communicator."""
+
+        def main(mpi):
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            fh = yield from File.open_from_group(mpi, group, "ftest", "/fg.bin")
+            yield from fh.write_at_all(mpi.rank_in_job * 2, bytes([mpi.rank_in_job] * 2))
+            total = yield from fh.get_size()
+            yield from fh.close()
+            yield from session.finalize()
+            return total
+
+        assert set(mpi_run(3, main, sessions=True)) == {6}
+
+
+def test_delete(one_node_cluster):
+    fs = SimFilesystem.of(one_node_cluster)
+    fs.files["/dead.bin"] = bytearray(b"x")
+    File.delete(one_node_cluster, "/dead.bin")
+    assert "/dead.bin" not in fs.files
+    File.delete(one_node_cluster, "/dead.bin")  # idempotent

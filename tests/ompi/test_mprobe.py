@@ -1,0 +1,112 @@
+"""Matched probe: MPI_Mprobe / MPI_Improbe / MPI_Mrecv."""
+
+import numpy as np
+import pytest
+
+from repro.ompi.constants import ANY_SOURCE, ANY_TAG
+from repro.ompi.errors import MPIErrArg
+from repro.ompi.status import Status
+from tests.ompi.conftest import sessions_program, world_program
+
+
+@pytest.fixture(params=["world", "sessions"])
+def program(request):
+    return world_program if request.param == "world" else sessions_program
+
+
+class TestMprobe:
+    def test_mprobe_then_mrecv(self, mpi_run, program):
+        def body(mpi, comm):
+            if comm.rank == 0:
+                yield from comm.send({"k": 1}, 1, tag=5)
+                return None
+            matched = yield from comm.mprobe(source=0, tag=5)
+            assert matched.source == 0 and matched.tag == 5
+            status = Status()
+            payload = yield from matched.mrecv(status=status)
+            return (payload, status.source)
+
+        results = mpi_run(2, program(body))
+        assert results[1] == ({"k": 1}, 0)
+
+    def test_improbe_returns_none_when_empty(self, mpi_run, program):
+        def body(mpi, comm):
+            return comm.improbe(source=ANY_SOURCE, tag=ANY_TAG)
+            yield  # pragma: no cover
+
+        assert mpi_run(1, program(body), nodes=1) == [None]
+
+    def test_claimed_message_invisible_to_other_receives(self, mpi_run, program):
+        """The MPI-3 point of mprobe: a claimed message cannot be stolen."""
+
+        def body(mpi, comm):
+            if comm.rank == 0:
+                yield from comm.send("first", 1, tag=7)
+                yield from comm.send("second", 1, tag=7)
+                return None
+            matched = yield from comm.mprobe(source=0, tag=7)
+            # A plain recv posted AFTER the claim gets the *second* message.
+            other = yield from comm.recv(0, tag=7)
+            claimed = yield from matched.mrecv()
+            return (claimed, other)
+
+        results = mpi_run(2, program(body))
+        assert results[1] == ("first", "second")
+
+    def test_mrecv_twice_rejected(self, mpi_run, program):
+        def body(mpi, comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 1, tag=3)
+                return None
+            matched = yield from comm.mprobe(source=0, tag=3)
+            yield from matched.mrecv()
+            try:
+                yield from matched.mrecv()
+            except MPIErrArg:
+                return "rejected"
+            return "accepted"
+
+        results = mpi_run(2, program(body))
+        assert results[1] == "rejected"
+
+    def test_mprobe_rendezvous_message(self, mpi_run, program):
+        """A claimed RTS still completes the rendezvous on mrecv."""
+
+        def body(mpi, comm):
+            if comm.rank == 0:
+                data = np.arange(1 << 16, dtype=np.float64)  # 512 KB > eager
+                yield from comm.send(data, 1, tag=9)
+                return None
+            matched = yield from comm.mprobe(source=0, tag=9)
+            got = yield from matched.mrecv()
+            return float(got.sum())
+
+        results = mpi_run(2, program(body))
+        assert results[1] == float(sum(range(1 << 16)))
+
+    def test_mprobe_wildcards(self, mpi_run, program):
+        def body(mpi, comm):
+            if comm.rank != 0:
+                yield from comm.send(comm.rank, 0, tag=comm.rank)
+                return None
+            got = []
+            for _ in range(comm.size - 1):
+                matched = yield from comm.mprobe(source=ANY_SOURCE, tag=ANY_TAG)
+                got.append((yield from matched.mrecv()))
+            return sorted(got)
+
+        results = mpi_run(4, program(body))
+        assert results[0] == [1, 2, 3]
+
+
+def test_mprobe_timeout(mpi_run, program):
+    from repro.simtime.process import SimTimeout
+
+    def body(mpi, comm):
+        try:
+            yield from comm.mprobe(source=0, tag=99, timeout=1e-3)
+        except SimTimeout:
+            return "timed-out"
+        return "matched"
+
+    assert mpi_run(1, program(body), nodes=1) == ["timed-out"]

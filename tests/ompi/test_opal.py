@@ -1,0 +1,189 @@
+"""OPAL: refcounted objects, cleanup framework, MCA registry."""
+
+import pytest
+
+from repro.ompi.opal.cleanup import CleanupError, CleanupFramework, SubsystemRegistry
+from repro.ompi.opal.mca import MCAComponent, MCAError, MCAFramework, MCARegistry
+from repro.ompi.opal.object import OpalObject, OpalObjectError
+
+
+class TestOpalObject:
+    def test_starts_with_one_ref(self):
+        assert OpalObject().refcount == 1
+
+    def test_destructor_runs_once_at_zero(self):
+        class Obj(OpalObject):
+            destructs = 0
+
+            def _destruct(self):
+                Obj.destructs += 1
+
+        obj = Obj()
+        obj.retain()
+        assert obj.release() is False
+        assert Obj.destructs == 0
+        assert obj.release() is True
+        assert Obj.destructs == 1
+
+    def test_release_after_destruct_rejected(self):
+        obj = OpalObject()
+        obj.release()
+        with pytest.raises(OpalObjectError):
+            obj.release()
+
+    def test_retain_after_destruct_rejected(self):
+        obj = OpalObject()
+        obj.release()
+        with pytest.raises(OpalObjectError):
+            obj.retain()
+
+
+class TestCleanupFramework:
+    def test_lifo_order(self):
+        fw = CleanupFramework()
+        order = []
+        for name in ("a", "b", "c"):
+            fw.register(name, lambda n=name: order.append(n))
+        assert fw.run_all() == ["c", "b", "a"]
+        assert order == ["c", "b", "a"]
+
+    def test_run_all_clears(self):
+        fw = CleanupFramework()
+        fw.register("x", lambda: None)
+        fw.run_all()
+        assert fw.pending == 0
+        assert fw.run_all() == []
+
+    def test_epochs_counted(self):
+        fw = CleanupFramework()
+        fw.run_all()
+        fw.run_all()
+        assert fw.epochs_completed == 2
+
+
+def drive(gen):
+    """Drive a subsystem-acquire sub-generator that never blocks."""
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+class TestSubsystemRegistry:
+    def make(self):
+        fw = CleanupFramework()
+        return fw, SubsystemRegistry(fw)
+
+    def test_init_once_refcount_many(self):
+        fw, reg = self.make()
+        inits = []
+        for _ in range(3):
+            drive(reg.acquire("pml", lambda: inits.append(1), None))
+        assert sum(inits) == 1
+        assert reg.refcount("pml") == 3
+
+    def test_release_without_acquire_rejected(self):
+        _fw, reg = self.make()
+        with pytest.raises(CleanupError):
+            reg.release("nope")
+
+    def test_cleanup_resets_initialized_state(self):
+        fw, reg = self.make()
+        inits = []
+        drive(reg.acquire("pml", lambda: inits.append(1), None))
+        reg.release("pml")
+        # Not yet cleaned: a re-acquire must NOT re-init.
+        drive(reg.acquire("pml", lambda: inits.append(1), None))
+        assert sum(inits) == 1
+        reg.release("pml")
+        fw.run_all()
+        # Epoch over: next acquire re-initializes.
+        drive(reg.acquire("pml", lambda: inits.append(1), None))
+        assert sum(inits) == 2
+        assert reg.init_epochs["pml"] == 2
+
+    def test_cleanup_fn_runs_on_teardown(self):
+        fw, reg = self.make()
+        torn = []
+        drive(reg.acquire("x", None, lambda: torn.append("x")))
+        reg.release("x")
+        fw.run_all()
+        assert torn == ["x"]
+
+    def test_all_released(self):
+        fw, reg = self.make()
+        drive(reg.acquire("a", None, None))
+        assert not reg.all_released()
+        reg.release("a")
+        assert reg.all_released()
+
+    def test_live_subsystems(self):
+        fw, reg = self.make()
+        drive(reg.acquire("b", None, None))
+        drive(reg.acquire("a", None, None))
+        assert reg.live_subsystems == ["a", "b"]
+
+
+class TestMca:
+    def test_selection_by_priority(self):
+        fw = MCAFramework("pml")
+        fw.register(MCAComponent("cm", priority=10))
+        fw.register(MCAComponent("ob1", priority=20))
+        fw.open()
+        assert fw.select().name == "ob1"
+
+    def test_explicit_selection(self):
+        fw = MCAFramework("pml")
+        fw.register(MCAComponent("cm", priority=10))
+        fw.register(MCAComponent("ob1", priority=20))
+        fw.open()
+        assert fw.select(prefer="cm").name == "cm"
+
+    def test_select_unknown_component(self):
+        fw = MCAFramework("pml")
+        fw.register(MCAComponent("ob1"))
+        fw.open()
+        with pytest.raises(MCAError):
+            fw.select(prefer="ucx")
+
+    def test_select_requires_open(self):
+        fw = MCAFramework("pml")
+        fw.register(MCAComponent("ob1"))
+        with pytest.raises(MCAError):
+            fw.select()
+
+    def test_open_close_cycle(self):
+        fw = MCAFramework("btl")
+        fw.register(MCAComponent("sm"))
+        fw.open()
+        fw.select()
+        fw.close()
+        assert fw.selected is None
+        assert not fw.is_open
+        with pytest.raises(MCAError):
+            fw.close()
+        fw.open()
+        assert fw.open_count == 2
+
+    def test_duplicate_component_rejected(self):
+        fw = MCAFramework("pml")
+        fw.register(MCAComponent("ob1"))
+        with pytest.raises(MCAError):
+            fw.register(MCAComponent("ob1"))
+
+    def test_registry_params(self):
+        reg = MCARegistry()
+        reg.set_param("pml_ob1_eager_limit", 8192)
+        assert reg.get_param("pml_ob1_eager_limit") == 8192
+        assert reg.get_param("missing", 1) == 1
+
+    def test_registry_framework_identity(self):
+        reg = MCARegistry()
+        assert reg.framework("pml") is reg.framework("pml")
+
+    def test_open_frameworks_listing(self):
+        reg = MCARegistry()
+        reg.framework("pml").open()
+        reg.framework("btl")
+        assert reg.open_frameworks() == ["pml"]

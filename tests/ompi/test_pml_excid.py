@@ -1,0 +1,136 @@
+"""White-box tests of the ob1 exCID handshake (paper §III-B4)."""
+
+import pytest
+
+from repro.ompi.constants import SUM
+from tests.ompi.conftest import sessions_program, world_program
+
+
+class TestHandshake:
+    def test_first_message_extended_then_switch(self, mpi_run):
+        def body(mpi, comm):
+            for _ in range(5):
+                if comm.rank == 0:
+                    yield from comm.send(None, 1, tag=1, nbytes=8)
+                    yield from comm.recv(1, tag=2)
+                else:
+                    yield from comm.recv(0, tag=1)
+                    yield from comm.send(None, 0, tag=2, nbytes=8)
+            return dict(mpi.endpoint.stats)
+
+        stats = mpi_run(2, sessions_program(body))
+        # Rank 0 sent exactly one extended message, then switched.
+        assert stats[0]["ext_sent"] == 1
+        assert stats[0]["sent"] == 5
+        # Rank 1 learned rank 0's CID from the extended header, so its
+        # replies never needed the extension; it ACKed exactly once.
+        assert stats[1]["ext_sent"] == 0
+        assert stats[1]["acks"] == 1
+
+    def test_wpm_never_uses_extended_headers(self, mpi_run):
+        def body(mpi, comm):
+            if comm.rank == 0:
+                yield from comm.send(None, 1, tag=1, nbytes=8)
+            else:
+                yield from comm.recv(0, tag=1)
+            return dict(mpi.endpoint.stats)
+
+        stats = mpi_run(2, world_program(body))
+        assert stats[0]["ext_sent"] == 0
+        assert stats[1]["ext_recv"] == 0
+
+    def test_peer_cids_learned_per_communicator(self, mpi_run):
+        def body(mpi, comm):
+            dup = yield from comm.dup()
+            if comm.rank == 0:
+                yield from comm.send(None, 1, tag=1, nbytes=8)
+                yield from dup.send(None, 1, tag=1, nbytes=8)
+            else:
+                yield from comm.recv(0, tag=1)
+                yield from dup.recv(0, tag=1)
+            yield from comm.barrier()
+            out = (len(comm.peer_cids) > 0, len(dup.peer_cids) > 0,
+                   comm.excid.key() != dup.excid.key())
+            dup.free()
+            return out
+
+        results = mpi_run(2, sessions_program(body))
+        assert results[1] == (True, True, True)
+
+    def test_always_extended_config(self, mpi_run):
+        from repro.ompi.config import MpiConfig
+
+        config = MpiConfig.sessions_prototype()
+        config.excid_always_extended = True
+
+        def body(mpi, comm):
+            for _ in range(4):
+                if comm.rank == 0:
+                    yield from comm.send(None, 1, tag=1, nbytes=8)
+                else:
+                    yield from comm.recv(0, tag=1)
+            yield from comm.barrier()
+            return dict(mpi.endpoint.stats)
+
+        stats = mpi_run(2, sessions_program(body), config=config)
+        assert stats[0]["ext_sent"] >= 4
+
+    def test_early_packet_stash(self, mpi_run):
+        """A message can arrive before the receiver registered the
+        communicator; it is stashed and replayed on registration."""
+
+        def main(mpi):
+            from repro.simtime.process import Sleep
+
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            comm = yield from mpi.comm_create_from_group(group, "early")
+            if mpi.rank_in_job == 0:
+                # Fire immediately after construct returns here.
+                yield from comm.send("early-bird", 1, tag=1, nbytes=16)
+            else:
+                yield Sleep(50e-6)  # simulate a slow rank
+                got = yield from comm.recv(0, tag=1)
+                comm.free()
+                yield from session.finalize()
+                return got
+            comm.free()
+            yield from session.finalize()
+            return None
+
+        results = mpi_run(2, main, sessions=True)
+        assert results[1] == "early-bird"
+
+
+class TestSessionsVsWorldEquivalence:
+    def test_steady_state_latency_close(self, mpi_run):
+        """Post-handshake, sessions latency ~= baseline latency (Fig 5a)."""
+
+        def body(mpi, comm):
+            # Warm up (completes handshake where applicable).
+            for _ in range(3):
+                if comm.rank == 0:
+                    yield from comm.send(None, 1, tag=1, nbytes=8)
+                    yield from comm.recv(1, tag=1)
+                else:
+                    yield from comm.recv(0, tag=1)
+                    yield from comm.send(None, 0, tag=1, nbytes=8)
+            t0 = mpi.engine.now
+            for _ in range(20):
+                if comm.rank == 0:
+                    yield from comm.send(None, 1, tag=1, nbytes=8)
+                    yield from comm.recv(1, tag=1)
+                else:
+                    yield from comm.recv(0, tag=1)
+                    yield from comm.send(None, 0, tag=1, nbytes=8)
+            return mpi.engine.now - t0
+
+        base = mpi_run(2, world_program(body))[0]
+        sess = mpi_run(2, sessions_program(body))[0]
+        assert sess == pytest.approx(base, rel=0.05)
+
+    def test_collectives_identical_results(self, mpi_run):
+        def body(mpi, comm):
+            return (yield from comm.allreduce(comm.rank + 1, op=SUM))
+
+        assert mpi_run(4, world_program(body)) == mpi_run(4, sessions_program(body))

@@ -1,0 +1,179 @@
+"""Asynchronous PMIx group construction (invite/join model, §III-A)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+from repro.pmix.async_groups import PMIX_GROUP_LEFT
+from repro.simtime.process import Sleep
+from tests.conftest import run_procs
+
+
+def make_job(nodes=2, ranks=4, ppn=2):
+    cluster = Cluster(machine=laptop(num_nodes=nodes))
+    job = cluster.launch(ranks, ppn=ppn)
+    return cluster, job
+
+
+def init_all(job, accept=lambda rank: True):
+    """Per-rank init generator registering an invite handler."""
+
+    def prog(rank, body):
+        def main():
+            client = job.client(rank)
+            yield from client.init()
+            client.set_invite_handler(lambda gid, inviter, info: accept(rank))
+            result = yield from body(client)
+            return result
+
+        return main()
+
+    return prog
+
+
+class TestInviteJoin:
+    def test_all_accept(self):
+        cluster, job = make_job()
+        ready = []
+
+        def inviter(client):
+            result = yield from client.group_invite(
+                "g1", [job.proc(r) for r in range(4)]
+            )
+            return result
+
+        def invitee(client):
+            client.set_group_ready_handler(
+                lambda gid, pgcid, members: ready.append((client.proc.rank, pgcid))
+            )
+            yield Sleep(5e-3)  # stay alive long enough to get the callback
+
+        prog = init_all(job)
+        results = run_procs(
+            cluster,
+            prog(0, inviter),
+            prog(1, invitee),
+            prog(2, invitee),
+            prog(3, invitee),
+        )
+        result = results[0]
+        assert result.pgcid >= 1
+        assert [p.rank for p in result.members] == [0, 1, 2, 3]
+        assert result.declined == () and result.timed_out == ()
+        # Every joined member heard about it with the same PGCID.
+        assert sorted(ready) == [(1, result.pgcid), (2, result.pgcid), (3, result.pgcid)]
+
+    def test_decliner_excluded(self):
+        cluster, job = make_job()
+
+        def inviter(client):
+            return (yield from client.group_invite("g2", [job.proc(r) for r in range(4)]))
+
+        def invitee(client):
+            yield Sleep(5e-3)
+
+        prog = init_all(job, accept=lambda rank: rank != 2)
+        results = run_procs(
+            cluster, prog(0, inviter), prog(1, invitee), prog(2, invitee), prog(3, invitee)
+        )
+        result = results[0]
+        assert [p.rank for p in result.members] == [0, 1, 3]
+        assert [p.rank for p in result.declined] == [2]
+
+    def test_unregistered_target_counts_as_decline(self):
+        cluster, job = make_job()
+
+        def inviter(client):
+            return (
+                yield from client.group_invite(
+                    "g3", [job.proc(1), job.proc(3)], timeout=1e-3
+                )
+            )
+
+        def responsive(client):
+            yield Sleep(5e-3)
+
+        # rank 3 never initializes PMIx at all.
+        def dead(rank):
+            def main():
+                yield Sleep(5e-3)
+
+            return main()
+
+        prog = init_all(job)
+        results = run_procs(
+            cluster, prog(0, inviter), prog(1, responsive), dead(2), dead(3)
+        )
+        result = results[0]
+        assert [p.rank for p in result.members] == [0, 1]
+        # Rank 3 had no client registered: the server answers "decline"
+        # on its behalf immediately, so it lands in declined.
+        assert [p.rank for p in result.declined] == [3]
+
+    def test_deferring_target_times_out(self):
+        """A handler returning None never answers; the initiator's
+        timeout drops it into timed_out."""
+        cluster, job = make_job()
+
+        def inviter(client):
+            t0 = cluster.now
+            result = yield from client.group_invite(
+                "g4", [job.proc(1), job.proc(2)], timeout=2e-3
+            )
+            return (result, cluster.now - t0)
+
+        def joiner(client):
+            yield Sleep(10e-3)
+
+        def deferrer(client):
+            client.set_invite_handler(lambda gid, inviter, info: None)
+            yield Sleep(10e-3)
+
+        prog = init_all(job)
+        results = run_procs(cluster, prog(0, inviter), prog(1, joiner), prog(2, deferrer))
+        result, elapsed = results[0]
+        assert [p.rank for p in result.members] == [0, 1]
+        assert [p.rank for p in result.timed_out] == [2]
+        assert elapsed >= 2e-3  # the full timeout was waited out
+
+    def test_invite_of_nobody(self):
+        cluster, job = make_job()
+
+        def inviter(client):
+            return (yield from client.group_invite("solo", [job.proc(0)]))
+
+        prog = init_all(job)
+        result = run_procs(cluster, prog(0, inviter))[0]
+        assert [p.rank for p in result.members] == [0]
+
+
+class TestLeave:
+    def test_leave_notifies_survivors_and_updates_record(self):
+        cluster, job = make_job()
+        events = []
+
+        def inviter(client):
+            result = yield from client.group_invite(
+                "team", [job.proc(r) for r in range(3)]
+            )
+            client.register_event_handler(
+                [PMIX_GROUP_LEFT],
+                lambda code, src, info: events.append((src.rank, info["gid"])),
+            )
+            yield Sleep(10e-3)
+            record = client.server.groups.get("team")
+            return (result.pgcid, tuple(m.rank for m in record.members))
+
+        def leaver(client):
+            yield Sleep(2e-3)
+            yield from client.group_leave("team")
+            yield Sleep(8e-3)
+
+        def bystander(client):
+            yield Sleep(10e-3)
+
+        prog = init_all(job)
+        results = run_procs(cluster, prog(0, inviter), prog(1, leaver), prog(2, bystander))
+        pgcid, members = results[0]
+        assert members == (0, 2)          # rank 1 departed
+        assert (1, "team") in events      # survivor was notified

@@ -1,0 +1,112 @@
+"""PMIx publish/lookup (the dynamic-process rendezvous board)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+from repro.pmix.types import PMIX_ERR_TIMEOUT, PmixError
+from repro.simtime.process import Sleep
+from tests.conftest import run_procs
+
+
+def make_job(nodes=2, ranks=4, ppn=2):
+    cluster = Cluster(machine=laptop(num_nodes=nodes))
+    job = cluster.launch(ranks, ppn=ppn)
+    return cluster, job
+
+
+def test_publish_then_lookup():
+    cluster, job = make_job()
+
+    def publisher():
+        client = job.client(0)
+        yield from client.init()
+        yield from client.publish("svc.port", "nic0:4242")
+
+    def reader():
+        client = job.client(3)  # different node
+        yield from client.init()
+        yield Sleep(1e-3)
+        return (yield from client.lookup("svc.port"))
+
+    results = run_procs(cluster, publisher(), reader())
+    assert results[1] == (True, "nic0:4242")
+
+
+def test_lookup_missing_returns_not_found():
+    cluster, job = make_job()
+
+    def reader():
+        client = job.client(0)
+        yield from client.init()
+        return (yield from client.lookup("nope"))
+
+    assert run_procs(cluster, reader())[0] == (False, None)
+
+
+def test_waiting_lookup_blocks_until_publish():
+    cluster, job = make_job()
+    t_published = []
+
+    def late_publisher():
+        client = job.client(0)
+        yield from client.init()
+        yield Sleep(2e-3)
+        t_published.append(cluster.now)
+        yield from client.publish("late.key", 42)
+
+    def waiter():
+        client = job.client(2)
+        yield from client.init()
+        found, value = yield from client.lookup("late.key", wait=True)
+        return (found, value, cluster.now)
+
+    results = run_procs(cluster, late_publisher(), waiter())
+    found, value, t_got = results[1]
+    assert (found, value) == (True, 42)
+    assert t_got >= t_published[0]
+
+
+def test_waiting_lookup_times_out():
+    cluster, job = make_job()
+
+    def waiter():
+        client = job.client(0)
+        yield from client.init()
+        with pytest.raises(PmixError) as err:
+            yield from client.lookup("never", wait=True, timeout=1e-3)
+        assert err.value.status == PMIX_ERR_TIMEOUT
+        return "timed-out"
+
+    assert run_procs(cluster, waiter()) == ["timed-out"]
+
+
+def test_unpublish():
+    cluster, job = make_job()
+
+    def flow():
+        client = job.client(0)
+        yield from client.init()
+        yield from client.publish("k", 1)
+        yield Sleep(1e-3)
+        found1, _ = yield from client.lookup("k")
+        yield from client.unpublish("k")
+        yield Sleep(1e-3)
+        found2, _ = yield from client.lookup("k")
+        return (found1, found2)
+
+    assert run_procs(cluster, flow()) == [(True, False)]
+
+
+def test_republish_overwrites():
+    cluster, job = make_job()
+
+    def flow():
+        client = job.client(0)
+        yield from client.init()
+        yield from client.publish("k", "old")
+        yield from client.publish("k", "new")
+        yield Sleep(1e-3)
+        return (yield from client.lookup("k"))
+
+    assert run_procs(cluster, flow()) == [(True, "new")]

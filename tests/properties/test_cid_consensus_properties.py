@@ -1,0 +1,54 @@
+"""Property test: consensus CID agreement under random fragmentation.
+
+DESIGN.md §5: the participants must always agree on the allocated CID
+and it must be free on every participant's local table — for arbitrary
+per-rank hole patterns (the exact scenario that fragments real CID
+spaces)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_mpi
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+
+NRANKS = 4
+
+# Per-rank sets of pre-occupied CID indices (beyond the built-ins 0/1).
+hole_patterns = st.lists(
+    st.sets(st.integers(min_value=2, max_value=20), max_size=8),
+    min_size=NRANKS, max_size=NRANKS,
+)
+
+
+@given(hole_patterns, st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_consensus_agrees_and_is_locally_free(holes, ndups):
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        sentinel = object()
+        for idx in sorted(holes[comm.rank]):
+            if mpi.cid_table.is_free(idx):
+                mpi.cid_table.reserve(idx, sentinel)
+        agreed = []
+        dups = []
+        for _ in range(ndups):
+            dup = yield from comm.dup()
+            dups.append(dup)
+            cids = yield from comm.allgather(dup.local_cid)
+            agreed.append(cids)
+            # The agreed index is genuinely free+reserved locally.
+            assert mpi.cid_table.get(dup.local_cid) is dup
+            assert dup.local_cid not in holes[comm.rank]
+        for dup in dups:
+            dup.free()
+        yield from mpi.mpi_finalize()
+        return agreed
+
+    results = run_mpi(NRANKS, main, machine=laptop(num_nodes=2), ppn=2,
+                      config=MpiConfig.baseline())
+    for per_dup in zip(*results):
+        # Every rank observed the identical allgather outcome...
+        assert all(x == per_dup[0] for x in per_dup)
+        # ...and within it, every rank reported the same agreed CID.
+        assert len(set(per_dup[0])) == 1

@@ -1,0 +1,91 @@
+"""Property-based tests: collective results vs numpy references, over
+random communicator sizes, roots, and contributions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_mpi
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+from repro.ompi.constants import MAX, MIN, SUM
+
+sizes = st.integers(min_value=1, max_value=7)
+values = st.lists(st.integers(min_value=-1000, max_value=1000), min_size=7, max_size=7)
+
+
+def run_world(n, body):
+    def main(mpi):
+        comm = yield from mpi.mpi_init()
+        result = yield from body(mpi, comm)
+        yield from mpi.mpi_finalize()
+        return result
+
+    return run_mpi(n, main, machine=laptop(num_nodes=2), ppn=(n + 1) // 2,
+                   config=MpiConfig.baseline())
+
+
+@given(sizes, values)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_sum_matches_numpy(n, vals):
+    def body(mpi, comm):
+        return (yield from comm.allreduce(vals[comm.rank], op=SUM))
+
+    assert set(run_world(n, body)) == {int(np.sum(vals[:n]))}
+
+
+@given(sizes, values)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_minmax_matches_numpy(n, vals):
+    def body(mpi, comm):
+        mx = yield from comm.allreduce(vals[comm.rank], op=MAX)
+        mn = yield from comm.allreduce(vals[comm.rank], op=MIN)
+        return (mx, mn)
+
+    assert set(run_world(n, body)) == {(max(vals[:n]), min(vals[:n]))}
+
+
+@given(sizes, values, st.data())
+@settings(max_examples=25, deadline=None)
+def test_reduce_any_root(n, vals, data):
+    root = data.draw(st.integers(min_value=0, max_value=n - 1))
+
+    def body(mpi, comm):
+        return (yield from comm.reduce(vals[comm.rank], op=SUM, root=root))
+
+    results = run_world(n, body)
+    assert results[root] == sum(vals[:n])
+    assert all(r is None for i, r in enumerate(results) if i != root)
+
+
+@given(sizes, st.data())
+@settings(max_examples=25, deadline=None)
+def test_bcast_any_root(n, data):
+    root = data.draw(st.integers(min_value=0, max_value=n - 1))
+
+    def body(mpi, comm):
+        obj = ("payload", root) if comm.rank == root else None
+        return (yield from comm.bcast(obj, root=root))
+
+    assert set(run_world(n, body)) == {("payload", root)}
+
+
+@given(sizes, values)
+@settings(max_examples=25, deadline=None)
+def test_scan_prefix_property(n, vals):
+    def body(mpi, comm):
+        return (yield from comm.scan(vals[comm.rank], op=SUM))
+
+    results = run_world(n, body)
+    assert results == list(np.cumsum(vals[:n]))
+
+
+@given(sizes)
+@settings(max_examples=25, deadline=None)
+def test_allgather_order(n):
+    def body(mpi, comm):
+        return (yield from comm.allgather(("r", comm.rank)))
+
+    results = run_world(n, body)
+    expected = [("r", i) for i in range(n)]
+    assert all(r == expected for r in results)

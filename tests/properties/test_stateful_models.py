@@ -1,0 +1,162 @@
+"""Stateful property tests: long random operation sequences against
+simple reference models (hypothesis RuleBasedStateMachine)."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.ompi.cid import CidTable
+from repro.pmix.datastore import Datastore
+from repro.pmix.types import PmixProc
+
+
+class CidTableMachine(RuleBasedStateMachine):
+    """CidTable vs a plain dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = CidTable()
+        self.model = {}
+
+    @rule(idx=st.integers(min_value=0, max_value=200))
+    def reserve_free_slot(self, idx):
+        if idx in self.model:
+            return
+        token = object()
+        self.table.reserve(idx, token)
+        self.model[idx] = token
+
+    @rule()
+    @precondition(lambda self: self.model)
+    def release_some(self):
+        idx = sorted(self.model)[len(self.model) // 2]
+        self.table.release(idx)
+        del self.model[idx]
+
+    @rule(floor=st.integers(min_value=0, max_value=100))
+    def lowest_free_matches_model(self, floor):
+        got = self.table.lowest_free(at_least=floor)
+        expected = floor
+        while expected in self.model:
+            expected += 1
+        assert got == expected
+
+    @invariant()
+    def lookups_match(self):
+        assert self.table.live_count == len(self.model)
+        for idx, token in self.model.items():
+            assert self.table.get(idx) is token
+            assert not self.table.is_free(idx)
+
+
+class DatastoreMachine(RuleBasedStateMachine):
+    """Datastore vs a nested-dict model (incl. wildcard fallback)."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = Datastore()
+        self.model = {}
+
+    keys = st.sampled_from(["a", "b", "c"])
+    ranks = st.integers(min_value=0, max_value=3)
+    values = st.integers()
+
+    @rule(rank=ranks, key=keys, value=values)
+    def put_rank(self, rank, key, value):
+        self.store.put(PmixProc("ns", rank), key, value)
+        self.model.setdefault(rank, {})[key] = value
+
+    @rule(key=keys, value=values)
+    def put_job(self, key, value):
+        self.store.put_job("ns", key, value)
+        self.model.setdefault("job", {})[key] = value
+
+    @rule(rank=ranks, key=keys)
+    def get_matches_model(self, rank, key):
+        found, value = self.store.get(PmixProc("ns", rank), key)
+        if key in self.model.get(rank, {}):
+            assert (found, value) == (True, self.model[rank][key])
+        elif key in self.model.get("job", {}):
+            assert (found, value) == (True, self.model["job"][key])
+        else:
+            assert found is False
+
+    @rule(rank=ranks)
+    def blob_roundtrip(self, rank):
+        blob = self.store.rank_blob(PmixProc("ns", rank))
+        assert blob == self.model.get(rank, {})
+
+
+class FileModelMachine(RuleBasedStateMachine):
+    """Simulated-FS File ops vs a plain bytearray model.
+
+    Drives the generator-based API through a trivial trampoline (no
+    concurrency: a single rank's file handle on COMM_SELF semantics).
+    """
+
+    def __init__(self):
+        super().__init__()
+        from repro.api import make_world
+        from repro.machine.presets import laptop
+        from repro.ompi.io import File
+
+        self.world = make_world(1, machine=laptop(num_nodes=1), ppn=1)
+        done = []
+
+        def setup(mpi):
+            comm = yield from mpi.mpi_init()
+            fh = yield from File.open(comm, "/model.bin")
+            done.append((mpi, comm, fh))
+            while True:
+                from repro.simtime.process import Sleep
+
+                yield Sleep(1.0)
+
+        proc = self.world.cluster.spawn(setup(self.world.runtimes[0]), "fs")
+        proc.defuse()
+        self.world.cluster.run(until=1.0)
+        self.mpi, self.comm, self.fh = done[0]
+        self.model = bytearray()
+
+    def drive(self, gen):
+        """Run one file sub-generator to completion."""
+        box = []
+
+        def runner():
+            box.append((yield from gen))
+
+        proc = self.world.cluster.spawn(runner(), "op")
+        proc.defuse()
+        self.world.cluster.run(until=self.world.cluster.now + 10.0)
+        assert proc.finished, "file op did not complete"
+        if proc.exception:
+            raise proc.exception
+        return box[0]
+
+    offsets = st.integers(min_value=0, max_value=64)
+    blobs = st.binary(min_size=0, max_size=32)
+
+    @rule(offset=offsets, data=blobs)
+    def write_at(self, offset, data):
+        self.drive(self.fh.write_at(offset, data))
+        end = offset + len(data)
+        if len(self.model) < end:
+            self.model.extend(b"\x00" * (end - len(self.model)))
+        self.model[offset:end] = data
+
+    @rule(offset=offsets, count=st.integers(min_value=0, max_value=80))
+    def read_matches_model(self, offset, count):
+        got = self.drive(self.fh.read_at(offset, count))
+        assert got == bytes(self.model[offset:offset + count])
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.fh._data()) == len(self.model)
+
+
+TestCidTableStateful = CidTableMachine.TestCase
+TestDatastoreStateful = DatastoreMachine.TestCase
+FileModelMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestFileStateful = FileModelMachine.TestCase

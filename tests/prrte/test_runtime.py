@@ -1,0 +1,169 @@
+"""Unit tests for PRRTE: RML, DVM, psets, launcher, grpcomm."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+from repro.pmix.types import PmixProc
+from repro.prrte.launch import JobSpec
+from repro.prrte.psets import PsetRegistry
+from repro.prrte.rml import RmlMessage
+
+
+class TestRml:
+    def test_message_delivered_with_delay(self):
+        cluster = Cluster(machine=laptop(num_nodes=2))
+        seen = []
+        cluster.dvm.daemons[1].add_handler("test", lambda msg: seen.append(cluster.now))
+        cluster.dvm.daemons[0].send(1, "test", {"x": 1})
+        cluster.run()
+        assert len(seen) == 1
+        assert seen[0] > 0
+
+    def test_loopback_faster_than_remote(self):
+        cluster = Cluster(machine=laptop(num_nodes=2))
+        times = {}
+        cluster.dvm.daemons[0].add_handler("loop", lambda m: times.setdefault("loop", cluster.now))
+        cluster.dvm.daemons[1].add_handler("far", lambda m: times.setdefault("far", cluster.now))
+        cluster.dvm.daemons[0].send(0, "loop", {})
+        cluster.run()
+        t_loop = times["loop"]
+        cluster.dvm.daemons[0].send(1, "far", {})
+        cluster.run()
+        assert times["far"] - t_loop > 0
+        assert t_loop < times["far"] - t_loop  # loopback cheaper than remote leg
+
+    def test_daemon_serializes_arrivals(self):
+        """Messages from many senders to one daemon serialize on its CPU."""
+        cluster = Cluster(machine=laptop(num_nodes=8))
+        arrivals = []
+        cluster.dvm.daemons[0].add_handler("fan", lambda m: arrivals.append(cluster.now))
+        for src in range(1, 8):
+            cluster.dvm.daemons[src].send(0, "fan", {})
+        cluster.run()
+        assert len(arrivals) == 7
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        proc = cluster.dvm.rml.process_cost
+        assert all(g >= proc * 0.99 for g in gaps), gaps
+
+    def test_unknown_destination_rejected(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        with pytest.raises(KeyError):
+            cluster.dvm.rml.send(RmlMessage(src=0, dst=5, tag="x"))
+
+    def test_unknown_tag_raises(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        cluster.dvm.daemons[0].send(0, "no-such-tag", {})
+        with pytest.raises(KeyError):
+            cluster.run()
+
+    def test_duplicate_handler_rejected(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        cluster.dvm.daemons[0].add_handler("t", lambda m: None)
+        with pytest.raises(ValueError):
+            cluster.dvm.daemons[0].add_handler("t", lambda m: None)
+
+    def test_byte_accounting(self):
+        cluster = Cluster(machine=laptop(num_nodes=2))
+        cluster.dvm.daemons[1].add_handler("t", lambda m: None)
+        before = cluster.dvm.rml.bytes_sent
+        cluster.dvm.daemons[0].send(1, "t", {"payload": "x" * 100})
+        assert cluster.dvm.rml.bytes_sent >= before + 100
+        cluster.run()
+
+
+class TestDvm:
+    def test_one_daemon_per_node(self):
+        cluster = Cluster(machine=laptop(num_nodes=5))
+        assert len(cluster.dvm.daemons) == 5
+        assert [d.node for d in cluster.dvm.daemons] == list(range(5))
+
+    def test_pgcids_unique_and_nonzero(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        ids = [cluster.dvm.allocate_pgcid() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert all(i >= 1 for i in ids)
+
+    def test_job_names_unique(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        assert cluster.dvm.next_job_name() != cluster.dvm.next_job_name()
+
+    def test_boot_time_grows_with_nodes(self):
+        small = Cluster(machine=laptop(num_nodes=2)).dvm.boot_time
+        large = Cluster(machine=laptop(num_nodes=32)).dvm.boot_time
+        assert large > small
+
+
+class TestPsets:
+    def test_define_and_lookup(self):
+        reg = PsetRegistry()
+        members = [PmixProc("j", 0), PmixProc("j", 1)]
+        reg.define("app/x", members)
+        assert reg.members("app/x") == tuple(members)
+        assert "app/x" in reg
+        assert reg.count() == 1
+
+    def test_names_sorted(self):
+        reg = PsetRegistry()
+        reg.define("b", [PmixProc("j", 0)])
+        reg.define("a", [PmixProc("j", 1)])
+        assert reg.names() == ["a", "b"]
+
+    def test_redefine_rejected(self):
+        reg = PsetRegistry()
+        reg.define("x", [PmixProc("j", 0)])
+        with pytest.raises(ValueError):
+            reg.define("x", [PmixProc("j", 1)])
+
+    def test_duplicates_rejected(self):
+        reg = PsetRegistry()
+        with pytest.raises(ValueError):
+            reg.define("x", [PmixProc("j", 0), PmixProc("j", 0)])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            PsetRegistry().define("", [])
+
+    def test_undefine(self):
+        reg = PsetRegistry()
+        reg.define("x", [PmixProc("j", 0)])
+        reg.undefine("x")
+        assert reg.members("x") is None
+        reg.undefine("x")  # idempotent
+
+
+class TestLauncher:
+    def test_launch_basic(self):
+        cluster = Cluster(machine=laptop(num_nodes=2))
+        job = cluster.launch(6, ppn=3)
+        assert job.num_ranks == 6
+        assert job.topology.num_nodes == 2
+        assert len(job.clients) == 6
+
+    def test_proc_identity_interned(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        job = cluster.launch(4, ppn=4)
+        assert job.proc(2) is job.proc(2)
+        assert job.all_procs[2] is job.proc(2)
+
+    def test_launch_defines_psets(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        job = cluster.launch(4, ppn=4, psets={"custom": [1, 3]})
+        assert cluster.psets.members("custom") == (job.proc(1), job.proc(3))
+
+    def test_oversubscription_rejected(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        with pytest.raises(ValueError):
+            cluster.launcher.launch(JobSpec(num_ranks=64, ppn=4))
+
+    def test_two_jobs_distinct_namespaces(self):
+        cluster = Cluster(machine=laptop(num_nodes=1))
+        a = cluster.launch(2, ppn=2)
+        b = cluster.launch(2, ppn=2)
+        assert a.nspace != b.nspace
+
+    def test_job_map_replicated_to_all_servers(self):
+        cluster = Cluster(machine=laptop(num_nodes=3))
+        job = cluster.launch(4, ppn=2)  # uses only nodes 0-1
+        for server in cluster.servers:
+            assert server.node_of(job.proc(3)) == 1

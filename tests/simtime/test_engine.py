@@ -1,0 +1,113 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simtime.engine import DeadlockError, Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_call_later_advances_clock():
+    eng = Engine()
+    seen = []
+    eng.call_later(1.5, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [1.5]
+    assert eng.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    seen = []
+    eng.call_later(3.0, lambda: seen.append("c"))
+    eng.call_later(1.0, lambda: seen.append("a"))
+    eng.call_later(2.0, lambda: seen.append("b"))
+    eng.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_fifo_tie_break_at_same_time():
+    eng = Engine()
+    seen = []
+    for label in "abcde":
+        eng.call_later(1.0, lambda l=label: seen.append(l))
+    eng.run()
+    assert seen == list("abcde")
+
+
+def test_nested_scheduling_from_callback():
+    eng = Engine()
+    seen = []
+
+    def outer():
+        seen.append(("outer", eng.now))
+        eng.call_later(0.5, lambda: seen.append(("inner", eng.now)))
+
+    eng.call_later(1.0, outer)
+    eng.run()
+    assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_schedule_in_past_rejected():
+    eng = Engine()
+    eng.call_later(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().call_later(-1.0, lambda: None)
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+    seen = []
+    eng.call_later(1.0, lambda: seen.append(1))
+    eng.call_later(5.0, lambda: seen.append(5))
+    eng.run(until=2.0)
+    assert seen == [1]
+    assert eng.now == 2.0
+    eng.run()
+    assert seen == [1, 5]
+
+
+def test_timer_cancel():
+    eng = Engine()
+    seen = []
+    timer = eng.call_later(1.0, lambda: seen.append("x"))
+    eng.call_later(2.0, lambda: seen.append("y"))
+    timer.cancel()
+    assert timer.canceled
+    eng.run()
+    assert seen == ["y"]
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_zero_delay_runs_at_current_time():
+    eng = Engine()
+    seen = []
+    eng.call_later(1.0, lambda: eng.call_later(0.0, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [1.0]
+
+
+def test_deadlock_detection_reports_blocked_processes():
+    from repro.simtime.process import SimProcess, Wait
+    from repro.simtime.primitives import SimEvent
+
+    eng = Engine()
+    never = SimEvent()
+
+    def stuck():
+        yield Wait(never)
+
+    SimProcess(eng, stuck(), "stuck").start()
+    with pytest.raises(DeadlockError, match="1 process"):
+        eng.run()

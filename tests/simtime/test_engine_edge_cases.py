@@ -1,0 +1,114 @@
+"""Engine edge cases beyond the basics: re-entrance, until-mode, names."""
+
+import pytest
+
+from repro.simtime.engine import DeadlockError, Engine, SimulationError
+from repro.simtime.primitives import SimEvent
+from repro.simtime.process import SimProcess, Sleep, Wait
+
+
+def test_reentrant_run_rejected():
+    eng = Engine()
+    seen = []
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            eng.run()
+        seen.append("caught")
+
+    eng.call_later(1.0, reenter)
+    eng.run()
+    assert seen == ["caught"]
+
+
+def test_run_until_skips_deadlock_detection():
+    """Bounded runs return quietly even with blocked processes (the
+    stateful-file-model harness depends on this)."""
+    eng = Engine()
+    never = SimEvent()
+
+    def stuck():
+        yield Wait(never)
+
+    proc = SimProcess(eng, stuck(), "stuck")
+    proc.start()
+    eng.run(until=5.0)          # no DeadlockError
+    assert eng.now == 5.0
+    assert eng.live_processes == 1
+    never.succeed(None)
+    eng.run()
+    assert proc.finished
+
+
+def test_detect_deadlock_flag_off():
+    eng = Engine()
+    never = SimEvent()
+
+    def stuck():
+        yield Wait(never)
+
+    SimProcess(eng, stuck(), "s").start()
+    eng.run(detect_deadlock=False)  # drains quietly
+
+
+def test_deadlock_error_names_processes():
+    eng = Engine()
+    never = SimEvent()
+
+    def stuck():
+        yield Wait(never)
+
+    for name in ("alpha", "beta"):
+        SimProcess(eng, stuck(), name).start()
+    with pytest.raises(DeadlockError) as err:
+        eng.run()
+    msg = str(err.value)
+    assert "alpha" in msg and "beta" in msg
+
+
+def test_deadlock_error_truncates_long_name_lists():
+    eng = Engine()
+    never = SimEvent()
+
+    def stuck():
+        yield Wait(never)
+
+    for i in range(15):
+        SimProcess(eng, stuck(), f"r{i:02d}").start()
+    with pytest.raises(DeadlockError) as err:
+        eng.run()
+    msg = str(err.value)
+    assert "15 process(es)" in msg
+    assert "…" in msg
+
+
+def test_run_resumes_after_until():
+    eng = Engine()
+    seen = []
+
+    def worker():
+        yield Sleep(1.0)
+        seen.append("a")
+        yield Sleep(9.0)
+        seen.append("b")
+
+    SimProcess(eng, worker(), "w").start()
+    eng.run(until=2.0)
+    assert seen == ["a"]
+    eng.run()
+    assert seen == ["a", "b"]
+    assert eng.now == 10.0
+
+
+def test_zero_duration_simulation():
+    eng = Engine()
+
+    def instant():
+        return "done"
+        yield  # pragma: no cover
+
+    proc = SimProcess(eng, instant(), "i")
+    proc.start()
+    eng.run()
+    assert proc.result == "done"
+    assert eng.now == 0.0

@@ -1,0 +1,209 @@
+"""Unit tests for mailboxes, semaphores and simulation barriers."""
+
+import pytest
+
+from repro.simtime.engine import Engine
+from repro.simtime.primitives import Mailbox, Semaphore, SimBarrier, SimEvent
+from repro.simtime.process import SimProcess, Sleep
+
+
+def start(eng, gen, name="p"):
+    proc = SimProcess(eng, gen, name)
+    proc.start()
+    return proc
+
+
+class TestSimEvent:
+    def test_double_succeed_rejected(self):
+        ev = SimEvent()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_fail_then_succeed_rejected(self):
+        ev = SimEvent()
+        ev.fail(ValueError("x"))
+        with pytest.raises(RuntimeError):
+            ev.succeed(1)
+
+    def test_add_waiter_after_trigger_fires_immediately(self):
+        ev = SimEvent()
+        ev.succeed("v")
+        seen = []
+        ev.add_waiter(lambda value, exc: seen.append((value, exc)))
+        assert seen == [("v", None)]
+
+    def test_waiters_fire_in_order(self):
+        ev = SimEvent()
+        seen = []
+        ev.add_waiter(lambda v, e: seen.append("first"))
+        ev.add_waiter(lambda v, e: seen.append("second"))
+        ev.succeed(None)
+        assert seen == ["first", "second"]
+
+    def test_discard_waiter(self):
+        ev = SimEvent()
+        seen = []
+        cb = lambda v, e: seen.append("x")  # noqa: E731
+        ev.add_waiter(cb)
+        ev.discard_waiter(cb)
+        ev.succeed(None)
+        assert seen == []
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        eng = Engine()
+        mbox = Mailbox()
+        mbox.put("a")
+        mbox.put("b")
+
+        def p():
+            x = yield from mbox.get()
+            y = yield from mbox.get()
+            return [x, y]
+
+        proc = start(eng, p())
+        eng.run()
+        assert proc.result == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        mbox = Mailbox()
+
+        def getter():
+            item = yield from mbox.get()
+            return item
+
+        def putter():
+            yield Sleep(2.0)
+            mbox.put("late")
+
+        g = start(eng, getter())
+        start(eng, putter())
+        eng.run()
+        assert g.result == "late"
+        assert eng.now == 2.0
+
+    def test_fifo_across_waiters(self):
+        eng = Engine()
+        mbox = Mailbox()
+        results = []
+
+        def getter(tag):
+            item = yield from mbox.get()
+            results.append((tag, item))
+
+        def putter():
+            yield Sleep(1.0)
+            mbox.put(1)
+            mbox.put(2)
+
+        start(eng, getter("a"))
+        start(eng, getter("b"))
+        start(eng, putter())
+        eng.run()
+        assert results == [("a", 1), ("b", 2)]
+
+    def test_get_nowait_raises_when_empty(self):
+        with pytest.raises(IndexError):
+            Mailbox().get_nowait()
+
+    def test_len(self):
+        mbox = Mailbox()
+        assert len(mbox) == 0
+        mbox.put(1)
+        assert len(mbox) == 1
+
+
+class TestSemaphore:
+    def test_initial_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+    def test_mutual_exclusion_serializes(self):
+        eng = Engine()
+        sem = Semaphore(1)
+        timeline = []
+
+        def worker(tag):
+            yield from sem.acquire()
+            timeline.append((tag, "in", eng.now))
+            yield Sleep(1.0)
+            timeline.append((tag, "out", eng.now))
+            sem.release()
+
+        start(eng, worker("a"))
+        start(eng, worker("b"))
+        eng.run()
+        assert timeline == [
+            ("a", "in", 0.0),
+            ("a", "out", 1.0),
+            ("b", "in", 1.0),
+            ("b", "out", 2.0),
+        ]
+
+    def test_capacity_two_allows_overlap(self):
+        eng = Engine()
+        sem = Semaphore(2)
+        entered = []
+
+        def worker(tag):
+            yield from sem.acquire()
+            entered.append((tag, eng.now))
+            yield Sleep(1.0)
+            sem.release()
+
+        for t in "abc":
+            start(eng, worker(t))
+        eng.run()
+        assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+class TestSimBarrier:
+    def test_all_release_together(self):
+        eng = Engine()
+        bar = SimBarrier(3)
+        released = []
+
+        def worker(tag, delay):
+            yield Sleep(delay)
+            yield from bar.wait()
+            released.append((tag, eng.now))
+
+        start(eng, worker("a", 1.0))
+        start(eng, worker("b", 2.0))
+        start(eng, worker("c", 3.0))
+        eng.run()
+        assert [t for _, t in released] == [3.0, 3.0, 3.0]
+
+    def test_reusable_generations(self):
+        eng = Engine()
+        bar = SimBarrier(2)
+        gens = []
+
+        def worker():
+            g1 = yield from bar.wait()
+            g2 = yield from bar.wait()
+            gens.append((g1, g2))
+
+        start(eng, worker())
+        start(eng, worker())
+        eng.run()
+        assert gens == [(1, 2), (1, 2)]
+
+    def test_single_party_never_blocks(self):
+        eng = Engine()
+        bar = SimBarrier(1)
+
+        def worker():
+            g = yield from bar.wait()
+            return g
+
+        proc = start(eng, worker())
+        eng.run()
+        assert proc.result == 1
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ValueError):
+            SimBarrier(0)

@@ -1,0 +1,95 @@
+"""Tracer unit tests + white-box protocol traces through the stack."""
+
+from repro.api import make_world
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+from repro.simtime.trace import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_emit_and_find(self):
+        tr = Tracer()
+        tr.emit(1.0, "pml", "send", dst="x")
+        tr.emit(2.0, "pml", "recv")
+        tr.emit(3.0, "cid", "alloc")
+        assert tr.count("pml") == 2
+        assert tr.count("pml", "send") == 1
+        assert tr.count(event="alloc") == 1
+        rec = next(tr.find("pml", "send"))
+        assert rec.time == 1.0 and rec.detail == {"dst": "x"}
+
+    def test_category_filter(self):
+        tr = Tracer(categories={"cid"})
+        tr.emit(1.0, "pml", "send")
+        tr.emit(1.0, "cid", "alloc")
+        assert tr.count() == 1
+
+    def test_disable_and_clear(self):
+        tr = Tracer()
+        tr.enabled = False
+        tr.emit(1.0, "x", "y")
+        assert tr.count() == 0
+        tr.enabled = True
+        tr.emit(1.0, "x", "y")
+        tr.clear()
+        assert tr.count() == 0
+
+    def test_null_tracer_drops(self):
+        tr = NullTracer()
+        tr.emit(1.0, "x", "y")
+        assert tr.records == []
+
+
+class TestProtocolTraces:
+    def test_excid_handshake_trace(self):
+        """The trace shows: extended sends, exactly one ACK, one switch."""
+        tracer = Tracer(categories={"pml"})
+        world = make_world(
+            2, machine=laptop(num_nodes=1), ppn=2,
+            config=MpiConfig.sessions_prototype(), tracer=tracer,
+        )
+
+        def main(mpi):
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            comm = yield from mpi.comm_create_from_group(group, "traced")
+            for _ in range(4):
+                if comm.rank == 0:
+                    yield from comm.send(None, 1, tag=1, nbytes=8)
+                    yield from comm.recv(1, tag=2)
+                else:
+                    yield from comm.recv(0, tag=1)
+                    yield from comm.send(None, 0, tag=2, nbytes=8)
+            comm.free()
+            yield from session.finalize()
+
+        procs = world.spawn_ranks(main)
+        world.run()
+        for p in procs:
+            if p.exception:
+                raise p.exception
+        assert tracer.count("pml", "ext_send") == 1
+        assert tracer.count("pml", "cid_ack") == 1
+        assert tracer.count("pml", "cid_switch") == 1
+
+    def test_baseline_has_no_handshake_traffic(self):
+        tracer = Tracer(categories={"pml"})
+        world = make_world(
+            2, machine=laptop(num_nodes=1), ppn=2,
+            config=MpiConfig.baseline(), tracer=tracer,
+        )
+
+        def main(mpi):
+            comm = yield from mpi.mpi_init()
+            if comm.rank == 0:
+                yield from comm.send(None, 1, tag=1, nbytes=8)
+            else:
+                yield from comm.recv(0, tag=1)
+            yield from mpi.mpi_finalize()
+
+        procs = world.spawn_ranks(main)
+        world.run()
+        for p in procs:
+            if p.exception:
+                raise p.exception
+        assert tracer.count("pml") == 0

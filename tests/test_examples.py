@@ -1,0 +1,30 @@
+"""Every example script must run clean end-to-end (they self-assert)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "ensemble_forecast", "dask_style_tasks",
+            "client_server_isolation", "multi_physics",
+            "checkpoint_restart"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script.stem} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "OK" in proc.stdout

@@ -1,0 +1,86 @@
+"""Several MPI jobs co-hosted on one DVM (the PRRTE model)."""
+
+from repro.api import make_world
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+from repro.ompi.constants import SUM
+
+
+def sessions_main(tag):
+    def main(mpi):
+        session = yield from mpi.session_init()
+        group = yield from session.group_from_pset("mpi://world")
+        comm = yield from mpi.comm_create_from_group(group, tag)
+        total = yield from comm.allreduce(1, op=SUM)
+        pgcid = comm.excid.pgcid
+        comm.free()
+        yield from session.finalize()
+        return (total, pgcid)
+
+    return main
+
+
+def test_two_jobs_share_one_dvm():
+    cluster = Cluster(machine=laptop(num_nodes=2))
+    wa = make_world(4, ppn=2, config=MpiConfig.sessions_prototype(), cluster=cluster)
+    wb = make_world(6, ppn=3, config=MpiConfig.sessions_prototype(), cluster=cluster)
+    assert wa.job.nspace != wb.job.nspace
+
+    pa = wa.spawn_ranks(sessions_main("job-a"))
+    pb = wb.spawn_ranks(sessions_main("job-b"))
+    cluster.run()
+    for p in pa + pb:
+        if p.exception:
+            raise p.exception
+
+    totals_a = {p.result[0] for p in pa}
+    totals_b = {p.result[0] for p in pb}
+    assert totals_a == {4} and totals_b == {6}
+
+    # PGCIDs are unique across the whole allocation, not per job —
+    # the property the exCID design leans on (§III-B3).
+    pgcids_a = {p.result[1] for p in pa}
+    pgcids_b = {p.result[1] for p in pb}
+    assert len(pgcids_a) == 1 and len(pgcids_b) == 1
+    assert pgcids_a != pgcids_b
+
+
+def test_jobs_do_not_cross_talk():
+    """Same-tag communicators in different jobs never match traffic."""
+    cluster = Cluster(machine=laptop(num_nodes=1))
+
+    def pingpong(payload):
+        def main(mpi):
+            session = yield from mpi.session_init()
+            group = yield from session.group_from_pset("mpi://world")
+            comm = yield from mpi.comm_create_from_group(group, "same-tag")
+            if comm.rank == 0:
+                yield from comm.send(payload, 1, tag=1)
+                got = None
+            else:
+                got = yield from comm.recv(0, tag=1)
+            comm.free()
+            yield from session.finalize()
+            return got
+
+        return main
+
+    wa = make_world(2, ppn=2, config=MpiConfig.sessions_prototype(), cluster=cluster)
+    wb = make_world(2, ppn=2, config=MpiConfig.sessions_prototype(), cluster=cluster)
+    pa = wa.spawn_ranks(pingpong("from-A"))
+    pb = wb.spawn_ranks(pingpong("from-B"))
+    cluster.run()
+    for p in pa + pb:
+        if p.exception:
+            raise p.exception
+    assert pa[1].result == "from-A"
+    assert pb[1].result == "from-B"
+
+
+def test_machine_and_cluster_conflict_rejected():
+    import pytest
+
+    cluster = Cluster(machine=laptop(num_nodes=1))
+    with pytest.raises(ValueError):
+        make_world(2, machine=laptop(num_nodes=2), cluster=cluster)

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md: run every figure and record paper-vs-measured.
+
+Usage::
+
+    python tools/make_experiments_report.py [--full] [-o EXPERIMENTS.md]
+
+``--full`` runs the paper-scale sweeps (adds P3's 1,024-rank run and the
+32-node init sweeps; takes several minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import io
+import sys
+import time
+
+from repro.bench import figures
+
+#: (function, kwargs, paper claim, how we judge the shape)
+EXPERIMENTS = [
+    ("table1", {}, "Cray XC40 (Trinity, 2x16c) and XC30 (Jupiter, 2x14c), Aries",
+     lambda r: "machine models encode Table I"),
+    ("fig3a", {}, "sessions init costs ~20% over MPI_Init at 1 ppn; dominated by "
+     "MPI resource init",
+     lambda r: _ratio_note(r, "Sessions", "MPI_Init")),
+    ("fig3b", {}, "~20% overhead at 28 ppn; ~30% of sessions-specific time in "
+     "session-handle init, remainder in communicator construction",
+     lambda r: _ratio_note(r, "Sessions", "MPI_Init")),
+    ("fig4", {}, "sessions MPI_Comm_dup clearly slower; overhead accounted for "
+     "by PMIx group context-id acquisition",
+     lambda r: _ratio_note(r, "Sessions", "MPI_Init")),
+    ("fig5a", {}, "small effect on latency, sometimes an improvement",
+     lambda r: _range_note(r, "Sessions/MPI_Init latency ratio")),
+    ("fig5b", {}, "2 procs: pre-loop barrier completes the CID switch; rates "
+     "essentially identical",
+     lambda r: _range_note(r, "Sessions/MPI_Init message-rate ratio")),
+    ("fig5c", {}, "16 procs: barrier does NOT pre-switch pairs; sessions lags "
+     "at small sizes until the ACK switches to local CIDs",
+     lambda r: _range_note(r, "Sessions/MPI_Init message-rate ratio")),
+    ("fig5c", {"presync": True}, "with MPI_Sendrecv pre-sync the rates are "
+     "essentially identical",
+     lambda r: _range_note(r, "Sessions/MPI_Init message-rate ratio")),
+    ("fig6a", {}, "random-order ring latency practically identical",
+     lambda r: _ratio_note(r, "Sessions", "MPI_Init")),
+    ("fig6b", {}, "natural-order ring latency practically identical",
+     lambda r: _ratio_note(r, "Sessions", "MPI_Init")),
+    ("fig7", {}, "2MESH: <= 3% overhead from the Ibarrier+nanosleep quiescence",
+     lambda r: _series_note(r, "Sessions/Baseline")),
+    ("ablation_dup_policy", {}, "(DESIGN §4.1) subfield derivation amortizes "
+     "the PGCID over 255 dups",
+     lambda r: _series_note(r, "per-iteration dup time")),
+    ("ablation_fragmentation", {}, "(§IV-C2) fragmentation hurts the consensus "
+     "algorithm, not the exCID generator",
+     lambda r: _series_note(r, "per-iteration dup time")),
+    ("ablation_grpcomm", {}, "(§III-A) hierarchical exchange beats flat "
+     "all-to-all at scale",
+     lambda r: ""),
+    ("ablation_handshake", {}, "(§III-B4) the local-CID switch avoids a real "
+     "per-message cost",
+     lambda r: _series_note(r, "forced-extended / normal message rate")),
+    ("ablation_eager_limit", {}, "(model validation) the eager/rendezvous "
+     "crossover behaves like a real PML",
+     lambda r: ""),
+]
+
+
+def _ratio_note(res, num, den):
+    ratios = [f"{x}: {v:.3f}" for x, v in res.ratio(num, den)]
+    return f"measured {num}/{den} ratios: " + ", ".join(ratios)
+
+
+def _range_note(res, label):
+    ys = res.series[label].ys()
+    return f"measured {label}: min={min(ys):.3f} max={max(ys):.3f}"
+
+
+def _series_note(res, label):
+    pts = [f"{x}: {v:.4g}" for x, v in res.series[label].points]
+    return f"measured {label}: " + ", ".join(pts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
+    parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    quick = not args.full
+
+    out = io.StringIO()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Regenerated with `python tools/make_experiments_report.py"
+        + ("" if quick else " --full")
+        + f"` on {datetime.date.today()}.\n\n"
+        "All measured times are **simulated seconds** produced by the\n"
+        "deterministic middleware simulation (see DESIGN.md §1): absolute\n"
+        "values are calibrated to be plausible, and only the *shapes* —\n"
+        "who wins, by what factor, where crossovers fall — are claimed to\n"
+        "reproduce the paper.  Sweeps here are the "
+        + ("quick CI-sized ones; pass --full for paper-scale.\n\n" if quick
+           else "full paper-scale ones.\n\n")
+    )
+
+    for name, kwargs, claim, judge in EXPERIMENTS:
+        fn = getattr(figures, name)
+        t0 = time.time()
+        try:
+            if name.startswith("fig") or name == "table1":
+                res = fn(quick=quick, **kwargs) if name != "table1" else fn()
+            else:
+                res = fn(**kwargs)
+        except TypeError:
+            res = fn(**kwargs)
+        wall = time.time() - t0
+        out.write(f"## {res.exp_id}: {res.title}\n\n")
+        out.write(f"*Paper:* {claim}\n\n")
+        note = judge(res)
+        if note:
+            out.write(f"*Measured:* {note}\n\n")
+        out.write("```\n" + res.render() + "\n```\n")
+        out.write(f"\n(_{wall:.1f}s wall_)\n\n")
+        print(f"done: {res.exp_id} ({wall:.1f}s)", file=sys.stderr)
+
+    with open(args.output, "w") as fh:
+        fh.write(out.getvalue())
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

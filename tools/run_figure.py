@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Run one paper figure (or ablation) from the shell.
+
+Usage::
+
+    python tools/run_figure.py --list
+    python tools/run_figure.py fig3b
+    python tools/run_figure.py fig5c --presync
+    python tools/run_figure.py fig7 --full        # includes P3 (1,024 ranks)
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.bench import figures
+
+
+def discover():
+    out = {}
+    for name, fn in vars(figures).items():
+        if name.startswith(("fig", "table", "ablation_")) and callable(fn):
+            out[name] = fn
+    return out
+
+
+def main(argv=None) -> int:
+    catalog = discover()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", nargs="?", help="entry point name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available figures")
+    parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
+    parser.add_argument("--presync", action="store_true", help="fig5c: pair pre-sync")
+    parser.add_argument("--csv", metavar="FILE", help="also write the series as CSV")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        for name in sorted(catalog):
+            doc = (inspect.getdoc(catalog[name]) or "").splitlines()
+            print(f"  {name:28s} {doc[0] if doc else ''}")
+        return 0
+
+    fn = catalog.get(args.figure)
+    if fn is None:
+        print(f"unknown figure {args.figure!r}; try --list", file=sys.stderr)
+        return 2
+
+    kwargs = {}
+    params = inspect.signature(fn).parameters
+    if "quick" in params:
+        kwargs["quick"] = not args.full
+    if "presync" in params and args.presync:
+        kwargs["presync"] = True
+
+    t0 = time.time()
+    result = fn(**kwargs)
+    print(result.render())
+    if args.csv:
+        try:
+            with open(args.csv, "w") as fh:
+                fh.write(result.to_csv())
+        except OSError as err:
+            print(f"cannot write {args.csv}: {err}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.csv}")
+    print(f"\n({time.time() - t0:.1f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
