@@ -47,7 +47,9 @@ class MpiWorld:
         procs = []
         for rank, rt in enumerate(self.runtimes):
             gen = main(rt, *args)
-            procs.append(self.cluster.spawn(gen, name=f"rank{rank}"))
+            sim = self.cluster.spawn(gen, name=f"rank{rank}")
+            self.cluster.faults.register_rank_proc(self.job.proc(rank), sim)
+            procs.append(sim)
         for p in procs:
             p.defuse()
         return procs
@@ -82,6 +84,8 @@ def make_world(
     fabric = fabric or Fabric(cluster)
     config = config or MpiConfig.baseline()
     runtimes = [MpiRuntime(cluster, job, fabric, r, config) for r in range(nprocs)]
+    for rt in runtimes:
+        cluster.faults.register_runtime(rt)
     return MpiWorld(cluster=cluster, job=job, fabric=fabric, runtimes=runtimes)
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.faults import FaultManager, FaultPlan
 from repro.machine.model import MachineModel
 from repro.machine.presets import laptop
 from repro.pmix.server import PmixServer
@@ -38,6 +39,11 @@ class Cluster:
         self.dvm = DVM(self.engine, self.machine, grpcomm_mode, grpcomm_radix)
         self.servers = [PmixServer(daemon, self.psets) for daemon in self.dvm.daemons]
         self.launcher = Launcher(self.dvm, self.psets)
+        # Fault injection (docs/faults.md): inert until a plan is
+        # installed or a kill is requested.
+        self.faults = FaultManager(self)
+        self.dvm.faults = self.faults
+        self.dvm.rml.faults = self.faults
 
     @property
     def now(self) -> float:
@@ -54,7 +60,14 @@ class Cluster:
         if ppn is None:
             ppn = min(num_ranks, self.machine.cores_per_node)
         spec = JobSpec(num_ranks=num_ranks, ppn=ppn, psets=psets or {}, nspace=nspace)
-        return self.launcher.launch(spec)
+        job = self.launcher.launch(spec)
+        if self.faults.default_job is None:
+            self.faults.default_job = job
+        return job
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Install a fault plan (one per cluster; see docs/faults.md)."""
+        self.faults.install(plan)
 
     def spawn(self, gen, name: str = "") -> SimProcess:
         """Start a simulated process on this cluster's engine."""
@@ -72,17 +85,15 @@ class Cluster:
     def fail_process(self, job: Job, rank: int, sim_proc: Optional[SimProcess] = None) -> None:
         """Inject a process failure (fault-tolerance demos, §II-C).
 
-        Kills the rank's simulated process (if given), deregisters it
-        from its PMIx server, and raises a PMIX_ERR_PROC_TERMINATED
-        event so registered handlers (e.g. a server avoiding a dead
-        client) learn about the death.
+        Delegates to the :class:`~repro.faults.FaultManager`: kills the
+        rank's simulated process, marks it dead at its PMIx server (which
+        evicts it from psets and aborts collectives it was part of), and
+        broadcasts both a PMIX_ERR_PROC_ABORTED event and — kept for
+        backward compatibility with pre-fault-subsystem handlers — a
+        PMIX_ERR_PROC_TERMINATED event.
         """
         from repro.pmix.types import PMIX_ERR_PROC_TERMINATED
 
-        if sim_proc is not None:
-            sim_proc.kill(f"injected failure of rank {rank}")
-        proc = job.proc(rank)
-        node = job.topology.node_of(rank)
-        server = self.servers[node]
-        server.deregister_client(proc)
-        server.notify_event(PMIX_ERR_PROC_TERMINATED, proc, {"reason": "injected"})
+        self.faults.kill_rank(
+            job, rank, sim_proc=sim_proc, code=PMIX_ERR_PROC_TERMINATED
+        )

@@ -1,0 +1,211 @@
+"""Fault injection across the simulated stack (see docs/faults.md).
+
+The :class:`FaultManager` is the runtime half of fault injection: it
+owns the installed :class:`~repro.simtime.faults.FaultPlan`, executes
+kills, tracks which procs/nodes are dead, and is consulted by the two
+message fault points:
+
+* the PRRTE RML (``layer="rml"``) for daemon-to-daemon traffic, and
+* the ob1 fabric (``layer="pml"``) for MPI point-to-point packets.
+
+Failure propagation it drives:
+
+* ``kill_rank`` — kills the rank's simulated process, tells its home
+  PMIx server (which evicts it from psets, aborts local collectives it
+  was part of, and broadcasts a ``PMIX_ERR_PROC_ABORTED`` event to every
+  node), and notifies registered MPI runtimes after a small detection
+  latency so communicators can raise typed ``ProcFailed`` errors.
+* ``kill_node`` — marks the daemon dead (the RML silently drops traffic
+  to/from dead nodes), kills the node's rank processes, and schedules a
+  ``daemon_down`` announcement from the HNP that fans out over a radix
+  tree, letting surviving daemons fail in-flight grpcomm instances and
+  evict the node's procs.
+
+Everything is scheduled on the simulation engine, so runs stay
+deterministic: same seed + same plan = same event sequence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.pmix.types import PMIX_ERR_PROC_ABORTED, PmixProc
+from repro.simtime.faults import (  # re-exported: the public fault API
+    Disposition,
+    FaultAction,
+    FaultPlan,
+    MsgView,
+    random_plan,
+)
+
+__all__ = [
+    "Disposition",
+    "FaultAction",
+    "FaultManager",
+    "FaultPlan",
+    "MsgView",
+    "random_plan",
+]
+
+
+class FaultManager:
+    """Per-cluster fault state: the plan, the dead, and the fault points."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.machine = cluster.machine
+        self.plan: Optional[FaultPlan] = None
+        self.default_job = None            # bound by Cluster.launch
+        self.dead_procs: set = set()       # PmixProc
+        self.dead_nodes: set = set()       # node ids
+        self._rank_procs: Dict[PmixProc, Any] = {}   # PmixProc -> SimProcess
+        self._runtimes: List[Any] = []     # MpiRuntime observers
+        self.stats: Counter = Counter()
+        # Once any fault has happened (or a plan is installed), servers
+        # arm per-collective timeout timers so no protocol race can hang
+        # the simulation — see docs/faults.md "bounded termination".
+        self.active = False
+
+    # -- wiring ------------------------------------------------------------
+    def install(self, plan: FaultPlan) -> None:
+        """Install a plan; timed kills are scheduled immediately."""
+        if self.plan is not None:
+            raise RuntimeError("a FaultPlan is already installed on this cluster")
+        self.plan = plan
+        self.active = True
+        self.cluster.trace("faults", "plan_installed", plan=plan.describe())
+        for act in plan.timed_kills():
+            when = max(self.engine.now, act.at_time)
+            self.engine.call_at(when, lambda a=act: self._execute(a))
+
+    def register_runtime(self, runtime) -> None:
+        self._runtimes.append(runtime)
+
+    def register_rank_proc(self, proc: PmixProc, sim_proc) -> None:
+        self._rank_procs[proc] = sim_proc
+
+    # -- queries -----------------------------------------------------------
+    def is_dead_proc(self, proc: PmixProc) -> bool:
+        return proc in self.dead_procs
+
+    def is_dead_node(self, node: int) -> bool:
+        return node in self.dead_nodes
+
+    def daemon_alive(self, node: int) -> bool:
+        return node not in self.dead_nodes
+
+    @property
+    def collective_timeout(self) -> float:
+        return self.machine.fault_collective_timeout
+
+    # -- message fault points ---------------------------------------------
+    def on_message(self, layer: str, src, dst, tag) -> Optional[Disposition]:
+        """Consult the plan for one message; executes triggered kills."""
+        if self.plan is None:
+            return None
+        view = MsgView(layer=layer, src=src, dst=dst, tag=tag, time=self.engine.now)
+        disp = self.plan.on_message(view)
+        if not disp:
+            return None
+        for kind in disp.matched:
+            # Kill kinds are counted by kill_rank/kill_node themselves.
+            if kind not in ("kill_proc", "kill_node"):
+                self.stats[kind] += 1
+        self.cluster.trace(
+            "faults", "msg_fault", layer=layer, src=str(src), dst=str(dst),
+            tag=str(tag), matched=tuple(disp.matched),
+        )
+        for act in disp.kills:
+            self._execute(act)
+        return disp
+
+    def dead_drop(self, layer: str, src, dst) -> None:
+        """Account for a message silently dropped at a dead endpoint."""
+        self.stats["dead_drop"] += 1
+        self.cluster.trace("faults", "dead_drop", layer=layer, src=str(src), dst=str(dst))
+
+    # -- kill execution ----------------------------------------------------
+    def _execute(self, act: FaultAction) -> None:
+        if act.kind == "kill_proc":
+            job = self.default_job
+            if job is None:
+                self.cluster.trace("faults", "kill_skipped", reason="no job bound",
+                                   rank=act.rank)
+                return
+            self.kill_rank(job, act.rank)
+        else:
+            self.kill_node(act.node)
+
+    def kill_rank(self, job, rank: int, sim_proc=None, code: Optional[int] = None,
+                  reason: str = "injected failure") -> None:
+        """Kill one rank: SimProcess, PMIx liveness, event broadcast.
+
+        ``code`` overrides the event status broadcast to handlers
+        (``Cluster.fail_process`` passes ``PMIX_ERR_PROC_TERMINATED``
+        for backward compatibility); the server always marks the proc
+        dead either way.
+        """
+        proc = job.proc(rank)
+        if proc in self.dead_procs:
+            return
+        self.active = True
+        self.dead_procs.add(proc)
+        self.stats["kill_proc"] += 1
+        self.cluster.trace("faults", "kill_proc", proc=str(proc), rank=rank,
+                           reason=reason)
+        sim = sim_proc if sim_proc is not None else self._rank_procs.get(proc)
+        if sim is not None:
+            sim.kill(f"fault injection: {reason} (rank {rank})")
+        node = job.topology.node_of(rank)
+        self.cluster.servers[node].client_aborted(proc, code=code)
+        self._notify_runtimes(proc)
+
+    def kill_node(self, node: int, reason: str = "injected node failure") -> None:
+        """Kill a whole node: daemon, PMIx server, and its rank processes."""
+        dvm = self.cluster.dvm
+        if node == dvm.hnp_node:
+            raise ValueError(
+                "cannot kill the HNP node (node 0): the model has no HNP "
+                "failover, see docs/faults.md"
+            )
+        if node in self.dead_nodes:
+            return
+        self.active = True
+        self.dead_nodes.add(node)
+        self.stats["kill_node"] += 1
+        self.cluster.trace("faults", "kill_node", node=node, reason=reason)
+        daemon = dvm.daemon_for(node)
+        daemon.alive = False
+
+        # Every proc hosted on the node dies with it.  The dead node's
+        # own server does no broadcasting — survivors learn through the
+        # HNP's daemon_down announcement below.
+        victims = []
+        server = self.cluster.servers[node]
+        for nspace, rank_map in server.job_maps.items():
+            for rank, home in rank_map.items():
+                if home == node:
+                    victims.append(PmixProc(nspace, rank))
+        for proc in sorted(victims):
+            if proc in self.dead_procs:
+                continue
+            self.dead_procs.add(proc)
+            sim = self._rank_procs.get(proc)
+            if sim is not None:
+                sim.kill(f"fault injection: node {node} died")
+            self._notify_runtimes(proc)
+
+        # Failure detection: after the detect latency the HNP notices the
+        # lost daemon and xcasts daemon_down over the routing tree.
+        self.engine.call_later(
+            self.machine.daemon_failure_detect,
+            lambda: dvm.announce_daemon_down(node),
+        )
+
+    # -- MPI-runtime notification ------------------------------------------
+    def _notify_runtimes(self, proc: PmixProc) -> None:
+        latency = self.machine.daemon_failure_detect
+        for rt in list(self._runtimes):
+            self.engine.call_later(latency, lambda r=rt: r.peer_failed(proc))

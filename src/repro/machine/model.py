@@ -61,6 +61,16 @@ class MachineModel:
     session_handle_init_cost: float = 60.0e-3  # first-session MPI resource init
     add_procs_local_cost: float = 0.1e-3    # per node-local peer at MPI_Init
 
+    # -- fault handling ------------------------------------------------------
+    # How long until a death is noticed: the HNP's daemon heartbeat
+    # timeout (node failures) and the runtime's error-propagation delay
+    # (proc failures) share one constant at this fidelity.
+    daemon_failure_detect: float = 50.0e-6
+    # Bounded-termination net: once faults are active, a PMIx collective
+    # stuck longer than this fails with PMIX_ERR_TIMEOUT instead of
+    # hanging (covers races the propagation protocol cannot see).
+    fault_collective_timeout: float = 0.5
+
     # -- OS scheduling -------------------------------------------------------
     # Effective nanosleep() wakeup granularity under load (timer slack +
     # scheduler latency on a busy node) — drives the sessions-quiescence

@@ -34,6 +34,7 @@ from repro.ompi.errors import (
     MPIErrArg,
     MPIErrComm,
     MPIErrGroup,
+    MPIErrProcFailed,
     MPIErrRank,
     MPIErrTag,
 )
@@ -71,6 +72,15 @@ class Communicator:
         self.errhandler: Errhandler = ERRORS_ARE_FATAL
         self.attrs = runtime.new_attr_cache()
         self.freed = False
+        # Fault state (ULFM-lite, docs/faults.md): ranks known to have
+        # failed.  A communicator with failed peers is *damaged* — every
+        # new operation on it raises MPI_ERR_PROC_FAILED rather than
+        # risking a hang on a peer that will never answer.
+        self.failed_peers: set = set()
+        for p in getattr(runtime, "failed_procs", ()):
+            r = group.rank_of(p)
+            if r >= 0:
+                self.failed_peers.add(r)
         # exCID handshake state (paper §III-B4).
         self.peer_cids: dict = {}      # peer rank -> peer's local CID
         self.acks_sent: set = set()    # peer ranks we already ACKed
@@ -92,6 +102,47 @@ class Communicator:
     def _check(self) -> None:
         if self.freed:
             raise MPIErrComm(f"{self.name} used after free")
+
+    # ------------------------------------------------------------------
+    # fault state
+    # ------------------------------------------------------------------
+    def _damage_error(self) -> MPIErrProcFailed:
+        return MPIErrProcFailed(
+            f"{self.name}: peer rank(s) {sorted(self.failed_peers)} failed"
+        )
+
+    def _check_damage(self) -> None:
+        """Raise (raw) if this communicator has failed peers."""
+        if self.failed_peers:
+            raise self._damage_error()
+
+    def _pre_coll(self) -> None:
+        """Entry check for collectives: free state + damage, routed
+        through the communicator's error handler."""
+        self._check()
+        if self.failed_peers:
+            self.errhandler.invoke(self, self._damage_error())
+
+    def peer_failed(self, rank: int, proc) -> None:
+        """A member process died: damage this communicator.
+
+        Pending receives are failed with MPI_ERR_PROC_FAILED (they were
+        posted against a context that can no longer complete collectively)
+        and in-flight rendezvous requests are failed at the endpoint.
+        """
+        if self.freed or rank in self.failed_peers:
+            return
+        self.failed_peers.add(rank)
+        self.runtime.cluster.trace(
+            "faults", "comm_damaged", comm=self.name, rank=self.rank, failed=rank
+        )
+        endpoint = self.runtime.endpoint
+        if endpoint is not None:
+            err = MPIErrProcFailed(f"{self.name}: peer rank {rank} ({proc}) failed")
+            for posted in endpoint.matching.cancel_posted(self.local_cid):
+                if posted.request is not None and not posted.request.completed:
+                    posted.request.fail(err)
+            endpoint.comm_failed(self)
 
     def get_rank(self) -> int:
         self._check()
@@ -148,9 +199,13 @@ class Communicator:
         self._check()
         self._check_user_tag(tag)
         self._check_peer(dest)
-        return (yield from self._isend_internal(obj, dest, tag, nbytes))
+        try:
+            return (yield from self._isend_internal(obj, dest, tag, nbytes))
+        except MPIErrProcFailed as err:
+            self.errhandler.invoke(self, err)
 
     def _isend_internal(self, obj, dest: int, tag: int, nbytes: Optional[int] = None):
+        self._check_damage()
         size = nbytes if nbytes is not None else sizeof_payload(obj)
         req = Request("send")
         yield from self.runtime.endpoint.isend(self, obj, dest, tag, size, req)
@@ -161,9 +216,13 @@ class Communicator:
         self._check()
         self._check_user_tag(tag, recv=True)
         self._check_peer(source, recv=True)
-        return self._irecv_internal(source, tag)
+        try:
+            return self._irecv_internal(source, tag)
+        except MPIErrProcFailed as err:
+            self.errhandler.invoke(self, err)
 
     def _irecv_internal(self, source: int, tag: int) -> Request:
+        self._check_damage()
         req = Request("recv")
         self.runtime.endpoint.irecv(self, source, tag, req)
         return req
@@ -203,10 +262,13 @@ class Communicator:
         self._check()
         self._check_peer(dest)
         self._check_peer(recvsource, recv=True)
-        rreq = self._irecv_internal(recvsource, recvtag)
-        sreq = yield from self._isend_internal(sendobj, dest, sendtag, nbytes)
-        yield from sreq.wait()
-        yield from rreq.wait()
+        try:
+            rreq = self._irecv_internal(recvsource, recvtag)
+            sreq = yield from self._isend_internal(sendobj, dest, sendtag, nbytes)
+            yield from sreq.wait()
+            yield from rreq.wait()
+        except MPIErrProcFailed as err:
+            self.errhandler.invoke(self, err)
         return rreq.payload
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
@@ -285,101 +347,101 @@ class Communicator:
     # collectives
     # ------------------------------------------------------------------
     def barrier(self):
-        self._check()
+        self._pre_coll()
         yield from coll.barrier(self)
 
     def ibarrier(self):
         """Sub-generator: returns a Request completed when all arrive."""
-        self._check()
+        self._pre_coll()
         req = Request("ibarrier")
         yield Spawn(coll.ibarrier_runner(self, req), name=f"ibarrier-{self.name}-r{self.rank}")
         return req
 
     def bcast(self, obj, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.bcast(self, obj, root, nbytes))
 
     def reduce(self, value, op: Op, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.reduce(self, value, op, root, nbytes))
 
     def allreduce(self, value, op: Op, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.allreduce(self, value, op, nbytes))
 
     def _internal_allreduce(self, value, op: Op, tag: int):
         return (yield from coll.allreduce(self, value, op, nbytes=8, tag=tag))
 
     def gather(self, value, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.gather(self, value, root, nbytes))
 
     def scatter(self, values, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.scatter(self, values, root, nbytes))
 
     def allgather(self, value, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.allgather(self, value, nbytes))
 
     def alltoall(self, values, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.alltoall(self, values, nbytes))
 
     def scan(self, value, op: Op, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.scan(self, value, op, nbytes))
 
     def exscan(self, value, op: Op, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         return (yield from coll.exscan(self, value, op, nbytes))
 
     # -- v-variants and reduce_scatter ----------------------------------
     def gatherv(self, value, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.vcolls import gatherv
 
         return (yield from gatherv(self, value, root, nbytes))
 
     def scatterv(self, values, root: int = 0):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.vcolls import scatterv
 
         return (yield from scatterv(self, values, root))
 
     def allgatherv(self, value, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.vcolls import allgatherv
 
         return (yield from allgatherv(self, value, nbytes))
 
     def reduce_scatter_block(self, values, op: Op, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.vcolls import reduce_scatter_block
 
         return (yield from reduce_scatter_block(self, values, op, nbytes))
 
     # -- nonblocking collectives ------------------------------------------
     def ibcast(self, obj, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.nonblocking import ibcast
 
         return (yield from ibcast(self, obj, root, nbytes))
 
     def iallreduce(self, value, op: Op, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.nonblocking import iallreduce
 
         return (yield from iallreduce(self, value, op, nbytes))
 
     def igather(self, value, root: int = 0, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.nonblocking import igather
 
         return (yield from igather(self, value, root, nbytes))
 
     def iallgather(self, value, nbytes: Optional[int] = None):
-        self._check()
+        self._pre_coll()
         from repro.ompi.coll.nonblocking import iallgather
 
         return (yield from iallgather(self, value, nbytes))

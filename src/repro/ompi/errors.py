@@ -26,6 +26,7 @@ ERR_SESSION = 62
 ERR_TAG = 4
 ERR_TRUNCATE = 14
 ERR_UNSUPPORTED_OPERATION = 52
+ERR_PROC_FAILED = 75              # MPI_ERR_PROC_FAILED (ULFM / MPI-4 FT)
 
 _ERRCLASS_NAMES = {
     ERR_ARG: "MPI_ERR_ARG",
@@ -41,6 +42,7 @@ _ERRCLASS_NAMES = {
     ERR_TAG: "MPI_ERR_TAG",
     ERR_TRUNCATE: "MPI_ERR_TRUNCATE",
     ERR_UNSUPPORTED_OPERATION: "MPI_ERR_UNSUPPORTED_OPERATION",
+    ERR_PROC_FAILED: "MPI_ERR_PROC_FAILED",
 }
 
 
@@ -93,6 +95,18 @@ class MPIErrPending(MPIError):
 
 class MPIErrIntern(MPIError):
     errclass = ERR_INTERN
+
+
+class MPIErrProcFailed(MPIError):
+    """A peer process (or its node) died — operations touching it fail
+    with this class instead of deadlocking (fault injection, see
+    docs/faults.md)."""
+
+    errclass = ERR_PROC_FAILED
+
+
+# The name the fault-injection docs/tests use.
+ProcFailed = MPIErrProcFailed
 
 
 class MPIAbort(Exception):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.ompi.constants import ANY_SOURCE, ANY_TAG
 
@@ -123,6 +123,27 @@ class MatchingEngine:
                 self.unexpected_hits += 1
                 return msg
         return None
+
+    def cancel_posted(self, cid: int) -> List[PostedRecv]:
+        """Remove and return every posted receive for ``cid`` (peer
+        failure: the communicator fails them with MPI_ERR_PROC_FAILED)."""
+        q = self._by_cid.get(cid)
+        if q is None:
+            return []
+        cancelled = list(q.posted)
+        q.posted.clear()
+        return cancelled
+
+    def remove_posted(self, cid: int, posted: PostedRecv) -> bool:
+        """Un-post one receive (it is being failed instead of matched)."""
+        q = self._by_cid.get(cid)
+        if q is None:
+            return False
+        try:
+            q.posted.remove(posted)
+            return True
+        except ValueError:
+            return False
 
     def pending_posted(self, cid: int) -> int:
         return len(self._queues(cid).posted)

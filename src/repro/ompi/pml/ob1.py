@@ -31,7 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ompi.btl.net import NetworkBTL
 from repro.ompi.btl.sm import SharedMemoryBTL
-from repro.ompi.errors import MPIErrIntern
+from repro.ompi.errors import MPIErrIntern, MPIErrProcFailed
 from repro.ompi.pml.headers import ExtendedHeader, MatchHeader, header_bytes
 from repro.ompi.pml.matching import IncomingMsg, MatchingEngine, PostedRecv
 from repro.ompi.status import Status
@@ -74,9 +74,13 @@ class Fabric:
         self.cluster = cluster
         self.engine = cluster.engine
         self.machine = cluster.machine
+        self.faults = getattr(cluster, "faults", None)
         self._endpoints: Dict[PmixProc, "Ob1Endpoint"] = {}
         self.packets = 0
         self.bytes = 0
+        # FIFO floor per (src, dst): delay/dup faults must not reorder a
+        # pair's packets (the seq check would flag it as corruption).
+        self._pair_floor: Dict[tuple, float] = {}
 
     def register(self, proc: PmixProc, endpoint: "Ob1Endpoint") -> None:
         self._endpoints[proc] = endpoint
@@ -94,10 +98,38 @@ class Fabric:
         return self.endpoint(a).node == self.endpoint(b).node
 
     def deliver_at(self, when: float, dst: PmixProc, pkt: Packet) -> None:
+        copies = 1
+        faults = self.faults
+        if faults is not None and faults.active:
+            if faults.is_dead_proc(dst) or faults.is_dead_proc(pkt.src_proc):
+                faults.dead_drop("pml", pkt.src_proc, dst)
+                return
+            tag = pkt.hdr.tag if pkt.hdr is not None else pkt.kind
+            disp = faults.on_message("pml", pkt.src_proc, dst, tag)
+            if disp is not None:
+                if disp.drop:
+                    return
+                when += disp.extra_delay
+                copies += disp.duplicates
+            key = (pkt.src_proc, dst)
+            when = max(when, self._pair_floor.get(key, 0.0))
+            self._pair_floor[key] = when
         self.packets += 1
         self.bytes += pkt.wire_bytes()
         ep = self.endpoint(dst)
-        self.engine.call_at(when, lambda: ep.deliver(pkt))
+        for _ in range(copies):
+            self.engine.call_at(when, lambda: self._deliver_checked(ep, pkt))
+
+    def _deliver_checked(self, ep: "Ob1Endpoint", pkt: Packet) -> None:
+        # Liveness is re-checked at delivery time: the destination (or
+        # the sender) may have died while the packet was in flight.
+        faults = self.faults
+        if faults is not None and faults.active and (
+            faults.is_dead_proc(ep.proc) or faults.is_dead_proc(pkt.src_proc)
+        ):
+            faults.dead_drop("pml", pkt.src_proc, ep.proc)
+            return
+        ep.deliver(pkt)
 
 
 class Ob1Endpoint:
@@ -118,7 +150,14 @@ class Ob1Endpoint:
         self._send_seq: Dict[PmixProc, int] = {}
         self._recv_seq: Dict[PmixProc, int] = {}
         self._known_peers: set = set()
-        self.stats = {"sent": 0, "recv": 0, "ext_sent": 0, "ext_recv": 0, "acks": 0}
+        # In-flight requests whose completion depends on a peer: rendezvous
+        # sends awaiting CTS, and matched rendezvous receives awaiting data.
+        # Entries are (comm_identity, peer, request); peer_failed()/
+        # comm_failed() fail them with MPI_ERR_PROC_FAILED instead of
+        # letting the rank hang forever.
+        self._pending: List[Tuple[Any, PmixProc, Any]] = []
+        self.stats = {"sent": 0, "recv": 0, "ext_sent": 0, "ext_recv": 0,
+                      "acks": 0, "dup_dropped": 0}
         self.fabric.register(self.proc, self)
 
     # ------------------------------------------------------------------
@@ -170,12 +209,51 @@ class Ob1Endpoint:
         return seq
 
     # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _track_pending(self, comm, peer: PmixProc, request) -> None:
+        if len(self._pending) > 64:
+            self._pending = [e for e in self._pending if not e[2].completed]
+        self._pending.append((comm.identity(), peer, request))
+
+    def peer_failed(self, peer: PmixProc) -> None:
+        """Fail in-flight requests that can only complete via ``peer``."""
+        keep = []
+        for ident, p, req in self._pending:
+            if req.completed:
+                continue
+            if p == peer:
+                req.fail(MPIErrProcFailed(f"peer {peer} failed"))
+            else:
+                keep.append((ident, p, req))
+        self._pending = keep
+
+    def comm_failed(self, comm) -> None:
+        """Fail in-flight requests on a damaged communicator."""
+        ident = comm.identity()
+        keep = []
+        for cid, p, req in self._pending:
+            if req.completed:
+                continue
+            if cid == ident:
+                req.fail(MPIErrProcFailed(f"{comm.name}: peer failure on communicator"))
+            else:
+                keep.append((cid, p, req))
+        self._pending = keep
+
+    def _peer_dead(self, peer: PmixProc) -> bool:
+        faults = self.fabric.faults
+        return faults is not None and faults.is_dead_proc(peer)
+
+    # ------------------------------------------------------------------
     # send path
     # ------------------------------------------------------------------
     def isend(self, comm, payload, dest_rank: int, tag: int, nbytes: int, request):
         """Sub-generator: start a send; the caller's process is occupied
         for the injection time (MPI_Isend CPU cost)."""
         peer = comm.group.proc(dest_rank)
+        if self._peer_dead(peer):
+            raise MPIErrProcFailed(f"{comm.name}: send to failed peer rank {dest_rank}")
         yield from self._discover_peer(peer)
 
         ext = None
@@ -204,6 +282,7 @@ class Ob1Endpoint:
             # the data phase after CTS (stashed on the packet object — the
             # wire cost in wire_bytes() deliberately excludes it).
             pkt._rts_payload = payload
+            self._track_pending(comm, peer, request)
         self.stats["sent"] += 1
         if ext is not None:
             self.stats["ext_sent"] += 1
@@ -221,12 +300,17 @@ class Ob1Endpoint:
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
-    def irecv(self, comm, src_rank: int, tag: int, request) -> None:
-        """Post a receive (instantaneous bookkeeping)."""
+    def irecv(self, comm, src_rank: int, tag: int, request) -> bool:
+        """Post a receive (instantaneous bookkeeping).
+
+        Returns True when the receive matched an already-arrived message
+        (its completion is in flight and no longer cancellable)."""
         posted = PostedRecv(src=src_rank, tag=tag, request=request)
         msg = self.matching.post_recv(comm.local_cid, posted)
         if msg is not None:
             self._consume_match(comm, posted, msg)
+            return True
+        return False
 
     def probe(self, comm, src_rank: int, tag: int) -> Optional[Status]:
         msg = self.matching.probe(comm.local_cid, src_rank, tag)
@@ -269,6 +353,10 @@ class Ob1Endpoint:
         self.stats["recv"] += 1
         seq_key = (pkt.src_proc, comm.identity())
         expected = self._recv_seq.get(seq_key, 0)
+        if pkt.hdr.seq < expected:
+            # Duplicate delivery (dup_msg fault): already consumed.
+            self.stats["dup_dropped"] += 1
+            return
         if pkt.hdr.seq != expected:
             raise MPIErrIntern(
                 f"out-of-order delivery from {pkt.src_proc} on {comm.identity()}: "
@@ -330,12 +418,21 @@ class Ob1Endpoint:
         self.engine.call_at(complete_at, lambda: self._match_complete(comm, posted, msg))
 
     def _match_complete(self, comm, posted: PostedRecv, msg: IncomingMsg) -> None:
+        if posted.request.completed:
+            return  # already failed (peer/communicator failure raced the match)
         if msg.protocol == "eager":
             posted.request.complete(
                 Status(source=msg.src, tag=msg.tag, count=msg.nbytes), payload=msg.payload
             )
         else:
-            # Rendezvous: ask the sender for the bulk data.
+            # Rendezvous: ask the sender for the bulk data.  A dead
+            # sender can never answer the CTS — fail the receive now.
+            if self._peer_dead(msg.sender):
+                posted.request.fail(
+                    MPIErrProcFailed(f"{comm.name}: rendezvous sender {msg.sender} failed")
+                )
+                return
+            self._track_pending(comm, msg.sender, posted.request)
             cts = Packet(
                 kind="cts",
                 src_proc=self.proc,
@@ -367,6 +464,8 @@ class Ob1Endpoint:
             self.runtime.cluster.trace("pml", "cid_switch", peer=rank)
 
     def _deliver_cts(self, pkt: Packet) -> None:
+        if pkt.sender_req.completed:
+            return  # duplicate CTS, or the send was already failed
         payload, src, tag, nbytes = pkt.payload
         data = Packet(
             kind="data",
@@ -380,9 +479,12 @@ class Ob1Endpoint:
         sender_req = pkt.sender_req
         self.engine.call_at(
             injection_done,
-            lambda: sender_req.complete(Status(source=0, tag=tag, count=nbytes)),
+            lambda: sender_req.completed
+            or sender_req.complete(Status(source=0, tag=tag, count=nbytes)),
         )
 
     def _deliver_data(self, pkt: Packet) -> None:
+        if pkt.recv_req.completed:
+            return  # duplicate data packet, or the receive was already failed
         payload, src, tag, nbytes = pkt.payload
         pkt.recv_req.complete(Status(source=src, tag=tag, count=nbytes), payload=payload)

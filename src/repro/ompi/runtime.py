@@ -26,6 +26,7 @@ from repro.ompi.errors import (
     MPIErrArg,
     MPIErrComm,
     MPIErrIntern,
+    MPIErrProcFailed,
     MPIErrSession,
 )
 from repro.ompi.excid import ExcidState
@@ -34,6 +35,7 @@ from repro.ompi.instance import instance_acquire, instance_release
 from repro.ompi.opal.cleanup import CleanupFramework, SubsystemRegistry
 from repro.ompi.opal.mca import MCARegistry
 from repro.ompi.session import Session
+from repro.pmix.types import PMIX_ERR_PROC_ABORTED, PMIX_ERR_TIMEOUT, PmixError
 from repro.simtime.process import Sleep
 
 
@@ -79,6 +81,11 @@ class MpiRuntime:
         self.COMM_SELF: Optional[Communicator] = None
         self._binary_loaded = False
         self.live_comms: List[Communicator] = []
+
+        # Fault state: peers this runtime has been told are dead (fed by
+        # the cluster's FaultManager, docs/faults.md).  Communicators
+        # created after a failure inherit it via their constructor.
+        self.failed_procs: set = set()
 
     # ------------------------------------------------------------------
     # small helpers used across the library
@@ -132,6 +139,24 @@ class MpiRuntime:
         # silent wrong-communicator delivery.
         self._early_cid_pkts.pop(comm.local_cid, None)
         self.live_comms = [c for c in self.live_comms if c is not comm]
+
+    # -- fault notification ----------------------------------------------------
+    def peer_failed(self, proc) -> None:
+        """A peer process died: damage every communicator containing it.
+
+        Called by the FaultManager once the failure-detection delay has
+        elapsed (mirrors the PMIx PROC_ABORTED event reaching the RTE
+        thread in real Open MPI).
+        """
+        if proc == self.proc or proc in self.failed_procs:
+            return
+        self.failed_procs.add(proc)
+        if self.endpoint is not None:
+            self.endpoint.peer_failed(proc)
+        for comm in list(self.live_comms):
+            rank = comm.group.rank_of(proc)
+            if rank >= 0:
+                comm.peer_failed(rank, proc)
 
     def comm_by_cid(self, cid: int) -> Optional[Communicator]:
         return self.cid_table.get(cid)
@@ -297,7 +322,16 @@ class MpiRuntime:
         if group.rank_of(self.proc) < 0:
             raise MPIErrArg("caller must be a member of the group")
         gid = f"cfg:{stringtag}"
-        pgcid = yield from self.pmix.group_construct(gid, list(group.members()))
+        try:
+            pgcid = yield from self.pmix.group_construct(gid, list(group.members()))
+        except PmixError as err:
+            if err.status in (PMIX_ERR_PROC_ABORTED, PMIX_ERR_TIMEOUT):
+                mpi_err = MPIErrProcFailed(
+                    f"comm_create_from_group({stringtag!r}) aborted: "
+                    f"a group member failed ({err})"
+                )
+                (errhandler or ERRORS_ARE_FATAL).invoke(self, mpi_err)
+            raise
         comm = Communicator(
             self,
             group,

@@ -67,6 +67,18 @@ class Session:
         self._check()
         return self.info
 
+    def set_errhandler(self, handler: Errhandler) -> None:
+        """MPI_Session_set_errhandler."""
+        self._check()
+        self.errhandler = handler
+
+    def call_errhandler(self, error) -> None:
+        """MPI_Session_call_errhandler: route ``error`` (e.g. a
+        :class:`~repro.ompi.errors.MPIErrProcFailed` from fault
+        injection) through this session's handler."""
+        self._check()
+        self.errhandler.invoke(self, error)
+
     # ------------------------------------------------------------------
     # process sets
     # ------------------------------------------------------------------

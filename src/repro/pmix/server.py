@@ -19,6 +19,9 @@ from typing import TYPE_CHECKING
 from repro.pmix.datastore import Datastore
 from repro.pmix.types import (
     PMIX_ERR_NOT_FOUND,
+    PMIX_ERR_PROC_ABORTED,
+    PMIX_ERR_PROC_TERMINATED,
+    PMIX_ERR_TIMEOUT,
     PmixError,
     PmixProc,
 )
@@ -27,6 +30,11 @@ from repro.simtime.primitives import SimEvent
 if TYPE_CHECKING:  # break the pmix <-> prrte import cycle; runtime duck-typed
     from repro.prrte.dvm import Daemon
     from repro.prrte.psets import PsetRegistry
+
+# A dead participant's stand-in contribution.  It travels through
+# grpcomm like a blob, so every server sees the same failed-participant
+# set and releases its clients with the same error.
+ABORTED_MARKER = "__pmix_proc_aborted__"
 
 
 @dataclass
@@ -38,6 +46,15 @@ class _LocalCollective:
     arrived: Dict[PmixProc, Dict] = field(default_factory=dict)
     events: Dict[PmixProc, SimEvent] = field(default_factory=dict)
     launched: bool = False
+    # Launch parameters (kept so death notifications can trigger the
+    # launch later, without the original arriving call's arguments).
+    participants: Optional[List[PmixProc]] = None   # None = whole namespace
+    nspace: str = ""
+    need_context_id: bool = False
+    on_complete: Optional[Callable[[Any], None]] = None
+    kind: str = "fence"
+    aborted: set = field(default_factory=set)       # dead local participants
+    timer: Any = None                               # bounded-termination timer
 
 
 @dataclass
@@ -69,6 +86,7 @@ class PmixServer(AsyncGroupServerMixin):
         self.datastore = Datastore()
         self.job_maps: Dict[str, Dict[int, int]] = {}   # nspace -> rank -> node
         self.local_clients: Dict[PmixProc, Any] = {}
+        self.dead_procs: set = set()   # procs this server knows have died
         self.groups: Dict[str, GroupRecord] = {}
         self._collectives: Dict[Hashable, _LocalCollective] = {}
         self._event_regs: List[_EventRegistration] = []
@@ -144,11 +162,13 @@ class PmixServer(AsyncGroupServerMixin):
         """A local client arrives at collective ``sig``.
 
         Returns the event that will succeed (with the grpcomm result)
-        once stage three releases this client.  ``on_complete`` runs once
-        per *server* when the inter-server exchange finishes (used to
-        merge fence data / record groups).  The server's CPU serializes
-        arrival processing — this is stage one of the paper's hierarchy
-        and the source of the per-ppn cost in Fig 3.
+        once stage three releases this client — or *fail* with a
+        :class:`PmixError` if a participant died.  ``on_complete`` runs
+        once per *server* when the inter-server exchange finishes (used
+        to merge fence data / record groups); it is skipped on error.
+        The server's CPU serializes arrival processing — this is stage
+        one of the paper's hierarchy and the source of the per-ppn cost
+        in Fig 3.
         """
         state = self._collectives.get(sig)
         if state is None:
@@ -160,8 +180,19 @@ class PmixServer(AsyncGroupServerMixin):
                 ]
             else:
                 local = [p for p in participants if self.node_of(p) == self.node]
-            state = _LocalCollective(sig=sig, local_participants=local)
+            state = _LocalCollective(
+                sig=sig,
+                local_participants=local,
+                participants=list(participants) if participants is not None else None,
+                nspace=proc.nspace,
+                need_context_id=need_context_id,
+                on_complete=on_complete,
+                kind=kind,
+            )
+            # Participants already known dead contribute a marker.
+            state.aborted = {p for p in local if p in self.dead_procs}
             self._collectives[sig] = state
+            self._arm_fault_timer(state)
         if proc in state.arrived:
             raise PmixError(
                 PMIX_ERR_NOT_FOUND, f"{proc} arrived twice at collective {sig!r}"
@@ -173,41 +204,188 @@ class PmixServer(AsyncGroupServerMixin):
         # Stage 1: the server processes this notification serially.
         self._busy_until = max(self.engine.now, self._busy_until) + self._client_cost(kind)
 
-        if not state.launched and len(state.arrived) == len(state.local_participants):
-            state.launched = True
-            self._warm_kinds.add(kind)
-            contribution = {p: b for p, b in state.arrived.items()}
-            if participants is None:
-                nodes = self.job_nodes(proc.nspace)
-            else:
-                nodes = sorted({self.node_of(p) for p in participants})
-            release_cost = self.machine.local_rpc_cost
-
-            def launch() -> None:
-                done = self.daemon.grpcomm.allgather(
-                    sig, nodes, contribution, need_context_id=need_context_id
-                )
-
-                def on_done(result, exc) -> None:
-                    if exc is not None:  # pragma: no cover
-                        raise exc
-                    self._collectives.pop(sig, None)
-                    if on_complete is not None:
-                        on_complete(result)
-                    # Stage 3: release local clients one RPC at a time.
-                    release_at = max(self.engine.now, self._busy_until)
-                    for client_ev in state.events.values():
-                        release_at += release_cost
-                        self.engine.call_at(
-                            release_at, lambda e=client_ev: e.succeed(result)
-                        )
-                    self._busy_until = release_at
-
-                done.add_waiter(on_done)
-
-            # Stage 2 starts once every local notification is processed.
-            self.engine.call_at(max(self.engine.now, self._busy_until), launch)
+        self._maybe_launch(state)
         return ev
+
+    def _maybe_launch(self, state: _LocalCollective) -> None:
+        """Stage 2: launch the inter-server exchange once every local
+        participant has either arrived or is known dead."""
+        if state.launched or not state.arrived:
+            return
+        if not all(
+            p in state.arrived or p in state.aborted
+            for p in state.local_participants
+        ):
+            return
+        state.launched = True
+        self._warm_kinds.add(state.kind)
+        contribution: Dict = dict(state.arrived)
+        for p in state.aborted:
+            contribution[p] = ABORTED_MARKER
+        if state.participants is None:
+            nodes = self.job_nodes(state.nspace)
+        else:
+            nodes = sorted({self.node_of(p) for p in state.participants})
+        # Nodes known dead cannot contribute; surviving daemons that have
+        # heard the daemon_down announcement agree on the reduced set.
+        nodes = [n for n in nodes if n == self.node or not self.daemon.is_node_down(n)]
+        sig = state.sig
+
+        def launch() -> None:
+            if self._collectives.get(sig) is not state:
+                return  # timed out / aborted while queued behind the CPU
+            done = self.daemon.grpcomm.allgather(
+                sig, nodes, contribution, need_context_id=state.need_context_id
+            )
+
+            def on_done(result, exc) -> None:
+                if exc is not None:  # pragma: no cover
+                    raise exc
+                if self._collectives.get(sig) is not state:
+                    return
+                self._release(state, result)
+
+            done.add_waiter(on_done)
+
+        # Stage 2 starts once every local notification is processed.
+        self.engine.call_at(max(self.engine.now, self._busy_until), launch)
+
+    def _release(self, state: _LocalCollective, result) -> None:
+        """Stage 3: release local clients one RPC at a time."""
+        self._collectives.pop(state.sig, None)
+        self._cancel_fault_timer(state)
+        failed = []
+        if getattr(result, "status", 0) == 0:
+            failed = sorted(
+                p for p, v in result.data.items() if v == ABORTED_MARKER
+            )
+        if getattr(result, "status", 0) != 0 or failed:
+            status = getattr(result, "status", 0) or PMIX_ERR_PROC_ABORTED
+            message = f"collective {state.sig!r} aborted"
+            if failed:
+                message += f"; dead participants: {', '.join(str(p) for p in failed)}"
+            self._release_error(state, status, message)
+            return
+        if state.on_complete is not None:
+            state.on_complete(result)
+        release_cost = self.machine.local_rpc_cost
+        release_at = max(self.engine.now, self._busy_until)
+        for client_ev in state.events.values():
+            release_at += release_cost
+            self.engine.call_at(release_at, lambda e=client_ev: e.succeed(result))
+        self._busy_until = release_at
+
+    def _release_error(self, state: _LocalCollective, status: int, message: str) -> None:
+        """Release waiting clients with a typed error instead of hanging."""
+        self._trace("collective_error", sig=repr(state.sig), status=status,
+                    kind=state.kind)
+        release_cost = self.machine.local_rpc_cost
+        release_at = max(self.engine.now, self._busy_until)
+        for client_ev in state.events.values():
+            if client_ev.triggered:
+                continue
+            release_at += release_cost
+            self.engine.call_at(
+                release_at,
+                lambda e=client_ev: e.triggered or e.fail(PmixError(status, message)),
+            )
+        self._busy_until = release_at
+
+    # -- fault handling -----------------------------------------------------
+    def _faults(self):
+        return getattr(self.daemon.dvm, "faults", None)
+
+    def _trace(self, event: str, **detail) -> None:
+        faults = self._faults()
+        if faults is not None:
+            faults.cluster.trace("faults", event, node=self.node, **detail)
+
+    def _arm_fault_timer(self, state: _LocalCollective) -> None:
+        """Bounded termination: once faults are active, no collective may
+        wait forever — propagation races fail with PMIX_ERR_TIMEOUT."""
+        faults = self._faults()
+        if faults is None or not faults.active:
+            return
+        state.timer = self.engine.call_later(
+            self.machine.fault_collective_timeout,
+            lambda: self._collective_timeout(state),
+        )
+
+    def _cancel_fault_timer(self, state: _LocalCollective) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+
+    def _collective_timeout(self, state: _LocalCollective) -> None:
+        if self._collectives.get(state.sig) is not state:
+            return
+        self._collectives.pop(state.sig, None)
+        self.daemon.grpcomm.abort_sig(state.sig)
+        self._release_error(
+            state,
+            PMIX_ERR_TIMEOUT,
+            f"collective {state.sig!r} abandoned after "
+            f"{self.machine.fault_collective_timeout}s under fault injection",
+        )
+
+    def client_aborted(self, proc: PmixProc, code: Optional[int] = None) -> None:
+        """Home-server entry point for a local client's death.
+
+        Marks the proc dead here, then broadcasts the failure event to
+        every node (including this one) so registered handlers and the
+        other servers learn about it.  ``code`` adds a second event with
+        a caller-chosen status (compatibility with the legacy
+        ``Cluster.fail_process``, which raised PROC_TERMINATED).
+        """
+        already = proc in self.dead_procs
+        self._mark_proc_dead(proc)
+        if already:
+            return
+        self.notify_event(PMIX_ERR_PROC_ABORTED, proc, {"reason": "process died"})
+        if code is not None and code != PMIX_ERR_PROC_ABORTED:
+            self.notify_event(code, proc, {"reason": "process died"})
+
+    def _mark_proc_dead(self, proc: PmixProc) -> None:
+        """Local bookkeeping for a death (idempotent, no broadcasting)."""
+        if proc in self.dead_procs:
+            return
+        self.dead_procs.add(proc)
+        self.local_clients.pop(proc, None)
+        self._event_regs = [r for r in self._event_regs if r.proc != proc]
+        self.psets.evict(proc)
+        # A dead proc can no longer arrive at stage one: collectives
+        # waiting on it launch now, contributing an aborted marker.
+        for state in list(self._collectives.values()):
+            if (
+                not state.launched
+                and proc in state.local_participants
+                and proc not in state.arrived
+                and proc not in state.aborted
+            ):
+                state.aborted.add(proc)
+                self._maybe_launch(state)
+
+    def node_down(self, down: int) -> None:
+        """A daemon died: evict its procs and notify local handlers.
+
+        Called on every surviving daemon by the daemon_down xcast; the
+        in-flight grpcomm instances are failed separately by
+        :meth:`repro.prrte.grpcomm.GrpcommModule.node_down`.
+        """
+        victims = []
+        for nspace, rank_map in self.job_maps.items():
+            for rank, home in rank_map.items():
+                if home == down:
+                    victims.append(PmixProc(nspace, rank))
+        for proc in sorted(victims):
+            already = proc in self.dead_procs
+            self._mark_proc_dead(proc)
+            if not already:
+                # Local delivery only: every surviving server runs this
+                # same handler, so no re-broadcast is needed.
+                self._deliver_local_event(
+                    PMIX_ERR_PROC_ABORTED, proc, {"reason": f"node {down} failed"}
+                )
 
     # -- fence ---------------------------------------------------------------
     def fence_arrive(
@@ -341,6 +519,13 @@ class PmixServer(AsyncGroupServerMixin):
         code = msg.payload["code"]
         source = msg.payload["source"]
         info = msg.payload["info"]
+        if code in (PMIX_ERR_PROC_ABORTED, PMIX_ERR_PROC_TERMINATED):
+            # Failure propagation: every server learns of the death from
+            # the event itself, keeping liveness views consistent.
+            self._mark_proc_dead(source)
+        self._deliver_local_event(code, source, info)
+
+    def _deliver_local_event(self, code: int, source: PmixProc, info: Dict) -> None:
         for reg in list(self._event_regs):
             if reg.codes is None or code in reg.codes:
                 self.engine.call_later(

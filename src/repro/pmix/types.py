@@ -17,6 +17,7 @@ PMIX_ERR_NOT_FOUND = -5
 PMIX_ERR_INVALID_OPERATION = -13
 PMIX_ERR_PROC_TERMINATED = -22
 PMIX_ERR_LOST_CONNECTION = -25
+PMIX_ERR_PROC_ABORTED = -26
 
 _STATUS_NAMES = {
     PMIX_SUCCESS: "PMIX_SUCCESS",
@@ -25,6 +26,7 @@ _STATUS_NAMES = {
     PMIX_ERR_INVALID_OPERATION: "PMIX_ERR_INVALID_OPERATION",
     PMIX_ERR_PROC_TERMINATED: "PMIX_ERR_PROC_TERMINATED",
     PMIX_ERR_LOST_CONNECTION: "PMIX_ERR_LOST_CONNECTION",
+    PMIX_ERR_PROC_ABORTED: "PMIX_ERR_PROC_ABORTED",
 }
 
 

@@ -33,6 +33,8 @@ class Daemon:
         self.machine: MachineModel = dvm.machine
         self.grpcomm = GrpcommModule(self, mode=grpcomm_mode, radix=grpcomm_radix)
         self.pmix_server = None  # attached by PmixServer.__init__
+        self.alive = True
+        self.known_down: set = set()   # nodes this daemon knows are dead
         self._handlers: Dict[str, Callable[[RmlMessage], None]] = {
             "grpcomm_up": self.grpcomm.handle_up,
             "grpcomm_down": self.grpcomm.handle_down,
@@ -42,6 +44,7 @@ class Daemon:
             "pub_put": self._handle_pub_put,
             "pub_lookup": self._handle_pub_lookup,
             "pub_unpublish": self._handle_pub_unpublish,
+            "daemon_down": self._handle_daemon_down,
         }
         dvm.rml.register(node, self.deliver)
 
@@ -59,6 +62,41 @@ class Daemon:
         if tag in self._handlers:
             raise ValueError(f"handler for {tag!r} already registered")
         self._handlers[tag] = handler
+
+    # -- daemon failure propagation ---------------------------------------
+    def is_node_down(self, node: int) -> bool:
+        return node in self.known_down
+
+    def _handle_daemon_down(self, msg: RmlMessage) -> None:
+        self.daemon_down(msg.payload["node"])
+
+    def daemon_down(self, down: int) -> None:
+        """Learn (and relay) that a daemon died.
+
+        The announcement fans out over a static radix tree rooted at the
+        HNP (grpcomm's radix, over all node ids) — each daemon relays to
+        its tree children, then repairs its own state: in-flight grpcomm
+        instances involving the dead node complete with an error, and
+        the local PMIx server evicts the node's procs.
+        """
+        if down in self.known_down:
+            return
+        self.known_down.add(down)
+        # Relay to tree children; a dead child's subtree is adopted (its
+        # children are contacted directly) so the announcement reaches
+        # every survivor.
+        radix = self.grpcomm.radix
+        n = self.machine.num_nodes
+        stack = list(range(radix * self.node + 1, min(radix * self.node + 1 + radix, n)))
+        while stack:
+            child = stack.pop(0)
+            if child == down or child in self.known_down:
+                stack.extend(range(radix * child + 1, min(radix * child + 1 + radix, n)))
+            else:
+                self.send(child, "daemon_down", {"node": down})
+        self.grpcomm.node_down(down)
+        if self.pmix_server is not None:
+            self.pmix_server.node_down(down)
 
     # -- HNP services -----------------------------------------------------
     def _require_hnp(self) -> None:
@@ -145,6 +183,10 @@ class DVM:
     def allocate_pgcid(self) -> int:
         """Allocate the next 64-bit process-group context id (HNP-only)."""
         return next(self._pgcid_counter)
+
+    def announce_daemon_down(self, node: int) -> None:
+        """HNP detected a dead daemon; start the xcast at the tree root."""
+        self.daemon_for(self.hnp_node).daemon_down(node)
 
     def next_job_name(self) -> str:
         return f"prrte-job-{next(self._job_counter)}"

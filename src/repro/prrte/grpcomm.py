@@ -26,10 +26,16 @@ from repro.simtime.primitives import SimEvent
 
 @dataclass
 class GrpcommResult:
-    """Outcome of one allgather: merged payloads + optional context id."""
+    """Outcome of one allgather: merged payloads + optional context id.
+
+    ``status`` is 0 on success; a nonzero (PMIx) status means the
+    collective was abandoned — e.g. a participating daemon died — and
+    ``data`` is not meaningful.
+    """
 
     data: Dict[Any, Any]
     context_id: Optional[int] = None
+    status: int = 0
 
 
 @dataclass
@@ -41,6 +47,7 @@ class _Instance:
     child_payloads: Dict[int, Dict] = field(default_factory=dict)
     early_up: List[Dict] = field(default_factory=list)   # ups before contribute()
     early_flat: List[Dict] = field(default_factory=list)
+    early_down: List[Dict] = field(default_factory=list)  # downs before contribute()
     flat_received: Dict[int, Dict] = field(default_factory=dict)
     completed: SimEvent = field(default_factory=SimEvent)
     up_sent: bool = False
@@ -59,6 +66,10 @@ class GrpcommModule:
         self.mode = mode
         self.radix = radix
         self._instances: Dict[Hashable, _Instance] = {}
+        # Signatures already completed/aborted: late or duplicated
+        # messages for them (possible under fault injection) are ignored
+        # instead of resurrecting an empty instance.
+        self._done_sigs: set = set()
 
     # -- public API ------------------------------------------------------
     def allgather(
@@ -92,6 +103,11 @@ class GrpcommModule:
         for payload in inst.early_flat:
             self._accept_flat(inst, payload)
         inst.early_flat.clear()
+        if inst.early_down:
+            payload = inst.early_down[0]
+            inst.early_down.clear()
+            self._forward_down(inst, payload["data"], payload["context_id"])
+            return inst.completed
 
         if len(participants) == 1:
             self._single_node_complete(inst)
@@ -104,6 +120,8 @@ class GrpcommModule:
 
     # -- message handlers (called by the daemon's dispatcher) --------------
     def handle_up(self, msg) -> None:
+        if msg.payload["sig"] in self._done_sigs:
+            return
         inst = self._get(msg.payload["sig"])
         if inst.contribution is None:
             inst.early_up.append(msg.payload)
@@ -112,10 +130,19 @@ class GrpcommModule:
         self._try_send_up(inst)
 
     def handle_down(self, msg) -> None:
+        if msg.payload["sig"] in self._done_sigs:
+            return
         inst = self._get(msg.payload["sig"])
+        if inst.contribution is None:
+            # Possible only under fault injection (delayed up + fast
+            # path elsewhere); replayed when allgather() is called.
+            inst.early_down.append(msg.payload)
+            return
         self._forward_down(inst, msg.payload["data"], msg.payload["context_id"])
 
     def handle_flat(self, msg) -> None:
+        if msg.payload["sig"] in self._done_sigs:
+            return
         inst = self._get(msg.payload["sig"])
         if inst.contribution is None:
             inst.early_flat.append(msg.payload)
@@ -265,6 +292,7 @@ class GrpcommModule:
             # Flat non-root: completion happens via the root's grpcomm_down.
             return
         self._instances.pop(inst.sig, None)
+        self._done_sigs.add(inst.sig)
         inst.completed.succeed(result)
 
     def _get(self, sig: Hashable) -> _Instance:
@@ -273,3 +301,28 @@ class GrpcommModule:
             inst = _Instance(sig=sig)
             self._instances[sig] = inst
         return inst
+
+    # -- fault handling ----------------------------------------------------
+    def node_down(self, node: int) -> None:
+        """A participating daemon died: fail the collectives it was in.
+
+        Every in-flight instance whose participant list names the dead
+        node completes with an error status — the PMIx server above
+        translates that into error releases for its waiting clients.
+        """
+        from repro.pmix.types import PMIX_ERR_PROC_ABORTED
+
+        for sig, inst in list(self._instances.items()):
+            if not inst.participants or node not in inst.participants:
+                continue
+            self._instances.pop(sig, None)
+            self._done_sigs.add(sig)
+            if not inst.completed.triggered:
+                inst.completed.succeed(
+                    GrpcommResult(data={}, status=PMIX_ERR_PROC_ABORTED)
+                )
+
+    def abort_sig(self, sig: Hashable) -> None:
+        """Abandon one signature (server-side collective timeout)."""
+        self._instances.pop(sig, None)
+        self._done_sigs.add(sig)

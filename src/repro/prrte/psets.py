@@ -33,6 +33,20 @@ class PsetRegistry:
     def undefine(self, name: str) -> None:
         self._sets.pop(name, None)
 
+    def evict(self, proc: PmixProc) -> List[str]:
+        """Remove a dead process from every set (idempotent).
+
+        Returns the names of the sets that changed.  Sets may become
+        empty but keep their names — queries stay answerable and all
+        servers (which share this registry) see the same membership.
+        """
+        changed = []
+        for name, members in self._sets.items():
+            if proc in members:
+                self._sets[name] = tuple(p for p in members if p != proc)
+                changed.append(name)
+        return changed
+
     def names(self) -> List[str]:
         return sorted(self._sets)
 

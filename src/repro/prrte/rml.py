@@ -47,6 +47,14 @@ class RoutingLayer:
         self.process_cost = machine.server_msg_cost / 2
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Fault injection (wired by Cluster): messages to/from dead
+        # daemons vanish; the plan may drop/delay/duplicate others.
+        self.faults = None
+        self.dropped = 0
+        # Per-(src, dst) delivery floor: delay/dup faults must not
+        # reorder a pair's messages — RML is a FIFO channel and the
+        # grpcomm/event handlers rely on that.
+        self._pair_floor: Dict[tuple, float] = {}
 
     def register(self, node: int, deliver: Callable[[RmlMessage], None]) -> None:
         if node in self._daemons:
@@ -60,6 +68,23 @@ class RoutingLayer:
         deliver = self._daemons.get(msg.dst)
         if deliver is None:
             raise KeyError(f"no daemon registered for node {msg.dst}")
+
+        copies = 1
+        extra_delay = 0.0
+        faults = self.faults
+        if faults is not None:
+            if not faults.daemon_alive(msg.src) or not faults.daemon_alive(msg.dst):
+                self.dropped += 1
+                faults.dead_drop("rml", msg.src, msg.dst)
+                return
+            disp = faults.on_message("rml", msg.src, msg.dst, msg.tag)
+            if disp is not None:
+                if disp.drop:
+                    self.dropped += 1
+                    return
+                extra_delay = disp.extra_delay
+                copies += disp.duplicates
+
         nbytes = msg.wire_size()
         self.messages_sent += 1
         self.bytes_sent += nbytes
@@ -74,7 +99,15 @@ class RoutingLayer:
                 self.machine.server_msg_cost / 2
                 + nbytes / self.machine.inter_node_bandwidth
             )
-        self.engine.call_at(injected + transit, lambda: self._arrive(msg, deliver))
+        arrival = injected + transit + extra_delay
+        # The floor only engages once faults are active, keeping
+        # fault-free timing identical to the pre-fault code path.
+        if faults is not None and faults.active:
+            key = (msg.src, msg.dst)
+            arrival = max(arrival, self._pair_floor.get(key, 0.0))
+            self._pair_floor[key] = arrival
+        for _ in range(copies):
+            self.engine.call_at(arrival, lambda: self._arrive(msg, deliver))
 
     def _arrive(self, msg: RmlMessage, deliver: Callable[[RmlMessage], None]) -> None:
         # Booking happens at arrival time so deliveries from different

@@ -1,0 +1,276 @@
+"""Deterministic fault plans for the simulated cluster.
+
+A :class:`FaultPlan` is a declarative schedule of fault actions —
+``kill_proc``, ``kill_node``, ``drop_msg``, ``delay_msg``, ``dup_msg`` —
+triggered either at an absolute simulated time (``at_time``) or when the
+N-th matching message crosses a fault point (``after_count``).  The plan
+is pure bookkeeping: it decides *what* happens; executing kills and
+re-scheduling deliveries is the job of :class:`repro.faults.FaultManager`,
+which consults the plan from the RML (daemon traffic) and the PML
+fabric (MPI traffic).
+
+Determinism contract: a plan holds no wall-clock or PRNG state of its
+own.  Message matching and counting depend only on the simulated
+traffic, so two runs with the same seed and the same plan take byte-
+identical decisions.  :func:`random_plan` derives a plan from a seed via
+``random.Random`` — same seed, same plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+KILL_KINDS = ("kill_proc", "kill_node")
+MSG_KINDS = ("drop_msg", "delay_msg", "dup_msg")
+KINDS = KILL_KINDS + MSG_KINDS
+
+LAYERS = ("rml", "pml")
+
+
+@dataclass
+class MsgView:
+    """What a fault point exposes about one message about to be delivered."""
+
+    layer: str          # "rml" (daemon traffic) | "pml" (MPI traffic)
+    src: Any            # node id (rml) or PmixProc (pml)
+    dst: Any
+    tag: Any            # dispatch tag (rml) or MPI tag / packet kind (pml)
+    time: float
+
+
+@dataclass
+class FaultAction:
+    """One scheduled fault.
+
+    Kill actions name a victim (``rank`` for ``kill_proc``, ``node`` for
+    ``kill_node``) and fire either at ``at_time`` or when the
+    ``after_count``-th message matching the src/dst/tag/layer criteria
+    is seen.  Message actions apply their effect to matching messages:
+    up to ``max_hits`` of them (None = unlimited), skipping matches
+    until ``after_count`` when given, and only at or after ``at_time``
+    when given.
+    """
+
+    kind: str
+    rank: Optional[int] = None        # kill_proc victim (rank in the bound job)
+    node: Optional[int] = None        # kill_node victim
+    at_time: Optional[float] = None   # absolute sim-time trigger / activation floor
+    after_count: Optional[int] = None  # fire on the Nth matching message (1-based)
+    layer: Optional[str] = None       # match only this fault point
+    src: Any = None                   # match source (None = any)
+    dst: Any = None                   # match destination (None = any)
+    tag: Any = None                   # match tag (None = any)
+    delay: float = 0.0                # delay_msg: extra transit seconds
+    copies: int = 1                   # dup_msg: extra deliveries per hit
+    max_hits: Optional[int] = 1       # message actions: how many messages hit
+    # runtime counters (owned by the plan, not user input)
+    seen: int = field(default=0, compare=False)
+    hits: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (have {KINDS})")
+        if self.kind == "kill_proc" and self.rank is None:
+            raise ValueError("kill_proc needs rank=")
+        if self.kind == "kill_node" and self.node is None:
+            raise ValueError("kill_node needs node=")
+        if self.kind in KILL_KINDS and self.at_time is None and self.after_count is None:
+            raise ValueError(f"{self.kind} needs at_time= or after_count=")
+        if self.kind == "delay_msg" and self.delay <= 0.0:
+            raise ValueError("delay_msg needs delay > 0")
+        if self.kind == "dup_msg" and self.copies < 1:
+            raise ValueError("dup_msg needs copies >= 1")
+        if self.layer is not None and self.layer not in LAYERS:
+            raise ValueError(f"unknown layer {self.layer!r} (have {LAYERS})")
+        if self.after_count is not None and self.after_count < 1:
+            raise ValueError("after_count is 1-based (>= 1)")
+
+    # -- matching ----------------------------------------------------------
+    @property
+    def message_triggered(self) -> bool:
+        """Kill actions fired by traffic rather than by the clock."""
+        return self.kind in KILL_KINDS and self.after_count is not None
+
+    @staticmethod
+    def _field_match(crit: Any, val: Any) -> bool:
+        if crit is None:
+            return True
+        if crit == val:
+            return True
+        # Convenience: an int criterion matches a PmixProc by rank, so
+        # pml-layer actions can be written without importing PmixProc.
+        return isinstance(crit, int) and getattr(val, "rank", None) == crit
+
+    def matches(self, view: MsgView) -> bool:
+        if self.layer is not None and view.layer != self.layer:
+            return False
+        if self.at_time is not None and view.time < self.at_time:
+            return False
+        return (
+            self._field_match(self.src, view.src)
+            and self._field_match(self.dst, view.dst)
+            and self._field_match(self.tag, view.tag)
+        )
+
+    def observe(self, view: MsgView) -> bool:
+        """Count a matching message; True if the action fires on it."""
+        if not self.matches(view):
+            return False
+        self.seen += 1
+        if self.after_count is not None:
+            if self.seen != self.after_count:
+                return False
+        elif self.max_hits is not None and self.hits >= self.max_hits:
+            return False
+        self.hits += 1
+        return True
+
+    def describe(self) -> str:
+        bits = [self.kind]
+        for name in ("rank", "node", "at_time", "after_count", "layer",
+                     "src", "dst", "tag"):
+            v = getattr(self, name)
+            if v is not None:
+                bits.append(f"{name}={v}")
+        if self.kind == "delay_msg":
+            bits.append(f"delay={self.delay}")
+        if self.kind == "dup_msg":
+            bits.append(f"copies={self.copies}")
+        return " ".join(bits)
+
+
+@dataclass
+class Disposition:
+    """What the plan decided about one message."""
+
+    drop: bool = False
+    extra_delay: float = 0.0
+    duplicates: int = 0
+    kills: List[FaultAction] = field(default_factory=list)
+    matched: List[str] = field(default_factory=list)   # kinds, for tracing
+
+    def __bool__(self) -> bool:
+        return bool(self.drop or self.extra_delay or self.duplicates or self.kills)
+
+
+class FaultPlan:
+    """An ordered schedule of :class:`FaultAction`s.
+
+    A plan instance carries per-action match counters, so it is bound to
+    a single run: install it on exactly one cluster.
+    """
+
+    def __init__(self, actions: Optional[List[FaultAction]] = None) -> None:
+        self.actions: List[FaultAction] = []
+        for act in actions or []:
+            self.add(act)
+
+    def add(self, action: FaultAction) -> "FaultPlan":
+        if not isinstance(action, FaultAction):
+            raise TypeError(f"expected FaultAction, got {type(action).__name__}")
+        self.actions.append(action)
+        return self
+
+    # convenience constructors -------------------------------------------
+    def kill_proc(self, rank: int, **kw) -> "FaultPlan":
+        return self.add(FaultAction("kill_proc", rank=rank, **kw))
+
+    def kill_node(self, node: int, **kw) -> "FaultPlan":
+        return self.add(FaultAction("kill_node", node=node, **kw))
+
+    def drop_msg(self, **kw) -> "FaultPlan":
+        return self.add(FaultAction("drop_msg", **kw))
+
+    def delay_msg(self, delay: float, **kw) -> "FaultPlan":
+        return self.add(FaultAction("delay_msg", delay=delay, **kw))
+
+    def dup_msg(self, copies: int = 1, **kw) -> "FaultPlan":
+        return self.add(FaultAction("dup_msg", copies=copies, **kw))
+
+    # plan queries --------------------------------------------------------
+    def timed_kills(self) -> List[FaultAction]:
+        """Kill actions scheduled purely by the clock."""
+        return [a for a in self.actions if a.kind in KILL_KINDS and not a.message_triggered]
+
+    def on_message(self, view: MsgView) -> Disposition:
+        """Consulted by the FaultManager at each fault point."""
+        disp = Disposition()
+        for act in self.actions:
+            if act.kind in KILL_KINDS:
+                if act.message_triggered and act.observe(view):
+                    disp.kills.append(act)
+                    disp.matched.append(act.kind)
+                continue
+            if not act.observe(view):
+                continue
+            disp.matched.append(act.kind)
+            if act.kind == "drop_msg":
+                disp.drop = True
+            elif act.kind == "delay_msg":
+                disp.extra_delay += act.delay
+            elif act.kind == "dup_msg":
+                disp.duplicates += act.copies
+        return disp
+
+    def describe(self) -> str:
+        return "; ".join(act.describe() for act in self.actions) or "<empty plan>"
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def random_plan(
+    seed: int,
+    *,
+    num_ranks: int,
+    num_nodes: int = 1,
+    horizon: float = 5.0e-3,
+    n_actions: int = 3,
+    allow_kills: bool = True,
+    max_kills: Optional[int] = None,
+    protect_ranks: tuple = (0,),
+) -> FaultPlan:
+    """A seed-deterministic plan: same arguments, same plan.
+
+    Kills never target node 0 (the HNP must survive — see docs/faults.md)
+    nor the ranks in ``protect_ranks``; ``max_kills`` (default: leave at
+    least two survivors) bounds how many ranks a plan may remove.
+    """
+    rng = random.Random(seed)
+    plan = FaultPlan()
+    if max_kills is None:
+        max_kills = max(0, num_ranks - len(protect_ranks) - 2)
+    killable = [r for r in range(num_ranks) if r not in protect_ranks]
+    rml_tags = (None, "grpcomm_up", "grpcomm_down", "event_fwd")
+    kills = 0
+    for _ in range(n_actions):
+        t = rng.uniform(0.0, horizon)
+        roll = rng.random()
+        if allow_kills and kills < max_kills and killable and roll < 0.35:
+            rank = rng.choice(killable)
+            killable.remove(rank)
+            kills += 1
+            plan.kill_proc(rank, at_time=t)
+        elif allow_kills and kills < max_kills and num_nodes > 2 and roll < 0.40:
+            # Node kills take every rank on the node; only roll one when
+            # the cluster is big enough to keep quorum interesting.
+            plan.kill_node(rng.randrange(1, num_nodes), at_time=t)
+            kills = max_kills   # a node kill may take several ranks; stop killing
+        else:
+            kind = rng.choice(MSG_KINDS)
+            tag = rng.choice(rml_tags)
+            hits = rng.randint(1, 3)
+            if kind == "drop_msg":
+                # Unrestricted RML drops can sever the protocol outright;
+                # keep drops bounded so the timeout net stays exercised
+                # but most runs make progress.
+                plan.drop_msg(layer="rml", tag=tag, max_hits=1, at_time=t)
+            elif kind == "delay_msg":
+                plan.delay_msg(rng.uniform(1.0e-6, 5.0e-4), layer="rml",
+                               tag=tag, max_hits=hits, at_time=t)
+            else:
+                plan.dup_msg(rng.randint(1, 2), layer="rml", tag=tag,
+                             max_hits=hits, at_time=t)
+    return plan

@@ -25,6 +25,13 @@ class Tracer:
 
     def __init__(self, categories: Optional[set] = None) -> None:
         self.records: List[TraceRecord] = []
+        # Normalize to frozenset: accepts any iterable (a bare string
+        # would otherwise filter per *character*, silently passing some
+        # single-letter categories and dropping everything else).
+        if categories is not None:
+            if isinstance(categories, str):
+                categories = (categories,)
+            categories = frozenset(categories)
         self.categories = categories
         self.enabled = True
 

@@ -1,0 +1,39 @@
+"""Helpers shared by the fault-injection test suite (docs/faults.md)."""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+
+# Every fault case must be quiescent well inside this many simulated
+# seconds — "bounded termination".  The per-collective timeout is 0.5 s,
+# so 2 s leaves room for a timeout plus follow-up traffic.
+SIM_BOUND = 2.0
+
+
+def boot(nodes: int = 4, ranks: int = 8, ppn: int | None = None, tracer=None):
+    cluster = Cluster(machine=laptop(num_nodes=nodes), tracer=tracer)
+    job = cluster.launch(ranks, ppn=ppn or max(1, ranks // nodes))
+    return cluster, job
+
+
+def spawn_ranks(cluster, job, gens):
+    """Spawn rank generators and register them with the FaultManager so
+    ``kill_proc`` actions can terminate the right SimProcess."""
+    procs = []
+    for rank, gen in enumerate(gens):
+        sim = cluster.spawn(gen, name=f"rank{rank}")
+        cluster.faults.register_rank_proc(job.proc(rank), sim)
+        procs.append(sim)
+    for p in procs:
+        p.defuse()
+    return procs
+
+
+def run_bounded(cluster):
+    """Run to quiescence and enforce the bounded-termination contract."""
+    cluster.run()
+    assert cluster.now < SIM_BOUND, (
+        f"fault scenario overran the termination bound: t={cluster.now}"
+    )
+    return cluster.now

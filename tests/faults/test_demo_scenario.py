@@ -1,0 +1,68 @@
+"""The PR's acceptance scenario (see ISSUE: fault-injection demo).
+
+One rank is killed *mid-init-fence* across a 4-node cluster.  The
+survivors must (a) see their fence return a typed PMIX_ERR_PROC_ABORTED
+error rather than hang, and (b) receive a PMIX_ERR_PROC_ABORTED event
+notification naming the dead rank.  On pre-fault-injection code this
+scenario cannot even be expressed (``repro.faults`` does not exist),
+and the underlying behaviour — a fence whose participant dies — was an
+unbounded hang.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.pmix.types import PMIX_ERR_PROC_ABORTED, PmixError
+from repro.simtime.process import ProcessKilled, Sleep
+from tests.faults.conftest import boot, run_bounded, spawn_ranks
+
+pytestmark = pytest.mark.faults
+
+RANKS = 8
+VICTIM = 7
+
+
+def test_kill_one_rank_mid_init_fence_across_four_nodes():
+    cluster, job = boot(nodes=4, ranks=RANKS)
+    # Trigger on the first inter-daemon fence contribution: the kill
+    # lands while the collective is genuinely in flight, independent of
+    # the exact startup interleaving.
+    cluster.install_faults(
+        FaultPlan().kill_proc(VICTIM, after_count=1, layer="rml", tag="grpcomm_up")
+    )
+    fence_errors = {}
+    notified = {}
+
+    def rank_proc(rank):
+        client = job.client(rank)
+        yield from client.init()
+        notified[rank] = []
+        client.register_event_handler(
+            [PMIX_ERR_PROC_ABORTED],
+            lambda code, src, info: notified[rank].append(src.rank),
+        )
+        client.put("ep", f"ep-{rank}")
+        yield from client.commit()
+        if rank == VICTIM:
+            # Dawdle so the survivors are already waiting in the fence
+            # when the kill fires; the victim never contributes.
+            yield Sleep(5e-4)
+        try:
+            yield from client.fence()
+            fence_errors[rank] = None
+        except PmixError as err:
+            yield Sleep(1e-3)  # let the event notification drain
+            fence_errors[rank] = err.status
+
+    procs = spawn_ranks(cluster, job, [rank_proc(r) for r in range(RANKS)])
+    run_bounded(cluster)  # "no hang": bounded simulated time
+
+    survivors = [r for r in range(RANKS) if r != VICTIM]
+    # (a) every survivor's fence returned the typed error...
+    assert {fence_errors[r] for r in survivors} == {PMIX_ERR_PROC_ABORTED}
+    # (b) ...and every survivor was notified of exactly the dead rank.
+    for r in survivors:
+        assert sorted(set(notified[r])) == [VICTIM], f"rank {r}: {notified[r]}"
+    # The victim itself was killed, not left running.
+    assert isinstance(procs[VICTIM].exception, ProcessKilled)
+    assert cluster.faults.is_dead_proc(job.proc(VICTIM))

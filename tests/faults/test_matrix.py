@@ -1,0 +1,257 @@
+"""The fault matrix: (layer x fault kind x timing).
+
+Every case must terminate in bounded simulated time with either success
+or a *typed* error — never a hang.  PMIx-layer collectives (fence,
+group construct) fail with ``PmixError`` carrying PROC_ABORTED or
+TIMEOUT; OMPI operations fail with ``MPIErrProcFailed`` (possibly
+wrapped in ``MPIAbort`` by ERRORS_ARE_FATAL).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.pmix.types import (
+    PMIX_ERR_PROC_ABORTED,
+    PMIX_ERR_TIMEOUT,
+    PmixError,
+)
+from repro.simtime.process import Sleep
+from tests.faults.conftest import boot, run_bounded, spawn_ranks
+
+pytestmark = pytest.mark.faults
+
+
+def _sleeper(client_gen_done=None):
+    """A rank that inits its client and then hangs until killed."""
+
+    def gen(client):
+        yield from client.init()
+        if client_gen_done is not None:
+            client_gen_done.append(True)
+        yield Sleep(1e9)
+
+    return gen
+
+
+# ---------------------------------------------------------------------------
+# PMIx fence x kill_proc x {before, during, after}
+# ---------------------------------------------------------------------------
+class TestFenceKillProc:
+    def _fence_rank(self, job, rank, outcomes, pre_sleep=0.0):
+        client = job.client(rank)
+        yield from client.init()
+        yield from client.commit()
+        if pre_sleep:
+            yield Sleep(pre_sleep)
+        try:
+            yield from client.fence()
+            outcomes[rank] = "ok"
+        except PmixError as err:
+            outcomes[rank] = err.status
+
+    def test_kill_before_fence(self):
+        cluster, job = boot()
+        cluster.install_faults(FaultPlan().kill_proc(7, at_time=1e-4))
+        outcomes = {}
+        gens = [self._fence_rank(job, r, outcomes, pre_sleep=4e-4) for r in range(7)]
+        gens.append(_sleeper()(job.client(7)))
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        # The victim was dead before anyone fenced: the server seeds its
+        # abort marker at arrival time and everyone errors out.
+        assert outcomes == {r: PMIX_ERR_PROC_ABORTED for r in range(7)}
+
+    def test_kill_during_fence(self):
+        cluster, job = boot()
+        # Fires when the first fence contribution crosses the RML: the
+        # survivors are mid-collective, the (dawdling) victim never joins.
+        cluster.install_faults(
+            FaultPlan().kill_proc(7, after_count=1, layer="rml", tag="grpcomm_up")
+        )
+        outcomes = {}
+        gens = [self._fence_rank(job, r, outcomes) for r in range(7)]
+        gens.append(self._fence_rank(job, 7, outcomes, pre_sleep=5e-4))
+        procs = spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        assert outcomes == {r: PMIX_ERR_PROC_ABORTED for r in range(7)}
+        assert procs[7].exception is not None  # killed mid-sleep
+
+    def test_kill_after_fence(self):
+        cluster, job = boot()
+        cluster.install_faults(FaultPlan().kill_proc(7, at_time=2e-3))
+        outcomes = {}
+        gens = [self._fence_rank(job, r, outcomes) for r in range(8)]
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        # Everyone (victim included) completed before the kill landed.
+        assert outcomes == {r: "ok" for r in range(8)}
+        assert cluster.faults.stats["kill_proc"] == 1
+
+
+# ---------------------------------------------------------------------------
+# PMIx group construct x kill_proc x {before, during, after}
+# ---------------------------------------------------------------------------
+class TestGroupConstructKillProc:
+    def _group_rank(self, job, rank, outcomes, pre_sleep=0.0):
+        client = job.client(rank)
+        yield from client.init()
+        if pre_sleep:
+            yield Sleep(pre_sleep)
+        procs = [job.proc(r) for r in range(job.num_ranks)]
+        try:
+            pgcid = yield from client.group_construct("matrix", procs)
+            outcomes[rank] = ("ok", pgcid)
+        except PmixError as err:
+            outcomes[rank] = ("err", err.status)
+
+    def test_kill_before_construct(self):
+        cluster, job = boot()
+        cluster.install_faults(FaultPlan().kill_proc(7, at_time=1e-4))
+        outcomes = {}
+        gens = [self._group_rank(job, r, outcomes, pre_sleep=4e-4) for r in range(7)]
+        gens.append(_sleeper()(job.client(7)))
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        assert outcomes == {r: ("err", PMIX_ERR_PROC_ABORTED) for r in range(7)}
+
+    def test_kill_during_construct(self):
+        cluster, job = boot()
+        cluster.install_faults(
+            FaultPlan().kill_proc(7, after_count=1, layer="rml", tag="grpcomm_up")
+        )
+        outcomes = {}
+        gens = [self._group_rank(job, r, outcomes) for r in range(7)]
+        gens.append(self._group_rank(job, 7, outcomes, pre_sleep=5e-4))
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        assert outcomes == {r: ("err", PMIX_ERR_PROC_ABORTED) for r in range(7)}
+
+    def test_kill_after_construct(self):
+        cluster, job = boot()
+        cluster.install_faults(FaultPlan().kill_proc(7, at_time=2e-3))
+        outcomes = {}
+        gens = [self._group_rank(job, r, outcomes) for r in range(8)]
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        assert all(o[0] == "ok" for o in outcomes.values())
+        assert len({o[1] for o in outcomes.values()}) == 1  # one agreed PGCID
+
+
+# ---------------------------------------------------------------------------
+# kill_node during fence / group construct
+# ---------------------------------------------------------------------------
+class TestNodeDown:
+    def test_node_down_during_fence(self):
+        cluster, job = boot()
+        cluster.install_faults(
+            FaultPlan().kill_node(3, after_count=1, layer="rml", tag="grpcomm_up")
+        )
+        outcomes = {}
+
+        def rank_gen(rank, pre_sleep=0.0):
+            client = job.client(rank)
+            yield from client.init()
+            yield from client.commit()
+            if pre_sleep:
+                yield Sleep(pre_sleep)
+            try:
+                yield from client.fence()
+                outcomes[rank] = "ok"
+            except PmixError as err:
+                outcomes[rank] = err.status
+
+        # Ranks 6,7 live on node 3: delay them so the node dies before
+        # their contributions are in.
+        gens = [rank_gen(r) for r in range(6)]
+        gens += [rank_gen(r, pre_sleep=5e-4) for r in (6, 7)]
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        assert outcomes == {r: PMIX_ERR_PROC_ABORTED for r in range(6)}
+        assert cluster.faults.is_dead_node(3)
+        # Survivor daemons all learned of the death via the xcast.
+        for node in (0, 1, 2):
+            assert cluster.dvm.daemon_for(node).is_node_down(3)
+
+    def test_node_down_evicts_psets(self):
+        cluster, job = boot()
+        cluster.psets.define("app/all", [job.proc(r) for r in range(8)])
+        cluster.install_faults(
+            FaultPlan().kill_node(3, after_count=1, layer="rml", tag="grpcomm_up")
+        )
+        outcomes = {}
+
+        def rank_gen(rank, pre_sleep=0.0):
+            client = job.client(rank)
+            yield from client.init()
+            if pre_sleep:
+                yield Sleep(5e-4)
+            procs = [job.proc(r) for r in range(8)]
+            try:
+                yield from client.group_construct("nd", procs)
+                outcomes[rank] = "ok"
+            except PmixError as err:
+                outcomes[rank] = err.status
+
+        gens = [rank_gen(r) for r in range(6)]
+        gens += [rank_gen(r, pre_sleep=5e-4) for r in (6, 7)]
+        spawn_ranks(cluster, job, gens)
+        run_bounded(cluster)
+        assert all(outcomes[r] == PMIX_ERR_PROC_ABORTED for r in range(6))
+        members = cluster.psets.members("app/all")
+        assert job.proc(6) not in members and job.proc(7) not in members
+        assert job.proc(0) in members
+
+    def test_hnp_node_is_protected(self):
+        cluster, _job = boot()
+        with pytest.raises(ValueError):
+            cluster.faults.kill_node(0)
+
+
+# ---------------------------------------------------------------------------
+# RML message faults x fence: drop -> timeout; delay/dup -> success
+# ---------------------------------------------------------------------------
+class TestRmlMessageFaults:
+    def _fence_all(self, cluster, job, outcomes):
+        def rank_gen(rank):
+            client = job.client(rank)
+            yield from client.init()
+            yield from client.commit()
+            try:
+                yield from client.fence()
+                outcomes[rank] = "ok"
+            except PmixError as err:
+                outcomes[rank] = err.status
+
+        spawn_ranks(cluster, job, [rank_gen(r) for r in range(job.num_ranks)])
+        return run_bounded(cluster)
+
+    def test_drop_grpcomm_up_times_out(self):
+        cluster, job = boot()
+        cluster.install_faults(
+            FaultPlan().drop_msg(layer="rml", tag="grpcomm_up", max_hits=1)
+        )
+        outcomes = {}
+        t = self._fence_all(cluster, job, outcomes)
+        # The severed collective cannot complete; the timeout net fires.
+        assert set(outcomes.values()) == {PMIX_ERR_TIMEOUT}
+        assert t >= cluster.machine.fault_collective_timeout
+
+    def test_delay_grpcomm_up_still_completes(self):
+        cluster, job = boot()
+        cluster.install_faults(
+            FaultPlan().delay_msg(3e-4, layer="rml", tag="grpcomm_up", max_hits=2)
+        )
+        outcomes = {}
+        self._fence_all(cluster, job, outcomes)
+        assert set(outcomes.values()) == {"ok"}
+        assert cluster.faults.stats["delay_msg"] == 2
+
+    def test_dup_grpcomm_up_still_completes(self):
+        cluster, job = boot()
+        cluster.install_faults(
+            FaultPlan().dup_msg(2, layer="rml", tag="grpcomm_up", max_hits=2)
+        )
+        outcomes = {}
+        self._fence_all(cluster, job, outcomes)
+        assert set(outcomes.values()) == {"ok"}
+        assert cluster.faults.stats["dup_msg"] == 2

@@ -39,6 +39,71 @@ class TestTracer:
         tr.emit(1.0, "x", "y")
         assert tr.records == []
 
+    def test_null_tracer_drops_even_when_reenabled(self):
+        tr = NullTracer()
+        tr.enabled = True
+        tr.emit(1.0, "x", "y")
+        assert tr.records == []
+
+    def test_bare_string_category_filters_whole_word(self):
+        """A bare string is one category, not an iterable of letters —
+        otherwise ``Tracer(categories="pml")`` would filter per
+        character, passing category "p" and dropping "pml" itself."""
+        tr = Tracer(categories="pml")
+        assert tr.categories == frozenset({"pml"})
+        tr.emit(1.0, "pml", "send")
+        tr.emit(1.0, "p", "oops")
+        tr.emit(1.0, "m", "oops")
+        tr.emit(1.0, "cid", "alloc")
+        assert [r.category for r in tr.records] == ["pml"]
+
+    def test_iterable_categories_normalized_to_frozenset(self):
+        tr = Tracer(categories=["a", "b", "a"])
+        assert tr.categories == frozenset({"a", "b"})
+        tr.emit(0.0, "a", "x")
+        tr.emit(0.0, "c", "y")
+        assert tr.count() == 1
+
+    def test_clear_preserves_filter(self):
+        tr = Tracer(categories={"keep"})
+        tr.emit(1.0, "keep", "x")
+        tr.clear()
+        assert tr.count() == 0
+        tr.emit(2.0, "keep", "y")
+        tr.emit(2.0, "drop", "z")
+        assert [r.event for r in tr.records] == ["y"]
+
+    def test_find_and_count_with_no_match(self):
+        tr = Tracer()
+        tr.emit(1.0, "pml", "send")
+        assert list(tr.find("nope")) == []
+        assert tr.count("nope") == 0
+        assert tr.count("pml", "nope") == 0
+
+
+class TestFaultTraces:
+    def test_fault_events_land_in_faults_category(self):
+        from repro.faults import FaultPlan
+        from tests.faults.conftest import boot, run_bounded, spawn_ranks
+
+        tracer = Tracer(categories="faults")
+        cluster, job = boot(nodes=2, ranks=2, ppn=1, tracer=tracer)
+        cluster.install_faults(FaultPlan().kill_proc(1, at_time=1e-4))
+
+        def rank(r):
+            from repro.simtime.process import Sleep
+
+            client = job.client(r)
+            yield from client.init()
+            if r == 1:
+                yield Sleep(1e9)  # hangs until the injected kill
+
+        spawn_ranks(cluster, job, [rank(0), rank(1)])
+        run_bounded(cluster)
+        assert tracer.count("faults", "plan_installed") == 1
+        assert tracer.count("faults", "kill_proc") == 1
+        assert all(rec.category == "faults" for rec in tracer.records)
+
 
 class TestProtocolTraces:
     def test_excid_handshake_trace(self):

@@ -29,6 +29,15 @@ def test_hpcc_random_ring_deterministic():
     assert hpcc_ring_latency(2, 2, "world", **kw) == hpcc_ring_latency(2, 2, "world", **kw)
 
 
+def test_faulted_run_deterministic():
+    """Fault injection preserves the bit-determinism promise: two runs
+    with the same seeded FaultPlan agree on outcomes, liveness, final
+    time, and the serialized fault trace (docs/faults.md)."""
+    from tests.properties.test_fault_properties import run_chaos
+
+    assert run_chaos(13, trace=True) == run_chaos(13, trace=True)
+
+
 def test_twomesh_deterministic():
     p = TwoMeshProblem(
         name="det", ranks=8, ppn=4, couplings=1, l0_steps=1, l1_steps=1,

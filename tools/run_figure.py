@@ -27,6 +27,16 @@ def discover():
     return out
 
 
+def _unknown_msg(name: str, catalog) -> str:
+    import difflib
+
+    msg = f"unknown figure {name!r}; try --list"
+    close = difflib.get_close_matches(name, catalog, n=3)
+    if close:
+        msg += " (did you mean: " + ", ".join(close) + "?)"
+    return msg
+
+
 def main(argv=None) -> int:
     catalog = discover()
     parser = argparse.ArgumentParser(description=__doc__)
@@ -37,16 +47,23 @@ def main(argv=None) -> int:
     parser.add_argument("--csv", metavar="FILE", help="also write the series as CSV")
     args = parser.parse_args(argv)
 
+    # Validate the figure name even when --list is passed: listing must
+    # not mask a typo'd name with a zero exit status.
+    unknown = args.figure is not None and args.figure not in catalog
+
     if args.list or not args.figure:
         for name in sorted(catalog):
             doc = (inspect.getdoc(catalog[name]) or "").splitlines()
             print(f"  {name:28s} {doc[0] if doc else ''}")
+        if unknown:
+            print(_unknown_msg(args.figure, catalog), file=sys.stderr)
+            return 2
         return 0
 
-    fn = catalog.get(args.figure)
-    if fn is None:
-        print(f"unknown figure {args.figure!r}; try --list", file=sys.stderr)
+    if unknown:
+        print(_unknown_msg(args.figure, catalog), file=sys.stderr)
         return 2
+    fn = catalog[args.figure]
 
     kwargs = {}
     params = inspect.signature(fn).parameters
