@@ -44,10 +44,14 @@ class MpiWorld:
 
     def spawn_ranks(self, main: Callable, args: Sequence[Any] = ()) -> List:
         """Start ``main(runtime, *args)`` on every rank; returns processes."""
+        from repro.simtime.trace import track_for_proc
+
         procs = []
         for rank, rt in enumerate(self.runtimes):
             gen = main(rt, *args)
-            sim = self.cluster.spawn(gen, name=f"rank{rank}")
+            sim = self.cluster.spawn(
+                gen, name=f"rank{rank}", track=track_for_proc(self.job.proc(rank))
+            )
             self.cluster.faults.register_rank_proc(self.job.proc(rank), sim)
             procs.append(sim)
         for p in procs:

@@ -43,8 +43,13 @@ def table1() -> BenchResult:
 # ---------------------------------------------------------------------------
 # Fig 3: MPI initialization time
 # ---------------------------------------------------------------------------
-def fig3(ppn: int, quick: bool = True) -> BenchResult:
-    """Fig 3: MPI init time by node count, MPI_Init vs Sessions sequence."""
+def fig3(ppn: int, quick: bool = True, obs: bool = False) -> BenchResult:
+    """Fig 3: MPI init time by node count, MPI_Init vs Sessions sequence.
+
+    ``obs=True`` instruments every sessions run with a tracer and
+    attaches a per-phase critical-path breakdown and metric counters to
+    ``result.obs`` (one entry per node count).
+    """
     nodes_list = _init_nodes(quick) if ppn == 1 else _init_nodes_ppn28(quick)
     res = BenchResult(
         exp_id=f"fig3{'a' if ppn == 1 else 'b'}",
@@ -54,7 +59,27 @@ def fig3(ppn: int, quick: bool = True) -> BenchResult:
     sess = res.series_for("Sessions")
     for nodes in nodes_list:
         base.add(nodes, osu_init(nodes, ppn, "world").total)
-        timing = osu_init(nodes, ppn, "sessions")
+        tracer = None
+        if obs:
+            from repro.simtime.trace import Tracer
+
+            tracer = Tracer()
+        timing = osu_init(nodes, ppn, "sessions", tracer=tracer)
+        if tracer is not None:
+            from repro.obs import compute_critical_path
+
+            cp = compute_critical_path(tracer)
+            res.obs[f"nodes={nodes}"] = {
+                "total": cp.total,
+                "stages": [
+                    {"name": st.name, "track": st.track, "kind": st.kind,
+                     "start": st.start, "duration": st.duration}
+                    for st in cp.stages
+                ],
+                "by_stage": dict(cp.by_stage()),
+                "spans": len(tracer.spans),
+                "flows": len(tracer.flows),
+            }
         sess.add(nodes, timing.total)
         specific = timing.handle + timing.comm_construct
         if specific > 0:
@@ -65,14 +90,14 @@ def fig3(ppn: int, quick: bool = True) -> BenchResult:
     return res
 
 
-def fig3a(quick: bool = True) -> BenchResult:
+def fig3a(quick: bool = True, obs: bool = False) -> BenchResult:
     """Fig 3a: init time with 1 MPI process per node."""
-    return fig3(ppn=1, quick=quick)
+    return fig3(ppn=1, quick=quick, obs=obs)
 
 
-def fig3b(quick: bool = True) -> BenchResult:
+def fig3b(quick: bool = True, obs: bool = False) -> BenchResult:
     """Fig 3b: init time with 28 MPI processes per node."""
-    return fig3(ppn=28, quick=quick)
+    return fig3(ppn=28, quick=quick, obs=obs)
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ class BenchResult:
     title: str
     series: Dict[str, Series] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    obs: Dict[str, Any] = field(default_factory=dict)   # --obs breakdowns
 
     def series_for(self, label: str) -> Series:
         if label not in self.series:
@@ -68,6 +69,19 @@ class BenchResult:
                     cells.append("")
             lines.append(",".join(cells))
         return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        """Deterministic JSON dump (the ``--json`` flag of run_figure)."""
+        import json
+
+        payload = {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "series": {lbl: s.points for lbl, s in self.series.items()},
+            "notes": self.notes,
+            "obs": self.obs,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
     def render(self, unit: str = "") -> str:
         """Paper-style text rendering: one row per x, one column per series."""

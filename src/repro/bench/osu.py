@@ -64,10 +64,16 @@ class InitTiming:
     comm_construct: float  # sessions only: MPI_Comm_create_from_group
 
 
-def osu_init(nodes: int, ppn: int, mode: str, machine_factory=jupiter) -> InitTiming:
-    """The osu_init benchmark (modified for sessions as in the paper)."""
+def osu_init(nodes: int, ppn: int, mode: str, machine_factory=jupiter,
+             tracer=None) -> InitTiming:
+    """The osu_init benchmark (modified for sessions as in the paper).
+
+    Pass a :class:`~repro.simtime.trace.Tracer` to record spans/flows for
+    the run (the ``--obs`` mode of ``tools/run_figure.py``).
+    """
     machine = machine_factory(nodes)
-    world = make_world(nodes * ppn, machine=machine, ppn=ppn, config=_config_for(mode))
+    world = make_world(nodes * ppn, machine=machine, ppn=ppn,
+                       config=_config_for(mode), tracer=tracer)
     nfs = machine.nfs_load_time(nodes * ppn)
     marks: List[Tuple[float, ...]] = []
 

@@ -35,6 +35,15 @@ class Cluster:
         self.machine = machine or laptop()
         self.engine = Engine()
         self.tracer = tracer or NullTracer()
+        # Observability (docs/observability.md): every layer reaches the
+        # tracer through the engine it already holds; metrics stay
+        # disabled until a caller flips ``metrics.enabled`` (snapshot
+        # harvesting works regardless).
+        self.engine.tracer = self.tracer
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self.engine.metrics = self.metrics
         self.psets = PsetRegistry()
         self.dvm = DVM(self.engine, self.machine, grpcomm_mode, grpcomm_radix)
         self.servers = [PmixServer(daemon, self.psets) for daemon in self.dvm.daemons]
@@ -69,9 +78,19 @@ class Cluster:
         """Install a fault plan (one per cluster; see docs/faults.md)."""
         self.faults.install(plan)
 
-    def spawn(self, gen, name: str = "") -> SimProcess:
-        """Start a simulated process on this cluster's engine."""
+    def spawn(self, gen, name: str = "", track: Optional[str] = None) -> SimProcess:
+        """Start a simulated process on this cluster's engine.
+
+        ``track`` names the observability timeline the process lives on
+        (e.g. ``rank:<nspace>/<rank>``); its lifetime becomes a
+        ``simtime.proc.run`` root span there.
+        """
         proc = SimProcess(self.engine, gen, name)
+        if self.tracer.enabled:
+            proc.obs_span = self.tracer.begin(
+                self.engine.now, track or f"proc:{proc.name}",
+                "simtime.proc.run", proc=proc.name,
+            )
         proc.start()
         return proc
 

@@ -101,8 +101,13 @@ class FaultManager:
         return self.machine.fault_collective_timeout
 
     # -- message fault points ---------------------------------------------
-    def on_message(self, layer: str, src, dst, tag) -> Optional[Disposition]:
-        """Consult the plan for one message; executes triggered kills."""
+    def on_message(self, layer: str, src, dst, tag, fid: int = 0) -> Optional[Disposition]:
+        """Consult the plan for one message; executes triggered kills.
+
+        ``fid`` is the message's observability flow id (0 = untraced);
+        it is attached to every emitted ``faults.*`` event so dropped or
+        duplicated packets can be located on the exported timeline.
+        """
         if self.plan is None:
             return None
         view = MsgView(layer=layer, src=src, dst=dst, tag=tag, time=self.engine.now)
@@ -115,16 +120,23 @@ class FaultManager:
                 self.stats[kind] += 1
         self.cluster.trace(
             "faults", "msg_fault", layer=layer, src=str(src), dst=str(dst),
-            tag=str(tag), matched=tuple(disp.matched),
+            tag=str(tag), matched=tuple(disp.matched), flow=fid,
         )
+        # One event per message-fault kind, so each injected action is
+        # individually visible in the timeline next to its flow arrow.
+        for kind in disp.matched:
+            if kind in ("drop_msg", "delay_msg", "dup_msg"):
+                self.cluster.trace("faults", kind, layer=layer, src=str(src),
+                                   dst=str(dst), tag=str(tag), flow=fid)
         for act in disp.kills:
             self._execute(act)
         return disp
 
-    def dead_drop(self, layer: str, src, dst) -> None:
+    def dead_drop(self, layer: str, src, dst, fid: int = 0) -> None:
         """Account for a message silently dropped at a dead endpoint."""
         self.stats["dead_drop"] += 1
-        self.cluster.trace("faults", "dead_drop", layer=layer, src=str(src), dst=str(dst))
+        self.cluster.trace("faults", "dead_drop", layer=layer, src=str(src),
+                           dst=str(dst), flow=fid)
 
     # -- kill execution ----------------------------------------------------
     def _execute(self, act: FaultAction) -> None:
@@ -153,9 +165,10 @@ class FaultManager:
         self.active = True
         self.dead_procs.add(proc)
         self.stats["kill_proc"] += 1
-        self.cluster.trace("faults", "kill_proc", proc=str(proc), rank=rank,
-                           reason=reason)
         sim = sim_proc if sim_proc is not None else self._rank_procs.get(proc)
+        self.cluster.trace("faults", "kill_proc", proc=str(proc), rank=rank,
+                           reason=reason,
+                           span=getattr(sim, "obs_span", 0) if sim else 0)
         if sim is not None:
             sim.kill(f"fault injection: {reason} (rank {rank})")
         node = job.topology.node_of(rank)

@@ -1,0 +1,28 @@
+"""Observability layer: metrics, trace export, critical-path profiling.
+
+Built on the span/flow model in :mod:`repro.simtime.trace` (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with label
+  aggregation,
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and a
+  plain-text flamegraph-style report,
+* :mod:`repro.obs.critical_path` — longest-chain extraction over the
+  span + causality DAG,
+* :mod:`repro.obs.scenarios` — canned instrumented runs for
+  ``tools/obs_report.py`` and the bench ``--obs`` mode.
+"""
+
+from repro.obs.critical_path import compute_critical_path
+from repro.obs.export import chrome_trace, dumps, flame_report, validate_chrome_trace
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "compute_critical_path",
+    "dumps",
+    "flame_report",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,158 @@
+"""Critical-path extraction over the span + causality DAG.
+
+Starting from the latest-ending span (or an explicit target), walk
+*backwards* in time: within a track, time is attributed to the innermost
+span covering each instant (gaps are ``idle``); whenever a causality
+edge (:class:`~repro.simtime.trace.FlowEdge`) arrives at the current
+position, the walk jumps to the edge's source track and the transit time
+is attributed to the edge itself.
+
+The resulting stages partition ``[t_start, t_end]`` exactly — their
+durations sum to the end-to-end time, which is what makes the report
+trustworthy as an answer to "where did init time go?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+_EPS = 1e-15
+
+
+@dataclass
+class Stage:
+    """One contiguous segment of the critical path."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    kind: str                          # "span" | "flow" | "idle"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    stages: List[Stage]                # chronological
+    t_start: float
+    t_end: float
+
+    @property
+    def total(self) -> float:
+        return self.t_end - self.t_start
+
+    def by_stage(self) -> Dict[str, float]:
+        """Total duration per stage name, sorted by descending time."""
+        agg: Dict[str, float] = {}
+        for st in self.stages:
+            agg[st.name] = agg.get(st.name, 0.0) + st.duration
+        return dict(sorted(agg.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def stage_sum(self) -> float:
+        return math.fsum(st.duration for st in self.stages)
+
+    def render(self) -> str:
+        lines = [f"critical path: {self.total * 1e3:.3f} ms "
+                 f"({self.t_start * 1e3:.3f} -> {self.t_end * 1e3:.3f} ms), "
+                 f"{len(self.stages)} stages"]
+        for st in self.stages:
+            mark = {"flow": "->", "idle": "..", "span": "  "}[st.kind]
+            lines.append(f"  {st.start * 1e3:>10.3f}ms {st.duration * 1e3:>10.3f}ms "
+                         f"{mark} {st.name}  [{st.track}]")
+        lines.append("  -- per-stage attribution --")
+        for name, dur in self.by_stage().items():
+            pct = 100.0 * dur / self.total if self.total else 0.0
+            lines.append(f"  {dur * 1e3:>10.3f}ms {pct:5.1f}%  {name}")
+        return "\n".join(lines)
+
+
+def _attribute_track(tracer, track: str, lo: float, hi: float) -> List[Stage]:
+    """Partition [lo, hi] on one track into innermost-span/idle stages."""
+    if hi - lo <= _EPS:
+        return []
+    covering = [
+        s for s in tracer.spans.values()
+        if s.track == track and s.start < hi - _EPS
+        and (s.end is None or s.end > lo + _EPS)
+    ]
+    cuts = {lo, hi}
+    for s in covering:
+        if lo < s.start < hi:
+            cuts.add(s.start)
+        if s.end is not None and lo < s.end < hi:
+            cuts.add(s.end)
+    points = sorted(cuts)
+    stages: List[Stage] = []
+    for a, b in zip(points, points[1:]):
+        mid = (a + b) / 2.0
+        inner = None
+        for s in covering:
+            s_end = s.end if s.end is not None else hi
+            if s.start <= mid <= s_end:
+                # Innermost = latest start; tie-break on highest sid
+                # (children always have higher ids than parents).
+                if inner is None or (s.start, s.sid) > (inner.start, inner.sid):
+                    inner = s
+        if inner is None:
+            stages.append(Stage("idle", track, a, b, "idle"))
+        else:
+            stages.append(Stage(inner.name, track, a, b, "span"))
+    return stages
+
+
+def _merge(stages: List[Stage]) -> List[Stage]:
+    out: List[Stage] = []
+    for st in stages:
+        if out and out[-1].name == st.name and out[-1].track == st.track \
+                and out[-1].kind == st.kind and abs(out[-1].end - st.start) <= _EPS:
+            out[-1] = Stage(st.name, st.track, out[-1].start, st.end, st.kind)
+        else:
+            out.append(st)
+    return out
+
+
+def compute_critical_path(tracer, *, t_start: float = 0.0,
+                          target=None) -> CriticalPath:
+    """Walk the span+flow DAG backwards from ``target`` (default: the
+    latest-ending span) down to ``t_start``."""
+    closed = [s for s in tracer.spans.values() if s.end is not None]
+    if target is None:
+        if not closed:
+            return CriticalPath([], t_start, t_start)
+        target = max(closed, key=lambda s: (s.end, s.sid))
+
+    # Inbound flows per destination track, complete and strictly
+    # time-advancing (a zero-duration edge cannot move the walk).
+    inbound: Dict[str, List] = {}
+    for f in tracer.flows.values():
+        if f.complete and f.src_time < f.dst_time - _EPS:
+            inbound.setdefault(f.dst_track, []).append(f)
+    for flows in inbound.values():
+        flows.sort(key=lambda f: (f.dst_time, f.fid))
+
+    stages: List[Stage] = []
+    track, t = target.track, target.end
+    t_end = target.end
+    for _ in range(1_000_000):         # hard guard against walk bugs
+        if t <= t_start + _EPS:
+            break
+        best = None
+        for f in inbound.get(track, ()):
+            if f.dst_time <= t + _EPS and f.dst_time > t_start + _EPS:
+                if best is None or (f.dst_time, f.fid) > (best.dst_time, best.fid):
+                    best = f
+        if best is None:
+            stages.extend(_attribute_track(tracer, track, t_start, t))
+            break
+        if best.dst_time < t - _EPS:
+            stages.extend(_attribute_track(tracer, track, best.dst_time, t))
+        stages.append(Stage(best.name, f"{best.src_track}->{track}",
+                            best.src_time, best.dst_time, "flow"))
+        track, t = best.src_track, best.src_time
+    stages.sort(key=lambda st: st.start)
+    return CriticalPath(_merge(stages), t_start, t_end)

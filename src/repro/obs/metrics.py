@@ -1,0 +1,248 @@
+"""Metrics registry: counters, gauges, histograms with label aggregation.
+
+Metrics are keyed by ``(name, labels)`` where ``labels`` is a sorted
+tuple of ``(key, value)`` pairs — e.g. ``("pml.bytes", (("node", 1),))``.
+Aggregation across label dimensions (per-process -> per-node ->
+cluster-wide) is a query-time fold, so instrumentation sites only ever
+record at the finest granularity they know.
+
+Everything is deterministic: insertion order never affects output
+(tables render in sorted key order), histogram percentiles use sorted
+linear interpolation, and no wall clock or PRNG is touched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> LabelKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+class Histogram:
+    """Raw-sample histogram with exact interpolated percentiles."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Interpolated percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms for one cluster.
+
+    Disabled by default: live ``inc``/``set``/``observe`` calls cost one
+    branch.  Snapshot-style harvesting (:func:`snapshot_cluster`) calls
+    the ``force=True`` variants so an end-of-run report works even when
+    live collection was off.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.counters: Dict[LabelKey, float] = {}
+        self.gauges: Dict[LabelKey, float] = {}
+        self.histograms: Dict[LabelKey, Histogram] = {}
+
+    # -- recording ----------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, *, force: bool = False,
+            **labels: Any) -> None:
+        if not (self.enabled or force):
+            return
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def set(self, name: str, value: float, *, force: bool = False,
+            **labels: Any) -> None:
+        if not (self.enabled or force):
+            return
+        self.gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, *, force: bool = False,
+                **labels: Any) -> None:
+        if not (self.enabled or force):
+            return
+        key = _key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe(value)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # -- queries ------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Sorted distinct metric names across all kinds."""
+        seen = {k[0] for k in self.counters}
+        seen.update(k[0] for k in self.gauges)
+        seen.update(k[0] for k in self.histograms)
+        return sorted(seen)
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        key = _key(name, labels)
+        if key in self.counters:
+            return self.counters[key]
+        if key in self.gauges:
+            return self.gauges[key]
+        return None
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        return self.histograms.get(_key(name, labels))
+
+    def aggregate(self, name: str, by: Optional[str] = None) -> Dict[Any, float]:
+        """Sum a counter/gauge across labels.
+
+        ``by=None`` folds everything into ``{"total": x}`` (cluster-wide);
+        ``by="node"`` returns per-node sums, etc.
+        """
+        out: Dict[Any, float] = {}
+        for store in (self.counters, self.gauges):
+            for (n, labels), v in store.items():
+                if n != name:
+                    continue
+                group = "total" if by is None else dict(labels).get(by, "total")
+                out[group] = out.get(group, 0.0) + v
+        return out
+
+    def merged_histogram(self, name: str) -> Histogram:
+        """All samples for ``name`` across every label set."""
+        merged = Histogram()
+        for (n, _labels), hist in self.histograms.items():
+            if n == name:
+                merged.values.extend(hist.values)
+        return merged
+
+    # -- rendering ----------------------------------------------------------
+    @staticmethod
+    def _label_str(labels: Iterable[Tuple[str, Any]]) -> str:
+        items = list(labels)
+        if not items:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
+    @staticmethod
+    def _num(v: float) -> str:
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return f"{v:.6g}"
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """Deterministic (name+labels, kind, rendered value) rows."""
+        out: List[Tuple[str, str, str]] = []
+        for key in sorted(self.counters):
+            out.append((key[0] + self._label_str(key[1]), "counter",
+                        self._num(self.counters[key])))
+        for key in sorted(self.gauges):
+            out.append((key[0] + self._label_str(key[1]), "gauge",
+                        self._num(self.gauges[key])))
+        for key in sorted(self.histograms):
+            s = self.histograms[key].summary()
+            if s["count"] == 0:
+                rendered = "count=0"
+            else:
+                rendered = (f"count={s['count']} mean={self._num(s['mean'])} "
+                            f"p50={self._num(s['p50'])} p90={self._num(s['p90'])} "
+                            f"p99={self._num(s['p99'])} max={self._num(s['max'])}")
+            out.append((key[0] + self._label_str(key[1]), "histogram", rendered))
+        out.sort()
+        return out
+
+    def render(self) -> str:
+        rows = self.rows()
+        if not rows:
+            return "(no metrics recorded)"
+        w_name = max(len(r[0]) for r in rows)
+        w_kind = max(len(r[1]) for r in rows)
+        lines = [f"{name:<{w_name}}  {kind:<{w_kind}}  {value}"
+                 for name, kind, value in rows]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump, deterministically ordered."""
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key in sorted(self.counters):
+            out["counters"][key[0] + self._label_str(key[1])] = self.counters[key]
+        for key in sorted(self.gauges):
+            out["gauges"][key[0] + self._label_str(key[1])] = self.gauges[key]
+        for key in sorted(self.histograms):
+            out["histograms"][key[0] + self._label_str(key[1])] = \
+                self.histograms[key].summary()
+        return out
+
+
+def snapshot_cluster(metrics: MetricsRegistry, cluster, world=None) -> None:
+    """Harvest structural counters the layers already keep into the
+    registry (``force=True``: works even with live collection off)."""
+    m = metrics
+    m.set("simtime.events", cluster.engine.events_executed, force=True)
+    tr = cluster.engine.tracer
+    m.set("obs.spans", len(tr.spans), force=True)
+    m.set("obs.flows", len(tr.flows), force=True)
+
+    rml = cluster.dvm.rml
+    m.set("rml.messages", rml.messages_sent, force=True)
+    m.set("rml.bytes", rml.bytes_sent, force=True)
+    m.set("rml.dropped", getattr(rml, "dropped", 0), force=True)
+    m.set("prrte.pgcid.allocated", cluster.dvm.pgcids_allocated, force=True)
+
+    for kind, n in sorted(cluster.faults.stats.items()):
+        m.set(f"faults.{kind}", n, force=True)
+
+    if world is not None:
+        fabric = world.fabric
+        m.set("pml.packets", getattr(fabric, "packets", 0), force=True)
+        m.set("pml.bytes", getattr(fabric, "bytes", 0), force=True)
+        for rt in world.runtimes:
+            ep = getattr(rt, "endpoint", None)
+            if ep is not None:
+                ep.harvest_metrics(m, force=True)

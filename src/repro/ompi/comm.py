@@ -144,6 +144,19 @@ class Communicator:
                     posted.request.fail(err)
             endpoint.comm_failed(self)
 
+    # ------------------------------------------------------------------
+    # observability helpers (no-ops when tracing is disabled: begin()
+    # returns 0 and end() ignores sid 0)
+    # ------------------------------------------------------------------
+    def _obs_begin(self, name: str, **attrs) -> int:
+        rt = self.runtime
+        return rt.engine.tracer.begin(rt.engine.now, rt.obs_track, name,
+                                      comm=self.name, **attrs)
+
+    def _obs_end(self, sid: int) -> None:
+        rt = self.runtime
+        rt.engine.tracer.end(rt.engine.now, sid)
+
     def get_rank(self) -> int:
         self._check()
         return self.rank
@@ -229,8 +242,12 @@ class Communicator:
 
     def send(self, obj, dest: int, tag: int = 0, nbytes: Optional[int] = None):
         """Sub-generator: blocking send."""
-        req = yield from self.isend(obj, dest, tag, nbytes)
-        yield from req.wait()
+        sid = self._obs_begin("ompi.pml.send", dest=dest, tag=tag)
+        try:
+            req = yield from self.isend(obj, dest, tag, nbytes)
+            yield from req.wait()
+        finally:
+            self._obs_end(sid)
 
     def _send_internal(self, obj, dest: int, tag: int, nbytes: Optional[int] = None):
         req = yield from self._isend_internal(obj, dest, tag, nbytes)
@@ -238,8 +255,12 @@ class Communicator:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Optional[Status] = None):
         """Sub-generator: blocking receive; returns the payload."""
-        req = self.irecv(source, tag)
-        st = yield from req.wait()
+        sid = self._obs_begin("ompi.pml.recv", source=source, tag=tag)
+        try:
+            req = self.irecv(source, tag)
+            st = yield from req.wait()
+        finally:
+            self._obs_end(sid)
         if status is not None:
             status.source, status.tag, status.count = st.source, st.tag, st.count
         return req.payload
@@ -348,7 +369,11 @@ class Communicator:
     # ------------------------------------------------------------------
     def barrier(self):
         self._pre_coll()
-        yield from coll.barrier(self)
+        sid = self._obs_begin("ompi.coll.barrier")
+        try:
+            yield from coll.barrier(self)
+        finally:
+            self._obs_end(sid)
 
     def ibarrier(self):
         """Sub-generator: returns a Request completed when all arrive."""
@@ -359,7 +384,11 @@ class Communicator:
 
     def bcast(self, obj, root: int = 0, nbytes: Optional[int] = None):
         self._pre_coll()
-        return (yield from coll.bcast(self, obj, root, nbytes))
+        sid = self._obs_begin("ompi.coll.bcast", root=root)
+        try:
+            return (yield from coll.bcast(self, obj, root, nbytes))
+        finally:
+            self._obs_end(sid)
 
     def reduce(self, value, op: Op, root: int = 0, nbytes: Optional[int] = None):
         self._pre_coll()
@@ -367,7 +396,11 @@ class Communicator:
 
     def allreduce(self, value, op: Op, nbytes: Optional[int] = None):
         self._pre_coll()
-        return (yield from coll.allreduce(self, value, op, nbytes))
+        sid = self._obs_begin("ompi.coll.allreduce")
+        try:
+            return (yield from coll.allreduce(self, value, op, nbytes))
+        finally:
+            self._obs_end(sid)
 
     def _internal_allreduce(self, value, op: Op, tag: int):
         return (yield from coll.allreduce(self, value, op, nbytes=8, tag=tag))
@@ -452,6 +485,13 @@ class Communicator:
     def dup(self):
         """Sub-generator: MPI_Comm_dup (collective over the communicator)."""
         self._check()
+        sid = self._obs_begin("ompi.comm.dup")
+        try:
+            return (yield from self._dup_internal())
+        finally:
+            self._obs_end(sid)
+
+    def _dup_internal(self):
         runtime = self.runtime
         if not runtime.excid_enabled:
             cid = yield from allocate_consensus_cid(self)

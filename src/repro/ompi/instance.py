@@ -113,6 +113,9 @@ def _pml_init(runtime):
 
 def _pml_cleanup(runtime):
     if runtime.endpoint is not None:
+        m = runtime.engine.metrics
+        if m is not None and m.enabled:
+            runtime.endpoint.harvest_metrics(m)
         runtime.fabric.deregister(runtime.proc)
         runtime.endpoint = None
     runtime.reset_cid_state()

@@ -55,6 +55,7 @@ class Packet:
     recv_req: Any = None
     ack_excid: Any = None
     ack_cid: int = 0
+    fid: int = 0                  # observability flow id (send -> receive)
 
     def wire_bytes(self) -> int:
         if self.kind == "user":
@@ -102,10 +103,10 @@ class Fabric:
         faults = self.faults
         if faults is not None and faults.active:
             if faults.is_dead_proc(dst) or faults.is_dead_proc(pkt.src_proc):
-                faults.dead_drop("pml", pkt.src_proc, dst)
+                faults.dead_drop("pml", pkt.src_proc, dst, fid=pkt.fid)
                 return
             tag = pkt.hdr.tag if pkt.hdr is not None else pkt.kind
-            disp = faults.on_message("pml", pkt.src_proc, dst, tag)
+            disp = faults.on_message("pml", pkt.src_proc, dst, tag, fid=pkt.fid)
             if disp is not None:
                 if disp.drop:
                     return
@@ -127,8 +128,11 @@ class Fabric:
         if faults is not None and faults.active and (
             faults.is_dead_proc(ep.proc) or faults.is_dead_proc(pkt.src_proc)
         ):
-            faults.dead_drop("pml", pkt.src_proc, ep.proc)
+            faults.dead_drop("pml", pkt.src_proc, ep.proc, fid=pkt.fid)
             return
+        if pkt.fid:
+            # Duplicated packets share one flow id; first arrival binds it.
+            self.engine.tracer.flow_end(self.engine.now, ep.obs_track, pkt.fid)
         ep.deliver(pkt)
 
 
@@ -158,7 +162,26 @@ class Ob1Endpoint:
         self._pending: List[Tuple[Any, PmixProc, Any]] = []
         self.stats = {"sent": 0, "recv": 0, "ext_sent": 0, "ext_recv": 0,
                       "acks": 0, "dup_dropped": 0}
+        from repro.simtime.trace import track_for_proc
+
+        self.obs_track = track_for_proc(self.proc)
         self.fabric.register(self.proc, self)
+
+    def harvest_metrics(self, m, force: bool = False) -> None:
+        """Fold this endpoint's counters into a metrics registry.
+
+        Called on PML teardown (the endpoint object is dropped at
+        finalize) and by end-of-run snapshots for still-live endpoints.
+        """
+        for stat, v in sorted(self.stats.items()):
+            if v:
+                m.inc(f"pml.{stat}", v, force=force, node=self.node)
+        if self.matching.matches:
+            m.inc("pml.matches", self.matching.matches, force=force,
+                  node=self.node)
+        if self.matching.unexpected_hits:
+            m.inc("pml.unexpected_hits", self.matching.unexpected_hits,
+                  force=force, node=self.node)
 
     # ------------------------------------------------------------------
     # peer discovery (lazy add_procs, paper §III-B1)
@@ -190,6 +213,10 @@ class Ob1Endpoint:
         """Reserve the NIC; returns (injection_done, delivery_time)."""
         btl = self._btl_for(peer)
         now = self.engine.now
+        tr = self.engine.tracer
+        if tr.enabled:
+            pkt.fid = tr.flow_begin(now, self.obs_track, f"pml.{pkt.kind}",
+                                    nbytes=pkt.nbytes)
         start = max(now, self.nic_free)
         done = start + btl.injection_time(pkt.wire_bytes())
         self.nic_free = done
@@ -307,6 +334,12 @@ class Ob1Endpoint:
         (its completion is in flight and no longer cancellable)."""
         posted = PostedRecv(src=src_rank, tag=tag, request=request)
         msg = self.matching.post_recv(comm.local_cid, posted)
+        m = self.engine.metrics
+        if m is not None and m.enabled:
+            q = self.matching._queues(comm.local_cid)
+            m.observe("pml.match.posted_depth", len(q.posted), node=self.node)
+            m.observe("pml.match.unexpected_depth", len(q.unexpected),
+                      node=self.node)
         if msg is not None:
             self._consume_match(comm, posted, msg)
             return True

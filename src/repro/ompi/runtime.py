@@ -37,6 +37,7 @@ from repro.ompi.opal.mca import MCARegistry
 from repro.ompi.session import Session
 from repro.pmix.types import PMIX_ERR_PROC_ABORTED, PMIX_ERR_TIMEOUT, PmixError
 from repro.simtime.process import Sleep
+from repro.simtime.trace import track_for_proc
 
 
 class MpiRuntime:
@@ -57,6 +58,7 @@ class MpiRuntime:
         self.proc = job.proc(rank)
         self.node = job.topology.node_of(rank)
         self.pmix = job.client(rank)
+        self.obs_track = track_for_proc(self.proc)
 
         # Pre-init-usable state (paper §III-B5).
         self.keyvals = KeyvalRegistry()
@@ -178,7 +180,10 @@ class MpiRuntime:
         if self._binary_loaded:
             return
         self._binary_loaded = True
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "ompi.init.load_binary")
         yield Sleep(self.machine.nfs_load_time(self.job.num_ranks))
+        tr.end(self.engine.now, sid)
 
     def _pmix_up(self):
         if not self.pmix.initialized:
@@ -202,6 +207,8 @@ class MpiRuntime:
             raise MPIErrArg("MPI_Init called twice")
         if self.world_finalized:
             raise MPIErrArg("MPI cannot be re-initialized after MPI_Finalize")
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "ompi.mpi.init")
         yield from self._load_binary()
         yield from self._pmix_up()
         yield Sleep(self.machine.proc_local_init)
@@ -210,7 +217,10 @@ class MpiRuntime:
 
         # add_procs for node-local peers only (lazy discovery elsewhere).
         local = self.job.topology.ranks_on_node(self.node)
+        sid_ap = tr.begin(self.engine.now, self.obs_track,
+                          "ompi.pml.add_procs_local", nlocal=len(local))
         yield Sleep(self.machine.add_procs_local_cost * len(local))
+        tr.end(self.engine.now, sid_ap)
         for r in local:
             self.endpoint._known_peers.add(self.job.proc(r))
 
@@ -231,12 +241,15 @@ class MpiRuntime:
             session=self.world_session,
         )
         self.register_comm(self.COMM_SELF)
+        tr.end(self.engine.now, sid)
         return self.COMM_WORLD
 
     def mpi_finalize(self):
         """Sub-generator: MPI_Finalize."""
         if not self.wpm_initialized:
             raise MPIErrArg("MPI_Finalize without MPI_Init")
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "ompi.mpi.finalize")
         # Implicit synchronization (ompi fences in finalize).
         yield from self.pmix.fence(collect=False)
         for comm in (self.COMM_SELF, self.COMM_WORLD):
@@ -251,6 +264,7 @@ class MpiRuntime:
         world.mark_finalized()
         yield from instance_release(self)
         yield from self._maybe_pmix_down()
+        tr.end(self.engine.now, sid)
 
     def _maybe_pmix_down(self):
         if not self.sessions and self.pmix.initialized:
@@ -272,6 +286,8 @@ class MpiRuntime:
         startup path at 28 ppn (session_handle_init_cost); later
         sessions reuse live subsystems.
         """
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "ompi.session.init")
         yield from self._load_binary()
         yield from self._pmix_up()
         first_of_epoch = self.instance_refcount == 0 and not self.subsystems.is_initialized("pml_ob1")
@@ -283,6 +299,10 @@ class MpiRuntime:
             self.thread_level = thread_level
         session = Session(self, thread_level, info=info, errhandler=errhandler)
         self.sessions.append(session)
+        m = self.engine.metrics
+        if m is not None and m.enabled:
+            m.inc("ompi.session.inits", node=self.node)
+        tr.end(self.engine.now, sid)
         return session
 
     def session_finalize(self, session: Session):
@@ -292,10 +312,13 @@ class MpiRuntime:
         leaked = [c for c in self.live_comms if c.session is session and not c.freed]
         if leaked:
             raise MPIErrPendingComms(leaked)
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "ompi.session.finalize")
         self.sessions.remove(session)
         session.mark_finalized()
         yield from instance_release(self)
         yield from self._maybe_pmix_down()
+        tr.end(self.engine.now, sid)
 
     def comm_create_from_group(
         self,
@@ -322,9 +345,14 @@ class MpiRuntime:
         if group.rank_of(self.proc) < 0:
             raise MPIErrArg("caller must be a member of the group")
         gid = f"cfg:{stringtag}"
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track,
+                       "ompi.comm.create_from_group", stringtag=stringtag,
+                       nprocs=group.size)
         try:
             pgcid = yield from self.pmix.group_construct(gid, list(group.members()))
         except PmixError as err:
+            tr.end(self.engine.now, sid)
             if err.status in (PMIX_ERR_PROC_ABORTED, PMIX_ERR_TIMEOUT):
                 mpi_err = MPIErrProcFailed(
                     f"comm_create_from_group({stringtag!r}) aborted: "
@@ -332,6 +360,9 @@ class MpiRuntime:
                 )
                 (errhandler or ERRORS_ARE_FATAL).invoke(self, mpi_err)
             raise
+        m = self.engine.metrics
+        if m is not None and m.enabled:
+            m.inc("ompi.comm.creates", node=self.node)
         comm = Communicator(
             self,
             group,
@@ -343,6 +374,7 @@ class MpiRuntime:
         if errhandler is not None:
             comm.errhandler = errhandler
         self.register_comm(comm)
+        tr.end(self.engine.now, sid)
         return comm
 
 

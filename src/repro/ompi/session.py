@@ -125,7 +125,11 @@ class Session:
     def group_from_pset(self, name: str):
         """Sub-generator: MPI_Group_from_session_pset — local + light."""
         self._check()
+        tr = self.runtime.engine.tracer
+        sid = tr.begin(self.runtime.engine.now, self.runtime.obs_track,
+                       "ompi.session.group_from_pset", pset=name)
         members = yield from self._pset_members(name)
+        tr.end(self.runtime.engine.now, sid)
         group = Group(members)
         group.session = self
         return group

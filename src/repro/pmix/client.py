@@ -25,6 +25,7 @@ from repro.pmix.types import (
     info_dict,
 )
 from repro.simtime.process import Sleep, SimTimeout, Wait
+from repro.simtime.trace import track_for_daemon, track_for_proc
 
 
 class PmixClient:
@@ -35,6 +36,7 @@ class PmixClient:
         self.server = server
         self.engine = server.engine
         self.machine = server.machine
+        self.obs_track = track_for_proc(proc)
         self.initialized = False
         self._staged: Dict[str, Any] = {}
         self._coll_counters: Dict[Hashable, "itertools.count"] = {}
@@ -49,15 +51,21 @@ class PmixClient:
         the MPI layer tracks its own refcounts; a second init is an error)."""
         if self.initialized:
             raise PmixError(PMIX_ERR_NOT_FOUND, "client already initialized")
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.init")
         yield Sleep(self.machine.local_rpc_cost)
         self.server.register_client(self)
         self.initialized = True
+        tr.end(self.engine.now, sid)
         return self.proc
 
     def finalize(self):
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.finalize")
         yield Sleep(self.machine.local_rpc_cost)
         self.server.deregister_client(self.proc)
         self.initialized = False
+        tr.end(self.engine.now, sid)
 
     # -- kvs ---------------------------------------------------------------------
     def put(self, key: str, value: Any) -> None:
@@ -132,9 +140,19 @@ class PmixClient:
             send_participants = None
         sig = self._next_sig("fence", member_key, collect)
         blob = self.server.datastore.rank_blob(self.proc)
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.fence",
+                       nprocs=len(procs) if procs else -1, collect=collect)
+        t_req = self.engine.now
         yield Sleep(self.machine.local_rpc_cost)
+        if tr.enabled:
+            tr.flow("pmix.rpc.fence", self.obs_track, t_req,
+                    track_for_daemon(self.server.node), self.engine.now)
         ev = self.server.fence_arrive(sig, self.proc, send_participants, blob, collect)
-        result = yield Wait(ev)
+        try:
+            result = yield Wait(ev)
+        finally:
+            tr.end(self.engine.now, sid)
         return result
 
     def group_construct(
@@ -154,7 +172,14 @@ class PmixClient:
         if self.proc not in participants:
             raise PmixError(PMIX_ERR_NOT_FOUND, f"{self.proc} not in group {gid!r}")
         sig = self._next_sig("grp", self._member_key(participants), gid)
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.group_construct",
+                       gid=gid, nprocs=len(participants))
+        t_req = self.engine.now
         yield Sleep(self.machine.local_rpc_cost)
+        if tr.enabled:
+            tr.flow("pmix.rpc.group", self.obs_track, t_req,
+                    track_for_daemon(self.server.node), self.engine.now)
         ev = self.server.group_construct_arrive(sig, gid, self.proc, list(participants), directives)
         timeout = directives.get(PMIX_TIMEOUT)
         try:
@@ -163,6 +188,8 @@ class PmixClient:
             raise PmixError(
                 PMIX_ERR_TIMEOUT, f"group {gid!r} construct timed out after {timeout}s"
             ) from None
+        finally:
+            tr.end(self.engine.now, sid)
         self._group_pgcids[gid] = result.context_id
         return result.context_id
 
@@ -170,6 +197,9 @@ class PmixClient:
         """PMIx_Group_destruct (collective)."""
         participants = self._ordered(procs)
         sig = self._next_sig("grpdel", self._member_key(participants), gid)
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.group_destruct",
+                       gid=gid, nprocs=len(participants))
         yield Sleep(self.machine.local_rpc_cost)
         ev = self.server.group_destruct_arrive(sig, gid, self.proc, list(participants))
         try:
@@ -178,12 +208,18 @@ class PmixClient:
             raise PmixError(
                 PMIX_ERR_TIMEOUT, f"group {gid!r} destruct timed out after {timeout}s"
             ) from None
+        finally:
+            tr.end(self.engine.now, sid)
         self._group_pgcids.pop(gid, None)
 
     # -- queries -------------------------------------------------------------------
     def query(self, keys: List[str]):
         """PMIx_Query_info: pset discovery and friends."""
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.query",
+                       keys=",".join(keys))
         yield Sleep(self.machine.local_rpc_cost)
+        tr.end(self.engine.now, sid)
         out: Dict[str, Any] = {}
         for key in keys:
             if key == PMIX_QUERY_NUM_PSETS:
@@ -203,7 +239,11 @@ class PmixClient:
 
     def pset_membership(self, name: str):
         """Resolve a pset name to its member processes."""
+        tr = self.engine.tracer
+        sid = tr.begin(self.engine.now, self.obs_track, "pmix.client.pset_membership",
+                       pset=name)
         yield Sleep(self.machine.local_rpc_cost)
+        tr.end(self.engine.now, sid)
         members = self.server.query_pset_membership(name)
         if members is None:
             raise PmixError(PMIX_ERR_NOT_FOUND, f"process set {name!r}")

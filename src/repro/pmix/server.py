@@ -26,6 +26,7 @@ from repro.pmix.types import (
     PmixProc,
 )
 from repro.simtime.primitives import SimEvent
+from repro.simtime.trace import track_for_daemon, track_for_proc
 
 if TYPE_CHECKING:  # break the pmix <-> prrte import cycle; runtime duck-typed
     from repro.prrte.dvm import Daemon
@@ -55,6 +56,7 @@ class _LocalCollective:
     kind: str = "fence"
     aborted: set = field(default_factory=set)       # dead local participants
     timer: Any = None                               # bounded-termination timer
+    obs_span: int = 0                               # pmix.server.<kind> span
 
 
 @dataclass
@@ -193,6 +195,10 @@ class PmixServer(AsyncGroupServerMixin):
             state.aborted = {p for p in local if p in self.dead_procs}
             self._collectives[sig] = state
             self._arm_fault_timer(state)
+            state.obs_span = self.engine.tracer.begin(
+                self.engine.now, track_for_daemon(self.node),
+                f"pmix.server.{kind}", nlocal=len(local),
+            )
         if proc in state.arrived:
             raise PmixError(
                 PMIX_ERR_NOT_FOUND, f"{proc} arrived twice at collective {sig!r}"
@@ -219,6 +225,10 @@ class PmixServer(AsyncGroupServerMixin):
             return
         state.launched = True
         self._warm_kinds.add(state.kind)
+        m = self.engine.metrics
+        if m is not None and m.enabled:
+            m.observe(f"pmix.{state.kind}.fanin", len(state.arrived), node=self.node)
+            m.inc(f"pmix.{state.kind}.collectives", node=self.node)
         contribution: Dict = dict(state.arrived)
         for p in state.aborted:
             contribution[p] = ABORTED_MARKER
@@ -270,10 +280,18 @@ class PmixServer(AsyncGroupServerMixin):
             state.on_complete(result)
         release_cost = self.machine.local_rpc_cost
         release_at = max(self.engine.now, self._busy_until)
-        for client_ev in state.events.values():
+        tr = self.engine.tracer
+        for proc, client_ev in state.events.items():
             release_at += release_cost
+            # Stage 3 is a logical handoff (no wire message): record the
+            # causality edge explicitly so the critical-path walk can
+            # cross from the server timeline back to the client's.
+            if tr.enabled:
+                tr.flow("pmix.release", track_for_daemon(self.node),
+                        self.engine.now, track_for_proc(proc), release_at)
             self.engine.call_at(release_at, lambda e=client_ev: e.succeed(result))
         self._busy_until = release_at
+        tr.end(release_at, state.obs_span)
 
     def _release_error(self, state: _LocalCollective, status: int, message: str) -> None:
         """Release waiting clients with a typed error instead of hanging."""
@@ -281,15 +299,20 @@ class PmixServer(AsyncGroupServerMixin):
                     kind=state.kind)
         release_cost = self.machine.local_rpc_cost
         release_at = max(self.engine.now, self._busy_until)
-        for client_ev in state.events.values():
+        tr = self.engine.tracer
+        for proc, client_ev in state.events.items():
             if client_ev.triggered:
                 continue
             release_at += release_cost
+            if tr.enabled:
+                tr.flow("pmix.release_error", track_for_daemon(self.node),
+                        self.engine.now, track_for_proc(proc), release_at)
             self.engine.call_at(
                 release_at,
                 lambda e=client_ev: e.triggered or e.fail(PmixError(status, message)),
             )
         self._busy_until = release_at
+        tr.end(release_at, state.obs_span)
 
     # -- fault handling -----------------------------------------------------
     def _faults(self):

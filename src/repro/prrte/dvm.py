@@ -162,6 +162,7 @@ class DVM:
         self.rml = RoutingLayer(engine, machine)
         self.hnp_node = 0
         self._pgcid_counter = itertools.count(1)  # PGCIDs are non-zero
+        self.pgcids_allocated = 0
         self.daemons: List[Daemon] = [
             Daemon(self, node, grpcomm_mode, grpcomm_radix)
             for node in range(machine.num_nodes)
@@ -182,7 +183,15 @@ class DVM:
 
     def allocate_pgcid(self) -> int:
         """Allocate the next 64-bit process-group context id (HNP-only)."""
-        return next(self._pgcid_counter)
+        self.pgcids_allocated += 1
+        pgcid = next(self._pgcid_counter)
+        tr = self.engine.tracer
+        if tr.enabled:
+            from repro.simtime.trace import track_for_daemon
+
+            tr.event(self.engine.now, track_for_daemon(self.hnp_node),
+                     "prrte.hnp.pgcid_alloc", pgcid=pgcid)
+        return pgcid
 
     def announce_daemon_down(self, node: int) -> None:
         """HNP detected a dead daemon; start the xcast at the tree root."""

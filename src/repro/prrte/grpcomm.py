@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional
 
 from repro.simtime.primitives import SimEvent
+from repro.simtime.trace import track_for_daemon
 
 
 @dataclass
@@ -52,6 +53,7 @@ class _Instance:
     completed: SimEvent = field(default_factory=SimEvent)
     up_sent: bool = False
     awaiting_pgcid: bool = False
+    obs_span: int = 0                  # prrte.grpcomm.allgather span
 
 
 class GrpcommModule:
@@ -96,6 +98,11 @@ class GrpcommModule:
         inst.participants = participants
         inst.need_context_id = need_context_id
         inst.contribution = dict(contribution)
+        inst.obs_span = self.daemon.engine.tracer.begin(
+            self.daemon.engine.now, track_for_daemon(self.daemon.node),
+            "prrte.grpcomm.allgather", mode=self.mode,
+            nodes=len(participants), cid=need_context_id,
+        )
         # Replay any traffic that arrived before we knew the shape.
         for payload in inst.early_up:
             self._accept_up(inst, payload)
@@ -293,6 +300,7 @@ class GrpcommModule:
             return
         self._instances.pop(inst.sig, None)
         self._done_sigs.add(inst.sig)
+        self.daemon.engine.tracer.end(self.daemon.engine.now, inst.obs_span)
         inst.completed.succeed(result)
 
     def _get(self, sig: Hashable) -> _Instance:
@@ -317,6 +325,7 @@ class GrpcommModule:
                 continue
             self._instances.pop(sig, None)
             self._done_sigs.add(sig)
+            self.daemon.engine.tracer.end(self.daemon.engine.now, inst.obs_span)
             if not inst.completed.triggered:
                 inst.completed.succeed(
                     GrpcommResult(data={}, status=PMIX_ERR_PROC_ABORTED)

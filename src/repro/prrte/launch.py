@@ -93,4 +93,11 @@ class Launcher:
             clients.append(PmixClient(PmixProc(nspace, rank), server))
         for name, ranks in spec.psets.items():
             self.psets.define(name, [PmixProc(nspace, r) for r in ranks])
+        tr = self.dvm.engine.tracer
+        if tr.enabled:
+            from repro.simtime.trace import track_for_daemon
+
+            tr.event(self.dvm.engine.now, track_for_daemon(self.dvm.hnp_node),
+                     "prrte.dvm.launch", nspace=nspace,
+                     ranks=topo.num_ranks, nodes=topo.num_nodes)
         return Job(nspace=nspace, topology=topo, clients=clients)

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict
 from repro.machine.model import MachineModel
 from repro.pmix.datastore import _value_size
 from repro.simtime.engine import Engine
+from repro.simtime.trace import track_for_daemon
 
 
 @dataclass
@@ -23,6 +24,7 @@ class RmlMessage:
     dst: int            # receiving daemon's node id
     tag: str            # dispatch tag, e.g. "grpcomm_up"
     payload: Dict[str, Any] = field(default_factory=dict)
+    fid: int = 0        # observability flow id (send -> receive edge)
 
     def wire_size(self) -> int:
         """Approximate serialized size (64-byte envelope + payload)."""
@@ -69,15 +71,20 @@ class RoutingLayer:
         if deliver is None:
             raise KeyError(f"no daemon registered for node {msg.dst}")
 
+        tr = self.engine.tracer
+        if tr.enabled:
+            msg.fid = tr.flow_begin(self.engine.now, track_for_daemon(msg.src),
+                                    f"rml.{msg.tag}", nbytes=msg.wire_size())
+
         copies = 1
         extra_delay = 0.0
         faults = self.faults
         if faults is not None:
             if not faults.daemon_alive(msg.src) or not faults.daemon_alive(msg.dst):
                 self.dropped += 1
-                faults.dead_drop("rml", msg.src, msg.dst)
+                faults.dead_drop("rml", msg.src, msg.dst, fid=msg.fid)
                 return
-            disp = faults.on_message("rml", msg.src, msg.dst, msg.tag)
+            disp = faults.on_message("rml", msg.src, msg.dst, msg.tag, fid=msg.fid)
             if disp is not None:
                 if disp.drop:
                     self.dropped += 1
@@ -115,4 +122,12 @@ class RoutingLayer:
         start = max(self.engine.now, self._busy[msg.dst])
         done = start + self.process_cost
         self._busy[msg.dst] = done
-        self.engine.call_at(done, lambda: deliver(msg))
+        self.engine.call_at(done, lambda: self._deliver(msg, deliver))
+
+    def _deliver(self, msg: RmlMessage, deliver: Callable[[RmlMessage], None]) -> None:
+        if msg.fid:
+            # Duplicated copies share one flow id; the first arrival binds it.
+            self.engine.tracer.flow_end(
+                self.engine.now, track_for_daemon(msg.dst), msg.fid
+            )
+        deliver(msg)

@@ -12,6 +12,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from repro.simtime.trace import NULL_TRACER
+
 
 class SimulationError(RuntimeError):
     """Base class for errors raised by the simulation core."""
@@ -68,6 +70,13 @@ class Engine:
         self._seq = itertools.count()
         self._live: set = set()
         self._running = False
+        # Observability hooks.  Every layer reaches tracing/metrics via
+        # its existing engine reference; the Cluster swaps in real
+        # instances when the user asks for them.  The null defaults keep
+        # the instrumented hot paths at one branch per emission.
+        self.tracer = NULL_TRACER
+        self.metrics = None                # repro.obs.metrics.MetricsRegistry
+        self.events_executed = 0
 
     @property
     def now(self) -> float:
@@ -110,6 +119,7 @@ class Engine:
             if fn is _CANCELED:
                 continue
             self._now = when
+            self.events_executed += 1
             fn()
             return True
         return False

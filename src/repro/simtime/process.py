@@ -119,6 +119,7 @@ class SimProcess:
         "_finished",
         "_pending_timer",
         "_waiting_on",
+        "obs_span",
     )
 
     def __init__(self, engine: Engine, gen: Generator, name: str = "") -> None:
@@ -132,6 +133,7 @@ class SimProcess:
         self._finished = False
         self._pending_timer = None
         self._waiting_on: Optional[SimEvent] = None
+        self.obs_span = 0              # lifetime span id (set by spawners)
         engine._process_started(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -307,6 +309,8 @@ class SimProcess:
         self._finished = True
         self.result = result
         self.exception = exc
+        if self.obs_span:
+            self.engine.tracer.end(self.engine.now, self.obs_span)
         self.engine._process_finished(self)
         self.gen.close()
         if exc is not None:

@@ -1,9 +1,28 @@
-"""Structured trace records for debugging and white-box tests.
+"""Structured tracing: flat records, nested spans, and causality edges.
 
-Components emit :class:`TraceRecord`s into a shared :class:`Tracer`;
-tests assert on the sequence (e.g. "the second message between this pair
-carried no extended header").  Tracing is off by default and costs one
-attribute check per emission.
+Two generations of API live here side by side:
+
+* the legacy flat-record API (:meth:`Tracer.emit` / :meth:`Tracer.find`
+  / :meth:`Tracer.count`) used by white-box protocol tests, and
+* the span model (:meth:`Tracer.begin` / :meth:`Tracer.end` /
+  :meth:`Tracer.event` / :meth:`Tracer.flow_begin` /
+  :meth:`Tracer.flow_end`) that powers the observability layer
+  (``repro.obs``): nested timed spans per *track* (one track per
+  simulated rank or daemon), instant events, and cross-track causality
+  edges (message send -> receive) from which critical paths and
+  Chrome/Perfetto timelines are derived.
+
+Legacy ``emit()`` calls are folded into the span model as zero-duration
+instants on a synthetic ``events:<category>`` track, so old call sites
+show up on exported timelines without modification.
+
+Tracing is off by default (:data:`NULL_TRACER` on the engine) and costs
+one attribute check per emission.
+
+Span names follow ``layer.component.op`` (e.g. ``pmix.client.fence``,
+``ompi.comm.create_from_group``); the first dotted component doubles as
+the record's *category* for filtering, so ``Tracer(categories={"pmix"})``
+keeps only PMIx-layer spans.
 """
 
 from __future__ import annotations
@@ -20,8 +39,76 @@ class TraceRecord:
     detail: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class Span:
+    """A nested, timed interval on one track.
+
+    ``parent`` is the span id of the innermost span open on the same
+    track when this one began (0 = root).  ``end`` stays ``None`` while
+    the span is open.
+    """
+
+    sid: int
+    track: str
+    name: str
+    start: float
+    parent: int = 0
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass
+class Instant:
+    """A zero-duration event on a track (Chrome 'i' phase)."""
+
+    time: float
+    track: str
+    name: str
+    span: int = 0                      # innermost open span at emission
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FlowEdge:
+    """A causality edge between two tracks (message send -> receive).
+
+    The destination half stays ``None`` until :meth:`Tracer.flow_end`
+    binds it; a dangling edge means the message never arrived (dropped
+    by fault injection, or in flight at simulation end).
+    """
+
+    fid: int
+    name: str
+    src_track: str
+    src_time: float
+    src_span: int = 0
+    dst_track: Optional[str] = None
+    dst_time: Optional[float] = None
+    dst_span: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.dst_time is not None
+
+
+def track_for_proc(proc) -> str:
+    """Track name for a job proc (anything with .nspace/.rank)."""
+    return f"rank:{proc.nspace}/{proc.rank}"
+
+
+def track_for_daemon(node: int) -> str:
+    """Track name for the PRRTE daemon + PMIx server on one node."""
+    return f"daemon:{node}"
+
+
 class Tracer:
-    """Collects trace records, optionally filtered by category."""
+    """Collects trace records, spans and flows, optionally filtered by
+    category (the first dotted component of a span/event name)."""
 
     def __init__(self, categories: Optional[set] = None) -> None:
         self.records: List[TraceRecord] = []
@@ -34,35 +121,200 @@ class Tracer:
             categories = frozenset(categories)
         self.categories = categories
         self.enabled = True
+        # category -> records index so find()/count() in hot test loops
+        # are O(matches), not O(all records).
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        # Span model state.
+        self.spans: Dict[int, Span] = {}
+        self.instants: List[Instant] = []
+        self.flows: Dict[int, FlowEdge] = {}
+        self._stacks: Dict[str, List[int]] = {}   # track -> open span ids
+        self._next_sid = 1
+        self._next_fid = 1
 
+    # -- category filtering -------------------------------------------------
+    def _wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    @staticmethod
+    def _category_of(name: str) -> str:
+        return name.split(".", 1)[0]
+
+    def _top(self, track: str) -> int:
+        stack = self._stacks.get(track)
+        return stack[-1] if stack else 0
+
+    # -- legacy flat-record API --------------------------------------------
     def emit(self, time: float, category: str, event: str, **detail: Any) -> None:
         if not self.enabled:
             return
-        if self.categories is not None and category not in self.categories:
+        if not self._wants(category):
             return
-        self.records.append(TraceRecord(time, category, event, detail))
+        rec = TraceRecord(time, category, event, detail)
+        self.records.append(rec)
+        self._by_category.setdefault(category, []).append(rec)
+        # Fold into the span model as a zero-duration instant so legacy
+        # call sites appear on exported timelines.
+        track = f"events:{category}"
+        self.instants.append(
+            Instant(time, track, f"{category}.{event}", self._top(track), detail)
+        )
 
     def find(self, category: Optional[str] = None, event: Optional[str] = None) -> Iterator[TraceRecord]:
-        for rec in self.records:
-            if category is not None and rec.category != category:
-                continue
+        if category is not None:
+            records = self._by_category.get(category, ())
+        else:
+            records = self.records
+        for rec in records:
             if event is not None and rec.event != event:
                 continue
             yield rec
 
     def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        if category is not None and event is None:
+            return len(self._by_category.get(category, ()))
         return sum(1 for _ in self.find(category, event))
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_category.clear()
+        self.spans.clear()
+        self.instants.clear()
+        self.flows.clear()
+        self._stacks.clear()
+        self._next_sid = 1
+        self._next_fid = 1
+
+    # -- span API -----------------------------------------------------------
+    def begin(self, time: float, track: str, name: str, **attrs: Any) -> int:
+        """Open a span; returns its id (0 if disabled/filtered).
+
+        The innermost span already open on ``track`` becomes the parent.
+        Pass the returned id to :meth:`end`; id 0 is always safe to end.
+        """
+        if not self.enabled or not self._wants(self._category_of(name)):
+            return 0
+        sid = self._next_sid
+        self._next_sid += 1
+        stack = self._stacks.setdefault(track, [])
+        parent = stack[-1] if stack else 0
+        self.spans[sid] = Span(sid, track, name, time, parent, None, attrs)
+        stack.append(sid)
+        return sid
+
+    def end(self, time: float, sid: int) -> None:
+        """Close a span.  Tolerates id 0, double-close, and out-of-order
+        closes (the id is removed from wherever it sits in the stack)."""
+        if not sid:
+            return
+        span = self.spans.get(sid)
+        if span is None or span.end is not None:
+            return
+        span.end = time
+        stack = self._stacks.get(span.track)
+        if stack and sid in stack:
+            stack.remove(sid)
+
+    def event(self, time: float, track: str, name: str, **attrs: Any) -> None:
+        """Record an instant on a track, tied to its innermost open span."""
+        if not self.enabled or not self._wants(self._category_of(name)):
+            return
+        self.instants.append(Instant(time, track, name, self._top(track), attrs))
+
+    # -- causality edges ----------------------------------------------------
+    def flow_begin(self, time: float, track: str, name: str, **attrs: Any) -> int:
+        """Start a causality edge at (track, time); returns its id (0 if
+        disabled/filtered).  Bind the arrival with :meth:`flow_end`."""
+        if not self.enabled or not self._wants(self._category_of(name)):
+            return 0
+        fid = self._next_fid
+        self._next_fid += 1
+        self.flows[fid] = FlowEdge(fid, name, track, time, self._top(track), attrs=attrs)
+        return fid
+
+    def flow_end(self, time: float, track: str, fid: int) -> None:
+        """Bind the arrival half of a flow.  Tolerates id 0 and double
+        binding (duplicated packets keep the first arrival)."""
+        if not fid:
+            return
+        flow = self.flows.get(fid)
+        if flow is None or flow.dst_time is not None:
+            return
+        flow.dst_track = track
+        flow.dst_time = time
+        flow.dst_span = self._top(track)
+
+    def flow(self, name: str, src_track: str, src_time: float,
+             dst_track: str, dst_time: float, **attrs: Any) -> int:
+        """Record a complete causality edge in one shot (for logical
+        handoffs with no wire message, e.g. a server releasing a blocked
+        client at a scheduled time)."""
+        fid = self.flow_begin(src_time, src_track, name, **attrs)
+        self.flow_end(dst_time, dst_track, fid)
+        return fid
+
+    # -- span-model queries (used by tests and exporters) -------------------
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans.values() if s.name == name]
+
+    def children(self, sid: int) -> List[Span]:
+        return [s for s in self.spans.values() if s.parent == sid]
+
+    def roots(self, track: Optional[str] = None) -> List[Span]:
+        return [
+            s for s in self.spans.values()
+            if s.parent == 0 and (track is None or s.track == track)
+        ]
+
+    def span_tree(self, sid: int):
+        """Nested ``(name, [children...])`` tuples rooted at ``sid`` —
+        handy for asserting exact span shapes in white-box tests."""
+        span = self.spans[sid]
+        kids = sorted(self.children(sid), key=lambda s: (s.start, s.sid))
+        return (span.name, [self.span_tree(k.sid) for k in kids])
+
+    def tracks(self) -> List[str]:
+        seen = set()
+        for s in self.spans.values():
+            seen.add(s.track)
+        for i in self.instants:
+            seen.add(i.track)
+        for f in self.flows.values():
+            seen.add(f.src_track)
+            if f.dst_track is not None:
+                seen.add(f.dst_track)
+        return sorted(seen)
+
+    def max_time(self) -> float:
+        """Latest timestamp of anything recorded (0.0 if empty)."""
+        t = 0.0
+        for s in self.spans.values():
+            t = max(t, s.start if s.end is None else s.end)
+        for i in self.instants:
+            t = max(t, i.time)
+        for f in self.flows.values():
+            t = max(t, f.src_time if f.dst_time is None else f.dst_time)
+        return t
 
 
 class NullTracer(Tracer):
-    """Tracer that drops everything (the default)."""
+    """Tracer that drops everything (the default).
 
-    def __init__(self) -> None:
-        super().__init__()
-        self.enabled = False
+    Shares every code path with :class:`Tracer`; the only difference is
+    that :attr:`enabled` is pinned False, so each emission costs exactly
+    one branch.
+    """
 
-    def emit(self, time: float, category: str, event: str, **detail: Any) -> None:
-        return
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        # Ignored: a NullTracer can never be switched on (tests rely on
+        # this — swap in a real Tracer instead).
+        pass
+
+
+#: Shared default tracer attached to engines that were given none.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,94 @@
+"""Unit tests for the metrics registry and histograms."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestHistogram:
+    def test_percentile_interpolates(self):
+        h = Histogram()
+        for v in (4, 1, 3, 2):             # insertion order must not matter
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 4
+        assert h.percentile(50) == 2.5
+        assert h.percentile(25) == 1.75
+
+    def test_percentile_units_are_the_observed_units(self):
+        """Samples in seconds stay seconds — no hidden scaling."""
+        h = Histogram()
+        h.observe(0.001)
+        h.observe(0.003)
+        assert h.percentile(50) == pytest.approx(0.002)
+        assert h.mean == pytest.approx(0.002)
+        assert h.total == pytest.approx(0.004)
+
+    def test_single_sample_and_empty(self):
+        h = Histogram()
+        assert h.percentile(90) == 0.0
+        assert h.summary() == {"count": 0}
+        h.observe(7.0)
+        assert h.percentile(1) == 7.0 and h.percentile(99) == 7.0
+
+    def test_out_of_range_percentile_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram()
+        for v in range(1, 11):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 10 and s["min"] == 1 and s["max"] == 10
+        assert s["p50"] == 5.5
+        assert set(s) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_disabled_by_default_force_overrides(self):
+        m = MetricsRegistry()
+        m.inc("a.b")
+        m.observe("a.h", 1.0)
+        assert m.names() == []
+        m.inc("a.b", force=True)
+        m.set("a.g", 2.0, force=True)
+        m.observe("a.h", 1.0, force=True)
+        assert m.names() == ["a.b", "a.g", "a.h"]
+
+    def test_label_aggregation(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("pml.bytes", 10, node=0)
+        m.inc("pml.bytes", 20, node=0)
+        m.inc("pml.bytes", 5, node=1)
+        assert m.value("pml.bytes", node=0) == 30
+        assert m.aggregate("pml.bytes") == {"total": 35}
+        assert m.aggregate("pml.bytes", by="node") == {0: 30, 1: 5}
+
+    def test_merged_histogram_spans_labels(self):
+        m = MetricsRegistry(enabled=True)
+        m.observe("fanin", 2, node=0)
+        m.observe("fanin", 4, node=1)
+        merged = m.merged_histogram("fanin")
+        assert merged.count == 2 and merged.percentile(50) == 3
+
+    def test_rows_are_deterministic(self):
+        m1 = MetricsRegistry(enabled=True)
+        m2 = MetricsRegistry(enabled=True)
+        m1.inc("b", 1)
+        m1.inc("a", 2, node=1)
+        m2.inc("a", 2, node=1)              # reversed insertion order
+        m2.inc("b", 1)
+        assert m1.rows() == m2.rows()
+        assert m1.render() == m2.render()
+        assert m1.to_dict() == m2.to_dict()
+
+    def test_gauge_overwrites(self):
+        m = MetricsRegistry(enabled=True)
+        m.set("depth", 3)
+        m.set("depth", 1)
+        assert m.value("depth") == 1

@@ -1,0 +1,61 @@
+"""Tracing must not perturb the simulation.
+
+Instrumentation adds no Sleep and no engine events, so a traced run and
+an untraced run of the same program are *structurally identical*: same
+final simulated time, same executed-event count.  That is a stronger
+guarantee than "within noise" — the guard asserts exact equality.
+"""
+
+import pytest
+
+from repro.api import make_world
+from repro.machine.presets import jupiter
+from repro.ompi.config import MpiConfig
+from repro.ompi.constants import SUM
+from repro.simtime.trace import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def _sessions_main(mpi):
+    session = yield from mpi.session_init()
+    group = yield from session.group_from_pset("mpi://world")
+    comm = yield from mpi.comm_create_from_group(group, "ovh")
+    yield from comm.barrier()
+    value = yield from comm.allreduce(comm.rank, op=SUM)
+    comm.free()
+    yield from session.finalize()
+    return value
+
+
+def _measure(tracer):
+    world = make_world(4, machine=jupiter(2), ppn=2,
+                       config=MpiConfig.sessions_prototype(), tracer=tracer)
+    procs = world.spawn_ranks(_sessions_main)
+    t_end = world.run()
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    return t_end, world.cluster.engine.events_executed, [p.result for p in procs]
+
+
+class TestZeroOverhead:
+    def test_traced_run_is_structurally_identical(self):
+        t_off, ev_off, res_off = _measure(tracer=None)      # NullTracer
+        t_on, ev_on, res_on = _measure(tracer=Tracer())
+        assert t_on == t_off                 # exact, not approximate
+        assert ev_on == ev_off
+        assert res_on == res_off
+
+    def test_disabled_default_records_nothing(self):
+        world = make_world(4, machine=jupiter(2), ppn=2,
+                           config=MpiConfig.sessions_prototype())
+        procs = world.spawn_ranks(_sessions_main)
+        world.run()
+        for p in procs:
+            if p.exception is not None:
+                raise p.exception
+        tr = world.cluster.engine.tracer
+        assert not tr.spans and not tr.flows and not tr.records
+        assert world.cluster.metrics.counters == {}
+        assert world.cluster.metrics.histograms == {}

@@ -1,0 +1,91 @@
+"""White-box shape of a traced 2-node MPI_Session_init run.
+
+Pins the acceptance criteria of the observability layer: nested spans
+from all four layers (simtime / PMIx / PRRTE / OMPI), the exact span
+tree under each rank, send -> receive causality edges, and a metrics
+table with at least ten distinct names.
+"""
+
+import pytest
+
+from repro.obs.scenarios import run_scenario
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_scenario("fig3-init", nodes=2, ppn=1)
+
+
+EXPECTED_RANK_TREE = (
+    "simtime.proc.run",
+    [
+        ("ompi.session.init",
+         [("ompi.init.load_binary", []), ("pmix.client.init", [])]),
+        ("ompi.session.group_from_pset", []),
+        ("ompi.comm.create_from_group",
+         [("pmix.client.group_construct", [])]),
+        ("ompi.coll.barrier", []),
+        ("ompi.session.finalize", [("pmix.client.finalize", [])]),
+    ],
+)
+
+
+class TestSpanTree:
+    def test_exact_rank_span_tree(self, run):
+        for rank in (0, 1):
+            roots = run.tracer.roots(track=f"rank:prrte-job-1/{rank}")
+            assert len(roots) == 1
+            assert run.tracer.span_tree(roots[0].sid) == EXPECTED_RANK_TREE
+
+    def test_all_spans_closed(self, run):
+        assert all(s.end is not None for s in run.tracer.spans.values())
+
+    def test_all_four_layers_present(self, run):
+        layers = {s.name.split(".", 1)[0] for s in run.tracer.spans.values()}
+        assert {"simtime", "pmix", "prrte", "ompi"} <= layers
+
+    def test_daemon_side_spans_on_daemon_tracks(self, run):
+        server = run.tracer.spans_named("pmix.server.group")
+        assert {s.track for s in server} == {"daemon:0", "daemon:1"}
+        grpcomm = run.tracer.spans_named("prrte.grpcomm.allgather")
+        assert grpcomm and all(s.track.startswith("daemon:") for s in grpcomm)
+
+
+class TestCausality:
+    def test_send_recv_edges_cross_rank_tracks(self, run):
+        """The barrier's pml traffic produces complete send->recv edges."""
+        user = [f for f in run.tracer.flows.values() if f.name == "pml.user"]
+        assert user
+        cross = [f for f in user
+                 if f.complete and f.src_track != f.dst_track]
+        assert cross
+        for f in cross:
+            assert f.src_track.startswith("rank:")
+            assert f.dst_track.startswith("rank:")
+            assert f.src_time < f.dst_time
+
+    def test_rml_and_release_edges(self, run):
+        names = {f.name for f in run.tracer.flows.values()}
+        assert "rml.grpcomm_up" in names
+        assert "pmix.rpc.group" in names
+        assert "pmix.release" in names
+
+    def test_all_flows_complete_without_faults(self, run):
+        assert all(f.complete for f in run.tracer.flows.values())
+
+
+class TestMetrics:
+    def test_at_least_ten_distinct_names(self, run):
+        assert len(run.metrics.names()) >= 10
+
+    def test_key_counters(self, run):
+        m = run.metrics
+        assert m.value("rml.messages") > 0
+        assert m.value("pml.packets") > 0
+        assert m.value("prrte.pgcid.allocated") == 1
+        assert m.aggregate("ompi.session.inits") == {"total": 2}
+        assert m.aggregate("ompi.comm.creates") == {"total": 2}
+        fanin = m.merged_histogram("pmix.group.fanin")
+        assert fanin.count == 2            # one collective per node

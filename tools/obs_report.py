@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Run an instrumented scenario and print its observability report.
+
+Usage::
+
+    python tools/obs_report.py --list
+    python tools/obs_report.py --scenario fig3-init
+    python tools/obs_report.py --scenario fig3-init --export /tmp/trace.json
+    python tools/obs_report.py --scenario fence-chain --nodes 4 --ppn 1
+
+The report has four sections: end-to-end timing, the span flamegraph,
+the metrics table, and the critical path through the span/causality DAG.
+``--export`` additionally writes a Chrome ``trace_event`` JSON loadable
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import (  # noqa: E402
+    chrome_trace,
+    compute_critical_path,
+    dumps,
+    flame_report,
+    validate_chrome_trace,
+)
+from repro.obs.scenarios import MACHINES, run_scenario, scenario_names  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", help="scenario name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available scenarios")
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--ppn", type=int, default=2)
+    parser.add_argument("--machine", default="jupiter",
+                        choices=sorted(MACHINES))
+    parser.add_argument("--export", metavar="FILE",
+                        help="write Chrome trace_event JSON")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.scenario:
+        for name in scenario_names():
+            print(f"  {name}")
+        if args.scenario and args.scenario not in scenario_names():
+            print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        run = run_scenario(args.scenario, nodes=args.nodes, ppn=args.ppn,
+                           machine=args.machine)
+    except KeyError as err:
+        print(err.args[0], file=sys.stderr)
+        return 2
+
+    print(f"== scenario {run.name}: {args.nodes} node(s) x {args.ppn} ppn "
+          f"on {args.machine} ==")
+    print(f"end-to-end simulated time: {run.t_end * 1e3:.3f} ms")
+    print(f"spans: {len(run.tracer.spans)}  flows: {len(run.tracer.flows)}  "
+          f"events: {len(run.tracer.records)}")
+
+    print("\n-- span flamegraph (inclusive / self / count) --")
+    print(flame_report(run.tracer))
+
+    print("\n-- metrics --")
+    print(run.metrics.render())
+
+    print("\n-- critical path --")
+    print(compute_critical_path(run.tracer).render())
+
+    if args.export:
+        obj = chrome_trace(run.tracer)
+        errors = validate_chrome_trace(obj)
+        if errors:
+            for e in errors:
+                print(f"trace validation: {e}", file=sys.stderr)
+            return 1
+        try:
+            with open(args.export, "w") as fh:
+                fh.write(dumps(obj))
+        except OSError as err:
+            print(f"cannot write {args.export}: {err}", file=sys.stderr)
+            return 1
+        print(f"\nwrote {len(obj['traceEvents'])} trace events to "
+              f"{args.export} (load in Perfetto or chrome://tracing)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,11 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
     parser.add_argument("--presync", action="store_true", help="fig5c: pair pre-sync")
     parser.add_argument("--csv", metavar="FILE", help="also write the series as CSV")
+    parser.add_argument("--obs", action="store_true",
+                        help="instrument runs: attach critical-path breakdowns "
+                             "(figures that support it)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the result (series + obs data) as JSON")
     args = parser.parse_args(argv)
 
     # Validate the figure name even when --list is passed: listing must
@@ -71,10 +76,30 @@ def main(argv=None) -> int:
         kwargs["quick"] = not args.full
     if "presync" in params and args.presync:
         kwargs["presync"] = True
+    if args.obs:
+        if "obs" not in params:
+            print(f"{args.figure} does not support --obs", file=sys.stderr)
+            return 2
+        kwargs["obs"] = True
 
     t0 = time.time()
     result = fn(**kwargs)
     print(result.render())
+    if result.obs:
+        for key, data in result.obs.items():
+            print(f"\n-- obs {key}: critical-path attribution "
+                  f"(total {data['total'] * 1e3:.3f} ms) --")
+            for name, dur in data["by_stage"].items():
+                pct = 100.0 * dur / data["total"] if data["total"] else 0.0
+                print(f"  {dur * 1e3:>10.3f}ms {pct:5.1f}%  {name}")
+    if args.json:
+        try:
+            with open(args.json, "w") as fh:
+                fh.write(result.to_json())
+        except OSError as err:
+            print(f"cannot write {args.json}: {err}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.json}")
     if args.csv:
         try:
             with open(args.csv, "w") as fh:
