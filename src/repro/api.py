@@ -72,6 +72,8 @@ def make_world(
     tracer=None,
     cluster: Optional[Cluster] = None,
     fabric: Optional[Fabric] = None,
+    recovery: bool = False,
+    recovery_seed: int = 0,
 ) -> MpiWorld:
     """Boot a cluster and launch (but do not run) an MPI job.
 
@@ -79,9 +81,12 @@ def make_world(
     several jobs on one DVM — the PRRTE model, where one set of daemons
     serves many ``prun`` invocations.  Co-hosted jobs share the PMIx
     servers and the PGCID space but have distinct namespaces.
+    ``recovery=True`` enables the fault-recovery layer (reliable RML,
+    tree healing, ULFM-lite shrink — docs/recovery.md).
     """
     if cluster is None:
-        cluster = Cluster(machine=machine, grpcomm_mode=grpcomm_mode, tracer=tracer)
+        cluster = Cluster(machine=machine, grpcomm_mode=grpcomm_mode, tracer=tracer,
+                          recovery=recovery, recovery_seed=recovery_seed)
     elif machine is not None and machine is not cluster.machine:
         raise ValueError("pass machine or an existing cluster, not both")
     job = cluster.launch(nprocs, ppn=ppn, psets=psets)

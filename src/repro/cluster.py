@@ -31,6 +31,8 @@ class Cluster:
         grpcomm_mode: str = "tree",
         grpcomm_radix: int = 2,
         tracer: Optional[Tracer] = None,
+        recovery: bool = False,
+        recovery_seed: int = 0,
     ) -> None:
         self.machine = machine or laptop()
         self.engine = Engine()
@@ -53,6 +55,17 @@ class Cluster:
         self.faults = FaultManager(self)
         self.dvm.faults = self.faults
         self.dvm.rml.faults = self.faults
+        # Recovery layer (docs/recovery.md): reliable RML + routing-tree
+        # healing + grpcomm restart.  Strictly opt-in — with it off the
+        # stack keeps the detect-and-fail semantics of docs/faults.md.
+        self.recovery = recovery
+        from collections import Counter
+
+        self.recovery_stats = Counter()   # revoke/agree/shrink/... counters
+        if recovery:
+            self.dvm.rml.enable_reliability(seed=recovery_seed)
+            for daemon in self.dvm.daemons:
+                daemon.grpcomm.recovery = True
 
     @property
     def now(self) -> float:

@@ -70,6 +70,13 @@ class MachineModel:
     # stuck longer than this fails with PMIX_ERR_TIMEOUT instead of
     # hanging (covers races the propagation protocol cannot see).
     fault_collective_timeout: float = 0.5
+    # Reliable-RML retransmission (recovery mode, docs/recovery.md).
+    # The base RTO is ~10x the server-to-server hop plus payload time, so
+    # a healthy link never retransmits; the full 8-retry exponential
+    # backoff sums to ~0.05 s, comfortably inside the collective timeout.
+    rml_rto: float = 2.0e-4
+    rml_backoff: float = 2.0
+    rml_max_retries: int = 8
 
     # -- OS scheduling -------------------------------------------------------
     # Effective nanosleep() wakeup granularity under load (timer slack +

@@ -238,6 +238,22 @@ def snapshot_cluster(metrics: MetricsRegistry, cluster, world=None) -> None:
     for kind, n in sorted(cluster.faults.stats.items()):
         m.set(f"faults.{kind}", n, force=True)
 
+    # Recovery-layer counters (docs/recovery.md).  Gated on the cluster
+    # actually being in recovery mode so non-recovery snapshots stay
+    # byte-identical to what they were before the layer existed.
+    if getattr(cluster, "recovery", False):
+        m.set("recovery.rml.retransmits", rml.retransmits, force=True)
+        m.set("recovery.rml.acks", rml.acks_sent, force=True)
+        m.set("recovery.rml.dup_suppressed", rml.dup_suppressed, force=True)
+        m.set("recovery.rml.retry_exhausted", rml.retry_exhausted, force=True)
+        m.set("recovery.heal.reparents",
+              sum(d.heals for d in cluster.dvm.daemons), force=True)
+        m.set("recovery.grpcomm.restarts",
+              sum(d.grpcomm.restarts for d in cluster.dvm.daemons), force=True)
+        m.set("recovery.fence.retries", cluster.dvm.fence_retries, force=True)
+        for kind in sorted(cluster.recovery_stats):
+            m.set(f"recovery.{kind}", cluster.recovery_stats[kind], force=True)
+
     if world is not None:
         fabric = world.fabric
         m.set("pml.packets", getattr(fabric, "packets", 0), force=True)

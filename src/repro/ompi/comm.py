@@ -36,6 +36,7 @@ from repro.ompi.errors import (
     MPIErrGroup,
     MPIErrProcFailed,
     MPIErrRank,
+    MPIErrRevoked,
     MPIErrTag,
 )
 from repro.ompi.excid import ExcidState
@@ -81,6 +82,12 @@ class Communicator:
             r = group.rank_of(p)
             if r >= 0:
                 self.failed_peers.add(r)
+        # ULFM-lite recovery state (docs/recovery.md): a revoked comm
+        # fails every operation with MPI_ERR_REVOKED; _ft_mode lets the
+        # recovery collectives (agree/shrink) run on a damaged comm.
+        self.revoked = False
+        self._ft_mode = False
+        self._ulfm_serial = itertools.count()
         # exCID handshake state (paper §III-B4).
         self.peer_cids: dict = {}      # peer rank -> peer's local CID
         self.acks_sent: set = set()    # peer ranks we already ACKed
@@ -111,8 +118,16 @@ class Communicator:
             f"{self.name}: peer rank(s) {sorted(self.failed_peers)} failed"
         )
 
+    def _revoked_error(self) -> MPIErrRevoked:
+        return MPIErrRevoked(f"{self.name} has been revoked")
+
     def _check_damage(self) -> None:
-        """Raise (raw) if this communicator has failed peers."""
+        """Raise (raw) if this communicator is revoked or has failed
+        peers — unless a recovery collective is running (_ft_mode)."""
+        if self._ft_mode:
+            return
+        if self.revoked:
+            raise self._revoked_error()
         if self.failed_peers:
             raise self._damage_error()
 
@@ -120,6 +135,10 @@ class Communicator:
         """Entry check for collectives: free state + damage, routed
         through the communicator's error handler."""
         self._check()
+        if self._ft_mode:
+            return
+        if self.revoked:
+            self.errhandler.invoke(self, self._revoked_error())
         if self.failed_peers:
             self.errhandler.invoke(self, self._damage_error())
 
@@ -665,6 +684,158 @@ class Communicator:
                 session=self.session,
             )
         runtime.register_comm(new)
+        return new
+
+    # ------------------------------------------------------------------
+    # ULFM-lite recovery (docs/recovery.md)
+    # ------------------------------------------------------------------
+    def revoke(self) -> None:
+        """MPI_Comm_revoke: invalidate this communicator everywhere.
+
+        Not collective — any member may call it.  Locally it fails every
+        pending operation with MPI_ERR_REVOKED; remotely the revocation
+        propagates asynchronously to every surviving member, unblocking
+        ranks stuck in operations that can no longer complete.  After a
+        revoke only ``agree`` and ``shrink`` are useful on this comm.
+        """
+        self._check()
+        if self.revoked:
+            return
+        rt = self.runtime
+        tr = rt.engine.tracer
+        if tr.enabled:
+            tr.event(rt.engine.now, rt.obs_track, "recovery.comm.revoke",
+                     comm=self.name, rank=self.rank)
+        self._apply_revoke()
+        rt.cluster.recovery_stats["revoke"] += 1
+        ident = self.identity()
+        failed = getattr(rt, "failed_procs", set())
+        for proc in self.group.members():
+            if proc == rt.proc or proc in failed:
+                continue
+            ep = rt.fabric._endpoints.get(proc)
+            if ep is None:
+                continue
+            delay = rt.machine.wire_time(ep.node == rt.node, 64)
+            rt.engine.call_later(
+                delay, lambda e=ep: e.runtime.remote_revoke(ident)
+            )
+
+    def _apply_revoke(self) -> None:
+        """Local half of a revocation (direct or from a remote member)."""
+        if self.revoked or self.freed:
+            return
+        self.revoked = True
+        err = self._revoked_error()
+        endpoint = self.runtime.endpoint
+        if endpoint is not None:
+            for posted in endpoint.matching.cancel_posted(self.local_cid):
+                if posted.request is not None and not posted.request.completed:
+                    posted.request.fail(err)
+            endpoint.comm_failed(self)
+
+    def agree(self, flag: bool):
+        """Sub-generator: MPI_Comm_agree — fault-tolerant AND.
+
+        Returns the logical AND of every surviving member's ``flag``;
+        members that died (before or during the agreement) are added to
+        ``failed_peers`` and excluded.  Works on revoked and damaged
+        communicators — it is the rendezvous that gets all survivors to
+        a consistent view.  Every surviving member must call it.
+        """
+        self._check()
+        rt = self.runtime
+        sid = self._obs_begin("recovery.comm.agree", flag=bool(flag))
+        serial = next(self._ulfm_serial)
+        key = f"ulfm.agree.{self.identity()}.{serial}"
+        rt.pmix.put(key, bool(flag))
+        yield from rt.pmix.commit()
+        members = sorted(self.group.members())
+        try:
+            result = yield from rt.pmix.fence_retry(members, collect=True)
+        finally:
+            self._obs_end(sid)
+        out = bool(flag)
+        for proc in members:
+            if proc == rt.proc:
+                continue
+            blob = result.data.get(proc)
+            if not isinstance(blob, dict) or key not in blob:
+                # Dead (absent or marker) — record and exclude.
+                r = self.group.rank_of(proc)
+                if r >= 0:
+                    self.failed_peers.add(r)
+                continue
+            out = out and bool(blob[key])
+        rt.cluster.recovery_stats["agree"] += 1
+        return out
+
+    def shrink(self):
+        """Sub-generator: MPI_Comm_shrink — a new communicator over the
+        survivors, with a *fresh* CID.
+
+        The survivor set is agreed via a survivor-reissued PMIx fence;
+        the CID comes from the existing machinery (consensus allreduce
+        over the survivors in consensus mode, a fresh PGCID via PMIx
+        group construction in exCID mode), run with the damage checks
+        suspended.  Every surviving member must call it.
+        """
+        self._check()
+        from repro.pmix.types import ABORTED_MARKER, PMIX_ERR_PROC_ABORTED, PmixError
+
+        rt = self.runtime
+        sid = self._obs_begin("recovery.comm.shrink")
+        serial = next(self._ulfm_serial)
+        members = sorted(self.group.members())
+        try:
+            result = yield from rt.pmix.fence_retry(members, collect=False)
+            survivors = sorted(
+                p for p, v in result.data.items() if v != ABORTED_MARKER
+            )
+            for proc in members:
+                if proc not in result.data:
+                    r = self.group.rank_of(proc)
+                    if r >= 0:
+                        self.failed_peers.add(r)
+            new_group = Group(survivors)
+            name = f"{self.name}.shrink"
+            if not rt.excid_enabled:
+                self._ft_mode = True
+                try:
+                    cid = yield from self._subset_consensus_cid(new_group)
+                finally:
+                    self._ft_mode = False
+                new = Communicator(rt, new_group, cid, name=name,
+                                   session=self.session)
+            else:
+                procs = list(survivors)
+                pgcid = None
+                for _attempt in range(4):
+                    gid = f"shrink:{self.identity()}:{serial}:{_attempt}"
+                    try:
+                        pgcid = yield from rt.pmix.group_construct(gid, procs)
+                        break
+                    except PmixError as err:
+                        if err.status == PMIX_ERR_PROC_ABORTED and err.failed_procs:
+                            dead = set(err.failed_procs)
+                            procs = [p for p in procs if p not in dead]
+                            continue
+                        raise
+                if pgcid is None:
+                    raise MPIErrProcFailed(
+                        f"{self.name}: shrink group construction kept failing"
+                    )
+                new_group = Group(procs)
+                new = Communicator(
+                    rt, new_group, rt.cid_table.lowest_free(),
+                    excid_state=ExcidState.from_pgcid(pgcid), name=name,
+                    session=self.session,
+                )
+        finally:
+            self._obs_end(sid)
+        new.errhandler = self.errhandler
+        rt.register_comm(new)
+        rt.cluster.recovery_stats["shrink"] += 1
         return new
 
     # ------------------------------------------------------------------

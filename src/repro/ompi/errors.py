@@ -27,6 +27,7 @@ ERR_TAG = 4
 ERR_TRUNCATE = 14
 ERR_UNSUPPORTED_OPERATION = 52
 ERR_PROC_FAILED = 75              # MPI_ERR_PROC_FAILED (ULFM / MPI-4 FT)
+ERR_REVOKED = 76                  # MPI_ERR_REVOKED (ULFM)
 
 _ERRCLASS_NAMES = {
     ERR_ARG: "MPI_ERR_ARG",
@@ -43,6 +44,7 @@ _ERRCLASS_NAMES = {
     ERR_TRUNCATE: "MPI_ERR_TRUNCATE",
     ERR_UNSUPPORTED_OPERATION: "MPI_ERR_UNSUPPORTED_OPERATION",
     ERR_PROC_FAILED: "MPI_ERR_PROC_FAILED",
+    ERR_REVOKED: "MPI_ERR_REVOKED",
 }
 
 
@@ -107,6 +109,14 @@ class MPIErrProcFailed(MPIError):
 
 # The name the fault-injection docs/tests use.
 ProcFailed = MPIErrProcFailed
+
+
+class MPIErrRevoked(MPIError):
+    """The communicator was revoked (``Communicator.revoke``): every
+    pending and future operation on it fails with this class so all
+    members reach the recovery path together (docs/recovery.md)."""
+
+    errclass = ERR_REVOKED
 
 
 class MPIAbort(Exception):

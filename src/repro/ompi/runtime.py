@@ -88,6 +88,11 @@ class MpiRuntime:
         # the cluster's FaultManager, docs/faults.md).  Communicators
         # created after a failure inherit it via their constructor.
         self.failed_procs: set = set()
+        # Revocations that arrived before the matching communicator was
+        # registered here (a same-node peer's revoke can beat the tail
+        # of our own mpi_init) — applied, then discarded, at
+        # register_comm time.
+        self._pending_revokes: set = set()
 
     # ------------------------------------------------------------------
     # small helpers used across the library
@@ -119,6 +124,9 @@ class MpiRuntime:
     def register_comm(self, comm: Communicator) -> None:
         self.cid_table.reserve(comm.local_cid, comm)
         self.live_comms.append(comm)
+        if comm.identity() in self._pending_revokes:
+            self._pending_revokes.discard(comm.identity())
+            comm._apply_revoke()
         if comm.excid is not None:
             key = comm.excid.key()
             if key in self._excid_index:
@@ -159,6 +167,19 @@ class MpiRuntime:
             rank = comm.group.rank_of(proc)
             if rank >= 0:
                 comm.peer_failed(rank, proc)
+
+    def remote_revoke(self, identity: str) -> None:
+        """A peer revoked a communicator: apply the revocation to the
+        matching live communicator here (docs/recovery.md).  ``identity``
+        is the globally consistent comm identity, so this is safe even
+        when local CIDs differ across ranks."""
+        for comm in list(self.live_comms):
+            if not comm.freed and comm.identity() == identity:
+                comm._apply_revoke()
+                return
+        # Not registered yet (we may still be in the tail of mpi_init):
+        # park the revocation for register_comm to apply.
+        self._pending_revokes.add(identity)
 
     def comm_by_cid(self, cid: int) -> Optional[Communicator]:
         return self.cid_table.get(cid)

@@ -53,6 +53,11 @@ class Session:
         self.handle_id = next(self._ids)
         self.finalized = False
         self.attrs: AttributeCache = runtime.new_attr_cache()
+        # After re_query_psets() the session's pset views exclude
+        # processes known to have failed (docs/recovery.md), so a
+        # comm_create_from_group over a re-queried pset spans only
+        # survivors.
+        self._failed_excluded = False
 
     # ------------------------------------------------------------------
     def _check(self) -> None:
@@ -107,20 +112,46 @@ class Session:
         members = yield from self._pset_members(name)
         return {"mpi_size": len(members)}
 
+    def re_query_psets(self):
+        """Sub-generator: refresh this session's process-set view after
+        failures (docs/recovery.md).
+
+        Re-queries the PMIx registry (whose psets the servers already
+        evicted dead procs from) and flips the session into
+        failure-excluding mode: from now on every pset resolution —
+        including the builtin ``mpi://`` sets, which are otherwise
+        static — filters out processes the runtime knows have failed.
+        Returns the refreshed pset name list.
+        """
+        self._check()
+        tr = self.runtime.engine.tracer
+        sid = tr.begin(self.runtime.engine.now, self.runtime.obs_track,
+                       "recovery.session.re_query_psets")
+        self._failed_excluded = True
+        names = yield from self._runtime_pset_names()
+        tr.end(self.runtime.engine.now, sid)
+        self.runtime.cluster.recovery_stats["pset_requery"] += 1
+        return list(BUILTIN_PSETS) + names
+
     def _pset_members(self, name: str):
         job = self.runtime.job
         if name == "mpi://world":
-            return list(job.all_procs)
-        if name == "mpi://self":
-            return [self.runtime.proc]
-        if name == "mpi://shared":
+            members = list(job.all_procs)
+        elif name == "mpi://self":
+            members = [self.runtime.proc]
+        elif name == "mpi://shared":
             local = job.topology.ranks_on_node(self.runtime.node)
-            return [job.proc(r) for r in local]
-        try:
-            members = yield from self.runtime.pmix.pset_membership(name)
-        except PmixError:
-            raise MPIErrArg(f"unknown process set {name!r}") from None
-        return list(members)
+            members = [job.proc(r) for r in local]
+        else:
+            try:
+                members = yield from self.runtime.pmix.pset_membership(name)
+            except PmixError:
+                raise MPIErrArg(f"unknown process set {name!r}") from None
+            members = list(members)
+        if self._failed_excluded:
+            failed = getattr(self.runtime, "failed_procs", set())
+            members = [p for p in members if p not in failed]
+        return members
 
     def group_from_pset(self, name: str):
         """Sub-generator: MPI_Group_from_session_pset — local + light."""

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 from repro.pmix.server import PmixServer
 from repro.pmix.types import (
     PMIX_ERR_NOT_FOUND,
+    PMIX_ERR_PROC_ABORTED,
     PMIX_ERR_TIMEOUT,
     PMIX_JOB_SIZE,
     PMIX_QUERY_NUM_PSETS,
@@ -154,6 +155,53 @@ class PmixClient:
         finally:
             tr.end(self.engine.now, sid)
         return result
+
+    def fence_retry(
+        self,
+        procs: Optional[List[PmixProc]] = None,
+        collect: bool = True,
+        max_attempts: int = 4,
+    ):
+        """Survivor-reissued PMIx_Fence (docs/recovery.md).
+
+        Like :meth:`fence`, but a fence that fails with
+        PMIX_ERR_PROC_ABORTED is re-issued with the dead participants
+        evicted from the membership; PMIX_ERR_TIMEOUT retries with the
+        membership unchanged (a net for propagation races).  The
+        whole-namespace form is materialized to an explicit sorted proc
+        list so eviction changes the collective signature identically on
+        every survivor — the failed set travels through grpcomm, so all
+        survivors prune the same procs.
+        """
+        if procs:
+            members = list(self._ordered(procs))
+        else:
+            rank_map = self.server.job_maps[self.proc.nspace]
+            members = [PmixProc(self.proc.nspace, r) for r in sorted(rank_map)]
+        tr = self.engine.tracer
+        last: Optional[PmixError] = None
+        for attempt in range(max_attempts):
+            try:
+                result = yield from self.fence(members, collect=collect)
+                return result
+            except PmixError as err:
+                if err.status == PMIX_ERR_PROC_ABORTED:
+                    dead = set(err.failed_procs)
+                    if dead:
+                        members = [p for p in members if p not in dead]
+                        if self.proc not in members:
+                            raise
+                elif err.status != PMIX_ERR_TIMEOUT:
+                    raise
+                last = err
+                self.server.daemon.dvm.fence_retries += 1
+                if tr.enabled:
+                    tr.event(self.engine.now, self.obs_track,
+                             "recovery.pmix.fence_retry",
+                             attempt=attempt + 1, status=err.status,
+                             members=len(members))
+        assert last is not None
+        raise last
 
     def group_construct(
         self,

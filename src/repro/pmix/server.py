@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.pmix.datastore import Datastore
 from repro.pmix.types import (
+    ABORTED_MARKER,
     PMIX_ERR_NOT_FOUND,
     PMIX_ERR_PROC_ABORTED,
     PMIX_ERR_PROC_TERMINATED,
@@ -32,10 +33,11 @@ if TYPE_CHECKING:  # break the pmix <-> prrte import cycle; runtime duck-typed
     from repro.prrte.dvm import Daemon
     from repro.prrte.psets import PsetRegistry
 
-# A dead participant's stand-in contribution.  It travels through
-# grpcomm like a blob, so every server sees the same failed-participant
-# set and releases its clients with the same error.
-ABORTED_MARKER = "__pmix_proc_aborted__"
+# A dead participant's stand-in contribution (defined in pmix.types so
+# the grpcomm restart path can share it; re-exported here for backward
+# compatibility).  It travels through grpcomm like a blob, so every
+# server sees the same failed-participant set and releases its clients
+# with the same error.
 
 
 @dataclass
@@ -136,6 +138,18 @@ class PmixServer(AsyncGroupServerMixin):
             return self.job_maps[proc.nspace][proc.rank]
         except KeyError:
             raise PmixError(PMIX_ERR_NOT_FOUND, f"unknown process {proc}") from None
+
+    def _node_has_live_participant(self, node: int, state) -> bool:
+        """Does ``node`` host at least one participant of ``state`` this
+        server does not know to be dead?  (Recovery-mode collectives wait
+        only on nodes that can still contribute.)"""
+        if state.participants is None:
+            rank_map = self.job_maps.get(state.nspace, {})
+            local = [PmixProc(state.nspace, r)
+                     for r, home in rank_map.items() if home == node]
+        else:
+            local = [p for p in state.participants if self.node_of(p) == node]
+        return any(p not in self.dead_procs for p in local)
 
     # -- stage-one collective rendezvous ---------------------------------------
     def _client_cost(self, kind: str) -> float:
@@ -239,6 +253,15 @@ class PmixServer(AsyncGroupServerMixin):
         # Nodes known dead cannot contribute; surviving daemons that have
         # heard the daemon_down announcement agree on the reduced set.
         nodes = [n for n in nodes if n == self.node or not self.daemon.is_node_down(n)]
+        if self.daemon.grpcomm.recovery:
+            # A live node whose local participants ALL died will never
+            # launch this collective (no client is left to call in), so
+            # waiting on its contribution would hang until the timeout.
+            # Drop it; its procs simply come back absent from the merged
+            # data, which the recovery layer treats as failure evidence
+            # (docs/recovery.md).
+            nodes = [n for n in nodes if n == self.node
+                     or self._node_has_live_participant(n, state)]
         sig = state.sig
 
         def launch() -> None:
@@ -274,7 +297,7 @@ class PmixServer(AsyncGroupServerMixin):
             message = f"collective {state.sig!r} aborted"
             if failed:
                 message += f"; dead participants: {', '.join(str(p) for p in failed)}"
-            self._release_error(state, status, message)
+            self._release_error(state, status, message, failed=failed)
             return
         if state.on_complete is not None:
             state.on_complete(result)
@@ -293,8 +316,15 @@ class PmixServer(AsyncGroupServerMixin):
         self._busy_until = release_at
         tr.end(release_at, state.obs_span)
 
-    def _release_error(self, state: _LocalCollective, status: int, message: str) -> None:
-        """Release waiting clients with a typed error instead of hanging."""
+    def _release_error(
+        self, state: _LocalCollective, status: int, message: str, failed=()
+    ) -> None:
+        """Release waiting clients with a typed error instead of hanging.
+
+        ``failed`` names the dead participants (when known); it rides on
+        the :class:`PmixError` so survivors can re-issue the collective
+        with an evicted membership (docs/recovery.md).
+        """
         self._trace("collective_error", sig=repr(state.sig), status=status,
                     kind=state.kind)
         release_cost = self.machine.local_rpc_cost
@@ -309,7 +339,8 @@ class PmixServer(AsyncGroupServerMixin):
                         self.engine.now, track_for_proc(proc), release_at)
             self.engine.call_at(
                 release_at,
-                lambda e=client_ev: e.triggered or e.fail(PmixError(status, message)),
+                lambda e=client_ev: e.triggered
+                or e.fail(PmixError(status, message, failed_procs=failed)),
             )
         self._busy_until = release_at
         tr.end(release_at, state.obs_span)
@@ -422,6 +453,8 @@ class PmixServer(AsyncGroupServerMixin):
         def merge(result) -> None:
             if collect:
                 for peer, peer_blob in result.data.items():
+                    if peer_blob == ABORTED_MARKER:
+                        continue  # dead participant's stand-in, not a blob
                     self.datastore.merge_blob(peer, peer_blob)
 
         share = blob if collect else {}

@@ -34,6 +34,12 @@ def status_name(code: int) -> str:
     return _STATUS_NAMES.get(code, f"PMIX_STATUS({code})")
 
 
+# Sentinel blob standing in for a dead participant's contribution in a
+# collective result (lives here so both the PMIx server and the PRRTE
+# grpcomm restart path can use it without a circular import).
+ABORTED_MARKER = "__pmix_proc_aborted__"
+
+
 class PmixStatus(int):
     """An int subclass whose repr shows the symbolic status name."""
 
@@ -42,10 +48,16 @@ class PmixStatus(int):
 
 
 class PmixError(Exception):
-    """Raised by PMIx client operations that fail."""
+    """Raised by PMIx client operations that fail.
 
-    def __init__(self, status: int, message: str = "") -> None:
+    ``failed_procs`` names the participants whose death caused the
+    failure (when known) — survivors use it to re-issue the operation
+    with an evicted membership (docs/recovery.md).
+    """
+
+    def __init__(self, status: int, message: str = "", failed_procs=()) -> None:
         self.status = status
+        self.failed_procs = tuple(failed_procs)
         super().__init__(f"{status_name(status)}: {message}" if message else status_name(status))
 
 

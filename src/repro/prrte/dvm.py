@@ -15,6 +15,7 @@ from repro.machine.model import MachineModel
 from repro.prrte.grpcomm import GrpcommModule
 from repro.prrte.rml import RmlMessage, RoutingLayer
 from repro.simtime.engine import Engine
+from repro.simtime.trace import track_for_daemon
 
 
 class Daemon:
@@ -35,6 +36,7 @@ class Daemon:
         self.pmix_server = None  # attached by PmixServer.__init__
         self.alive = True
         self.known_down: set = set()   # nodes this daemon knows are dead
+        self.heals = 0                 # routing-tree re-parent events here
         self._handlers: Dict[str, Callable[[RmlMessage], None]] = {
             "grpcomm_up": self.grpcomm.handle_up,
             "grpcomm_down": self.grpcomm.handle_down,
@@ -70,18 +72,56 @@ class Daemon:
     def _handle_daemon_down(self, msg: RmlMessage) -> None:
         self.daemon_down(msg.payload["node"])
 
+    # -- healed routing tree (docs/recovery.md) ----------------------------
+    def survivors(self) -> List[int]:
+        """Node ids this daemon believes are alive, sorted."""
+        return [n for n in range(self.machine.num_nodes) if n not in self.known_down]
+
+    def tree_parent(self) -> Optional[int]:
+        """This daemon's parent in the radix tree over the survivor list.
+
+        Every survivor computes the same sorted survivor list, so the
+        healed topology is a deterministic function of the death set —
+        no election protocol needed.  Returns ``None`` at the root.
+        """
+        alive = self.survivors()
+        idx = alive.index(self.node)
+        if idx == 0:
+            return None
+        return alive[(idx - 1) // self.grpcomm.radix]
+
+    def tree_children(self) -> List[int]:
+        """This daemon's children in the healed radix tree."""
+        alive = self.survivors()
+        idx = alive.index(self.node)
+        radix = self.grpcomm.radix
+        lo = radix * idx + 1
+        return alive[lo:lo + radix]
+
     def daemon_down(self, down: int) -> None:
         """Learn (and relay) that a daemon died.
 
         The announcement fans out over a static radix tree rooted at the
         HNP (grpcomm's radix, over all node ids) — each daemon relays to
         its tree children, then repairs its own state: in-flight grpcomm
-        instances involving the dead node complete with an error, and
-        the local PMIx server evicts the node's procs.
+        instances involving the dead node complete with an error (or
+        restart over the survivors, in recovery mode), and the local
+        PMIx server evicts the node's procs.
         """
         if down in self.known_down:
             return
+        old_parent = self.tree_parent() if self.alive else None
         self.known_down.add(down)
+        if self.alive and self.node not in self.known_down:
+            new_parent = self.tree_parent()
+            if new_parent != old_parent:
+                # This daemon was re-parented by the healed topology.
+                self.heals += 1
+                tr = self.engine.tracer
+                if tr.enabled:
+                    tr.event(self.engine.now, track_for_daemon(self.node),
+                             "recovery.heal", down=down,
+                             old_parent=old_parent, new_parent=new_parent)
         # Relay to tree children; a dead child's subtree is adopted (its
         # children are contacted directly) so the announcement reaches
         # every survivor.
@@ -168,6 +208,7 @@ class DVM:
             for node in range(machine.num_nodes)
         ]
         self._job_counter = itertools.count(1)
+        self.fence_retries = 0   # survivor-reissued fences (recovery mode)
         self.boot_time = self._model_boot_time()
         # PMIx publish/lookup board, owned by the HNP.
         self.published: Dict[str, Any] = {}

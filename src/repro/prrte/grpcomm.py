@@ -54,6 +54,9 @@ class _Instance:
     up_sent: bool = False
     awaiting_pgcid: bool = False
     obs_span: int = 0                  # prrte.grpcomm.allgather span
+    # Recovery mode: traffic from peers that already healed onto a
+    # smaller participant list than ours — replayed once we restart.
+    pending_restart: List[Dict] = field(default_factory=list)
 
 
 class GrpcommModule:
@@ -72,6 +75,15 @@ class GrpcommModule:
         # messages for them (possible under fault injection) are ignored
         # instead of resurrecting an empty instance.
         self._done_sigs: set = set()
+        # Recovery mode (docs/recovery.md): instead of failing in-flight
+        # collectives on a daemon death, restart them over the healed
+        # topology.  Set by Cluster(recovery=True).
+        self.recovery = False
+        self.restarts = 0
+        # Completed results kept (recovery only) so a participant that
+        # restarts after we already finished can be re-answered with the
+        # *same* data and context id instead of hanging.
+        self._results: Dict[Hashable, GrpcommResult] = {}
 
     # -- public API ------------------------------------------------------
     def allgather(
@@ -88,6 +100,14 @@ class GrpcommModule:
         arrived at this daemon.
         """
         participants = sorted(participants)
+        if self.recovery:
+            # Exclude nodes this daemon already knows are dead; peers
+            # that learn later converge via _restart_instance, and the
+            # parts gating below keeps mismatched generations apart.
+            participants = [
+                n for n in participants
+                if n == self.daemon.node or not self.daemon.is_node_down(n)
+            ]
         if self.daemon.node not in participants:
             raise ValueError(
                 f"daemon {self.daemon.node} not in participants {participants}"
@@ -105,10 +125,15 @@ class GrpcommModule:
         )
         # Replay any traffic that arrived before we knew the shape.
         for payload in inst.early_up:
-            self._accept_up(inst, payload)
+            gate = self._parts_gate(inst, payload)
+            if gate == "accept":
+                self._accept_up(inst, payload)
+            elif gate == "defer":
+                inst.pending_restart.append(payload)
         inst.early_up.clear()
         for payload in inst.early_flat:
-            self._accept_flat(inst, payload)
+            if self._parts_gate(inst, payload) == "accept":
+                self._accept_flat(inst, payload)
         inst.early_flat.clear()
         if inst.early_down:
             payload = inst.early_down[0]
@@ -126,12 +151,47 @@ class GrpcommModule:
         return inst.completed
 
     # -- message handlers (called by the daemon's dispatcher) --------------
+    def _parts_gate(self, inst: _Instance, payload: Dict) -> str:
+        """Decide what to do with a contribution given its sender's view
+        of the participant list (recovery mode only).
+
+        Same list -> accept.  Sender healed onto a *smaller* list than
+        ours -> defer (we have not processed the death yet; replay after
+        our own restart).  Sender on a *larger* list -> drop: that is
+        stale pre-death traffic, and the sender will resend once its own
+        instance restarts.
+        """
+        if not self.recovery:
+            return "accept"
+        parts = payload.get("parts")
+        if parts is None or list(parts) == list(inst.participants):
+            return "accept"
+        if len(parts) < len(inst.participants):
+            return "defer"
+        return "drop"
+
     def handle_up(self, msg) -> None:
-        if msg.payload["sig"] in self._done_sigs:
+        sig = msg.payload["sig"]
+        if sig in self._done_sigs:
+            if self.recovery and sig in self._results:
+                # A peer restarted after we finished: re-answer with the
+                # cached result so every survivor sees the same data and
+                # context id.
+                res = self._results[sig]
+                self.daemon.send(
+                    msg.payload["from_node"], "grpcomm_down",
+                    {"sig": sig, "data": res.data, "context_id": res.context_id},
+                )
             return
-        inst = self._get(msg.payload["sig"])
+        inst = self._get(sig)
         if inst.contribution is None:
             inst.early_up.append(msg.payload)
+            return
+        gate = self._parts_gate(inst, msg.payload)
+        if gate == "defer":
+            inst.pending_restart.append(msg.payload)
+            return
+        if gate == "drop":
             return
         self._accept_up(inst, msg.payload)
         self._try_send_up(inst)
@@ -153,6 +213,8 @@ class GrpcommModule:
         inst = self._get(msg.payload["sig"])
         if inst.contribution is None:
             inst.early_flat.append(msg.payload)
+            return
+        if self._parts_gate(inst, msg.payload) != "accept":
             return
         self._accept_flat(inst, msg.payload)
         self._check_flat_done(inst)
@@ -197,11 +259,13 @@ class GrpcommModule:
         if parent is None:
             self._root_complete(inst, combined)
         else:
-            self.daemon.send(
-                parent,
-                "grpcomm_up",
-                {"sig": inst.sig, "from_node": self.daemon.node, "data": combined},
-            )
+            payload = {"sig": inst.sig, "from_node": self.daemon.node, "data": combined}
+            if self.recovery:
+                # Only in recovery mode: the extra field changes the
+                # wire size, and non-recovery timing must stay byte-
+                # identical to the pre-recovery code path.
+                payload["parts"] = list(inst.participants)
+            self.daemon.send(parent, "grpcomm_up", payload)
 
     def _root_complete(self, inst: _Instance, combined: Dict) -> None:
         inst.child_payloads["__combined__"] = combined
@@ -225,7 +289,17 @@ class GrpcommModule:
 
     def _forward_down(self, inst: _Instance, data: Dict, context_id: Optional[int]) -> None:
         if self.mode == "tree":
-            for ch in self._children(inst):
+            targets = list(self._children(inst))
+            if self.recovery and not inst.up_sent:
+                # Completing via a down without ever having sent our up
+                # (possible only around a restart): our healed parent is
+                # still waiting for us, so push the result to it too.
+                # Downs for finished signatures are ignored, so this can
+                # only unstick the spine, never corrupt it.
+                parent = self._parent(inst)
+                if parent is not None:
+                    targets.append(parent)
+            for ch in targets:
                 self.daemon.send(
                     ch, "grpcomm_down", {"sig": inst.sig, "data": data, "context_id": context_id}
                 )
@@ -235,11 +309,11 @@ class GrpcommModule:
     def _flat_broadcast(self, inst: _Instance) -> None:
         for node in inst.participants:
             if node != self.daemon.node:
-                self.daemon.send(
-                    node,
-                    "grpcomm_flat",
-                    {"sig": inst.sig, "from_node": self.daemon.node, "data": inst.contribution},
-                )
+                payload = {"sig": inst.sig, "from_node": self.daemon.node,
+                           "data": inst.contribution}
+                if self.recovery:
+                    payload["parts"] = list(inst.participants)
+                self.daemon.send(node, "grpcomm_flat", payload)
 
     def _accept_flat(self, inst: _Instance, payload: Dict) -> None:
         inst.flat_received[payload["from_node"]] = payload["data"]
@@ -300,6 +374,8 @@ class GrpcommModule:
             return
         self._instances.pop(inst.sig, None)
         self._done_sigs.add(inst.sig)
+        if self.recovery and result.status == 0:
+            self._results[inst.sig] = result
         self.daemon.engine.tracer.end(self.daemon.engine.now, inst.obs_span)
         inst.completed.succeed(result)
 
@@ -312,16 +388,22 @@ class GrpcommModule:
 
     # -- fault handling ----------------------------------------------------
     def node_down(self, node: int) -> None:
-        """A participating daemon died: fail the collectives it was in.
+        """A participating daemon died.
 
-        Every in-flight instance whose participant list names the dead
-        node completes with an error status — the PMIx server above
-        translates that into error releases for its waiting clients.
+        Default: every in-flight instance whose participant list names
+        the dead node completes with an error status — the PMIx server
+        above translates that into error releases for its waiting
+        clients.  In recovery mode (tree only) the instance instead
+        *restarts* over the healed topology and completes normally,
+        with the dead node's procs marked aborted in the result.
         """
         from repro.pmix.types import PMIX_ERR_PROC_ABORTED
 
         for sig, inst in list(self._instances.items()):
             if not inst.participants or node not in inst.participants:
+                continue
+            if self.recovery and self.mode == "tree" and inst.contribution is not None:
+                self._restart_instance(inst, node)
                 continue
             self._instances.pop(sig, None)
             self._done_sigs.add(sig)
@@ -330,6 +412,53 @@ class GrpcommModule:
                 inst.completed.succeed(
                     GrpcommResult(data={}, status=PMIX_ERR_PROC_ABORTED)
                 )
+
+    def _restart_instance(self, inst: _Instance, down: int) -> None:
+        """Re-run an in-flight collective over the survivors.
+
+        Every survivor independently derives the same healed participant
+        list, resets its up/flat state, substitutes aborted markers for
+        the dead node's procs, and replays the reduction.  Deferred
+        contributions from peers that healed before us are replayed;
+        stale pre-death traffic is discarded by the parts gating.
+        """
+        from repro.pmix.types import ABORTED_MARKER, PmixProc
+
+        inst.participants = [n for n in inst.participants if n != down]
+        inst.up_sent = False
+        inst.awaiting_pgcid = False
+        inst.child_payloads = {}
+        inst.flat_received = {}
+        self.restarts += 1
+        tr = self.daemon.engine.tracer
+        if tr.enabled:
+            tr.event(self.daemon.engine.now, track_for_daemon(self.daemon.node),
+                     "recovery.grpcomm.restart", sig=str(inst.sig), down=down,
+                     survivors=len(inst.participants))
+        # Stand in aborted markers for the dead node's procs so the
+        # merged result names them as failed.  Every survivor injects
+        # the same markers, so dict merges stay consistent.
+        server = self.daemon.pmix_server
+        if server is not None and inst.contribution is not None:
+            nspaces = {p.nspace for p in inst.contribution
+                       if hasattr(p, "nspace")}
+            for nspace, rank_map in sorted(server.job_maps.items()):
+                if nspaces and nspace not in nspaces:
+                    continue
+                for rank in sorted(rank_map):
+                    if rank_map[rank] == down:
+                        inst.contribution[PmixProc(nspace, rank)] = ABORTED_MARKER
+        pending, inst.pending_restart = inst.pending_restart, []
+        for payload in pending:
+            gate = self._parts_gate(inst, payload)
+            if gate == "accept":
+                self._accept_up(inst, payload)
+            elif gate == "defer":
+                inst.pending_restart.append(payload)
+        if len(inst.participants) == 1:
+            self._single_node_complete(inst)
+        else:
+            self._try_send_up(inst)
 
     def abort_sig(self, sig: Hashable) -> None:
         """Abandon one signature (server-side collective timeout)."""

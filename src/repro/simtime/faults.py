@@ -24,7 +24,13 @@ from typing import Any, List, Optional
 
 KILL_KINDS = ("kill_proc", "kill_node")
 MSG_KINDS = ("drop_msg", "delay_msg", "dup_msg")
-KINDS = KILL_KINDS + MSG_KINDS
+# "lossy_msg" drops each matching message with probability ``prob``,
+# drawn from a per-action PRNG seeded with ``seed`` — the lossy-link
+# mode that exercises the reliable-RML retransmission protocol
+# (docs/recovery.md).  Deliberately not in MSG_KINDS so the action pool
+# (and therefore the plans) of pre-existing random_plan seeds is
+# unchanged.
+KINDS = KILL_KINDS + MSG_KINDS + ("lossy_msg",)
 
 LAYERS = ("rml", "pml")
 
@@ -65,13 +71,18 @@ class FaultAction:
     delay: float = 0.0                # delay_msg: extra transit seconds
     copies: int = 1                   # dup_msg: extra deliveries per hit
     max_hits: Optional[int] = 1       # message actions: how many messages hit
+    prob: float = 0.0                 # lossy_msg: per-message drop probability
+    seed: int = 0                     # lossy_msg: PRNG seed for the drop rolls
     # runtime counters (owned by the plan, not user input)
     seen: int = field(default=0, compare=False)
     hits: int = field(default=0, compare=False)
+    _rng: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r} (have {KINDS})")
+        if self.kind == "lossy_msg" and not 0.0 < self.prob <= 1.0:
+            raise ValueError("lossy_msg needs 0 < prob <= 1")
         if self.kind == "kill_proc" and self.rank is None:
             raise ValueError("kill_proc needs rank=")
         if self.kind == "kill_node" and self.node is None:
@@ -119,6 +130,18 @@ class FaultAction:
         if not self.matches(view):
             return False
         self.seen += 1
+        if self.kind == "lossy_msg":
+            # One PRNG roll per matching message — the roll sequence is a
+            # pure function of (seed, match order), so runs stay
+            # deterministic.  max_hits bounds total drops as usual.
+            if self._rng is None:
+                self._rng = random.Random(self.seed)
+            if self._rng.random() >= self.prob:
+                return False
+            if self.max_hits is not None and self.hits >= self.max_hits:
+                return False
+            self.hits += 1
+            return True
         if self.after_count is not None:
             if self.seen != self.after_count:
                 return False
@@ -138,6 +161,8 @@ class FaultAction:
             bits.append(f"delay={self.delay}")
         if self.kind == "dup_msg":
             bits.append(f"copies={self.copies}")
+        if self.kind == "lossy_msg":
+            bits.append(f"prob={self.prob} seed={self.seed}")
         return " ".join(bits)
 
 
@@ -189,6 +214,13 @@ class FaultPlan:
     def dup_msg(self, copies: int = 1, **kw) -> "FaultPlan":
         return self.add(FaultAction("dup_msg", copies=copies, **kw))
 
+    def lossy_link(self, prob: float, seed: int = 0, *, layer: str = "rml",
+                   max_hits: Optional[int] = None, **kw) -> "FaultPlan":
+        """Probabilistic drops: each matching message is lost with
+        probability ``prob`` (seeded PRNG; docs/recovery.md)."""
+        return self.add(FaultAction("lossy_msg", prob=prob, seed=seed,
+                                    layer=layer, max_hits=max_hits, **kw))
+
     # plan queries --------------------------------------------------------
     def timed_kills(self) -> List[FaultAction]:
         """Kill actions scheduled purely by the clock."""
@@ -206,7 +238,7 @@ class FaultPlan:
             if not act.observe(view):
                 continue
             disp.matched.append(act.kind)
-            if act.kind == "drop_msg":
+            if act.kind in ("drop_msg", "lossy_msg"):
                 disp.drop = True
             elif act.kind == "delay_msg":
                 disp.extra_delay += act.delay
@@ -231,12 +263,26 @@ def random_plan(
     allow_kills: bool = True,
     max_kills: Optional[int] = None,
     protect_ranks: tuple = (0,),
+    survivable: bool = False,
+    start_at: float = 0.0,
 ) -> FaultPlan:
     """A seed-deterministic plan: same arguments, same plan.
 
     Kills never target node 0 (the HNP must survive — see docs/faults.md)
     nor the ranks in ``protect_ranks``; ``max_kills`` (default: leave at
     least two survivors) bounds how many ranks a plan may remove.
+    ``start_at`` shifts the whole fault window (all actions land in
+    ``[start_at, start_at + horizon]``), so faults can be aimed past a
+    slow init phase.
+
+    ``survivable=True`` emits only faults the recovery layer
+    (docs/recovery.md) is contracted to absorb: RML-only message faults
+    (reliable RML retransmits through drops/lossy links), clock-triggered
+    kills only (so the fault window is bounded), at most one node kill
+    (below the routing tree's partition threshold — node 0 plus one more
+    survivor always keep the healed radix tree connected), and lossy
+    links with a bounded drop budget (so the per-message retry budget
+    cannot be exhausted).
     """
     rng = random.Random(seed)
     plan = FaultPlan()
@@ -245,8 +291,40 @@ def random_plan(
     killable = [r for r in range(num_ranks) if r not in protect_ranks]
     rml_tags = (None, "grpcomm_up", "grpcomm_down", "event_fwd")
     kills = 0
+    if survivable:
+        node_kills = 0
+        for _ in range(n_actions):
+            t = start_at + rng.uniform(0.0, horizon)
+            roll = rng.random()
+            if allow_kills and kills < max_kills and killable and roll < 0.30:
+                rank = rng.choice(killable)
+                killable.remove(rank)
+                kills += 1
+                plan.kill_proc(rank, at_time=t)
+            elif (allow_kills and node_kills < 1 and num_nodes > 2
+                  and kills < max_kills and roll < 0.40):
+                plan.kill_node(rng.randrange(1, num_nodes), at_time=t)
+                node_kills += 1
+                kills = max_kills   # a node kill may take several ranks
+            elif roll < 0.60:
+                plan.lossy_link(rng.uniform(0.05, 0.35),
+                                seed=rng.randrange(2**31), layer="rml",
+                                at_time=t, max_hits=rng.randint(2, 8))
+            else:
+                kind = rng.choice(MSG_KINDS)
+                tag = rng.choice(rml_tags)
+                hits = rng.randint(1, 3)
+                if kind == "drop_msg":
+                    plan.drop_msg(layer="rml", tag=tag, max_hits=hits, at_time=t)
+                elif kind == "delay_msg":
+                    plan.delay_msg(rng.uniform(1.0e-6, 5.0e-4), layer="rml",
+                                   tag=tag, max_hits=hits, at_time=t)
+                else:
+                    plan.dup_msg(rng.randint(1, 2), layer="rml", tag=tag,
+                                 max_hits=hits, at_time=t)
+        return plan
     for _ in range(n_actions):
-        t = rng.uniform(0.0, horizon)
+        t = start_at + rng.uniform(0.0, horizon)
         roll = rng.random()
         if allow_kills and kills < max_kills and killable and roll < 0.35:
             rank = rng.choice(killable)

@@ -1,0 +1,42 @@
+"""Helpers shared by the fault-recovery test suite (docs/recovery.md)."""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.machine.presets import laptop
+
+# Recovery scenarios may legitimately burn one 0.5 s collective timeout
+# plus a retried fence, so the bounded-termination ceiling is higher
+# than the faults suite's 2 s.
+SIM_BOUND = 3.0
+
+
+def boot(nodes: int = 4, ranks: int = 8, ppn: int | None = None,
+         tracer=None, seed: int = 0):
+    """A recovery-enabled cluster: reliable RML + healing grpcomm."""
+    cluster = Cluster(machine=laptop(num_nodes=nodes), tracer=tracer,
+                      recovery=True, recovery_seed=seed)
+    job = cluster.launch(ranks, ppn=ppn or max(1, ranks // nodes))
+    return cluster, job
+
+
+def spawn_ranks(cluster, job, gens):
+    """Spawn rank generators and register them with the FaultManager so
+    kill actions terminate the right SimProcess."""
+    procs = []
+    for rank, gen in enumerate(gens):
+        sim = cluster.spawn(gen, name=f"rank{rank}")
+        cluster.faults.register_rank_proc(job.proc(rank), sim)
+        procs.append(sim)
+    for p in procs:
+        p.defuse()
+    return procs
+
+
+def run_bounded(cluster):
+    """Run to quiescence and enforce the bounded-termination contract."""
+    cluster.run()
+    assert cluster.now < SIM_BOUND, (
+        f"recovery scenario overran the termination bound: t={cluster.now}"
+    )
+    return cluster.now

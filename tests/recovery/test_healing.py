@@ -1,0 +1,162 @@
+"""Routing-tree self-healing and grpcomm restart (docs/recovery.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import chrome_trace, dumps
+from repro.simtime.process import Sleep
+from repro.simtime.trace import Tracer
+from tests.recovery.conftest import boot, run_bounded, spawn_ranks
+
+pytestmark = pytest.mark.recovery
+
+
+def _kill_after(cluster, node, delay):
+    def driver():
+        yield Sleep(delay)
+        cluster.faults.kill_node(node)
+
+    cluster.spawn(driver(), name="killer").defuse()
+
+
+def _alive_daemons(cluster):
+    return [d for d in cluster.dvm.daemons if d.alive]
+
+
+class TestReparenting:
+    def test_survivors_agree_on_the_healed_tree(self):
+        """After a node death every survivor derives the same parent and
+        child sets, with no election traffic: the healed tree is pure
+        arithmetic over the sorted survivor list."""
+        cluster, _job = boot(nodes=6, ranks=6, ppn=1)
+        _kill_after(cluster, 2, 1e-3)
+        run_bounded(cluster)
+
+        alive = _alive_daemons(cluster)
+        assert sorted(d.node for d in alive) == [0, 1, 3, 4, 5]
+        for d in alive:
+            assert d.known_down == {2}
+            assert d.survivors() == [0, 1, 3, 4, 5]
+        # Parent/child symmetry across independent derivations.
+        for d in alive:
+            parent = d.tree_parent()
+            if d.node == 0:
+                assert parent is None
+            else:
+                assert d.node in cluster.dvm.daemon_for(parent).tree_children()
+        # Every survivor's parent chain terminates at the HNP.
+        for d in alive:
+            hops, n = 0, d
+            while n.tree_parent() is not None:
+                n = cluster.dvm.daemon_for(n.tree_parent())
+                hops += 1
+                assert hops <= len(alive)
+            assert n.node == 0
+
+    def test_heal_counter_counts_only_reparented_daemons(self):
+        """radix-2 tree over [0..3]: parents are 1->0, 2->0, 3->1.
+        Killing node 2 shifts node 3's index so its parent becomes 0 —
+        exactly one daemon re-parents."""
+        cluster, _job = boot(nodes=4, ranks=4, ppn=1)
+        _kill_after(cluster, 2, 1e-3)
+        run_bounded(cluster)
+        heals = {d.node: d.heals for d in _alive_daemons(cluster)}
+        assert heals == {0: 0, 1: 0, 3: 1}
+
+    def test_reparenting_is_deterministic(self):
+        def once():
+            cluster, _job = boot(nodes=6, ranks=6, ppn=1, seed=4)
+            _kill_after(cluster, 4, 1e-3)
+            run_bounded(cluster)
+            return (
+                cluster.now,
+                cluster.engine.events_executed,
+                [(d.node, d.tree_parent(), tuple(d.tree_children()), d.heals)
+                 for d in _alive_daemons(cluster)],
+            )
+
+        assert once() == once()
+
+    def test_heal_emits_trace_event(self):
+        tracer = Tracer()
+        cluster, _job = boot(nodes=4, ranks=4, ppn=1, tracer=tracer)
+        _kill_after(cluster, 2, 1e-3)
+        run_bounded(cluster)
+        blob = dumps(chrome_trace(tracer))
+        assert '"recovery.heal"' in blob
+
+
+class TestGrpcommRestart:
+    def _fence_with_mid_flight_node_kill(self, tracer=None):
+        """Kill node 2 while a fence is provably in flight: node 3's
+        ranks straggle, so every other daemon's collective instance is
+        open and waiting when the victim daemon dies at t=1ms."""
+        cluster, job = boot(nodes=4, ranks=8, ppn=2, tracer=tracer)
+        stragglers = {6, 7}                # node 3
+        victims = {4, 5}                   # node 2 (killed)
+
+        def rank_proc(rank):
+            client = job.client(rank)
+            yield from client.init()
+            client.put("ep", f"ep-{rank}")
+            yield from client.commit()
+            if rank in stragglers:
+                yield Sleep(2e-3)          # past the kill + announcement
+            result = yield from client.fence_retry()
+            return sorted(p.rank for p in result.data)
+
+        procs = spawn_ranks(cluster, job,
+                            [rank_proc(r) for r in range(job.num_ranks)])
+        _kill_after(cluster, 2, 1e-3)
+        run_bounded(cluster)
+        survivors = [r for r in range(job.num_ranks) if r not in victims]
+        return cluster, procs, survivors
+
+    def test_fence_survives_daemon_death_mid_collective(self):
+        cluster, procs, survivors = self._fence_with_mid_flight_node_kill()
+        for r in survivors:
+            p = procs[r]
+            assert p.exception is None, f"rank {r}: {p.exception}"
+            assert p.result == survivors
+        # The in-flight instances were restarted over the healed tree.
+        assert sum(d.grpcomm.restarts for d in cluster.dvm.daemons) > 0
+        assert cluster.dvm.fence_retries > 0
+
+    def test_restart_emits_trace_event(self):
+        tracer = Tracer()
+        cluster, procs, survivors = self._fence_with_mid_flight_node_kill(tracer)
+        assert sum(d.grpcomm.restarts for d in cluster.dvm.daemons) > 0
+        blob = dumps(chrome_trace(tracer))
+        assert '"recovery.grpcomm.restart"' in blob
+        assert '"recovery.pmix.fence_retry"' in blob
+
+
+class TestPsetConvergence:
+    def test_pset_membership_excludes_dead_node_procs(self):
+        """After a node kill the servers evict the dead procs, so a
+        post-failure pset query over the survivors converges on the
+        reduced membership."""
+        cluster, job = boot(nodes=4, ranks=8, ppn=2,
+                            )
+        victims = {4, 5}                   # node 2
+
+        def rank_proc(rank):
+            client = job.client(rank)
+            yield from client.init()
+            if rank in victims:
+                yield Sleep(1.0)           # killed below
+                return None
+            # Outlive the kill + announcement, then re-fence.
+            yield Sleep(5e-3)
+            result = yield from client.fence_retry()
+            return sorted(p.rank for p in result.data)
+
+        procs = spawn_ranks(cluster, job,
+                            [rank_proc(r) for r in range(job.num_ranks)])
+        _kill_after(cluster, 2, 1e-3)
+        run_bounded(cluster)
+        survivors = [r for r in range(job.num_ranks) if r not in victims]
+        for r in survivors:
+            assert procs[r].exception is None, procs[r].exception
+            assert procs[r].result == survivors

@@ -1,0 +1,208 @@
+"""Reliable RML: acks, retransmission, dedup, FIFO (docs/recovery.md).
+
+The unit tests drive a :class:`RoutingLayer` directly with a scripted
+fault stub for exact control over which transmission attempt is lost;
+the integration test runs a real PMIx fence over a lossy link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import Disposition, FaultPlan
+from repro.machine.presets import laptop
+from repro.prrte.rml import ACK_TAG, RmlMessage, RoutingLayer
+from repro.simtime.engine import Engine
+from tests.recovery.conftest import boot, run_bounded
+
+pytestmark = pytest.mark.recovery
+
+
+class _ScriptedFaults:
+    """Fault-hook stub: drop/delay/duplicate scripted per data-message
+    transmission attempt (acks pass through untouched)."""
+
+    active = True
+
+    def __init__(self, drop_attempts=(), delay=None, duplicate_attempts=()):
+        self.drop_attempts = set(drop_attempts)
+        self.delay = dict(delay or {})
+        self.duplicate_attempts = set(duplicate_attempts)
+        self.attempt = 0
+
+    def daemon_alive(self, node):
+        return True
+
+    def dead_drop(self, layer, src, dst, fid=0):
+        pass
+
+    def on_message(self, layer, src, dst, tag, fid=0):
+        if tag == ACK_TAG:
+            return Disposition()
+        n = self.attempt
+        self.attempt += 1
+        return Disposition(
+            drop=n in self.drop_attempts,
+            extra_delay=self.delay.get(n, 0.0),
+            duplicates=1 if n in self.duplicate_attempts else 0,
+        )
+
+
+def _layer(faults=None, reliable=True, seed=0):
+    engine = Engine()
+    rml = RoutingLayer(engine, laptop(num_nodes=2))
+    delivered = []
+    rml.register(0, lambda m: delivered.append(("to0", m.tag, m.seq)))
+    rml.register(1, lambda m: delivered.append((m.tag, m.payload.get("i"), m.seq)))
+    if reliable:
+        rml.enable_reliability(seed=seed)
+    rml.faults = faults
+    return engine, rml, delivered
+
+
+def _data(i, payload=None):
+    return RmlMessage(src=0, dst=1, tag="data", payload={"i": i, **(payload or {})})
+
+
+class TestRetransmission:
+    def test_dropped_message_is_retransmitted_and_delivered(self):
+        engine, rml, delivered = _layer(_ScriptedFaults(drop_attempts={0}))
+        rml.send(_data(0))
+        engine.run()
+        assert delivered == [("data", 0, 0)]
+        assert rml.retransmits >= 1
+        assert rml.dropped == 1
+        assert rml.acks_sent == 1
+        assert not rml._unacked
+
+    def test_retry_budget_is_bounded(self):
+        m = laptop(num_nodes=2)
+        # Drop every data transmission: the original plus every retry.
+        budget = m.rml_max_retries + 1
+        engine, rml, delivered = _layer(_ScriptedFaults(drop_attempts=range(budget)))
+        rml.send(_data(0))
+        engine.run()
+        assert delivered == []
+        assert rml.retransmits == m.rml_max_retries
+        assert rml.retry_exhausted == 1
+        assert not rml._unacked
+        # Full exponential backoff stays inside the collective timeout.
+        assert engine.now < m.fault_collective_timeout
+
+    def test_duplicate_is_suppressed_but_acked(self):
+        engine, rml, delivered = _layer(_ScriptedFaults(duplicate_attempts={0}))
+        rml.send(_data(0))
+        engine.run()
+        assert delivered == [("data", 0, 0)]
+        assert rml.dup_suppressed == 1
+        assert rml.acks_sent == 2          # every arrival acked, dups included
+
+    def test_lost_ack_causes_one_redundant_retransmit(self):
+        class _DropFirstAck(_ScriptedFaults):
+            def __init__(self):
+                super().__init__()
+                self.acks_seen = 0
+
+            def on_message(self, layer, src, dst, tag, fid=0):
+                if tag == ACK_TAG:
+                    self.acks_seen += 1
+                    return Disposition(drop=self.acks_seen == 1)
+                return Disposition()
+
+        engine, rml, delivered = _layer(_DropFirstAck())
+        rml.send(_data(0))
+        engine.run()
+        assert delivered == [("data", 0, 0)]    # handler saw it exactly once
+        assert rml.retransmits == 1
+        assert rml.dup_suppressed == 1
+        assert not rml._unacked
+
+
+class TestFifo:
+    def test_retransmission_cannot_overtake_later_messages(self):
+        """Drop message 0's first attempt while 1..4 sail through: the
+        receiver must hold 1..4 until 0's retransmit lands, then hand
+        all five to the daemon in sequence order."""
+        engine, rml, delivered = _layer(_ScriptedFaults(drop_attempts={0}))
+        for i in range(5):
+            rml.send(_data(i))
+        engine.run()
+        assert [d[1] for d in delivered] == [0, 1, 2, 3, 4]
+        assert [d[2] for d in delivered] == [0, 1, 2, 3, 4]
+
+    def test_delayed_original_beaten_by_retransmit_still_fifo(self):
+        """Delay attempt 0 far past the first retransmit: the link sees
+        seq 0 twice (late original + retransmit) around seq 1; the
+        daemon still sees exactly 0 then 1."""
+        engine, rml, delivered = _layer(
+            _ScriptedFaults(delay={0: 5.0e-3})
+        )
+        rml.send(_data(0))
+        rml.send(_data(1))
+        engine.run()
+        assert [d[1] for d in delivered] == [0, 1]
+        assert rml.dup_suppressed >= 1      # the late original copy
+
+    def test_per_link_sequences_are_independent(self):
+        engine, rml, delivered = _layer(None)
+        rml.send(_data(0))
+        rml.send(RmlMessage(src=1, dst=0, tag="data", payload={}))
+        engine.run()
+        assert rml._link_seq == {(0, 1): 1, (1, 0): 1}
+
+
+class TestDisabledPath:
+    def test_unreliable_layer_is_untouched(self):
+        """Without enable_reliability() nothing is sequenced, acked or
+        retransmitted — the pre-recovery wire behavior."""
+        engine, rml, delivered = _layer(_ScriptedFaults(drop_attempts={0}),
+                                        reliable=False)
+        rml.send(_data(0))
+        rml.send(_data(1))
+        engine.run()
+        assert [d[1] for d in delivered] == [1]     # the drop is final
+        assert rml.retransmits == rml.acks_sent == rml.dup_suppressed == 0
+        assert all(d[2] is None for d in delivered)
+
+
+class TestDeterminism:
+    def test_same_seed_same_timeline(self):
+        def once():
+            engine, rml, delivered = _layer(_ScriptedFaults(drop_attempts={0, 3}),
+                                            seed=42)
+            for i in range(4):
+                rml.send(_data(i))
+            engine.run()
+            return (engine.now, engine.events_executed, delivered,
+                    rml.retransmits, rml.acks_sent, rml.dup_suppressed)
+
+        assert once() == once()
+
+
+class TestLossyFenceIntegration:
+    def test_fence_completes_over_lossy_link(self):
+        """A real PMIx fence across 4 nodes with a lossy RML layer: the
+        retransmission layer absorbs every drop and the fence exchanges
+        all blobs."""
+        cluster, job = boot(seed=9)
+        cluster.faults.install(
+            FaultPlan().lossy_link(0.4, seed=9, layer="rml", max_hits=6)
+        )
+
+        def rank_proc(rank):
+            client = job.client(rank)
+            yield from client.init()
+            client.put("ep", f"ep-{rank}")
+            yield from client.commit()
+            result = yield from client.fence()
+            return sorted(p.rank for p in result.data)
+
+        from tests.recovery.conftest import spawn_ranks
+        procs = spawn_ranks(cluster, job,
+                            [rank_proc(r) for r in range(job.num_ranks)])
+        run_bounded(cluster)
+        for p in procs:
+            assert p.exception is None, p.exception
+            assert p.result == list(range(job.num_ranks))
+        assert cluster.dvm.rml.dropped > 0          # the link really lost traffic
+        assert cluster.dvm.rml.retransmits >= cluster.dvm.rml.dropped
