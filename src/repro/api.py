@@ -74,6 +74,7 @@ def make_world(
     fabric: Optional[Fabric] = None,
     recovery: bool = False,
     recovery_seed: int = 0,
+    engine_compat: bool = False,
 ) -> MpiWorld:
     """Boot a cluster and launch (but do not run) an MPI job.
 
@@ -86,7 +87,8 @@ def make_world(
     """
     if cluster is None:
         cluster = Cluster(machine=machine, grpcomm_mode=grpcomm_mode, tracer=tracer,
-                          recovery=recovery, recovery_seed=recovery_seed)
+                          recovery=recovery, recovery_seed=recovery_seed,
+                          engine_compat=engine_compat)
     elif machine is not None and machine is not cluster.machine:
         raise ValueError("pass machine or an existing cluster, not both")
     job = cluster.launch(nprocs, ppn=ppn, psets=psets)

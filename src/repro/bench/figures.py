@@ -440,3 +440,23 @@ def ablation_handshake(pairs: int = 4, sizes=(1, 64, 4096)) -> BenchResult:
     for size in sizes:
         ratio.add(size, forced[size] / normal[size])
     return res
+
+
+def entry_points() -> Dict[str, "object"]:
+    """Name -> callable for every figure/table/ablation in this module.
+    Single source of truth for ``tools/run_figure.py`` and the sweep
+    runner."""
+    return {
+        name: fn
+        for name, fn in globals().items()
+        if name.startswith(("fig", "table", "ablation_")) and callable(fn)
+    }
+
+
+def run_point(figure: str, **kwargs) -> dict:
+    """Sweep-friendly wrapper: run one figure, return its JSON payload.
+
+    Module-level (hence picklable for ``repro.sweep``) and payload-valued
+    (hence cacheable); reconstruct with ``BenchResult.from_payload``.
+    """
+    return entry_points()[figure](**kwargs).to_payload()

@@ -70,18 +70,38 @@ class BenchResult:
             lines.append(",".join(cells))
         return "\n".join(lines) + "\n"
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable dict; inverse of :meth:`from_payload`.  This
+        is what the sweep cache stores, so it must capture everything
+        render()/to_csv()/to_json() read."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "series": {lbl: [list(p) for p in s.points]
+                       for lbl, s in self.series.items()},
+            "notes": self.notes,
+            "obs": self.obs,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BenchResult":
+        result = cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            notes=list(payload.get("notes", [])),
+            obs=dict(payload.get("obs", {})),
+        )
+        for lbl, points in payload.get("series", {}).items():
+            series = result.series_for(lbl)
+            for x, y in points:
+                series.add(x, y)
+        return result
+
     def to_json(self) -> str:
         """Deterministic JSON dump (the ``--json`` flag of run_figure)."""
         import json
 
-        payload = {
-            "exp_id": self.exp_id,
-            "title": self.title,
-            "series": {lbl: s.points for lbl, s in self.series.items()},
-            "notes": self.notes,
-            "obs": self.obs,
-        }
-        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        return json.dumps(self.to_payload(), sort_keys=True, indent=2) + "\n"
 
     def render(self, unit: str = "") -> str:
         """Paper-style text rendering: one row per x, one column per series."""

@@ -1,0 +1,223 @@
+"""Wall-clock benchmark suite: fast-path engine vs compat reference.
+
+Measures events/second on canonical workloads, once on the default
+fast-path scheduler and once on ``Engine(compat=True)`` (the pure-heap
+reference), and reports the speedup.  Two kinds of cases:
+
+* **scheduler-bound kernels** (``fence-storm``, ``comm-dup``): distilled
+  from the two hottest runtime patterns — the PMIx fence fan-in
+  (staggered arrivals, a timed wait per participant whose watchdog timer
+  is canceled on completion, then a same-timestamp release cascade) and
+  the CID-allocation chains behind ``MPI_Comm_dup`` (long zero-delay
+  message round-trips punctuated by daemon hops).  These isolate the
+  engine + trampoline, which is where the fast paths live, and carry the
+  ISSUE's >= 2x acceptance bar.
+* **full-stack scenarios** (``recovery-soak``, ``fig3-init``): end-to-end
+  runs of the real middleware stack.  Most of their wall-clock is
+  app-layer Python (collectives, PMIx bookkeeping), so the scheduler
+  speedup is diluted — they are tracked for trend, not held to 2x.
+
+Every case also cross-checks determinism: the fast and compat runs must
+execute exactly the same number of engine events (the golden-trace tests
+prove the stronger byte-identical-ordering property).
+
+``tools/bench.py`` is the CLI; ``benchmarks/test_perf.py`` asserts the
+speedup bars; ``tests/bench/test_perf_smoke.py`` runs a tiny guard in
+tier-1.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.simtime.engine import Engine
+from repro.simtime.primitives import SimEvent
+from repro.simtime.process import SLEEP0, SimProcess, Sleep, Wait
+
+
+def _spawn(engine: Engine, gen, name: str = "") -> SimProcess:
+    proc = SimProcess(engine, gen, name)
+    proc.defuse()
+    proc.start()
+    return proc
+
+
+# ---------------------------------------------------------------------------
+# scheduler-bound kernels
+# ---------------------------------------------------------------------------
+def fence_storm(compat: bool, procs: int = 64, rounds: int = 120) -> int:
+    """PMIx-fence fan-in kernel; returns events executed.
+
+    Per round, each participant arrives after a per-rank stagger (heap
+    traffic at distinct timestamps), blocks in a *timed* wait — arming a
+    watchdog timer that completion cancels, the retransmission-timer
+    pattern that motivated lazy deletion — and the last arrival releases
+    everyone into a same-timestamp drain chain (ready-lane traffic).
+    """
+    engine = Engine(compat=compat)
+    state = {"count": 0, "event": SimEvent()}
+
+    def rank(r: int):
+        for rnd in range(rounds):
+            yield Sleep((r + 1) * 1e-8)
+            state["count"] += 1
+            if state["count"] == procs:
+                event = state["event"]
+                state["event"] = SimEvent()
+                state["count"] = 0
+                event.succeed(rnd)
+            else:
+                # The stagger makes arrival order strict, so the fence
+                # completes long before the watchdog: every timer here
+                # is armed and then canceled.
+                yield Wait(state["event"], timeout=1.0)
+            # Post-release cascade: grpcomm release -> per-client PMIx
+            # notify -> completion callbacks, all at the same instant.
+            for _ in range(10):
+                yield SLEEP0
+    for r in range(procs):
+        _spawn(engine, rank(r), f"rank{r}")
+    engine.run()
+    return engine.events_executed
+
+
+def comm_dup(compat: bool, procs: int = 32, dups: int = 100) -> int:
+    """CID-allocation chain kernel; returns events executed.
+
+    Models the ``MPI_Comm_dup`` hot loop: each dup is a burst of
+    zero-delay allocation round-trips (agreement messages landing at the
+    same instant) followed by one short daemon hop.  Almost pure
+    ready-lane + trampoline traffic.
+    """
+    engine = Engine(compat=compat)
+
+    def rank(r: int):
+        for _ in range(dups):
+            for _ in range(10):
+                yield SLEEP0
+            yield Sleep(1e-7)
+    for r in range(procs):
+        _spawn(engine, rank(r), f"rank{r}")
+    engine.run()
+    return engine.events_executed
+
+
+# ---------------------------------------------------------------------------
+# full-stack scenarios
+# ---------------------------------------------------------------------------
+def recovery_soak(compat: bool, seeds: int = 3) -> int:
+    """End-to-end chaos soak (repro.recovery) across a few seeds."""
+    from repro.recovery import soak_run
+
+    events = 0
+    for seed in range(seeds):
+        events += soak_run(seed, engine_compat=compat)["events"]
+    return events
+
+
+def fig3_init(compat: bool, nodes: int = 2, ppn: int = 4) -> int:
+    """The paper's Fig 3 Sessions-init scenario, fully instrumented."""
+    from repro.obs.scenarios import run_scenario
+
+    run = run_scenario("fig3-init", nodes=nodes, ppn=ppn,
+                       engine_compat=compat)
+    return run.cluster.engine.events_executed
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+@dataclass
+class BenchCase:
+    name: str
+    fn: Callable[..., int]          # fn(compat, **params) -> events executed
+    params: Dict[str, int]
+    quick_params: Dict[str, int]
+    min_speedup: Optional[float]    # acceptance bar, None = tracked only
+
+    def run(self, compat: bool, quick: bool) -> int:
+        return self.fn(compat, **(self.quick_params if quick else self.params))
+
+
+CASES: List[BenchCase] = [
+    BenchCase("fence-storm", fence_storm,
+              dict(procs=64, rounds=120), dict(procs=16, rounds=20),
+              min_speedup=2.0),
+    BenchCase("comm-dup", comm_dup,
+              dict(procs=32, dups=100), dict(procs=8, dups=20),
+              min_speedup=2.0),
+    BenchCase("recovery-soak", recovery_soak,
+              dict(seeds=3), dict(seeds=1), min_speedup=None),
+    BenchCase("fig3-init", fig3_init,
+              dict(nodes=2, ppn=4), dict(nodes=2, ppn=2), min_speedup=None),
+]
+
+
+def measure(fn: Callable[[], int], repeats: int = 3):
+    """Best-of-``repeats`` wall time for one run of ``fn``.
+
+    Best-of (not mean) because scheduler noise is strictly additive:
+    the fastest observed run is the closest estimate of the true cost.
+    """
+    best = float("inf")
+    events = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ev = fn()
+        dt = time.perf_counter() - t0
+        if events is None:
+            events = ev
+        elif ev != events:
+            raise RuntimeError(f"nondeterministic event count: {ev} != {events}")
+        if dt < best:
+            best = dt
+    return events, best
+
+
+def run_case(case: BenchCase, *, quick: bool = False,
+             repeats: int = 3) -> Dict[str, object]:
+    """Measure one case fast vs compat; returns the result record."""
+    ev_fast, t_fast = measure(lambda: case.run(False, quick), repeats)
+    ev_compat, t_compat = measure(lambda: case.run(True, quick), repeats)
+    if ev_fast != ev_compat:
+        raise RuntimeError(
+            f"{case.name}: fast/compat event counts diverge "
+            f"({ev_fast} != {ev_compat}) — determinism contract broken"
+        )
+    return {
+        "params": case.quick_params if quick else case.params,
+        "events": ev_fast,
+        "fast_s": t_fast,
+        "compat_s": t_compat,
+        "fast_eps": ev_fast / t_fast,
+        "compat_eps": ev_compat / t_compat,
+        "speedup": t_compat / t_fast,
+        "min_speedup": case.min_speedup,
+    }
+
+
+def run_case_point(case: str, quick: bool = False,
+                   repeats: int = 3) -> Dict[str, object]:
+    """Sweep-friendly wrapper (module-level, picklable): run one named
+    case and return its result record — what ``tools/bench.py --jobs``
+    fans across processes via :mod:`repro.sweep`."""
+    lookup = {c.name: c for c in CASES}
+    return run_case(lookup[case], quick=quick, repeats=repeats)
+
+
+def run_bench(*, quick: bool = False, repeats: int = 3,
+              cases: Optional[List[str]] = None) -> Dict[str, object]:
+    """Run the suite; returns the BENCH_*.json payload."""
+    selected = [c for c in CASES if cases is None or c.name in cases]
+    results = {case.name: run_case(case, quick=quick, repeats=repeats)
+               for case in selected}
+    return {
+        "bench": "engine-fast-path",
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cases": results,
+    }

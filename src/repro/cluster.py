@@ -33,9 +33,13 @@ class Cluster:
         tracer: Optional[Tracer] = None,
         recovery: bool = False,
         recovery_seed: int = 0,
+        engine_compat: bool = False,
     ) -> None:
         self.machine = machine or laptop()
-        self.engine = Engine()
+        # ``engine_compat`` selects the pure-heap reference scheduler +
+        # reference trampoline (docs/performance.md) — used by the
+        # golden-trace equivalence tests and as the bench baseline.
+        self.engine = Engine(compat=engine_compat)
         self.tracer = tracer or NullTracer()
         # Observability (docs/observability.md): every layer reaches the
         # tracer through the engine it already holds; metrics stay

@@ -46,6 +46,7 @@ def _execute(
     machine: str = "jupiter",
     plan=None,
     tolerate_errors: bool = False,
+    engine_compat: bool = False,
 ) -> ObsRun:
     tracer = Tracer()
     world = make_world(
@@ -54,6 +55,7 @@ def _execute(
         ppn=ppn,
         config=config,
         tracer=tracer,
+        engine_compat=engine_compat,
     )
     world.cluster.metrics.enabled = True
     if plan is not None:
@@ -173,8 +175,14 @@ def run_scenario(
     nodes: int = 2,
     ppn: int = 2,
     machine: str = "jupiter",
+    engine_compat: bool = False,
 ) -> ObsRun:
-    """Run a named scenario and return its :class:`ObsRun`."""
+    """Run a named scenario and return its :class:`ObsRun`.
+
+    ``engine_compat=True`` runs on the pure-heap reference scheduler —
+    the golden-trace tests compare its byte-exact export against the
+    default fast-path engine's.
+    """
     try:
         spec = _SPECS[name]
     except KeyError:
@@ -191,4 +199,5 @@ def run_scenario(
         config=spec["config"](),
         plan=plan_factory() if plan_factory is not None else None,
         tolerate_errors=spec.get("tolerate_errors", False),
+        engine_compat=engine_compat,
     )

@@ -45,10 +45,15 @@ class RmlMessage:
     payload: Dict[str, Any] = field(default_factory=dict)
     fid: int = 0        # observability flow id (send -> receive edge)
     seq: Optional[int] = None   # per-(src, dst) sequence (reliable mode)
+    _size: Optional[int] = None    # cached wire_size (payload never mutates
+                                   # after send, and retransmits resend as-is)
 
     def wire_size(self) -> int:
         """Approximate serialized size (64-byte envelope + payload)."""
-        return 64 + _value_size(self.payload)
+        size = self._size
+        if size is None:
+            size = self._size = 64 + _value_size(self.payload)
+        return size
 
 
 class RoutingLayer:
@@ -188,7 +193,9 @@ class RoutingLayer:
         copies = 1
         extra_delay = 0.0
         faults = self.faults
-        if faults is not None:
+        # ``active`` mirrors the ob1 fast path: with no plan installed and
+        # no kills executed the whole fault block is one attribute check.
+        if faults is not None and faults.active:
             if not faults.daemon_alive(msg.src) or not faults.daemon_alive(msg.dst):
                 self.dropped += 1
                 faults.dead_drop("rml", msg.src, msg.dst, fid=msg.fid)

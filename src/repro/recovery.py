@@ -116,11 +116,14 @@ def soak_run(
     config=None,
     tracer=None,
     return_world: bool = False,
+    engine_compat: bool = False,
 ) -> Dict[str, Any]:
     """One chaos-soak run.  Returns a deterministic result record;
     ``result["ok"]`` is the pass/fail verdict.  ``return_world=True``
     additionally returns the (quiesced) world, for post-mortem
-    inspection — metric harvesting, trace export."""
+    inspection — metric harvesting, trace export.  ``engine_compat``
+    selects the pure-heap reference scheduler; the digest must come out
+    identical either way (tested)."""
     world = make_world(
         num_ranks,
         machine=laptop(num_nodes=num_nodes),
@@ -129,6 +132,7 @@ def soak_run(
         tracer=tracer,
         recovery=True,
         recovery_seed=seed,
+        engine_compat=engine_compat,
     )
     cluster = world.cluster
     plan = soak_plan(seed, num_ranks=num_ranks, num_nodes=num_nodes,

@@ -4,15 +4,41 @@ The engine owns a priority queue of timestamped callbacks.  Ties are
 broken by a monotonically increasing sequence number so that events
 scheduled earlier fire earlier — the FIFO tie-break is part of the
 simulator's determinism contract and is exercised by the property tests.
+
+Two scheduler implementations share that contract (docs/performance.md):
+
+* the **fast path** (default) keeps a same-timestamp FIFO *ready lane*
+  (a deque) next to the heap.  An event scheduled for the current
+  instant — the zero-delay chains that dominate message-delivery
+  cascades — skips the heap entirely.  Because a heap entry at time T
+  can only have been pushed while ``now < T`` and a ready-lane entry at
+  T is only appended while ``now == T``, every heap entry at T carries a
+  smaller sequence number than every ready entry at T: draining the
+  heap's due entries first, then the ready lane FIFO, reproduces the
+  exact global (time, seq) order of the pure-heap scheduler.
+* the **compat path** (``Engine(compat=True)``) is the original
+  pure-heap scheduler: every event goes through ``heapq``.  It is kept
+  as the reference implementation for the golden-trace equivalence
+  tests and as the baseline for ``tools/bench.py``.
+
+Canceled timers are lazily deleted (cancel is O(1)); a cancellation
+counter triggers an in-place compaction of the heap once canceled
+entries outnumber live ones, so pathological cancel-heavy workloads
+(e.g. per-message retransmission timers that are almost always acked)
+cannot accumulate O(n) dead entries.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.simtime.trace import NULL_TRACER
+
+#: Compaction is considered once at least this many canceled entries
+#: are pending — below it the heap is too small for the sweep to matter.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -37,13 +63,15 @@ class Timer:
     """Handle returned by :meth:`Engine.call_at` / :meth:`Engine.call_later`.
 
     Canceling a timer is O(1): the heap entry is left in place and skipped
-    when popped.
+    when popped.  The engine counts pending cancellations and compacts
+    the heap when they exceed the live entries (see :meth:`Engine._compact`).
     """
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_engine")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, entry: list, engine: "Engine") -> None:
         self._entry = entry
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -54,7 +82,7 @@ class Timer:
         return self._entry[2] is _CANCELED
 
     def cancel(self) -> None:
-        self._entry[2] = _CANCELED
+        self._engine._cancel_entry(self._entry)
 
 
 class Engine:
@@ -62,14 +90,22 @@ class Engine:
 
     The engine knows nothing about processes; :mod:`repro.simtime.process`
     layers generator-trampolining on top of :meth:`call_at`.
+
+    ``compat=True`` selects the pure-heap reference scheduler (and the
+    reference trampoline in :mod:`repro.simtime.process`); event order,
+    traces and digests are identical either way — proven by the
+    golden-trace tests — only the wall-clock cost differs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compat: bool = False) -> None:
         self._now: float = 0.0
         self._queue: list = []
-        self._seq = itertools.count()
+        self._ready: deque = deque()      # entries due at exactly _now
+        self._seq = 0
+        self._ncanceled = 0               # canceled entries still queued
         self._live: set = set()
         self._running = False
+        self.compat = compat
         # Observability hooks.  Every layer reaches tracing/metrics via
         # its existing engine reference; the Cluster swaps in real
         # instances when the user asks for them.  The null defaults keep
@@ -83,21 +119,67 @@ class Engine:
         """Current simulated time in seconds."""
         return self._now
 
+    # -- scheduling -------------------------------------------------------
+    def _sched(self, when: float, fn: Callable[[], Any]) -> list:
+        """Queue ``fn`` at ``when`` (assumed >= now); returns the entry."""
+        self._seq = seq = self._seq + 1
+        entry = [when, seq, fn]
+        if when == self._now and not self.compat:
+            self._ready.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
+        return entry
+
+    def _sched_soon(self, fn: Callable[[], Any]) -> list:
+        """Queue ``fn`` at the current instant (ready-lane fast path)."""
+        self._seq = seq = self._seq + 1
+        entry = [self._now, seq, fn]
+        if self.compat:
+            heapq.heappush(self._queue, entry)
+        else:
+            self._ready.append(entry)
+        return entry
+
     def call_at(self, when: float, fn: Callable[[], Any]) -> Timer:
         """Schedule ``fn()`` to run at absolute simulated time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past ({when} < {self._now})"
             )
-        entry = [when, next(self._seq), fn]
-        heapq.heappush(self._queue, entry)
-        return Timer(entry)
+        return Timer(self._sched(when, fn), self)
 
     def call_later(self, delay: float, fn: Callable[[], Any]) -> Timer:
         """Schedule ``fn()`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, fn)
+        return Timer(self._sched(self._now + delay, fn), self)
+
+    def call_soon(self, fn: Callable[[], Any]) -> Timer:
+        """Schedule ``fn()`` at the current instant, after everything
+        already queued for it (equivalent to ``call_later(0, fn)``)."""
+        return Timer(self._sched_soon(fn), self)
+
+    # -- lazy deletion ----------------------------------------------------
+    def _cancel_entry(self, entry: list) -> None:
+        if entry[2] is _CANCELED:
+            return
+        entry[2] = _CANCELED
+        self._ncanceled = n = self._ncanceled + 1
+        if n >= _COMPACT_MIN and n * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep canceled entries out of the heap, in place.
+
+        In-place (slice assignment) so the run loop's local alias of the
+        queue stays valid when a callback's cancel triggers compaction
+        mid-run.  Ready-lane entries are not swept — they drain within
+        the current instant anyway."""
+        q = self._queue
+        live = [e for e in q if e[2] is not _CANCELED]
+        self._ncanceled -= len(q) - len(live)
+        q[:] = live
+        heapq.heapify(q)
 
     # -- process accounting (used for deadlock detection) ----------------
     def _process_started(self, proc=None) -> None:
@@ -114,20 +196,34 @@ class Engine:
     # -- run loop ---------------------------------------------------------
     def step(self) -> bool:
         """Run the next scheduled event.  Returns False if queue empty."""
-        while self._queue:
-            when, _seq, fn = heapq.heappop(self._queue)
-            if fn is _CANCELED:
-                continue
-            self._now = when
+        ready = self._ready
+        q = self._queue
+        while True:
+            # Heap entries due at _now predate (smaller seq) every ready
+            # entry, so they drain first; see the module docstring.
+            if ready and (not q or q[0][0] > self._now):
+                fn = ready.popleft()[2]
+                if fn is _CANCELED:
+                    self._ncanceled -= 1
+                    continue
+            elif q:
+                when, _seq, fn = heapq.heappop(q)
+                if fn is _CANCELED:
+                    self._ncanceled -= 1
+                    continue
+                self._now = when
+            else:
+                return False
             self.events_executed += 1
             fn()
             return True
-        return False
 
     def run(self, until: Optional[float] = None, *, detect_deadlock: bool = True) -> float:
         """Run events until the queue drains or ``until`` is reached.
 
-        Returns the simulated time at which the run stopped.  If
+        Returns the simulated time at which the run stopped.  Events
+        scheduled at exactly ``until`` do fire; the clock never moves
+        backwards (``run(until=t)`` with ``t < now`` is a no-op).  If
         ``detect_deadlock`` is set and live processes remain once the
         queue drains, a :class:`DeadlockError` is raised with the count
         of blocked processes — the most common failure mode of an MPI
@@ -135,16 +231,40 @@ class Engine:
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            # A horizon in the past runs nothing: events pending at the
+            # current instant are strictly later than ``until``.
+            return self._now
         self._running = True
         try:
-            while self._queue:
-                when = self._queue[0][0]
-                if until is not None and when > until:
-                    self._now = until
-                    return self._now
-                self.step()
-            if until is not None:
-                self._now = max(self._now, until)
+            # The hot loop: locals for the queues and the heappop, one
+            # branch to pick the lane, no per-event method call.
+            ready = self._ready
+            q = self._queue
+            heappop = heapq.heappop
+            while True:
+                if ready and (not q or q[0][0] > self._now):
+                    fn = ready.popleft()[2]
+                    if fn is _CANCELED:
+                        self._ncanceled -= 1
+                        continue
+                elif q:
+                    when = q[0][0]
+                    if until is not None and when > until:
+                        if until > self._now:
+                            self._now = until
+                        return self._now
+                    fn = heappop(q)[2]
+                    if fn is _CANCELED:
+                        self._ncanceled -= 1
+                        continue
+                    self._now = when
+                else:
+                    break
+                self.events_executed += 1
+                fn()
+            if until is not None and until > self._now:
+                self._now = until
             if detect_deadlock and self._live and until is None:
                 names = sorted(getattr(p, "name", "?") for p in self._live)
                 shown = ", ".join(names[:10]) + (" …" if len(names) > 10 else "")

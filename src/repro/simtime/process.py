@@ -17,10 +17,28 @@ another process ``Join``-s it (or :meth:`SimProcess.defuse` is called),
 in which case the exception is re-raised at the join site.  This makes
 protocol bugs fail loudly while still supporting deliberate failure
 injection in the fault-tolerance demos.
+
+Two trampoline implementations share these semantics
+(docs/performance.md):
+
+* the **fast path** (default) dispatches on the effect's exact class
+  (``Sleep`` and ``Wait`` first — they dominate every workload), resumes
+  via pre-bound methods instead of per-suspension lambdas, and lands
+  zero-delay resumptions on the engine's ready lane; and
+* the **reference path**, selected by ``Engine(compat=True)``: the
+  original isinstance-chain interpreter scheduling through closures on
+  the pure heap.
+
+Both produce identical event orderings — the golden-trace equivalence
+tests prove it.  The module-level :data:`NOW`, :data:`SELF` and
+:data:`SLEEP0` singletons exist so hot call sites can yield a shared
+effect object instead of allocating one per suspension.
 """
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush
 from typing import Any, Generator, Iterable, Optional
 
 from repro.simtime.engine import Engine, SimulationError
@@ -105,6 +123,14 @@ class Self:
     __slots__ = ()
 
 
+#: Reusable effect singletons — ``Now``/``Self`` are stateless and
+#: ``Sleep(0)`` is immutable in practice, so hot loops can yield these
+#: shared instances instead of allocating a fresh effect per suspension.
+NOW = Now()
+SELF = Self()
+SLEEP0 = Sleep(0.0)
+
+
 class SimProcess:
     """A generator being trampolined by the engine."""
 
@@ -118,6 +144,9 @@ class SimProcess:
         "_defused",
         "_finished",
         "_pending_timer",
+        "_pending_event",
+        "_resume_cb",
+        "_event_cb",
         "_waiting_on",
         "obs_span",
     )
@@ -131,7 +160,13 @@ class SimProcess:
         self.exception: Optional[BaseException] = None
         self._defused = False
         self._finished = False
-        self._pending_timer = None
+        self._pending_timer = None     # engine queue entry (list) or Timer
+        self._pending_event: Optional[SimEvent] = None
+        # Pre-bound resume callbacks: one allocation per process instead
+        # of one closure per suspension.  The plain resume is a C-level
+        # partial — no Python frame between the engine and _step.
+        self._resume_cb = partial(self._step, None, None)
+        self._event_cb = self._event_resume
         self._waiting_on: Optional[SimEvent] = None
         self.obs_span = 0              # lifetime span id (set by spawners)
         engine._process_started(self)
@@ -150,7 +185,7 @@ class SimProcess:
 
     def start(self) -> None:
         """Schedule the first step of the generator at the current time."""
-        self.engine.call_at(self.engine.now, lambda: self._step(None, None))
+        self.engine._sched_soon(self._resume_cb)
 
     def kill(self, reason: str = "") -> None:
         """Throw :class:`ProcessKilled` into the process (fault injection).
@@ -160,8 +195,12 @@ class SimProcess:
         """
         if self._finished:
             return
-        if self._pending_timer is not None:
-            self._pending_timer.cancel()
+        pending = self._pending_timer
+        if pending is not None:
+            if pending.__class__ is list:
+                self.engine._cancel_entry(pending)
+            else:
+                pending.cancel()
             self._pending_timer = None
         if self._waiting_on is not None:
             self._waiting_on.discard_waiter(self._step)
@@ -169,8 +208,122 @@ class SimProcess:
         self._defused = True
         self._step(None, ProcessKilled(reason))
 
+    # -- resume callbacks (pre-bound, no per-suspension closures) ---------
+    def _event_resume(self) -> None:
+        event = self._pending_event
+        self._pending_event = None
+        if event is None:
+            return
+        if event.exception is not None:
+            self._step(None, event.exception)
+        else:
+            self._step(event.value, None)
+
     # -- trampoline -------------------------------------------------------
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.engine.compat:
+            return self._step_reference(value, exc)
+        self._pending_timer = None
+        self._waiting_on = None
+        engine = self.engine
+        gen = self.gen
+        send = gen.send
+        try:
+            while True:
+                if exc is not None:
+                    pending, exc = exc, None
+                    effect = gen.throw(pending)
+                else:
+                    effect = send(value)
+                value = None
+
+                # Exact-class dispatch, hottest effects first.  Effect
+                # subclasses (rare) fall through to the reference
+                # interpreter's isinstance chain below.
+                cls = effect.__class__
+                if cls is Sleep:
+                    # Inlined scheduling: the engine's compat flag is
+                    # known False here, so the lane choice is direct.
+                    delay = effect.delay
+                    engine._seq = seq = engine._seq + 1
+                    if delay == 0.0:
+                        entry = [engine._now, seq, self._resume_cb]
+                        engine._ready.append(entry)
+                    else:
+                        if delay < 0:
+                            raise SimulationError(f"negative delay: {delay}")
+                        entry = [engine._now + delay, seq, self._resume_cb]
+                        heappush(engine._queue, entry)
+                    self._pending_timer = entry
+                    return
+                if cls is Wait:
+                    if effect.timeout is not None:
+                        self._do_wait(effect)
+                        return
+                    event = effect.event
+                    if event.triggered:
+                        # Mirrors the reference path: the resume is
+                        # scheduled (not run inline) and is deliberately
+                        # not cancel-tracked, so kill() interleavings
+                        # execute the same engine events in both modes.
+                        self._pending_event = event
+                        engine._seq = seq = engine._seq + 1
+                        engine._ready.append([engine._now, seq, self._event_cb])
+                    else:
+                        self._waiting_on = event
+                        event.add_waiter(self._step)
+                    return
+                if cls is Now:
+                    value = engine._now
+                elif cls is Self:
+                    value = self
+                elif cls is Spawn:
+                    child = SimProcess(engine, effect.gen, effect.name)
+                    child.start()
+                    value = child
+                elif cls is Join:
+                    self._do_join(effect.proc)
+                    return
+                elif cls is WaitAny:
+                    self._do_wait_any(effect)
+                    return
+                elif isinstance(effect, Now):
+                    value = engine._now
+                elif isinstance(effect, Self):
+                    value = self
+                elif isinstance(effect, Spawn):
+                    child = SimProcess(engine, effect.gen, effect.name)
+                    child.start()
+                    value = child
+                elif isinstance(effect, Sleep):
+                    self._pending_timer = self.engine.call_later(
+                        effect.delay, lambda: self._step(None, None)
+                    )
+                    return
+                elif isinstance(effect, Wait):
+                    self._do_wait(effect)
+                    return
+                elif isinstance(effect, WaitAny):
+                    self._do_wait_any(effect)
+                    return
+                elif isinstance(effect, Join):
+                    self._do_join(effect.proc)
+                    return
+                else:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-effect {effect!r}"
+                    )
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+        except ProcessKilled as killed:
+            self._finish(None, killed)
+        except BaseException as err:  # noqa: BLE001 - deliberate fail-fast
+            self._finish(None, err)
+
+    def _step_reference(self, value: Any, exc: Optional[BaseException]) -> None:
+        """The original interpreter (``Engine(compat=True)``): isinstance
+        chain plus per-suspension closures through the public heap API.
+        Kept verbatim as the behavioral reference for the fast path."""
         self._pending_timer = None
         self._waiting_on = None
         try:

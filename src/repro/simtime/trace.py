@@ -302,18 +302,17 @@ class NullTracer(Tracer):
 
     Shares every code path with :class:`Tracer`; the only difference is
     that :attr:`enabled` is pinned False, so each emission costs exactly
-    one branch.
+    one branch.  ``enabled`` is a plain instance attribute (not a
+    property) so the hot-path ``tracer.enabled`` check is a single dict
+    lookup; the ``__setattr__`` guard keeps the pin — a NullTracer can
+    never be switched on (tests rely on this — swap in a real Tracer
+    instead).
     """
 
-    @property
-    def enabled(self) -> bool:  # type: ignore[override]
-        return False
-
-    @enabled.setter
-    def enabled(self, value: bool) -> None:
-        # Ignored: a NullTracer can never be switched on (tests rely on
-        # this — swap in a real Tracer instead).
-        pass
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name == "enabled":
+            value = False
+        object.__setattr__(self, name, value)
 
 
 #: Shared default tracer attached to engines that were given none.

@@ -1,0 +1,181 @@
+"""Parallel sweep executor with an on-disk result cache.
+
+Every figure/soak sweep in this repo is a list of *independent* points:
+``(scenario name, parameter dict)`` pairs evaluated by a deterministic,
+module-level function.  :func:`run_sweep` fans those points across
+worker processes (``--jobs N`` on the CLIs) and memoizes results on disk
+so a re-run of an already-computed point is a file read.
+
+Cache key (docs/performance.md):
+
+    sha256(scenario name, canonical-JSON params, source digest)
+
+where the *source digest* is a content hash over every ``.py`` file
+under ``src/repro`` — any change to the simulator invalidates every
+cached point, so a stale cache can never masquerade as a fresh result.
+The digest is content-based (not mtime-based): re-checkouts and clock
+skew do not thrash the cache.  Parameters must be JSON-serializable;
+two parameter dicts that differ only in key order hash identically
+(canonical ``sort_keys`` dump).
+
+Determinism contract: because every sweep point is a pure function of
+its parameters (the simulator's central promise), results are identical
+whether points run serially, in parallel, or arrive from the cache —
+``tests/test_sweep.py`` and the ``run_recovery.py --jobs`` digest tests
+hold this to byte equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+_SRC_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+_source_digest_cache: Optional[str] = None
+
+
+def source_digest() -> str:
+    """Content hash of the simulator source tree (cached per process)."""
+    global _source_digest_cache
+    if _source_digest_cache is None:
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(_SRC_ROOT)):
+            dirnames.sort()
+            if "__pycache__" in dirpath:
+                continue
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                h.update(os.path.relpath(path, _SRC_ROOT).encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _source_digest_cache = h.hexdigest()
+    return _source_digest_cache
+
+
+def cache_key(scenario: str, params: Dict[str, Any]) -> str:
+    """Stable key for one sweep point: (scenario, params, source digest)."""
+    blob = json.dumps(
+        {"scenario": scenario, "params": params, "source": source_digest()},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class SweepCache:
+    """Directory of JSON result files keyed by :func:`cache_key`.
+
+    Writes are atomic (tmp file + rename), so a parallel sweep racing on
+    the same point at worst writes the identical bytes twice.
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.dir, key + ".json")
+
+    def get(self, key: str) -> Optional[Any]:
+        try:
+            with open(self._path(key)) as fh:
+                result = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        path = self._path(key)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(result, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    def report(self) -> str:
+        return f"cache: {self.hits} hit(s), {self.misses} miss(es) in {self.dir}"
+
+
+@dataclass
+class SweepPoint:
+    """One unit of work: ``fn(**params)`` with a cache identity.
+
+    ``fn`` must be picklable (a module-level callable) and ``params``
+    JSON-serializable when a cache is in use.  ``scenario`` namespaces
+    the cache so two sweeps with coincidentally equal params never
+    collide.
+    """
+
+    scenario: str
+    fn: Callable[..., Any]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> str:
+        return cache_key(self.scenario, self.params)
+
+
+def _invoke(payload: Tuple[Callable, Dict[str, Any]]) -> Any:
+    fn, params = payload
+    return fn(**params)
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    *,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+    mp_context: Optional[str] = None,
+) -> List[Any]:
+    """Evaluate all points; returns results in input order.
+
+    ``jobs <= 1`` runs serially in-process (no pickling requirements).
+    With ``jobs > 1`` the uncached points are fanned across a
+    ``multiprocessing`` pool; results are byte-identical to the serial
+    run because every point is deterministic and order is restored by
+    index.  A cache, when given, is consulted first and fed afterwards.
+    """
+    results: List[Any] = [None] * len(points)
+    todo: List[int] = []
+    keys: Dict[int, str] = {}
+    for i, pt in enumerate(points):
+        if cache is not None:
+            key = keys[i] = pt.key()
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        todo.append(i)
+
+    if not todo:
+        return results
+
+    if jobs <= 1 or len(todo) == 1:
+        computed = [_invoke((points[i].fn, points[i].params)) for i in todo]
+    else:
+        # fork keeps the warm interpreter (and the imported simulator)
+        # on POSIX; spawn is the portable fallback.
+        method = mp_context or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(processes=min(jobs, len(todo))) as pool:
+            computed = pool.map(
+                _invoke,
+                [(points[i].fn, points[i].params) for i in todo],
+                chunksize=1,
+            )
+
+    for i, result in zip(todo, computed):
+        results[i] = result
+        if cache is not None:
+            cache.put(keys[i], result)
+    return results

@@ -1,0 +1,39 @@
+"""Tier-1 smoke guard over the perf-bench kernels.
+
+The real >= 2x acceptance bars live in ``benchmarks/test_perf.py``
+(marked ``bench``, excluded from tier-1).  This quick-mode guard only
+catches a catastrophic fast-path regression — the fast scheduler
+falling to less than half the reference's throughput — while staying
+cheap and tolerant of CI timing noise (one retry before failing).
+"""
+
+from __future__ import annotations
+
+from repro.bench.perf import CASES, run_case
+
+_KERNELS = {c.name: c for c in CASES}
+
+
+def _speedup(case) -> float:
+    return run_case(case, quick=True, repeats=2)["speedup"]
+
+
+def test_kernels_not_catastrophically_slower():
+    for name in ("fence-storm", "comm-dup"):
+        case = _KERNELS[name]
+        speedup = _speedup(case)
+        if speedup < 0.5:   # quick scales are noisy: re-measure once
+            speedup = _speedup(case)
+        assert speedup >= 0.5, (
+            f"{name}: fast path at {speedup:.2f}x of compat — "
+            f"worse than half the reference scheduler's throughput"
+        )
+
+
+def test_kernel_event_counts_match_compat():
+    """Determinism cross-check at smoke scale: run_case raises if the
+    fast and compat engines execute different event counts."""
+    for case in CASES:
+        if case.min_speedup is not None:
+            rec = run_case(case, quick=True, repeats=1)
+            assert rec["events"] > 0

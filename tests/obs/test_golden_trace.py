@@ -1,0 +1,48 @@
+"""Golden-trace equivalence: fast-path engine vs the compat reference.
+
+The fast scheduler/trampoline (docs/performance.md) must be *invisible*
+to every observable output: for each obs scenario the Perfetto export is
+byte-identical and the engine executes exactly the same number of
+events; for the chaos soak the full result digest (which folds in the
+event count) matches per seed.  These tests are the proof that
+``Engine(compat=True)`` and the default engine share one behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import chrome_trace, dumps
+from repro.obs.scenarios import run_scenario, scenario_names
+from repro.recovery import soak_run
+from repro.simtime.trace import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_export_byte_identical_fast_vs_compat(name):
+    fast = run_scenario(name, engine_compat=False)
+    ref = run_scenario(name, engine_compat=True)
+    assert (fast.cluster.engine.events_executed
+            == ref.cluster.engine.events_executed)
+    assert dumps(chrome_trace(fast.tracer)) == dumps(chrome_trace(ref.tracer))
+
+
+@pytest.mark.recovery
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_soak_digest_identical_fast_vs_compat(seed):
+    fast = soak_run(seed)
+    ref = soak_run(seed, engine_compat=True)
+    assert fast["events"] == ref["events"]
+    assert fast["digest"] == ref["digest"]
+
+
+@pytest.mark.recovery
+def test_soak_trace_byte_identical_fast_vs_compat():
+    def export(compat):
+        tracer = Tracer()
+        soak_run(2, tracer=tracer, engine_compat=compat)
+        return dumps(chrome_trace(tracer))
+
+    assert export(False) == export(True)

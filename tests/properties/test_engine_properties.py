@@ -99,3 +99,123 @@ def test_event_wakes_all_waiters_exactly_once(n):
         ev.add_waiter(lambda v, e, i=i: woken.append(i))
     ev.succeed("x")
     assert woken == list(range(n))
+
+
+# -- fast path vs compat reference: full firing-order equality -------------
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["later", "soon", "cancel"]),
+        st.integers(min_value=0, max_value=20),    # tenths of a second
+        st.integers(min_value=0, max_value=3),     # nested call_soon fan-out
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _run_schedule_program(compat, ops):
+    """Replay a generated schedule program; returns the (time, id) log."""
+    eng = Engine(compat=compat)
+    log = []
+
+    def make_cb(i, nested):
+        def cb():
+            log.append((eng.now, i))
+            for j in range(nested):
+                eng.call_soon(lambda i=i, j=j: log.append((eng.now, (i, j))))
+        return cb
+
+    cancelable = []
+    for i, (kind, tenths, nested) in enumerate(ops):
+        if kind == "soon":
+            eng.call_soon(make_cb(i, nested))
+        else:
+            timer = eng.call_later(tenths / 10.0, make_cb(i, nested))
+            if kind == "cancel":
+                cancelable.append(timer)
+    for timer in cancelable[::2]:
+        timer.cancel()
+    eng.run()
+    return log, eng.events_executed
+
+
+@given(_ops)
+@settings(max_examples=150, deadline=None)
+def test_fast_lane_matches_pure_heap_scheduler(ops):
+    """The ready-lane scheduler and the compat pure-heap reference must
+    produce identical global firing orders — the determinism contract
+    behind the golden-trace tests, here under generated schedules mixing
+    same-instant chains, duplicate timestamps and cancellations."""
+    assert _run_schedule_program(False, ops) == _run_schedule_program(True, ops)
+
+
+_prog = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["sleep", "zero", "timeout", "ready"]),
+            st.integers(min_value=0, max_value=10),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _run_proc_program(compat, prog):
+    """Trampoline both interpreters over generated effect sequences."""
+    from repro.simtime.process import SLEEP0, SimTimeout, Wait
+
+    eng = Engine(compat=compat)
+    log = []
+
+    def worker(r, acts):
+        for kind, val in acts:
+            if kind == "sleep":
+                yield Sleep(val / 1000.0)
+            elif kind == "zero":
+                yield SLEEP0
+            elif kind == "timeout":
+                try:
+                    yield Wait(SimEvent(), timeout=(val + 1) / 1000.0)
+                except SimTimeout:
+                    pass
+            else:  # wait on an already-triggered event (fast-lane resume)
+                ev = SimEvent()
+                ev.succeed(val)
+                got = yield Wait(ev)
+                assert got == val
+            log.append((eng.now, r, kind))
+
+    for r, acts in enumerate(prog):
+        SimProcess(eng, worker(r, acts), f"w{r}").start()
+    eng.run()
+    return log, eng.events_executed
+
+
+@given(_prog)
+@settings(max_examples=100, deadline=None)
+def test_trampoline_fast_path_matches_reference(prog):
+    """Sleep/zero-sleep/timed-wait/triggered-wait interleavings resume in
+    the same global order (and execute the same engine events) under the
+    fast trampoline and the reference isinstance-chain interpreter."""
+    assert _run_proc_program(False, prog) == _run_proc_program(True, prog)
+
+
+@given(delays, st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+@settings(max_examples=100)
+def test_run_until_boundary(ds, until):
+    """run(until) fires everything <= until (inclusive), never moves the
+    clock backwards, and a later run() completes the schedule."""
+    eng = Engine()
+    fired = []
+    for d in ds:
+        eng.call_later(d, lambda d=d: fired.append(d))
+    eng.run(until=until)
+    assert fired == sorted(d for d in ds if d <= until)
+    assert eng.now == max([until] + fired)
+    before = eng.now
+    assert eng.run(until=0.0) == before      # past horizon: no-op
+    eng.run()
+    assert sorted(fired) == sorted(ds)

@@ -111,3 +111,137 @@ def test_deadlock_detection_reports_blocked_processes():
     SimProcess(eng, stuck(), "stuck").start()
     with pytest.raises(DeadlockError, match="1 process"):
         eng.run()
+
+
+# -- fast-path scheduler: ready lane, lazy deletion, run(until) edges ------
+def test_heap_drains_before_ready_lane_at_same_instant():
+    """The FIFO contract across lanes: heap entries due at t predate
+    (smaller seq) every ready-lane entry appended at t."""
+    eng = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        eng.call_soon(lambda: order.append("chained"))
+
+    eng.call_later(1.0, first)
+    eng.call_later(1.0, lambda: order.append("second"))
+    eng.run()
+    assert order == ["first", "second", "chained"]
+
+
+def test_same_instant_ordering_across_scheduling_apis():
+    eng = Engine()
+    order = []
+    eng.call_at(0.0, lambda: order.append("at"))
+    eng.call_soon(lambda: order.append("soon"))
+    eng.call_later(0.0, lambda: order.append("later"))
+    eng.run()
+    assert order == ["at", "soon", "later"]
+
+
+def test_ready_lane_timer_cancel():
+    eng = Engine()
+    fired = []
+    t1 = eng.call_soon(lambda: fired.append(1))
+    eng.call_soon(lambda: fired.append(2))
+    t1.cancel()
+    assert t1.canceled
+    eng.run()
+    assert fired == [2]
+
+
+def test_cancel_compaction_bounds_dead_entries():
+    from repro.simtime.engine import _COMPACT_MIN
+
+    eng = Engine()
+    fired = []
+    timers = [
+        eng.call_later(1.0 + i * 1e-6, lambda i=i: fired.append(i))
+        for i in range(500)
+    ]
+    for t in timers[:400]:
+        t.cancel()
+        # The compaction invariant: canceled entries never outnumber
+        # live ones once there are enough of them to matter.
+        assert (eng._ncanceled < _COMPACT_MIN
+                or eng._ncanceled * 2 <= len(eng._queue))
+    assert len(eng._queue) < 200        # corpses actually swept
+    eng.run()
+    assert fired == list(range(400, 500))
+    assert eng._ncanceled == 0
+
+
+def test_compaction_during_run_keeps_pending_events():
+    """Cancels from inside callbacks may trigger compaction mid-run; the
+    run loop's alias of the queue must survive it (in-place sweep)."""
+    from repro.simtime.engine import _COMPACT_MIN
+
+    eng = Engine()
+    fired = []
+    doomed = [eng.call_later(5.0 + i * 1e-6, lambda: fired.append("doomed"))
+              for i in range(2 * _COMPACT_MIN)]
+
+    def cancel_all():
+        for t in doomed:
+            t.cancel()
+
+    eng.call_later(1.0, cancel_all)
+    eng.call_later(2.0, lambda: fired.append("after"))
+    eng.run()
+    assert fired == ["after"]
+    assert eng.now == 2.0
+
+
+def test_run_until_fires_events_at_exactly_until():
+    eng = Engine()
+    fired = []
+    eng.call_later(1.0, lambda: fired.append("at"))
+    eng.call_later(1.0, lambda: eng.call_soon(lambda: fired.append("cascade")))
+    eng.call_later(2.0, lambda: fired.append("later"))
+    assert eng.run(until=1.0) == 1.0
+    assert fired == ["at", "cascade"]
+    assert eng.run() == 2.0
+    assert fired == ["at", "cascade", "later"]
+
+
+def test_run_until_in_past_is_noop():
+    eng = Engine()
+    fired = []
+    eng.call_later(1.0, lambda: fired.append(1))
+    eng.run(until=1.0)
+    eng.call_soon(lambda: fired.append(2))
+    assert eng.run(until=0.5) == 1.0    # horizon already passed: no-op
+    assert fired == [1]
+    eng.run()
+    assert fired == [1, 2]
+
+
+def test_reentrant_run_raises():
+    eng = Engine()
+    caught = []
+
+    def reenter():
+        try:
+            eng.run()
+        except SimulationError:
+            caught.append(True)
+
+    eng.call_soon(reenter)
+    eng.run()
+    assert caught == [True]
+    # The engine stays usable after the rejected re-entry.
+    eng.call_soon(lambda: caught.append("again"))
+    eng.run()
+    assert caught == [True, "again"]
+
+
+@pytest.mark.parametrize("compat", [False, True])
+def test_compat_flag_preserves_order(compat):
+    eng = Engine(compat=compat)
+    order = []
+    eng.call_later(1.0, lambda: eng.call_soon(lambda: order.append("chained")))
+    eng.call_later(1.0, lambda: order.append("peer"))
+    eng.call_soon(lambda: order.append("t0"))
+    eng.run()
+    assert order == ["t0", "peer", "chained"]

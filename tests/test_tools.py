@@ -1,5 +1,6 @@
 """The developer tools: figure runner and experiments-report generator."""
 
+import json
 import subprocess
 import sys
 
@@ -32,6 +33,65 @@ class TestRunFigure:
 
     def test_no_args_lists(self):
         assert self.run().returncode == 0
+
+    def test_multiple_figures_with_jobs_and_cache(self, tmp_path):
+        proc = self.run("table1", "fig6b", "--jobs", "2",
+                        "--cache-dir", str(tmp_path))
+        assert proc.returncode == 0
+        assert "== table1" in proc.stdout and "== fig6b" in proc.stdout
+        assert "2 miss(es)" in proc.stderr
+        again = self.run("table1", "fig6b", "--cache-dir", str(tmp_path))
+        assert again.returncode == 0
+        assert "2 hit(s)" in again.stderr
+        # A cache hit renders the same tables as the fresh run (modulo
+        # the wall-clock footer).
+        strip = lambda s: s[:s.rfind("\n(")]
+        assert strip(again.stdout) == strip(proc.stdout)
+
+    def test_csv_requires_single_figure(self):
+        proc = self.run("table1", "fig6b", "--csv", "out.csv")
+        assert proc.returncode == 2
+        assert "exactly one figure" in proc.stderr
+
+
+class TestRunRecovery:
+    def run(self, *args):
+        return subprocess.run(
+            [sys.executable, "tools/run_recovery.py", *args],
+            capture_output=True, text=True, timeout=600, cwd=".",
+        )
+
+    def test_jobs_output_identical_to_serial(self):
+        serial = self.run("--seeds", "3", "--json")
+        fanned = self.run("--seeds", "3", "--jobs", "2", "--json")
+        assert serial.returncode == 0 and fanned.returncode == 0
+        assert serial.stdout == fanned.stdout     # records AND digests
+        digests = [json.loads(line)["digest"]
+                   for line in serial.stdout.splitlines()]
+        assert len(digests) == 3 and len(set(digests)) == 3
+
+    def test_cache_hits_on_rerun(self, tmp_path):
+        first = self.run("--seeds", "2", "--json", "--cache-dir", str(tmp_path))
+        again = self.run("--seeds", "2", "--json", "--cache-dir", str(tmp_path))
+        assert first.returncode == 0 and again.returncode == 0
+        assert "2 miss(es)" in first.stderr
+        assert "2 hit(s)" in again.stderr
+        assert first.stdout == again.stdout
+
+
+class TestBench:
+    def test_quick_bench_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_TEST.json"
+        proc = subprocess.run(
+            [sys.executable, "tools/bench.py", "--quick", "--repeats", "1",
+             "--cases", "comm-dup", "--out", str(out)],
+            capture_output=True, text=True, timeout=600, cwd=".",
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text())
+        rec = report["cases"]["comm-dup"]
+        assert rec["events"] > 0
+        assert rec["fast_eps"] > 0 and rec["compat_eps"] > 0
 
 
 class TestExperimentsReport:

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark CLI: fast-path engine vs compat reference.
+
+Usage::
+
+    python tools/bench.py                     # full suite -> BENCH_PR4.json
+    python tools/bench.py --quick             # small scales, smoke-sized
+    python tools/bench.py --cases fence-storm comm-dup --repeats 5
+    python tools/bench.py --jobs 4            # one worker process per case
+
+Each case runs twice — once on the default fast-path scheduler, once on
+``Engine(compat=True)`` — and reports events/second plus the speedup.
+Cases with an acceptance bar (the scheduler-bound kernels) fail the run
+when they miss it.  See docs/performance.md for how to read the output.
+
+``--jobs`` fans cases across worker processes via ``repro.sweep``; use
+it for a fast sanity pass, not for publishable numbers — concurrent
+cases contend for cores and perturb each other's wall times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import format_table
+from repro.bench.perf import CASES, run_case_point
+from repro.sweep import SweepPoint, run_sweep
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_PR4.json", metavar="FILE",
+                    help="where to write the JSON report (default: %(default)s)")
+    ap.add_argument("--quick", action="store_true",
+                    help="small scales (CI smoke), still both engines")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of-N wall-clock repeats (default: 3)")
+    ap.add_argument("--cases", nargs="+", metavar="NAME",
+                    choices=[c.name for c in CASES],
+                    help="subset of cases (default: all)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (timings contend; keep 1 for "
+                         "publishable numbers)")
+    args = ap.parse_args(argv)
+
+    selected = [c for c in CASES if args.cases is None or c.name in args.cases]
+    points = [
+        SweepPoint("bench", run_case_point,
+                   {"case": c.name, "quick": args.quick,
+                    "repeats": args.repeats})
+        for c in selected
+    ]
+    # Deliberately no cache here: a memoized wall time is a stale
+    # measurement, not a result.
+    records = run_sweep(points, jobs=args.jobs)
+
+    report = {
+        "bench": "engine-fast-path",
+        "mode": "quick" if args.quick else "full",
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "cases": {c.name: rec for c, rec in zip(selected, records)},
+    }
+
+    rows = []
+    failed = []
+    for case in selected:
+        rec = report["cases"][case.name]
+        bar = f">={case.min_speedup:.1f}x" if case.min_speedup else "track"
+        # The acceptance bars are a full-scale claim; quick scales are
+        # smoke-sized and too noisy to fail a run on.
+        ok = (args.quick or case.min_speedup is None
+              or rec["speedup"] >= case.min_speedup)
+        if not ok:
+            failed.append(case.name)
+        rows.append([
+            case.name,
+            f"{rec['events']}",
+            f"{rec['fast_eps']:,.0f}",
+            f"{rec['compat_eps']:,.0f}",
+            f"{rec['speedup']:.2f}x",
+            bar,
+            "ok" if ok else "FAIL",
+        ])
+    print(format_table(
+        ["case", "events", "fast ev/s", "compat ev/s", "speedup", "bar", ""],
+        rows,
+    ))
+
+    try:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+    except OSError as err:
+        print(f"cannot write {args.out}: {err}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}")
+    if failed:
+        print(f"FAILED speedup bars: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

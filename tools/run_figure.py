@@ -1,12 +1,18 @@
 #!/usr/bin/env python
-"""Run one paper figure (or ablation) from the shell.
+"""Run one or more paper figures (or ablations) from the shell.
 
 Usage::
 
     python tools/run_figure.py --list
     python tools/run_figure.py fig3b
     python tools/run_figure.py fig5c --presync
-    python tools/run_figure.py fig7 --full        # includes P3 (1,024 ranks)
+    python tools/run_figure.py fig7 --full            # includes P3 (1,024 ranks)
+    python tools/run_figure.py fig3a fig3b fig4 --jobs 3
+    python tools/run_figure.py fig7 --cache-dir .figcache   # instant re-runs
+
+``--jobs N`` fans independent figures across processes; ``--cache-dir``
+memoizes results on disk keyed by (figure, params, source digest) — see
+docs/performance.md for the invalidation rules.
 """
 
 from __future__ import annotations
@@ -17,14 +23,8 @@ import sys
 import time
 
 from repro.bench import figures
-
-
-def discover():
-    out = {}
-    for name, fn in vars(figures).items():
-        if name.startswith(("fig", "table", "ablation_")) and callable(fn):
-            out[name] = fn
-    return out
+from repro.bench.harness import BenchResult
+from repro.sweep import SweepCache, SweepPoint, run_sweep
 
 
 def _unknown_msg(name: str, catalog) -> str:
@@ -37,10 +37,24 @@ def _unknown_msg(name: str, catalog) -> str:
     return msg
 
 
+def _figure_kwargs(fn, args) -> dict:
+    """Per-figure kwargs from the CLI flags, filtered by signature."""
+    kwargs = {}
+    params = inspect.signature(fn).parameters
+    if "quick" in params:
+        kwargs["quick"] = not args.full
+    if "presync" in params and args.presync:
+        kwargs["presync"] = True
+    if args.obs:
+        kwargs["obs"] = True
+    return kwargs
+
+
 def main(argv=None) -> int:
-    catalog = discover()
+    catalog = figures.entry_points()
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("figure", nargs="?", help="entry point name (see --list)")
+    parser.add_argument("figure", nargs="*",
+                        help="entry point name(s) (see --list)")
     parser.add_argument("--list", action="store_true", help="list available figures")
     parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
     parser.add_argument("--presync", action="store_true", help="fig5c: pair pre-sync")
@@ -50,64 +64,80 @@ def main(argv=None) -> int:
                              "(figures that support it)")
     parser.add_argument("--json", metavar="FILE",
                         help="write the result (series + obs data) as JSON")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run figures across N worker processes")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="on-disk result cache (see docs/performance.md)")
     args = parser.parse_args(argv)
 
-    # Validate the figure name even when --list is passed: listing must
+    # Validate the figure names even when --list is passed: listing must
     # not mask a typo'd name with a zero exit status.
-    unknown = args.figure is not None and args.figure not in catalog
+    unknown = [name for name in args.figure if name not in catalog]
 
     if args.list or not args.figure:
         for name in sorted(catalog):
             doc = (inspect.getdoc(catalog[name]) or "").splitlines()
             print(f"  {name:28s} {doc[0] if doc else ''}")
-        if unknown:
-            print(_unknown_msg(args.figure, catalog), file=sys.stderr)
-            return 2
-        return 0
+        for name in unknown:
+            print(_unknown_msg(name, catalog), file=sys.stderr)
+        return 2 if unknown else 0
 
     if unknown:
-        print(_unknown_msg(args.figure, catalog), file=sys.stderr)
+        for name in unknown:
+            print(_unknown_msg(name, catalog), file=sys.stderr)
         return 2
-    fn = catalog[args.figure]
-
-    kwargs = {}
-    params = inspect.signature(fn).parameters
-    if "quick" in params:
-        kwargs["quick"] = not args.full
-    if "presync" in params and args.presync:
-        kwargs["presync"] = True
+    if (args.csv or args.json) and len(args.figure) != 1:
+        print("--csv/--json need exactly one figure", file=sys.stderr)
+        return 2
     if args.obs:
-        if "obs" not in params:
-            print(f"{args.figure} does not support --obs", file=sys.stderr)
+        unsupported = [
+            name for name in args.figure
+            if "obs" not in inspect.signature(catalog[name]).parameters
+        ]
+        if unsupported:
+            print(f"{', '.join(unsupported)} does not support --obs",
+                  file=sys.stderr)
             return 2
-        kwargs["obs"] = True
+
+    points = [
+        SweepPoint("figure", figures.run_point,
+                   {"figure": name, **_figure_kwargs(catalog[name], args)})
+        for name in args.figure
+    ]
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
 
     t0 = time.time()
-    result = fn(**kwargs)
-    print(result.render())
-    if result.obs:
-        for key, data in result.obs.items():
-            print(f"\n-- obs {key}: critical-path attribution "
-                  f"(total {data['total'] * 1e3:.3f} ms) --")
-            for name, dur in data["by_stage"].items():
-                pct = 100.0 * dur / data["total"] if data["total"] else 0.0
-                print(f"  {dur * 1e3:>10.3f}ms {pct:5.1f}%  {name}")
-    if args.json:
-        try:
-            with open(args.json, "w") as fh:
-                fh.write(result.to_json())
-        except OSError as err:
-            print(f"cannot write {args.json}: {err}", file=sys.stderr)
-            return 1
-        print(f"wrote {args.json}")
-    if args.csv:
-        try:
-            with open(args.csv, "w") as fh:
-                fh.write(result.to_csv())
-        except OSError as err:
-            print(f"cannot write {args.csv}: {err}", file=sys.stderr)
-            return 1
-        print(f"wrote {args.csv}")
+    payloads = run_sweep(points, jobs=args.jobs, cache=cache)
+    for i, payload in enumerate(payloads):
+        result = BenchResult.from_payload(payload)
+        if i:
+            print()
+        print(result.render())
+        if result.obs:
+            for key, data in result.obs.items():
+                print(f"\n-- obs {key}: critical-path attribution "
+                      f"(total {data['total'] * 1e3:.3f} ms) --")
+                for name, dur in data["by_stage"].items():
+                    pct = 100.0 * dur / data["total"] if data["total"] else 0.0
+                    print(f"  {dur * 1e3:>10.3f}ms {pct:5.1f}%  {name}")
+        if args.json:
+            try:
+                with open(args.json, "w") as fh:
+                    fh.write(result.to_json())
+            except OSError as err:
+                print(f"cannot write {args.json}: {err}", file=sys.stderr)
+                return 1
+            print(f"wrote {args.json}")
+        if args.csv:
+            try:
+                with open(args.csv, "w") as fh:
+                    fh.write(result.to_csv())
+            except OSError as err:
+                print(f"cannot write {args.csv}: {err}", file=sys.stderr)
+                return 1
+            print(f"wrote {args.csv}")
+    if cache is not None:
+        print(cache.report(), file=sys.stderr)
     print(f"\n({time.time() - t0:.1f}s wall)")
     return 0
 

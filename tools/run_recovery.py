@@ -7,6 +7,8 @@ Usage::
     python tools/run_recovery.py --seeds 200 --json
     python tools/run_recovery.py --seed 7 --verbose   # one seed, full record
     python tools/run_recovery.py --seeds 20 --verify-determinism
+    python tools/run_recovery.py --jobs 4             # fan seeds across cores
+    python tools/run_recovery.py --cache-dir .soakcache   # memoize per-seed runs
 
 Each seed boots a recovery-enabled cluster (reliable RML + tree healing
 + ULFM-lite), installs a survivable fault plan — lossy RML links plus
@@ -27,6 +29,7 @@ import json
 import sys
 
 from repro.recovery import SIM_BOUND, soak_run
+from repro.sweep import SweepCache, SweepPoint, run_sweep
 
 
 def main(argv=None) -> int:
@@ -47,6 +50,12 @@ def main(argv=None) -> int:
     ap.add_argument("--json", action="store_true",
                     help="emit one JSON record per seed (ndjson)")
     ap.add_argument("--verbose", action="store_true")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="fan seeds across N worker processes "
+                         "(per-seed output and digests are identical to "
+                         "a serial run)")
+    ap.add_argument("--cache-dir", metavar="DIR",
+                    help="on-disk result cache (see docs/performance.md)")
     args = ap.parse_args(argv)
 
     if args.seed is not None:
@@ -56,16 +65,24 @@ def main(argv=None) -> int:
 
     kw = dict(num_nodes=args.nodes, num_ranks=args.ranks,
               with_node_kill=not args.no_node_kill, lossy=not args.no_lossy)
+    points = [SweepPoint("recovery-soak", soak_run, {"seed": s, **kw})
+              for s in seeds]
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+    records = run_sweep(points, jobs=args.jobs, cache=cache)
+    if args.verify_determinism:
+        # Recompute every seed uncached: a hit is then verified against a
+        # fresh run, not against itself.
+        rerun = run_sweep(points, jobs=args.jobs)
+
     failures = []
     nondet = []
     totals = {"retransmits": 0, "dup_suppressed": 0, "fence_retries": 0,
               "reparents": 0, "grpcomm_restarts": 0, "revokes": 0,
               "shrinks": 0, "dead": 0}
-    for seed in seeds:
-        rec = soak_run(seed, **kw)
+    for i, seed in enumerate(seeds):
+        rec = records[i]
         if args.verify_determinism:
-            again = soak_run(seed, **kw)
-            if again["digest"] != rec["digest"]:
+            if rerun[i]["digest"] != rec["digest"]:
                 nondet.append(seed)
         if not rec["ok"]:
             failures.append(seed)
@@ -84,6 +101,8 @@ def main(argv=None) -> int:
                   f"heals={rec['reparents']}")
 
     n = len(seeds)
+    if cache is not None:
+        print(cache.report(), file=sys.stderr)
     print(f"\n{n - len(failures)}/{n} seeds survived "
           f"(bound {SIM_BOUND}s simulated)", file=sys.stderr)
     print("totals: " + ", ".join(f"{k}={v}" for k, v in sorted(totals.items())),
