@@ -15,7 +15,7 @@ Run with::
 
 import numpy as np
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -77,8 +77,9 @@ def main(mpi):
 
 if __name__ == "__main__":
     results = run_mpi(
-        N_RANKS, main, machine=laptop(num_nodes=2), ppn=4,
-        config=MpiConfig.sessions_prototype(),
+        SimSpec(nprocs=N_RANKS, machine=laptop(num_nodes=2), ppn=4,
+                config=MpiConfig.sessions_prototype()),
+        main,
     )
     expected = float(sum(2 * v for v in range(N_RANKS * VALUES_PER_RANK)))
     survivors = [r for r in results if r[0] == "continued"]

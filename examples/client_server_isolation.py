@@ -19,7 +19,7 @@ Run with::
     python examples/client_server_isolation.py
 """
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -116,13 +116,13 @@ def client_program(mpi, log, progress):
 
 
 def main() -> None:
-    world = make_world(
-        len(SERVERS) + len(CLIENTS),
+    world = make_world(spec=SimSpec(
+        nprocs=len(SERVERS) + len(CLIENTS),
         machine=laptop(num_nodes=2),
         ppn=3,
         config=MpiConfig.sessions_prototype(),
         psets={"svc://servers": SERVERS},
-    )
+    ))
     log = []
     progress = {c: 0 for c in CLIENTS}
     procs = {}

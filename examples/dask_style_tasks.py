@@ -14,7 +14,7 @@ Run with::
     python examples/dask_style_tasks.py
 """
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import MAX, SUM
@@ -63,11 +63,10 @@ def main(mpi):
 
 if __name__ == "__main__":
     out = run_mpi(
-        8,
+        SimSpec(nprocs=8, machine=laptop(),
+                config=MpiConfig.sessions_prototype(),
+                psets=dict(PSETS)),
         main,
-        machine=laptop(),
-        config=MpiConfig.sessions_prototype(),
-        psets={name: ranks for name, ranks in PSETS.items()},
     )
     pool_a = out[0][1]
     pool_b = out[4][1]

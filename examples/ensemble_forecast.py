@@ -15,7 +15,7 @@ Run with::
 
 import numpy as np
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -57,7 +57,9 @@ def main(mpi):
 
 if __name__ == "__main__":
     results = run_mpi(
-        8, main, machine=laptop(), config=MpiConfig.sessions_prototype()
+        SimSpec(nprocs=8, machine=laptop(),
+                config=MpiConfig.sessions_prototype()),
+        main,
     )
     ensemble = results[0]
     assert all(r == ensemble for r in results)

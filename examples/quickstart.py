@@ -9,7 +9,7 @@ it.  Run with::
     python examples/quickstart.py
 """
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
 
@@ -43,7 +43,8 @@ def main(mpi):
 
 
 if __name__ == "__main__":
-    results = run_mpi(8, main, config=MpiConfig.sessions_prototype())
+    results = run_mpi(SimSpec(nprocs=8, config=MpiConfig.sessions_prototype()),
+                      main)
     expected = sum(range(8))
     assert results == [expected] * 8, results
     print(f"all 8 ranks agreed on {expected} — quickstart OK")

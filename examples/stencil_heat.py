@@ -13,7 +13,7 @@ Run with::
 
 import numpy as np
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import PROC_NULL, SUM
@@ -95,8 +95,9 @@ def main(mpi):
 if __name__ == "__main__":
     nprocs = GRID[0] * GRID[1]
     results = run_mpi(
-        nprocs, main, machine=laptop(num_nodes=2), ppn=3,
-        config=MpiConfig.sessions_prototype(),
+        SimSpec(nprocs=nprocs, machine=laptop(num_nodes=2), ppn=3,
+                config=MpiConfig.sessions_prototype()),
+        main,
     )
     totals = {round(t, 6) for t, _ in results}
     assert len(totals) == 1, "all ranks agree on the global heat total"

@@ -4,7 +4,7 @@
 
 Quick start::
 
-    from repro.api import run_mpi
+    from repro.api import SimSpec, run_mpi
     from repro.ompi.constants import SUM
 
     def main(mpi):
@@ -16,7 +16,7 @@ Quick start::
         yield from session.finalize()
         return total
 
-    print(run_mpi(8, main))
+    print(run_mpi(SimSpec(nprocs=8), main))
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproduction index.
@@ -24,7 +24,7 @@ paper-figure reproduction index.
 
 __version__ = "1.0.0"
 
-from repro.api import make_world, run_mpi
+from repro.api import SimSpec, make_world, run_mpi
 from repro.cluster import Cluster
 
-__all__ = ["run_mpi", "make_world", "Cluster", "__version__"]
+__all__ = ["run_mpi", "make_world", "SimSpec", "Cluster", "__version__"]

@@ -1,6 +1,6 @@
 """The public entry point: launch simulated MPI programs.
 
-    from repro.api import run_mpi
+    from repro.api import SimSpec, run_mpi
 
     def main(mpi):
         world = yield from mpi.mpi_init()
@@ -8,18 +8,26 @@
         yield from mpi.mpi_finalize()
         return value
 
-    results = run_mpi(8, main)
+    results = run_mpi(SimSpec(nprocs=8), main)
 
 Each rank's ``main`` is a generator receiving its
 :class:`~repro.ompi.runtime.MpiRuntime`; blocking MPI calls are
 ``yield from``-ed.  ``run_mpi`` boots a cluster, launches the job,
 runs the simulation to quiescence, and returns per-rank results.
+
+:class:`SimSpec` is the one description of a simulated run — machine,
+layout, MPI config, recovery and engine knobs — shared by
+:func:`make_world`, :func:`run_mpi`, ``Cluster.from_spec``, the
+``repro.serve`` wire format and the ``repro.sweep`` cache keys.  The
+historical loose-kwargs spellings still work but are deprecated
+(``DeprecationWarning``); see docs/api.md.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster import Cluster
 from repro.machine.model import MachineModel
@@ -27,6 +35,87 @@ from repro.ompi.config import MpiConfig
 from repro.ompi.pml.ob1 import Fabric
 from repro.ompi.runtime import MpiRuntime
 from repro.prrte.launch import Job
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Immutable description of one simulated run.
+
+    Consolidates the parameters that used to be loose kwargs spread
+    across ``make_world``/``run_mpi``/``Cluster``.  A spec is pure
+    data: everything except ``tracer`` round-trips through
+    :meth:`to_payload`/:meth:`from_payload` (the ``repro.serve`` wire
+    format, also usable as a sweep-cache key component).
+    """
+
+    nprocs: int = 1
+    machine: Optional[MachineModel] = None      # None -> laptop preset
+    ppn: Optional[int] = None                   # procs per node; None -> packed
+    config: Optional[MpiConfig] = None          # None -> MpiConfig.baseline()
+    psets: Optional[Mapping[str, Tuple[int, ...]]] = None
+    grpcomm_mode: str = "tree"
+    grpcomm_radix: int = 2
+    tracer: Any = None                          # live object; never serialized
+    recovery: bool = False
+    recovery_seed: int = 0
+    engine_compat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("need at least one rank")
+        if self.psets is not None:
+            # Normalize to plain dict-of-tuples so equality and payloads
+            # are insensitive to the caller's container choices.
+            object.__setattr__(
+                self, "psets",
+                {name: tuple(ranks) for name, ranks in dict(self.psets).items()},
+            )
+
+    def replace(self, **overrides: Any) -> "SimSpec":
+        """A copy of this spec with the given fields overridden."""
+        return replace(self, **overrides)
+
+    # -- wire format ---------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable dict; inverse of :meth:`from_payload`.
+
+        This is the ``repro.serve`` request format and is stable under
+        canonical JSON dumping, so ``repro.sweep.cache_key`` over it is
+        a valid cache identity.  A live ``tracer`` cannot cross a
+        process boundary and is rejected.
+        """
+        if self.tracer is not None:
+            raise ValueError("SimSpec.tracer is not wire-serializable; "
+                             "attach tracers on the receiving side")
+        return {
+            "nprocs": self.nprocs,
+            "machine": asdict(self.machine) if self.machine is not None else None,
+            "ppn": self.ppn,
+            "config": asdict(self.config) if self.config is not None else None,
+            "psets": ({name: list(ranks) for name, ranks in self.psets.items()}
+                      if self.psets is not None else None),
+            "grpcomm_mode": self.grpcomm_mode,
+            "grpcomm_radix": self.grpcomm_radix,
+            "recovery": self.recovery,
+            "recovery_seed": self.recovery_seed,
+            "engine_compat": self.engine_compat,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SimSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown SimSpec payload field(s): {unknown}")
+        kw: Dict[str, Any] = dict(payload)
+        if kw.get("machine") is not None:
+            kw["machine"] = MachineModel(**kw["machine"])
+        if kw.get("config") is not None:
+            kw["config"] = MpiConfig(**kw["config"])
+        if kw.get("tracer") is not None:
+            raise ValueError("SimSpec payloads cannot carry a tracer")
+        kw.pop("tracer", None)
+        return cls(**kw)
 
 
 @dataclass
@@ -37,6 +126,7 @@ class MpiWorld:
     job: Job
     fabric: Fabric
     runtimes: List[MpiRuntime]
+    spec: Optional[SimSpec] = None      # the spec this world was built from
 
     @property
     def num_ranks(self) -> int:
@@ -62,8 +152,61 @@ class MpiWorld:
         return self.cluster.run(until=until)
 
 
+# Legacy make_world/run_mpi kwargs subsumed by SimSpec, with the
+# defaults the old signatures used.  Anything here passed explicitly
+# (i.e. differing from the default) routes through the deprecation shim.
+_LEGACY_DEFAULTS: Dict[str, Any] = {
+    "machine": None,
+    "ppn": None,
+    "config": None,
+    "psets": None,
+    "grpcomm_mode": "tree",
+    "grpcomm_radix": 2,
+    "tracer": None,
+    "recovery": False,
+    "recovery_seed": 0,
+    "engine_compat": False,
+}
+
+
+def _resolve_spec(caller: str, nprocs, spec: Optional[SimSpec],
+                  legacy: Dict[str, Any]) -> SimSpec:
+    """One SimSpec from (positional nprocs-or-spec, spec=, legacy kwargs).
+
+    The shim keeps every historical call shape working; non-default
+    legacy kwargs emit a ``DeprecationWarning`` naming the replacement.
+    """
+    if isinstance(nprocs, SimSpec):
+        if spec is not None:
+            raise TypeError(f"{caller}: spec passed twice")
+        spec, nprocs = nprocs, None
+    used = {k: v for k, v in legacy.items() if v is not _LEGACY_DEFAULTS[k]
+            and v != _LEGACY_DEFAULTS[k]}
+    if spec is not None:
+        if not isinstance(spec, SimSpec):
+            raise TypeError(f"{caller}: spec must be a SimSpec, "
+                            f"got {type(spec).__name__}")
+        if used:
+            raise TypeError(f"{caller}: pass spec=... or the legacy kwargs "
+                            f"({', '.join(sorted(used))}), not both")
+        if nprocs is not None and nprocs != spec.nprocs:
+            raise ValueError(f"{caller}: nprocs={nprocs} conflicts with "
+                             f"spec.nprocs={spec.nprocs}")
+        return spec
+    if nprocs is None:
+        raise TypeError(f"{caller}: pass nprocs or a SimSpec")
+    if used:
+        warnings.warn(
+            f"{caller}({', '.join(sorted(used))}=...) legacy kwargs are "
+            f"deprecated; build a repro.api.SimSpec and pass "
+            f"{caller}(spec) (docs/api.md)",
+            DeprecationWarning, stacklevel=3,
+        )
+    return SimSpec(nprocs=nprocs, **legacy)
+
+
 def make_world(
-    nprocs: int,
+    nprocs=None,
     machine: Optional[MachineModel] = None,
     ppn: Optional[int] = None,
     config: Optional[MpiConfig] = None,
@@ -75,34 +218,46 @@ def make_world(
     recovery: bool = False,
     recovery_seed: int = 0,
     engine_compat: bool = False,
+    *,
+    grpcomm_radix: int = 2,
+    spec: Optional[SimSpec] = None,
 ) -> MpiWorld:
     """Boot a cluster and launch (but do not run) an MPI job.
 
-    Pass an existing ``cluster`` (and optionally ``fabric``) to co-host
-    several jobs on one DVM — the PRRTE model, where one set of daemons
-    serves many ``prun`` invocations.  Co-hosted jobs share the PMIx
-    servers and the PGCID space but have distinct namespaces.
+    The first positional may be a :class:`SimSpec` (preferred) or a
+    rank count combined with legacy kwargs (deprecated shim).  Pass an
+    existing ``cluster`` (and optionally ``fabric``) to co-host several
+    jobs on one DVM — the PRRTE model, where one set of daemons serves
+    many ``prun`` invocations.  Co-hosted jobs share the PMIx servers
+    and the PGCID space but have distinct namespaces.
     ``recovery=True`` enables the fault-recovery layer (reliable RML,
     tree healing, ULFM-lite shrink — docs/recovery.md).
     """
+    spec = _resolve_spec(
+        "make_world", nprocs, spec,
+        dict(machine=machine, ppn=ppn, config=config, psets=psets,
+             grpcomm_mode=grpcomm_mode, grpcomm_radix=grpcomm_radix,
+             tracer=tracer, recovery=recovery, recovery_seed=recovery_seed,
+             engine_compat=engine_compat),
+    )
     if cluster is None:
-        cluster = Cluster(machine=machine, grpcomm_mode=grpcomm_mode, tracer=tracer,
-                          recovery=recovery, recovery_seed=recovery_seed,
-                          engine_compat=engine_compat)
-    elif machine is not None and machine is not cluster.machine:
+        cluster = Cluster.from_spec(spec)
+    elif spec.machine is not None and spec.machine is not cluster.machine:
         raise ValueError("pass machine or an existing cluster, not both")
-    job = cluster.launch(nprocs, ppn=ppn, psets=psets)
+    job = cluster.launch(spec.nprocs, ppn=spec.ppn, psets=spec.psets)
     fabric = fabric or Fabric(cluster)
-    config = config or MpiConfig.baseline()
-    runtimes = [MpiRuntime(cluster, job, fabric, r, config) for r in range(nprocs)]
+    config = spec.config or MpiConfig.baseline()
+    runtimes = [MpiRuntime(cluster, job, fabric, r, config)
+                for r in range(spec.nprocs)]
     for rt in runtimes:
         cluster.faults.register_runtime(rt)
-    return MpiWorld(cluster=cluster, job=job, fabric=fabric, runtimes=runtimes)
+    return MpiWorld(cluster=cluster, job=job, fabric=fabric,
+                    runtimes=runtimes, spec=spec)
 
 
 def run_mpi(
-    nprocs: int,
-    main: Callable,
+    nprocs=None,
+    main: Optional[Callable] = None,
     *,
     machine: Optional[MachineModel] = None,
     ppn: Optional[int] = None,
@@ -110,24 +265,36 @@ def run_mpi(
     psets: Optional[Dict[str, Sequence[int]]] = None,
     args: Sequence[Any] = (),
     grpcomm_mode: str = "tree",
+    grpcomm_radix: int = 2,
     tracer=None,
+    recovery: bool = False,
+    recovery_seed: int = 0,
+    engine_compat: bool = False,
     return_world: bool = False,
+    spec: Optional[SimSpec] = None,
 ):
-    """Run ``main`` on ``nprocs`` simulated ranks to completion.
+    """Run ``main`` on the ranks described by a :class:`SimSpec`.
+
+    ``run_mpi(SimSpec(nprocs=8), main)`` — or the deprecated
+    ``run_mpi(8, main, machine=...)`` shim.  Every spec field
+    (including ``recovery``/``recovery_seed``/``engine_compat``, which
+    the old kwargs API silently dropped) reaches :func:`make_world`:
+    the two entry points share one parameter path and cannot diverge.
 
     Returns the list of per-rank return values (or ``(results, world)``
     when ``return_world`` is set, for benchmarks that need the clock or
     counters afterwards).  Raises the first rank failure, if any.
     """
-    world = make_world(
-        nprocs,
-        machine=machine,
-        ppn=ppn,
-        config=config,
-        psets=psets,
-        grpcomm_mode=grpcomm_mode,
-        tracer=tracer,
+    if main is None:
+        raise TypeError("run_mpi: missing the per-rank main() generator")
+    spec = _resolve_spec(
+        "run_mpi", nprocs, spec,
+        dict(machine=machine, ppn=ppn, config=config, psets=psets,
+             grpcomm_mode=grpcomm_mode, grpcomm_radix=grpcomm_radix,
+             tracer=tracer, recovery=recovery, recovery_seed=recovery_seed,
+             engine_compat=engine_compat),
     )
+    world = make_world(spec=spec)
     procs = world.spawn_ranks(main, args)
     world.run()
     for p in procs:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import jupiter
 from repro.ompi.config import MpiConfig
 
@@ -71,7 +71,8 @@ def hpcc_ring_latency(
     machine = machine_factory(nodes)
     nprocs = nodes * ppn
     config = MpiConfig.sessions_prototype() if mode == "sessions" else MpiConfig.baseline()
-    world = make_world(nprocs, machine=machine, ppn=ppn, config=config)
+    world = make_world(spec=SimSpec(nprocs=nprocs, machine=machine, ppn=ppn,
+                                    config=config))
     results: List[float] = []
 
     orders: List[List[int]] = []

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import jupiter
 from repro.ompi.config import MpiConfig
 from repro.simtime.process import Sleep
@@ -72,8 +72,9 @@ def osu_init(nodes: int, ppn: int, mode: str, machine_factory=jupiter,
     the run (the ``--obs`` mode of ``tools/run_figure.py``).
     """
     machine = machine_factory(nodes)
-    world = make_world(nodes * ppn, machine=machine, ppn=ppn,
-                       config=_config_for(mode), tracer=tracer)
+    world = make_world(spec=SimSpec(nprocs=nodes * ppn, machine=machine,
+                                    ppn=ppn, config=_config_for(mode),
+                                    tracer=tracer))
     nfs = machine.nfs_load_time(nodes * ppn)
     marks: List[Tuple[float, ...]] = []
 
@@ -121,9 +122,9 @@ def osu_comm_dup(
 ) -> float:
     """Per-iteration MPI_Comm_dup + MPI_Comm_free time (seconds)."""
     machine = machine_factory(nodes)
-    world = make_world(
-        nodes * ppn, machine=machine, ppn=ppn, config=_config_for(mode, dup_policy)
-    )
+    world = make_world(spec=SimSpec(nprocs=nodes * ppn, machine=machine,
+                                    ppn=ppn,
+                                    config=_config_for(mode, dup_policy)))
     out: List[float] = []
 
     def main(mpi):
@@ -162,7 +163,8 @@ def osu_latency(
 ) -> Dict[int, float]:
     """On-node ping-pong latency by message size (seconds, one way)."""
     machine = machine or jupiter(1)
-    world = make_world(2, machine=machine, ppn=2, config=_config_for(mode))
+    world = make_world(spec=SimSpec(nprocs=2, machine=machine, ppn=2,
+                                    config=_config_for(mode)))
     out: Dict[int, float] = {}
 
     def main(mpi):
@@ -213,7 +215,8 @@ def osu_collective(
     handshakes, lazy peer discovery) as real OSU does.
     """
     machine = machine_factory(nodes)
-    world = make_world(nodes * ppn, machine=machine, ppn=ppn, config=_config_for(mode))
+    world = make_world(spec=SimSpec(nprocs=nodes * ppn, machine=machine,
+                                    ppn=ppn, config=_config_for(mode)))
     out: Dict[int, float] = {}
     if op_name == "barrier":
         sizes = (0,)
@@ -271,7 +274,8 @@ def osu_bw(
     one ACK per window.  Returns {size: bytes/s}.
     """
     machine = machine or jupiter(1)
-    world = make_world(2, machine=machine, ppn=2, config=_config_for(mode))
+    world = make_world(spec=SimSpec(nprocs=2, machine=machine, ppn=2,
+                                    config=_config_for(mode)))
     out: Dict[int, float] = {}
 
     def main(mpi):
@@ -333,7 +337,8 @@ def osu_mbw_mr(
     nprocs = 2 * pairs
     if nprocs > machine.cores_per_node:
         raise ValueError("mbw_mr must fit on one node")
-    world = make_world(nprocs, machine=machine, ppn=nprocs, config=_config_for(mode))
+    world = make_world(spec=SimSpec(nprocs=nprocs, machine=machine, ppn=nprocs,
+                                    config=_config_for(mode)))
     out: Dict[int, Tuple[float, float]] = {}
 
     def main(mpi):

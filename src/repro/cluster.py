@@ -71,6 +71,19 @@ class Cluster:
             for daemon in self.dvm.daemons:
                 daemon.grpcomm.recovery = True
 
+    @classmethod
+    def from_spec(cls, spec) -> "Cluster":
+        """Boot a cluster from a :class:`repro.api.SimSpec`.
+
+        Only the cluster-level spec fields are consumed here; job-level
+        fields (``nprocs``/``ppn``/``psets``/``config``) are applied by
+        ``make_world`` when it launches on top of this cluster.
+        """
+        return cls(machine=spec.machine, grpcomm_mode=spec.grpcomm_mode,
+                   grpcomm_radix=spec.grpcomm_radix, tracer=spec.tracer,
+                   recovery=spec.recovery, recovery_seed=spec.recovery_seed,
+                   engine_compat=spec.engine_compat)
+
     @property
     def now(self) -> float:
         return self.engine.now

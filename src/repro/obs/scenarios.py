@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.api import MpiWorld, make_world
+from repro.api import MpiWorld, SimSpec, make_world
 from repro.machine.presets import jupiter, laptop, trinity
 from repro.obs.metrics import MetricsRegistry, snapshot_cluster
 from repro.ompi.config import MpiConfig
@@ -49,14 +49,14 @@ def _execute(
     engine_compat: bool = False,
 ) -> ObsRun:
     tracer = Tracer()
-    world = make_world(
-        nodes * ppn,
+    world = make_world(spec=SimSpec(
+        nprocs=nodes * ppn,
         machine=MACHINES[machine](nodes),
         ppn=ppn,
         config=config,
         tracer=tracer,
         engine_compat=engine_compat,
-    )
+    ))
     world.cluster.metrics.enabled = True
     if plan is not None:
         world.cluster.install_faults(plan)

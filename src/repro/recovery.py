@@ -23,7 +23,7 @@ import hashlib
 import json
 from typing import Any, Dict, Optional
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.faults import FaultPlan, random_plan
 from repro.machine.presets import laptop
 from repro.ompi.constants import SUM
@@ -124,8 +124,8 @@ def soak_run(
     inspection — metric harvesting, trace export.  ``engine_compat``
     selects the pure-heap reference scheduler; the digest must come out
     identical either way (tested)."""
-    world = make_world(
-        num_ranks,
+    world = make_world(spec=SimSpec(
+        nprocs=num_ranks,
         machine=laptop(num_nodes=num_nodes),
         ppn=max(1, num_ranks // num_nodes),
         config=config,
@@ -133,7 +133,7 @@ def soak_run(
         recovery=True,
         recovery_seed=seed,
         engine_compat=engine_compat,
-    )
+    ))
     cluster = world.cluster
     plan = soak_plan(seed, num_ranks=num_ranks, num_nodes=num_nodes,
                      with_node_kill=with_node_kill, lossy=lossy)

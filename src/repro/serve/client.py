@@ -1,0 +1,174 @@
+"""Clients for the ``repro.serve`` job server.
+
+:class:`ServeClient` — synchronous, one request in flight per
+connection; the natural fit for scripts and per-thread loadgen actors.
+
+:class:`AsyncServeClient` — asyncio, multiplexed: many concurrent
+``submit()`` awaitables share one connection, matched to out-of-order
+server completions by request id.
+
+Both speak the newline-JSON protocol of :mod:`repro.serve.protocol`::
+
+    with ServeClient(host, port) as c:
+        r = c.submit("sim", {"spec": spec.to_payload(), "seed": 3})
+        assert r["status"] == "ok"
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.serve import protocol
+
+
+class ServeConnectionError(ConnectionError):
+    """The server closed the connection mid-conversation."""
+
+
+class ServeClient:
+    """Blocking client; safe for one thread (use one per thread)."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: Optional[float] = None) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # -- plumbing ------------------------------------------------------------
+    def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        msg = dict(msg, id=next(self._ids))
+        self._file.write(protocol.encode(msg))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeConnectionError("server closed the connection")
+        response = json.loads(line)
+        assert response.get("id") in (None, msg["id"]), "response id mismatch"
+        return response
+
+    # -- ops -----------------------------------------------------------------
+    def submit(self, scenario: str, params: Optional[Dict[str, Any]] = None,
+               *, deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        msg: Dict[str, Any] = {"op": "submit", "scenario": scenario,
+                               "params": params or {}}
+        if deadline_s is not None:
+            msg["deadline_s"] = deadline_s
+        return self._rpc(msg)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._rpc({"op": "stats"})
+
+    def health(self) -> Dict[str, Any]:
+        return self._rpc({"op": "health"})
+
+    def drain(self) -> Dict[str, Any]:
+        return self._rpc({"op": "drain"})
+
+    def resize(self, workers: int) -> Dict[str, Any]:
+        return self._rpc({"op": "resize", "workers": workers})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._rpc({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Multiplexing asyncio client: ``await connect()`` then fire away."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+        self = cls()
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                fut = self._pending.pop(response.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(response)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(
+                        ServeConnectionError("server closed the connection"))
+            self._pending.clear()
+
+    async def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        rid = next(self._ids)
+        msg = dict(msg, id=rid)
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        async with self._write_lock:
+            self._writer.write(protocol.encode(msg))
+            await self._writer.drain()
+        return await fut
+
+    async def submit(self, scenario: str,
+                     params: Optional[Dict[str, Any]] = None, *,
+                     deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        msg: Dict[str, Any] = {"op": "submit", "scenario": scenario,
+                               "params": params or {}}
+        if deadline_s is not None:
+            msg["deadline_s"] = deadline_s
+        return await self._rpc(msg)
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._rpc({"op": "stats"})
+
+    async def health(self) -> Dict[str, Any]:
+        return await self._rpc({"op": "health"})
+
+    async def drain(self) -> Dict[str, Any]:
+        return await self._rpc({"op": "drain"})
+
+    async def resize(self, workers: int) -> Dict[str, Any]:
+        return await self._rpc({"op": "resize", "workers": workers})
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

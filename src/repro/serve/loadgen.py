@@ -1,0 +1,248 @@
+"""Closed-loop load generator for ``repro.serve`` (BENCH_PR5.json).
+
+Drives N concurrent synchronous clients against a server — each client
+submits its next request the moment the previous one completes (closed
+loop), so offered load tracks service capacity and the latency numbers
+are honest queueing numbers, not coordinated-omission artifacts.
+
+:func:`bench_report` is the committed-benchmark entry point
+(``tools/bench.py --serve`` / ``tools/serve.py loadgen``).  It
+self-hosts an in-process server and produces the three sections of
+``BENCH_PR5.json``:
+
+``loadgen``
+    Closed-loop throughput (requests/s) and the client-observed
+    latency histogram (p50/p90/p99) over a seeded ``sim`` workload.
+``backpressure``
+    A 4x-oversubscription burst against a tiny queue: proves admission
+    control rejects the overflow while the queue depth never exceeds
+    its bound.
+``determinism``
+    The same chaos-soak seeds submitted concurrently through the
+    server and run serially through ``repro.sweep`` — the two result
+    sets must be byte-identical (canonical JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import SimSpec
+from repro.obs.metrics import Histogram
+from repro.recovery import soak_run
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerThread
+from repro.sweep import SweepPoint, run_sweep
+
+Workload = List[Tuple[str, Dict[str, Any]]]
+
+
+def sim_workload(requests: int, *, seed: int = 0, nprocs: int = 4,
+                 repeat_every: int = 4) -> Workload:
+    """A seeded ``sim`` workload: mostly unique points, with every
+    ``repeat_every``-th request repeating an earlier one (so a cache-
+    backed server shows a non-zero hit rate under load)."""
+    spec = SimSpec(nprocs=nprocs).to_payload()
+    out: Workload = []
+    for i in range(requests):
+        repeats = bool(repeat_every) and i and i % repeat_every == 0
+        out.append(("sim", {"spec": spec, "program": "allreduce",
+                            "seed": seed if repeats else seed + i}))
+    return out
+
+
+def run_loadgen(host: str, port: int, workload: Workload, *,
+                clients: int = 4,
+                deadline_s: Optional[float] = None) -> Dict[str, Any]:
+    """Drive ``workload`` through ``clients`` closed-loop clients.
+
+    Requests are dealt round-robin to the clients; each client issues
+    its share back-to-back.  Returns throughput + latency aggregates
+    and the per-status counts.
+    """
+    shares: List[Workload] = [workload[i::clients] for i in range(clients)]
+    records: List[List[Dict[str, Any]]] = [[] for _ in range(clients)]
+    errors: List[str] = []
+
+    def actor(idx: int) -> None:
+        try:
+            with ServeClient(host, port) as client:
+                for scenario, params in shares[idx]:
+                    t0 = time.monotonic()
+                    response = client.submit(scenario, params,
+                                             deadline_s=deadline_s)
+                    records[idx].append({
+                        "status": response.get("status"),
+                        "cached": bool(response.get("cached")),
+                        "latency_s": time.monotonic() - t0,
+                    })
+        except Exception as err:    # noqa: BLE001 — surfaced in the report
+            errors.append(f"client {idx}: {type(err).__name__}: {err}")
+
+    threads = [threading.Thread(target=actor, args=(i,), daemon=True)
+               for i in range(clients)]
+    t_start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = max(time.monotonic() - t_start, 1e-9)
+
+    flat = [r for recs in records for r in recs]
+    lat = Histogram()
+    by_status: Dict[str, int] = {}
+    cached = 0
+    for r in flat:
+        by_status[r["status"]] = by_status.get(r["status"], 0) + 1
+        if r["status"] == "ok":
+            lat.observe(r["latency_s"])
+            cached += r["cached"]
+    return {
+        "clients": clients,
+        "requests": len(workload),
+        "completed": len(flat),
+        "by_status": dict(sorted(by_status.items())),
+        "cached_responses": cached,
+        "wall_s": wall,
+        "throughput_rps": by_status.get("ok", 0) / wall,
+        "latency_s": lat.summary(),
+        "client_errors": errors,
+    }
+
+
+def backpressure_probe(*, capacity: int = 4, oversubscription: int = 4,
+                       hold_s: float = 0.2,
+                       mp_context: Optional[str] = None) -> Dict[str, Any]:
+    """Burst ``oversubscription * capacity`` concurrent one-shot submits
+    at a single-worker server whose queue holds ``capacity``.
+
+    The worker is pinned by a ``sleep`` scenario, so the burst lands on
+    a full queue: admission must reject the overflow and the queue
+    depth must never exceed ``capacity`` (it cannot — the queue is
+    bounded by construction — but the report carries the measured
+    maximum as proof).
+    """
+    burst = oversubscription * capacity
+    with ServerThread(workers=1, capacity=capacity,
+                      mp_context=mp_context) as srv:
+        with ServeClient(srv.host, srv.port) as warm:
+            # Pin the worker so every burst submit meets a busy server.
+            pin = threading.Thread(
+                target=lambda: warm.submit("sleep", {"seconds": hold_s}),
+                daemon=True)
+            pin.start()
+            time.sleep(hold_s / 4)     # let the pin reach the worker
+
+            statuses: List[str] = [""] * burst
+
+            def one(i: int) -> None:
+                try:
+                    with ServeClient(srv.host, srv.port) as c:
+                        r = c.submit("sleep", {"seconds": hold_s / 10,
+                                               "tag": i})
+                        statuses[i] = r.get("status", "error")
+                except Exception:   # noqa: BLE001
+                    statuses[i] = "error"
+
+            threads = [threading.Thread(target=one, args=(i,), daemon=True)
+                       for i in range(burst)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            pin.join()
+            stats = warm.stats()["stats"]
+
+    rejected = sum(1 for s in statuses if s == "rejected")
+    completed = sum(1 for s in statuses if s == "ok")
+    return {
+        "capacity": capacity,
+        "oversubscription": oversubscription,
+        "burst": burst,
+        "ok": completed,
+        "rejected": rejected,
+        "max_queue_depth": stats["max_queue_depth"],
+        "bounded": stats["max_queue_depth"] <= capacity,
+        "rejections_observed": rejected > 0,
+    }
+
+
+def determinism_check(seeds: Sequence[int], *, workers: int = 2,
+                      clients: int = 2, num_nodes: int = 2,
+                      num_ranks: int = 4,
+                      mp_context: Optional[str] = None) -> Dict[str, Any]:
+    """Serve the chaos-soak seeds concurrently; rerun them serially via
+    ``repro.sweep``; compare canonical JSON byte-for-byte."""
+    params = [{"seed": s, "num_nodes": num_nodes, "num_ranks": num_ranks}
+              for s in seeds]
+    workload: Workload = [("recovery-soak", p) for p in params]
+    with ServerThread(workers=workers, capacity=max(len(seeds), 1),
+                      mp_context=mp_context) as srv:
+        served: Dict[int, Any] = {}
+        errors: List[str] = []
+
+        def actor(idx: int) -> None:
+            try:
+                with ServeClient(srv.host, srv.port) as client:
+                    for j in range(idx, len(workload), clients):
+                        scenario, p = workload[j]
+                        r = client.submit(scenario, p)
+                        if r.get("status") != "ok":
+                            errors.append(f"seed {p['seed']}: {r}")
+                        served[j] = r.get("result")
+            except Exception as err:    # noqa: BLE001
+                errors.append(f"client {idx}: {type(err).__name__}: {err}")
+
+        threads = [threading.Thread(target=actor, args=(i,), daemon=True)
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    serial = run_sweep([SweepPoint("recovery-soak", soak_run, p)
+                        for p in params])
+    canon = lambda obj: json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    matches = [canon(served.get(i)) == canon(serial[i])
+               for i in range(len(params))]
+    return {
+        "seeds": list(seeds),
+        "num_nodes": num_nodes,
+        "num_ranks": num_ranks,
+        "clients": clients,
+        "workers": workers,
+        "digests": [rec["digest"] for rec in serial],
+        "serve_matches_serial_sweep": all(matches) and not errors,
+        "mismatched_seeds": [s for s, m in zip(seeds, matches) if not m],
+        "errors": errors,
+    }
+
+
+def bench_report(*, clients: int = 4, requests: int = 32, workers: int = 2,
+                 capacity: int = 16, nprocs: int = 4, seed: int = 0,
+                 soak_seeds: int = 3, cache_dir: Optional[str] = None,
+                 mp_context: Optional[str] = None) -> Dict[str, Any]:
+    """The full BENCH_PR5 run: loadgen + backpressure + determinism."""
+    workload = sim_workload(requests, seed=seed, nprocs=nprocs)
+    with ServerThread(workers=workers, capacity=capacity,
+                      cache_dir=cache_dir, mp_context=mp_context) as srv:
+        loadgen = run_loadgen(srv.host, srv.port, workload, clients=clients)
+        with ServeClient(srv.host, srv.port) as client:
+            server_stats = client.stats()["stats"]
+
+    return {
+        "bench": "serve-loadgen",
+        "workers": workers,
+        "capacity": capacity,
+        "scenario": "sim",
+        "nprocs": nprocs,
+        "seed": seed,
+        "loadgen": loadgen,
+        "server_stats": server_stats,
+        "backpressure": backpressure_probe(mp_context=mp_context),
+        "determinism": determinism_check(list(range(soak_seeds)),
+                                         mp_context=mp_context),
+    }

@@ -1,0 +1,113 @@
+"""Process workers for the serve layer.
+
+Each :class:`Worker` is one OS process running :func:`_worker_main`: a
+recv/compute/send loop over a duplex pipe.  Scenario exceptions travel
+back as ``("error", message)`` replies; a *death* (crash, ``os._exit``,
+kill) surfaces to the caller as :class:`WorkerDied`, which the server
+turns into a seeded-backoff retry on a fresh process.
+
+Workers are deliberately not a ``concurrent.futures`` pool: one pipe
+per worker keeps death isolated (a dying process breaks only its own
+requests, never the pool) and lets the server kill a single worker to
+enforce a mid-run deadline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, Optional, Tuple
+
+
+class WorkerDied(RuntimeError):
+    """The worker process exited (or its pipe broke) mid-request."""
+
+
+def default_mp_context() -> str:
+    """Same policy as ``repro.sweep``: warm fork where POSIX allows."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _worker_main(conn) -> None:
+    # Resolved here, in the worker process, so spawn/forkserver children
+    # see the built-in scenarios without inheriting parent state.
+    from repro.serve import registry
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:                 # orderly retirement
+            return
+        scenario, params = msg
+        try:
+            fn = registry.scenario(scenario)
+            reply = ("ok", fn(**params))
+        except BaseException as err:    # noqa: BLE001 — the wire is the boundary
+            reply = ("error", f"{type(err).__name__}: {err}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class Worker:
+    """One worker process plus its parent end of the pipe."""
+
+    def __init__(self, wid: int, mp_context: Optional[str] = None) -> None:
+        ctx = multiprocessing.get_context(mp_context or default_mp_context())
+        self.wid = wid
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child,),
+                                name=f"serve-worker-{wid}", daemon=True)
+        self.proc.start()
+        child.close()
+        self.calls = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def call(self, scenario: str, params: Dict[str, Any]) -> Tuple[str, Any]:
+        """Blocking request/reply; raises :class:`WorkerDied` on death.
+
+        Runs on an executor thread — the asyncio side awaits it via
+        ``asyncio.to_thread``.
+        """
+        try:
+            self.conn.send((scenario, params))
+            kind, payload = self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as err:
+            raise WorkerDied(
+                f"worker {self.wid} (pid {self.proc.pid}) died mid-request: "
+                f"{type(err).__name__}") from None
+        self.calls += 1
+        return kind, payload
+
+    def kill(self) -> None:
+        """Hard-stop (deadline enforcement / death cleanup)."""
+        try:
+            self.proc.kill()
+        except (OSError, ValueError):
+            pass
+        self.proc.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def retire(self) -> None:
+        """Orderly shutdown: sentinel, join, then force if needed."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=1.0)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,51 @@
+"""Wire format for ``repro.serve``: newline-delimited canonical JSON.
+
+One request object per line, one response object per line.  Responses
+carry the request's ``id`` back so a client may pipeline many requests
+over a single connection and match out-of-order completions (the async
+client does; the sync client keeps one request in flight).
+
+Requests::
+
+    {"op": "submit", "id": 7, "scenario": "sim", "params": {...},
+     "deadline_s": 2.5}
+    {"op": "stats" | "health" | "drain" | "resize" | "shutdown", "id": 8,
+     ...op-specific fields...}
+
+Responses always carry ``status``: ``ok`` | ``rejected`` | ``expired``
+| ``error``, plus op-specific payload fields (``result``, ``stats``,
+``reason``...).  See docs/serving.md for the full catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+# Submission outcome statuses (docs/serving.md).
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"     # admission control: queue full / draining
+STATUS_EXPIRED = "expired"       # deadline passed in queue or mid-run
+STATUS_ERROR = "error"           # scenario raised, worker retries exhausted,
+                                 # or the request itself was malformed
+
+OPS = ("submit", "stats", "health", "drain", "resize", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A line that is not a JSON object with a valid ``op``."""
+
+
+def encode(obj: Dict[str, Any]) -> bytes:
+    """One canonical-JSON line (sorted keys, compact separators)."""
+    return (json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except ValueError as err:
+        raise ProtocolError(f"bad JSON: {err}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    return obj

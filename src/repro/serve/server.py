@@ -1,0 +1,566 @@
+"""`repro.serve`: a long-running simulation-serving job server.
+
+Architecture (docs/serving.md)::
+
+    client --line-JSON--> asyncio server --bounded queue--> worker loops
+                                                        --> process pool
+
+Admission control is a bounded FIFO queue: a ``submit`` whose queue is
+full is *rejected immediately* (backpressure — the client decides to
+back off or shed load), so queue depth, and therefore queueing delay,
+is bounded by construction.  Each admitted request carries an optional
+deadline measured from admission; a request that overstays it — in the
+queue or mid-run — answers ``expired`` (mid-run enforcement kills the
+worker process).  Transient worker deaths are retried on a fresh
+process with seeded exponential backoff, so results stay deterministic:
+a served request returns byte-identical payloads to the same point run
+through ``repro.sweep`` serially.
+
+Results are memoized through the *same* sha256 on-disk cache the batch
+sweeps use (``repro.sweep.SweepCache`` keyed by
+``cache_key(scenario, params)``): a request the sweep CLIs already
+computed is answered without touching the pool, and vice versa.
+
+Everything observable lands in a :class:`repro.obs.metrics
+.MetricsRegistry`: queue depth, admission rejections, cache hit rate,
+latency histograms (p50/p99 via the ``stats`` op), worker deaths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.pool import Worker, WorkerDied
+from repro.serve.registry import scenario_names
+from repro.sweep import SweepCache, cache_key
+
+
+@dataclass
+class _Request:
+    seq: int
+    scenario: str
+    params: Dict[str, Any]
+    deadline_s: Optional[float]
+    enq_t: float
+    future: "asyncio.Future[Dict[str, Any]]"
+    key: Optional[str] = None           # cache key, when a cache is attached
+    attempts: int = 0                   # completed (failed) delivery attempts
+
+    def remaining(self, now: float) -> Optional[float]:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - (now - self.enq_t)
+
+
+@dataclass
+class ServeStats:
+    """Counters the ``stats`` op reports (beyond the metrics registry)."""
+
+    started: float = 0.0
+    submitted: int = 0
+    ok: int = 0
+    errors: int = 0
+    rejected: int = 0
+    expired: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    worker_spawns: int = 0
+    max_queue_depth: int = 0
+
+
+class SimServer:
+    """The serving layer: asyncio front, multiprocessing back.
+
+    ``await start()`` binds the socket and spawns the worker loops;
+    ``host``/``port`` then hold the bound address (``port=0`` requests
+    an ephemeral port).  ``workers`` is resizable at runtime via
+    :meth:`resize` (or the ``resize`` wire op).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        capacity: int = 16,
+        cache_dir: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_limit: int = 2,
+        retry_seed: int = 0,
+        retry_base: float = 0.02,
+        mp_context: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if capacity < 1:
+            raise ValueError("need a queue capacity of at least one")
+        self.capacity = capacity
+        self.host = host
+        self.port = port
+        self.retry_limit = retry_limit
+        self.retry_seed = retry_seed
+        self.retry_base = retry_base
+        self.mp_context = mp_context
+        self.metrics = metrics or MetricsRegistry(enabled=True)
+        self.cache = SweepCache(cache_dir) if cache_dir else None
+        self.stats = ServeStats()
+        self._target_workers = workers
+        self._queue: "asyncio.Queue[_Request]" = asyncio.Queue(maxsize=capacity)
+        self._seq = itertools.count()
+        self._loops: Dict[int, asyncio.Task] = {}
+        self._workers: Dict[int, Worker] = {}
+        self._busy: Dict[int, bool] = {}
+        self._retiring: set = set()
+        self._next_wid = itertools.count()
+        self._inflight = 0
+        self._draining = False
+        self._stopping = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.stopped = asyncio.Event()      # set once stop() completes
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "SimServer":
+        loop = asyncio.get_running_loop()
+        self.stats.started = loop.time()
+        for _ in range(self._target_workers):
+            self._add_loop()
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.host, port=self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def stop(self) -> None:
+        """Hard stop: cancel loops, kill workers, close the socket."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loops = list(self._loops.values())
+        for task in loops:
+            task.cancel()
+        await asyncio.gather(*loops, return_exceptions=True)
+        self._loops.clear()
+        for worker in list(self._workers.values()):
+            worker.kill()
+        self._workers.clear()
+        while not self._queue.empty():       # orphaned admissions, if any
+            req = self._queue.get_nowait()
+            self._resolve(req, {"status": protocol.STATUS_ERROR,
+                                "error": "server stopped"})
+        self.stopped.set()
+
+    async def drain(self) -> None:
+        """Stop admitting; wait until the queue and the pool are empty."""
+        self._draining = True
+        while self._queue.qsize() or self._inflight:
+            await asyncio.sleep(0.01)
+
+    def resize(self, workers: int) -> int:
+        """Grow or shrink the worker pool; returns the new target size."""
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        current = [wid for wid in sorted(self._loops) if wid not in self._retiring]
+        if workers > len(current):
+            for _ in range(workers - len(current)):
+                self._add_loop()
+        else:
+            for wid in current[workers:]:
+                self._retiring.add(wid)
+                if not self._busy.get(wid):
+                    self._loops[wid].cancel()
+        self._target_workers = workers
+        return workers
+
+    # -- worker pool ---------------------------------------------------------
+    def _add_loop(self) -> None:
+        wid = next(self._next_wid)
+        self._busy[wid] = False
+        self._loops[wid] = asyncio.get_running_loop().create_task(
+            self._worker_loop(wid), name=f"serve-loop-{wid}")
+
+    def _ensure_worker(self, wid: int) -> Worker:
+        worker = self._workers.get(wid)
+        if worker is None or not worker.alive:
+            worker = Worker(wid, self.mp_context)
+            self._workers[wid] = worker
+            self.stats.worker_spawns += 1
+            self.metrics.inc("serve.worker.spawns")
+        return worker
+
+    def _kill_worker(self, wid: int) -> None:
+        worker = self._workers.pop(wid, None)
+        if worker is not None:
+            worker.kill()
+
+    async def _worker_loop(self, wid: int) -> None:
+        try:
+            while True:
+                req = await self._queue.get()
+                self._set_depth()
+                self._busy[wid] = True
+                self._inflight += 1
+                try:
+                    await self._run_request(req, wid)
+                finally:
+                    self._inflight -= 1
+                    self._busy[wid] = False
+                if wid in self._retiring:
+                    break
+        except asyncio.CancelledError:
+            if not self._stopping and wid not in self._retiring:
+                raise
+        finally:
+            self._busy.pop(wid, None)
+            self._retiring.discard(wid)
+            self._loops.pop(wid, None)
+            worker = self._workers.pop(wid, None)
+            if worker is not None:
+                worker.retire()
+
+    async def _run_request(self, req: _Request, wid: int) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics.observe("serve.queue.wait", loop.time() - req.enq_t)
+        while True:
+            remaining = req.remaining(loop.time())
+            if remaining is not None and remaining <= 0:
+                self._expire(req, "deadline passed while queued"
+                             if req.attempts == 0
+                             else "deadline passed during retry")
+                return
+            worker = self._ensure_worker(wid)
+            run_t0 = loop.time()
+            task = asyncio.ensure_future(
+                asyncio.to_thread(worker.call, req.scenario, req.params))
+            if remaining is not None:
+                done, _pending = await asyncio.wait({task}, timeout=remaining)
+                if not done:
+                    # Mid-run deadline: the only way to stop a compute-
+                    # bound scenario is to kill its process; the killed
+                    # pipe unblocks the executor thread with WorkerDied.
+                    self._kill_worker(wid)
+                    try:
+                        await task
+                    except WorkerDied:
+                        pass
+                    self._expire(req, "deadline passed mid-run")
+                    return
+            try:
+                kind, payload = await task
+            except WorkerDied:
+                self._kill_worker(wid)
+                self.stats.worker_deaths += 1
+                self.metrics.inc("serve.worker.deaths")
+                req.attempts += 1
+                if req.attempts > self.retry_limit:
+                    self._resolve(req, {
+                        "status": protocol.STATUS_ERROR,
+                        "error": f"worker died {req.attempts} time(s); "
+                                 f"retry budget ({self.retry_limit}) exhausted",
+                        "attempts": req.attempts,
+                    })
+                    return
+                self.stats.retries += 1
+                self.metrics.inc("serve.retries")
+                await asyncio.sleep(self._backoff(req))
+                continue
+            self.metrics.observe("serve.run", loop.time() - run_t0)
+            if kind == "ok":
+                if self.cache is not None and req.key is not None:
+                    self.cache.put(req.key, payload)
+                self._resolve(req, {"status": protocol.STATUS_OK,
+                                    "result": payload, "cached": False,
+                                    "attempts": req.attempts + 1})
+            else:
+                self._resolve(req, {"status": protocol.STATUS_ERROR,
+                                    "error": payload,
+                                    "attempts": req.attempts + 1})
+            return
+
+    def _backoff(self, req: _Request) -> float:
+        """Seeded exponential backoff with deterministic jitter."""
+        rng = random.Random(f"{self.retry_seed}:{req.seq}:{req.attempts}")
+        return self.retry_base * (2 ** (req.attempts - 1)) * (0.5 + 0.5 * rng.random())
+
+    def _expire(self, req: _Request, why: str) -> None:
+        self._resolve(req, {"status": protocol.STATUS_EXPIRED, "reason": why,
+                            "attempts": req.attempts})
+
+    def _resolve(self, req: _Request, response: Dict[str, Any]) -> None:
+        if not req.future.done():
+            req.future.set_result(response)
+
+    def _set_depth(self) -> None:
+        depth = self._queue.qsize()
+        self.metrics.set("serve.queue.depth", depth)
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+
+    # -- the wire ------------------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(self._serve_line(line, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            # close() without wait_closed(): awaiting here leaves the
+            # handler task pending across loop teardown, which asyncio's
+            # streams machinery reports as a spurious CancelledError.
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          lock: asyncio.Lock) -> None:
+        try:
+            msg = protocol.decode(line)
+        except protocol.ProtocolError as err:
+            await self._send(writer, lock, {"status": protocol.STATUS_ERROR,
+                                            "error": str(err)})
+            return
+        response = await self._dispatch(msg)
+        if "id" in msg:
+            response["id"] = msg["id"]
+        await self._send(writer, lock, response)
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                    obj: Dict[str, Any]) -> None:
+        try:
+            data = protocol.encode(obj)
+        except (TypeError, ValueError) as err:
+            data = protocol.encode({"status": protocol.STATUS_ERROR,
+                                    "id": obj.get("id"),
+                                    "error": f"unserializable result: {err}"})
+        async with lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass            # client went away; the work still completed
+
+    async def _dispatch(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        op = msg.get("op")
+        if op == "submit":
+            return await self._op_submit(msg)
+        if op == "stats":
+            return {"status": protocol.STATUS_OK, "stats": self.snapshot()}
+        if op == "health":
+            return self._op_health()
+        if op == "drain":
+            await self.drain()
+            return {"status": protocol.STATUS_OK, "drained": True,
+                    "stats": self.snapshot()}
+        if op == "resize":
+            try:
+                workers = int(msg["workers"])
+                return {"status": protocol.STATUS_OK,
+                        "workers": self.resize(workers)}
+            except (KeyError, TypeError, ValueError) as err:
+                return {"status": protocol.STATUS_ERROR,
+                        "error": f"bad resize request: {err}"}
+        if op == "shutdown":
+            asyncio.get_running_loop().call_soon(
+                lambda: asyncio.ensure_future(self.stop()))
+            return {"status": protocol.STATUS_OK, "stopping": True}
+        return {"status": protocol.STATUS_ERROR,
+                "error": f"unknown op {op!r}; have: {', '.join(protocol.OPS)}"}
+
+    async def _op_submit(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        scenario = msg.get("scenario")
+        params = msg.get("params") or {}
+        deadline_s = msg.get("deadline_s")
+        self.stats.submitted += 1
+        self.metrics.inc("serve.requests.submitted")
+        if scenario not in scenario_names():
+            self.stats.errors += 1
+            self.metrics.inc("serve.requests", status="error")
+            return {"status": protocol.STATUS_ERROR,
+                    "error": f"unknown scenario {scenario!r}; "
+                             f"have: {', '.join(scenario_names())}"}
+        if not isinstance(params, dict):
+            self.stats.errors += 1
+            self.metrics.inc("serve.requests", status="error")
+            return {"status": protocol.STATUS_ERROR,
+                    "error": "params must be a JSON object"}
+
+        key = None
+        if self.cache is not None:
+            try:
+                key = cache_key(scenario, params)
+            except (TypeError, ValueError) as err:
+                self.stats.errors += 1
+                self.metrics.inc("serve.requests", status="error")
+                return {"status": protocol.STATUS_ERROR,
+                        "error": f"params not cacheable: {err}"}
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                self.stats.ok += 1
+                self.metrics.inc("serve.cache", result="hit")
+                self.metrics.inc("serve.requests", status="ok")
+                latency = loop.time() - t0
+                self.metrics.observe("serve.latency", latency)
+                return {"status": protocol.STATUS_OK, "result": hit,
+                        "cached": True, "latency_s": latency}
+            self.stats.cache_misses += 1
+            self.metrics.inc("serve.cache", result="miss")
+
+        reason = None
+        if self._draining or self._stopping:
+            reason = "draining"
+        else:
+            req = _Request(seq=next(self._seq), scenario=scenario,
+                           params=params, deadline_s=deadline_s,
+                           enq_t=t0, future=loop.create_future(), key=key)
+            try:
+                self._queue.put_nowait(req)
+            except asyncio.QueueFull:
+                reason = "queue full"
+        if reason is not None:
+            self.stats.rejected += 1
+            self.metrics.inc("serve.requests", status="rejected")
+            return {"status": protocol.STATUS_REJECTED, "reason": reason,
+                    "capacity": self.capacity}
+        self._set_depth()
+
+        response = dict(await req.future)
+        latency = loop.time() - t0
+        response["latency_s"] = latency
+        status = response.get("status")
+        if status == protocol.STATUS_OK:
+            self.stats.ok += 1
+            self.metrics.observe("serve.latency", latency)
+        elif status == protocol.STATUS_EXPIRED:
+            self.stats.expired += 1
+        else:
+            self.stats.errors += 1
+        self.metrics.inc("serve.requests", status=status)
+        return response
+
+    def _op_health(self) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        alive = sum(1 for w in self._workers.values() if w.alive)
+        return {
+            "status": protocol.STATUS_OK,
+            "workers": self._target_workers,
+            "workers_alive": alive,
+            "queue_depth": self._queue.qsize(),
+            "capacity": self.capacity,
+            "draining": self._draining,
+            "uptime_s": loop.time() - self.stats.started,
+            "scenarios": scenario_names(),
+        }
+
+    # -- reporting -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable stats: counters + latency percentiles."""
+        loop = asyncio.get_running_loop()
+        uptime = max(loop.time() - self.stats.started, 1e-9)
+        lat = self.metrics.merged_histogram("serve.latency").summary()
+        wait = self.metrics.merged_histogram("serve.queue.wait").summary()
+        run = self.metrics.merged_histogram("serve.run").summary()
+        s = self.stats
+        return {
+            "uptime_s": uptime,
+            "workers": self._target_workers,
+            "capacity": self.capacity,
+            "queue_depth": self._queue.qsize(),
+            "max_queue_depth": s.max_queue_depth,
+            "submitted": s.submitted,
+            "ok": s.ok,
+            "errors": s.errors,
+            "rejected": s.rejected,
+            "expired": s.expired,
+            "retries": s.retries,
+            "worker_deaths": s.worker_deaths,
+            "worker_spawns": s.worker_spawns,
+            "cache": {"hits": s.cache_hits, "misses": s.cache_misses,
+                      "hit_rate": (s.cache_hits / (s.cache_hits + s.cache_misses)
+                                   if (s.cache_hits + s.cache_misses) else 0.0)},
+            "throughput_rps": s.ok / uptime,
+            "latency_s": lat,
+            "queue_wait_s": wait,
+            "run_s": run,
+        }
+
+
+class ServerThread:
+    """Run a :class:`SimServer` on a private event loop in a thread.
+
+    For synchronous hosts — the CLI's self-hosted loadgen, tests, the
+    sync client's examples::
+
+        with ServerThread(workers=2) as srv:
+            client = ServeClient(srv.host, srv.port)
+    """
+
+    def __init__(self, **server_kwargs: Any) -> None:
+        self._kwargs = server_kwargs
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.server: Optional[SimServer] = None
+
+    def __enter__(self) -> "ServerThread":
+        started = threading.Event()
+
+        def _run() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            self.server = self._loop.run_until_complete(
+                SimServer(**self._kwargs).start())
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=_run, name="serve-server",
+                                        daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=30.0):
+            raise RuntimeError("serve server failed to start within 30s")
+        return self
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def call(self, coro_fn, *args: Any, timeout: float = 60.0) -> Any:
+        """Run ``coro_fn(server, *args)`` on the server's loop."""
+        fut = asyncio.run_coroutine_threadsafe(
+            coro_fn(self.server, *args), self._loop)
+        return fut.result(timeout=timeout)
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop).result(timeout=30.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()

@@ -1,0 +1,272 @@
+"""The serving layer (repro.serve): admission, backpressure, deadlines,
+retry, caching, and the determinism contract against serial sweeps.
+
+Scales are deliberately tiny (single-digit workers/requests) — the CI
+box may have one core, and the ``sleep``/``flaky`` scenarios exercise
+the concurrency machinery without burning CPU.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.api import SimSpec
+from repro.ompi.config import MpiConfig
+from repro.serve import (
+    AsyncServeClient,
+    ServeClient,
+    ServerThread,
+    SimServer,
+    protocol,
+    run_simspec,
+    scenario,
+    scenario_names,
+)
+from repro.serve.loadgen import (
+    backpressure_probe,
+    determinism_check,
+    run_loadgen,
+    sim_workload,
+)
+
+pytestmark = pytest.mark.serve
+
+
+# ---------------------------------------------------------------------------
+# protocol + registry
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        msg = {"op": "submit", "scenario": "sim", "params": {"seed": 1}}
+        assert protocol.decode(protocol.encode(msg)) == msg
+
+    def test_encode_is_canonical_one_line(self):
+        data = protocol.encode({"b": 1, "a": 2})
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        assert data.index(b'"a"') < data.index(b'"b"')
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"{not json}\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b'"a bare string"\n')
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("sim", "recovery-soak", "figure", "sleep", "flaky"):
+            assert name in scenario_names()
+            assert callable(scenario(name))
+
+    def test_unknown_scenario_suggests(self):
+        with pytest.raises(KeyError, match="sim"):
+            scenario("simm")
+
+    def test_run_simspec_is_deterministic(self):
+        spec = SimSpec(nprocs=4)
+        a = run_simspec(spec, program="allreduce", seed=3)
+        b = run_simspec(spec.to_payload(), program="allreduce", seed=3)
+        assert a == b
+        assert len(a["digest"]) == 64
+        # A different seed is a different result.
+        assert run_simspec(spec, seed=4)["digest"] != a["digest"]
+
+    def test_run_simspec_sessions_program(self):
+        # comm_create_from_group needs the exCID generator (sessions config).
+        spec = SimSpec(nprocs=2, config=MpiConfig.sessions_prototype())
+        out = run_simspec(spec, program="sessions", seed=1)
+        assert out["results"] == [3, 3]     # (0+1) + (1+1) on both ranks
+
+    def test_run_simspec_unknown_program(self):
+        with pytest.raises(KeyError, match="unknown program"):
+            run_simspec(SimSpec(nprocs=2), program="nope")
+
+
+# ---------------------------------------------------------------------------
+# tier-1 smoke: in-process server, 8 requests, well under 10 s
+# ---------------------------------------------------------------------------
+def test_serve_smoke(tmp_path):
+    t0 = time.monotonic()
+    workload = sim_workload(8, seed=0, nprocs=2)
+    with ServerThread(workers=2, capacity=8,
+                      cache_dir=str(tmp_path)) as srv:
+        report = run_loadgen(srv.host, srv.port, workload, clients=2)
+        with ServeClient(srv.host, srv.port) as client:
+            health = client.health()
+            stats = client.stats()["stats"]
+    assert report["by_status"] == {"ok": 8}
+    assert report["client_errors"] == []
+    assert report["throughput_rps"] > 0
+    assert health["status"] == "ok" and health["workers"] == 2
+    assert stats["ok"] >= 8 and stats["errors"] == 0
+    # sim_workload repeats every 4th request -> the cache must have hit.
+    assert stats["cache"]["hits"] >= 1
+    assert 0 < stats["cache"]["hit_rate"] < 1
+    assert time.monotonic() - t0 < 10.0
+
+
+# ---------------------------------------------------------------------------
+# admission order, backpressure, deadlines
+# ---------------------------------------------------------------------------
+def test_fifo_admission_single_worker():
+    """One worker, multiplexed submits: completions follow admission order."""
+    async def drive():
+        server = await SimServer(workers=1, capacity=8).start()
+        try:
+            client = await AsyncServeClient.connect(server.host, server.port)
+            try:
+                subs = [asyncio.ensure_future(
+                            client.submit("sleep", {"seconds": 0.01, "tag": i}))
+                        for i in range(5)]
+                order = []
+                for fut in asyncio.as_completed(subs):
+                    response = await fut
+                    assert response["status"] == "ok"
+                    order.append(response["result"]["tag"])
+                return order
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    assert asyncio.run(drive()) == [0, 1, 2, 3, 4]
+
+
+def test_backpressure_rejects_at_full_queue():
+    probe = backpressure_probe(capacity=2, oversubscription=4, hold_s=0.2)
+    assert probe["burst"] == 8
+    assert probe["rejections_observed"], probe
+    assert probe["bounded"], probe
+    assert probe["max_queue_depth"] <= 2
+    # Everything admitted eventually completed; nothing was lost.
+    assert probe["ok"] + probe["rejected"] == probe["burst"]
+
+
+def test_deadline_expires_queued_request():
+    async def drive():
+        server = await SimServer(workers=1, capacity=8).start()
+        try:
+            client = await AsyncServeClient.connect(server.host, server.port)
+            try:
+                blocker = asyncio.ensure_future(
+                    client.submit("sleep", {"seconds": 0.3}))
+                await asyncio.sleep(0.05)       # blocker reaches the worker
+                doomed = await client.submit("sleep", {"seconds": 0.01},
+                                             deadline_s=0.05)
+                ok_after = await client.submit("sleep", {"seconds": 0.01})
+                return await blocker, doomed, ok_after, server.stats.expired
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    blocker, doomed, ok_after, expired = asyncio.run(drive())
+    assert blocker["status"] == "ok"
+    assert doomed["status"] == "expired"
+    assert "queued" in doomed["reason"]
+    assert ok_after["status"] == "ok"       # server healthy after expiry
+    assert expired == 1
+
+
+def test_deadline_expires_mid_run():
+    with ServerThread(workers=1, capacity=4) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            doomed = client.submit("sleep", {"seconds": 5.0}, deadline_s=0.1)
+            ok_after = client.submit("sleep", {"seconds": 0.01})
+            stats = client.stats()["stats"]
+    assert doomed["status"] == "expired"
+    assert "mid-run" in doomed["reason"]
+    assert ok_after["status"] == "ok"       # a fresh worker took over
+    assert stats["worker_spawns"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# worker death + retry
+# ---------------------------------------------------------------------------
+def test_worker_death_is_retried(tmp_path):
+    with ServerThread(workers=1, capacity=4, retry_limit=2) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            response = client.submit("flaky", {
+                "state_dir": str(tmp_path), "key": "once",
+                "crashes": 1, "value": 99})
+            stats = client.stats()["stats"]
+    assert response["status"] == "ok"
+    assert response["result"] == {"attempts": 2, "value": 99}
+    assert response["attempts"] == 2        # one death, one successful retry
+    assert stats["worker_deaths"] == 1
+    assert stats["retries"] == 1
+
+
+def test_retry_budget_exhausts(tmp_path):
+    with ServerThread(workers=1, capacity=4, retry_limit=1) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            response = client.submit("flaky", {
+                "state_dir": str(tmp_path), "key": "always", "crashes": 99})
+            ok_after = client.submit("sleep", {"seconds": 0.01})
+    assert response["status"] == "error"
+    assert "retry budget" in response["error"]
+    assert ok_after["status"] == "ok"       # pool recovered regardless
+
+
+# ---------------------------------------------------------------------------
+# caching + determinism
+# ---------------------------------------------------------------------------
+def test_cache_serves_repeats_without_recompute(tmp_path):
+    params = {"spec": SimSpec(nprocs=2).to_payload(), "seed": 5}
+    with ServerThread(workers=1, capacity=4,
+                      cache_dir=str(tmp_path)) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            first = client.submit("sim", params)
+            second = client.submit("sim", params)
+            stats = client.stats()["stats"]
+    assert first["status"] == second["status"] == "ok"
+    assert first["cached"] is False and second["cached"] is True
+    assert first["result"] == second["result"]
+    assert stats["cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+def test_concurrent_serve_matches_serial_sweep():
+    """The acceptance contract: same seeds through the concurrent server
+    and through a serial ``repro.sweep`` run -> byte-identical results."""
+    det = determinism_check([0, 1], workers=2, clients=2,
+                            num_nodes=2, num_ranks=4)
+    assert det["serve_matches_serial_sweep"], det
+    assert det["mismatched_seeds"] == [] and det["errors"] == []
+    assert len(det["digests"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# ops: resize, drain, errors on the wire
+# ---------------------------------------------------------------------------
+def test_resize_and_health():
+    with ServerThread(workers=1, capacity=4) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            assert client.resize(3) == {"status": "ok", "workers": 3,
+                                        "id": 1}
+            health = client.health()
+            assert health["workers"] == 3
+            assert client.submit("sleep", {"seconds": 0.01})["status"] == "ok"
+
+
+def test_drain_then_reject():
+    with ServerThread(workers=1, capacity=4) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            assert client.submit("sleep", {"seconds": 0.01})["status"] == "ok"
+            assert client.drain()["drained"] is True
+            after = client.submit("sleep", {"seconds": 0.01})
+    assert after["status"] == "rejected"
+    assert after["reason"] == "draining"
+
+
+def test_wire_errors():
+    with ServerThread(workers=1, capacity=4) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            unknown = client.submit("no-such-scenario")
+            assert unknown["status"] == "error"
+            assert "unknown scenario" in unknown["error"]
+            bad_op = client._rpc({"op": "frobnicate"})
+            assert bad_op["status"] == "error"
+            assert "unknown op" in bad_op["error"]

@@ -94,6 +94,60 @@ class TestBench:
         assert rec["fast_eps"] > 0 and rec["compat_eps"] > 0
 
 
+@pytest.mark.serve
+class TestServeCLI:
+    def run(self, *args, timeout=600):
+        return subprocess.run(
+            [sys.executable, "tools/serve.py", *args],
+            capture_output=True, text=True, timeout=timeout, cwd=".",
+        )
+
+    def test_loadgen_writes_bench_report(self, tmp_path):
+        out = tmp_path / "BENCH_SERVE.json"
+        proc = self.run("loadgen", "--clients", "2", "--requests", "8",
+                        "--jobs", "2", "--nprocs", "2", "--seed", "0",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert "req/s" in proc.stdout and "backpressure" in proc.stdout
+        report = json.loads(out.read_text())
+        assert report["bench"] == "serve-loadgen"
+        lg = report["loadgen"]
+        assert lg["by_status"] == {"ok": 8}
+        assert lg["throughput_rps"] > 0
+        assert {"p50", "p99"} <= set(lg["latency_s"])
+        assert report["backpressure"]["bounded"]
+        assert report["backpressure"]["rejections_observed"]
+        assert report["determinism"]["serve_matches_serial_sweep"]
+
+    def test_start_submit_shutdown_round_trip(self):
+        server = subprocess.Popen(
+            [sys.executable, "tools/serve.py", "start", "--port", "0",
+             "--jobs", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, cwd=".",
+        )
+        try:
+            banner = server.stderr.readline()       # "serving on host:port ..."
+            assert "serving on" in banner, banner
+            port = banner.split()[2].rsplit(":", 1)[1]
+            submit = self.run("submit", "sleep", "--param", "seconds=0.01",
+                              "--port", port, "--json")
+            assert submit.returncode == 0, submit.stderr
+            assert json.loads(submit.stdout)["status"] == "ok"
+            down = self.run("shutdown", "--port", port)
+            assert down.returncode == 0
+            assert server.wait(timeout=30) == 0     # start exits after the op
+        finally:
+            if server.poll() is None:
+                server.kill()
+            server.wait()
+
+    def test_submit_unreachable_server_fails_cleanly(self):
+        proc = self.run("submit", "sleep", "--port", "1")    # nothing there
+        assert proc.returncode == 1
+        assert "cannot reach server" in proc.stderr
+
+
 class TestExperimentsReport:
     def test_catalog_covers_every_paper_figure(self):
         """The generator must regenerate every table and figure."""

@@ -7,6 +7,7 @@ Usage::
     python tools/bench.py --quick             # small scales, smoke-sized
     python tools/bench.py --cases fence-storm comm-dup --repeats 5
     python tools/bench.py --jobs 4            # one worker process per case
+    python tools/bench.py --serve             # serve loadgen -> BENCH_PR5.json
 
 Each case runs twice — once on the default fast-path scheduler, once on
 ``Engine(compat=True)`` — and reports events/second plus the speedup.
@@ -16,6 +17,11 @@ when they miss it.  See docs/performance.md for how to read the output.
 ``--jobs`` fans cases across worker processes via ``repro.sweep``; use
 it for a fast sanity pass, not for publishable numbers — concurrent
 cases contend for cores and perturb each other's wall times.
+
+``--serve`` benchmarks the ``repro.serve`` layer instead: a closed-loop
+load generator against an in-process server, emitting throughput,
+latency percentiles, the backpressure proof and the serve-vs-sweep
+determinism check (docs/serving.md).
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import argparse
 import json
 import sys
 
+from repro import cli
 from repro.bench.harness import format_table
 from repro.bench.perf import CASES, run_case_point
 from repro.sweep import SweepPoint, run_sweep
@@ -31,8 +38,9 @@ from repro.sweep import SweepPoint, run_sweep
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_PR4.json", metavar="FILE",
-                    help="where to write the JSON report (default: %(default)s)")
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="where to write the JSON report (default: "
+                         "BENCH_PR4.json, or BENCH_PR5.json with --serve)")
     ap.add_argument("--quick", action="store_true",
                     help="small scales (CI smoke), still both engines")
     ap.add_argument("--repeats", type=int, default=3,
@@ -40,10 +48,19 @@ def main(argv=None) -> int:
     ap.add_argument("--cases", nargs="+", metavar="NAME",
                     choices=[c.name for c in CASES],
                     help="subset of cases (default: all)")
-    ap.add_argument("--jobs", type=int, default=1, metavar="N",
-                    help="worker processes (timings contend; keep 1 for "
-                         "publishable numbers)")
+    cli.add_jobs(ap, help="worker processes (timings contend; keep 1 for "
+                          "publishable numbers; with --serve: server pool "
+                          "size, default 2)")
+    ap.add_argument("--serve", action="store_true",
+                    help="benchmark the repro.serve layer (loadgen) instead "
+                         "of the engine cases")
+    cli.add_seed(ap, help="workload seed for --serve (default: %(default)s)")
     args = ap.parse_args(argv)
+
+    if args.serve:
+        return serve_bench(args)
+    if args.out is None:
+        args.out = "BENCH_PR4.json"
 
     selected = [c for c in CASES if args.cases is None or c.name in args.cases]
     points = [
@@ -89,16 +106,46 @@ def main(argv=None) -> int:
         rows,
     ))
 
-    try:
-        with open(args.out, "w") as fh:
-            json.dump(report, fh, sort_keys=True, indent=2)
-            fh.write("\n")
-    except OSError as err:
-        print(f"cannot write {args.out}: {err}", file=sys.stderr)
-        return 1
-    print(f"wrote {args.out}")
+    rc = cli.write_json(args.out, report)
+    if rc:
+        return rc
     if failed:
         print(f"FAILED speedup bars: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def serve_bench(args) -> int:
+    """--serve: the closed-loop serve-layer benchmark (BENCH_PR5.json)."""
+    from repro.serve.loadgen import bench_report
+
+    out = args.out or "BENCH_PR5.json"
+    workers = args.jobs if args.jobs > 1 else 2
+    requests = 12 if args.quick else 32
+    report = bench_report(clients=4, requests=requests, workers=workers,
+                          seed=args.seed,
+                          soak_seeds=2 if args.quick else 3)
+    lg, bp, det = (report["loadgen"], report["backpressure"],
+                   report["determinism"])
+    lat = lg["latency_s"]
+    print(format_table(
+        ["metric", "value"],
+        [["throughput", f"{lg['throughput_rps']:.1f} req/s"],
+         ["latency p50", f"{lat.get('p50', 0) * 1e3:.1f} ms"],
+         ["latency p99", f"{lat.get('p99', 0) * 1e3:.1f} ms"],
+         ["requests ok", f"{lg['by_status'].get('ok', 0)}/{lg['completed']}"],
+         ["backpressure", f"{bp['rejected']}/{bp['burst']} rejected, "
+                          f"max depth {bp['max_queue_depth']}/{bp['capacity']}"],
+         ["determinism", "byte-identical" if det["serve_matches_serial_sweep"]
+                         else "MISMATCH"]],
+    ))
+    rc = cli.write_json(out, report)
+    if rc:
+        return rc
+    if not (det["serve_matches_serial_sweep"] and bp["bounded"]
+            and bp["rejections_observed"]):
+        print("FAILED serve acceptance: determinism/backpressure",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -7,11 +7,14 @@ Usage::
     python tools/obs_report.py --scenario fig3-init
     python tools/obs_report.py --scenario fig3-init --export /tmp/trace.json
     python tools/obs_report.py --scenario fence-chain --nodes 4 --ppn 1
+    python tools/obs_report.py --scenario fig3-init --json report.json
 
 The report has four sections: end-to-end timing, the span flamegraph,
 the metrics table, and the critical path through the span/causality DAG.
 ``--export`` additionally writes a Chrome ``trace_event`` JSON loadable
-in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``;
+``--json`` writes a machine-readable summary (timing, span/flow counts,
+metric rows, critical-path stages).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import cli  # noqa: E402
 from repro.obs import (  # noqa: E402
     chrome_trace,
     compute_critical_path,
@@ -43,6 +47,8 @@ def main(argv=None) -> int:
                         choices=sorted(MACHINES))
     parser.add_argument("--export", metavar="FILE",
                         help="write Chrome trace_event JSON")
+    cli.add_json_path(parser, help="write a machine-readable run summary "
+                                   "(timing, counts, metrics, critical path)")
     args = parser.parse_args(argv)
 
     if args.list or not args.scenario:
@@ -74,6 +80,24 @@ def main(argv=None) -> int:
 
     print("\n-- critical path --")
     print(compute_critical_path(run.tracer).render())
+
+    if args.json:
+        path = compute_critical_path(run.tracer)
+        summary = {
+            "scenario": run.name,
+            "nodes": args.nodes,
+            "ppn": args.ppn,
+            "machine": args.machine,
+            "t_end": run.t_end,
+            "spans": len(run.tracer.spans),
+            "flows": len(run.tracer.flows),
+            "events": len(run.tracer.records),
+            "metrics": [list(row) for row in run.metrics.rows()],
+            "critical_path": {stage: dur for stage, dur in path.by_stage().items()},
+        }
+        rc = cli.write_json(args.json, summary)
+        if rc:
+            return rc
 
     if args.export:
         obj = chrome_trace(run.tracer)

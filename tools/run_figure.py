@@ -22,9 +22,10 @@ import inspect
 import sys
 import time
 
+from repro import cli
 from repro.bench import figures
 from repro.bench.harness import BenchResult
-from repro.sweep import SweepCache, SweepPoint, run_sweep
+from repro.sweep import SweepPoint, run_sweep
 
 
 def _unknown_msg(name: str, catalog) -> str:
@@ -59,15 +60,11 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
     parser.add_argument("--presync", action="store_true", help="fig5c: pair pre-sync")
     parser.add_argument("--csv", metavar="FILE", help="also write the series as CSV")
-    parser.add_argument("--obs", action="store_true",
-                        help="instrument runs: attach critical-path breakdowns "
-                             "(figures that support it)")
-    parser.add_argument("--json", metavar="FILE",
-                        help="write the result (series + obs data) as JSON")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="run figures across N worker processes")
-    parser.add_argument("--cache-dir", metavar="DIR",
-                        help="on-disk result cache (see docs/performance.md)")
+    cli.add_obs(parser, help="instrument runs: attach critical-path "
+                             "breakdowns (figures that support it)")
+    cli.add_json_path(parser, help="write the result (series + obs data) as JSON")
+    cli.add_jobs(parser, help="run figures across N worker processes")
+    cli.add_cache_dir(parser)
     args = parser.parse_args(argv)
 
     # Validate the figure names even when --list is passed: listing must
@@ -104,7 +101,7 @@ def main(argv=None) -> int:
                    {"figure": name, **_figure_kwargs(catalog[name], args)})
         for name in args.figure
     ]
-    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+    cache = cli.cache_from_args(args)
 
     t0 = time.time()
     payloads = run_sweep(points, jobs=args.jobs, cache=cache)
@@ -136,8 +133,7 @@ def main(argv=None) -> int:
                 print(f"cannot write {args.csv}: {err}", file=sys.stderr)
                 return 1
             print(f"wrote {args.csv}")
-    if cache is not None:
-        print(cache.report(), file=sys.stderr)
+    cli.report_cache(cache)
     print(f"\n({time.time() - t0:.1f}s wall)")
     return 0
 

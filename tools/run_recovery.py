@@ -28,8 +28,9 @@ import argparse
 import json
 import sys
 
+from repro import cli
 from repro.recovery import SIM_BOUND, soak_run
-from repro.sweep import SweepCache, SweepPoint, run_sweep
+from repro.sweep import SweepPoint, run_sweep
 
 
 def main(argv=None) -> int:
@@ -37,8 +38,8 @@ def main(argv=None) -> int:
     ap.add_argument("--seeds", type=int, default=50,
                     help="number of seeds to sweep (default: 50)")
     ap.add_argument("--first-seed", type=int, default=0)
-    ap.add_argument("--seed", type=int, default=None,
-                    help="run exactly one seed (overrides --seeds)")
+    cli.add_seed(ap, default=None,
+                 help="run exactly one seed (overrides --seeds)")
     ap.add_argument("--nodes", type=int, default=4)
     ap.add_argument("--ranks", type=int, default=8)
     ap.add_argument("--no-node-kill", action="store_true",
@@ -47,15 +48,12 @@ def main(argv=None) -> int:
                     help="drop the guaranteed lossy RML link from each plan")
     ap.add_argument("--verify-determinism", action="store_true",
                     help="run every seed twice and compare digests")
-    ap.add_argument("--json", action="store_true",
-                    help="emit one JSON record per seed (ndjson)")
+    cli.add_json_flag(ap, help="emit one JSON record per seed (ndjson)")
     ap.add_argument("--verbose", action="store_true")
-    ap.add_argument("--jobs", type=int, default=1, metavar="N",
-                    help="fan seeds across N worker processes "
-                         "(per-seed output and digests are identical to "
-                         "a serial run)")
-    ap.add_argument("--cache-dir", metavar="DIR",
-                    help="on-disk result cache (see docs/performance.md)")
+    cli.add_jobs(ap, help="fan seeds across N worker processes "
+                          "(per-seed output and digests are identical to "
+                          "a serial run)")
+    cli.add_cache_dir(ap)
     args = ap.parse_args(argv)
 
     if args.seed is not None:
@@ -67,7 +65,7 @@ def main(argv=None) -> int:
               with_node_kill=not args.no_node_kill, lossy=not args.no_lossy)
     points = [SweepPoint("recovery-soak", soak_run, {"seed": s, **kw})
               for s in seeds]
-    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+    cache = cli.cache_from_args(args)
     records = run_sweep(points, jobs=args.jobs, cache=cache)
     if args.verify_determinism:
         # Recompute every seed uncached: a hit is then verified against a
@@ -101,8 +99,7 @@ def main(argv=None) -> int:
                   f"heals={rec['reparents']}")
 
     n = len(seeds)
-    if cache is not None:
-        print(cache.report(), file=sys.stderr)
+    cli.report_cache(cache)
     print(f"\n{n - len(failures)}/{n} seeds survived "
           f"(bound {SIM_BOUND}s simulated)", file=sys.stderr)
     print("totals: " + ", ".join(f"{k}={v}" for k, v in sorted(totals.items())),

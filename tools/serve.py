@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Operate the ``repro.serve`` simulation-serving layer from the shell.
+
+Usage::
+
+    python tools/serve.py start --jobs 4 --capacity 32 --port 7077
+    python tools/serve.py submit sim --param seed=3 --param 'spec={"nprocs":4}'
+    python tools/serve.py submit recovery-soak --param seed=7 --json
+    python tools/serve.py stats --port 7077
+    python tools/serve.py drain --port 7077
+    python tools/serve.py resize 8 --port 7077
+    python tools/serve.py shutdown --port 7077
+    python tools/serve.py loadgen --clients 4 --requests 32 --out BENCH_PR5.json
+
+``start`` runs a server in the foreground until interrupted.  The
+other subcommands are thin wrappers over one wire op each.  ``loadgen``
+self-hosts an in-process server (unless ``--port`` points at a running
+one) and writes the closed-loop throughput/latency/backpressure/
+determinism report — the committed ``BENCH_PR5.json``; see
+docs/serving.md for how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro import cli
+from repro.serve import ServeClient, SimServer, scenario_names
+from repro.serve.loadgen import bench_report, run_loadgen, sim_workload
+
+
+def _param(text: str):
+    """``key=value`` with a JSON-parsed value (bare words stay strings)."""
+    key, sep, raw = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    try:
+        return key, json.loads(raw)
+    except ValueError:
+        return key, raw
+
+
+def _add_addr(parser: argparse.ArgumentParser, *, default_port: int) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=default_port,
+                        help="server port (default: %(default)s)")
+
+
+def _client(args) -> ServeClient:
+    try:
+        return ServeClient(args.host, args.port)
+    except OSError as err:
+        print(f"cannot reach server at {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+async def _serve_forever(args) -> None:
+    server = await SimServer(
+        workers=args.jobs, capacity=args.capacity, cache_dir=args.cache_dir,
+        host=args.host, port=args.port, retry_seed=args.seed,
+        retry_limit=args.retry_limit,
+    ).start()
+    print(f"serving on {server.host}:{server.port} "
+          f"(workers={args.jobs}, capacity={args.capacity}, "
+          f"scenarios: {', '.join(scenario_names())})", file=sys.stderr)
+    try:
+        await server.stopped.wait()         # until SIGINT or a shutdown op
+    finally:
+        if not server.stopped.is_set():
+            await server.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("start", help="run a server in the foreground")
+    _add_addr(p, default_port=7077)
+    cli.add_jobs(p, default=2, help="worker processes in the pool "
+                                    "(default: %(default)s)")
+    p.add_argument("--capacity", type=cli.positive_int, default=16,
+                   metavar="N", help="bounded-queue depth; submits beyond it "
+                                     "are rejected (default: %(default)s)")
+    cli.add_cache_dir(p)
+    cli.add_seed(p, help="retry-backoff jitter seed (default: %(default)s)")
+    p.add_argument("--retry-limit", type=int, default=2, metavar="N",
+                   help="worker-death retries per request (default: %(default)s)")
+
+    p = sub.add_parser("submit", help="submit one request and print the result")
+    p.add_argument("scenario", help=f"one of: {', '.join(scenario_names())}")
+    p.add_argument("--param", type=_param, action="append", default=[],
+                   metavar="KEY=VALUE", help="scenario parameter "
+                   "(JSON value; repeatable)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="per-request deadline from admission")
+    _add_addr(p, default_port=7077)
+    cli.add_json_flag(p, help="print the full JSON response")
+
+    for name, help_text in [("stats", "print serving statistics"),
+                            ("health", "print a liveness summary"),
+                            ("drain", "stop admitting, wait for quiescence"),
+                            ("shutdown", "stop the server")]:
+        p = sub.add_parser(name, help=help_text)
+        _add_addr(p, default_port=7077)
+
+    p = sub.add_parser("resize", help="resize the worker pool")
+    p.add_argument("workers", type=cli.positive_int)
+    _add_addr(p, default_port=7077)
+
+    p = sub.add_parser("loadgen", help="closed-loop load test -> BENCH_PR5.json")
+    p.add_argument("--clients", type=cli.positive_int, default=4, metavar="N",
+                   help="concurrent closed-loop clients (default: %(default)s)")
+    p.add_argument("--requests", type=cli.positive_int, default=32, metavar="N",
+                   help="total requests across clients (default: %(default)s)")
+    cli.add_jobs(p, default=2, help="worker processes in the self-hosted "
+                                    "server (default: %(default)s)")
+    p.add_argument("--capacity", type=cli.positive_int, default=16, metavar="N")
+    p.add_argument("--nprocs", type=cli.positive_int, default=4, metavar="N",
+                   help="ranks per sim request (default: %(default)s)")
+    cli.add_cache_dir(p, help="serve through an on-disk result cache")
+    cli.add_seed(p, help="workload seed (default: %(default)s)")
+    p.add_argument("--out", default="BENCH_PR5.json", metavar="FILE",
+                   help="report path (default: %(default)s)")
+    _add_addr(p, default_port=0)
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "start":
+        try:
+            asyncio.run(_serve_forever(args))
+        except KeyboardInterrupt:
+            print("\nstopped", file=sys.stderr)
+        return 0
+
+    if args.cmd == "submit":
+        with _client(args) as client:
+            response = client.submit(args.scenario, dict(args.param),
+                                     deadline_s=args.deadline)
+        if args.json:
+            print(json.dumps(response, sort_keys=True, indent=2))
+        else:
+            status = response.get("status")
+            print(f"status: {status}")
+            for key in ("reason", "error"):
+                if key in response:
+                    print(f"{key}: {response[key]}")
+            if "result" in response:
+                print(json.dumps(response["result"], sort_keys=True, indent=2))
+            if "latency_s" in response:
+                print(f"latency: {response['latency_s'] * 1e3:.1f} ms "
+                      f"(cached: {response.get('cached', False)})")
+        return 0 if response.get("status") == "ok" else 1
+
+    if args.cmd in ("stats", "health", "drain", "shutdown", "resize"):
+        with _client(args) as client:
+            response = {
+                "stats": client.stats, "health": client.health,
+                "drain": client.drain, "shutdown": client.shutdown,
+                "resize": lambda: client.resize(args.workers),
+            }[args.cmd]()
+        print(json.dumps(response, sort_keys=True, indent=2))
+        return 0 if response.get("status") == "ok" else 1
+
+    if args.cmd == "loadgen":
+        if args.port:       # target an already-running server
+            workload = sim_workload(args.requests, seed=args.seed,
+                                    nprocs=args.nprocs)
+            report = {"bench": "serve-loadgen",
+                      "target": f"{args.host}:{args.port}",
+                      "loadgen": run_loadgen(args.host, args.port, workload,
+                                             clients=args.clients)}
+        else:
+            report = bench_report(
+                clients=args.clients, requests=args.requests,
+                workers=args.jobs, capacity=args.capacity,
+                nprocs=args.nprocs, seed=args.seed, cache_dir=args.cache_dir)
+        lg = report["loadgen"]
+        lat = lg["latency_s"]
+        print(f"{lg['completed']} requests, {lg['clients']} clients: "
+              f"{lg['throughput_rps']:.1f} req/s  "
+              f"p50 {lat.get('p50', 0) * 1e3:.1f} ms  "
+              f"p99 {lat.get('p99', 0) * 1e3:.1f} ms")
+        if "backpressure" in report:
+            bp = report["backpressure"]
+            print(f"backpressure: {bp['rejected']}/{bp['burst']} rejected at "
+                  f"{bp['oversubscription']}x oversubscription, max queue "
+                  f"depth {bp['max_queue_depth']}/{bp['capacity']}")
+        if "determinism" in report:
+            det = report["determinism"]
+            verdict = "byte-identical" if det["serve_matches_serial_sweep"] \
+                else f"MISMATCH: {det['mismatched_seeds']} {det['errors']}"
+            print(f"determinism: served soak seeds {det['seeds']} vs serial "
+                  f"sweep: {verdict}")
+        rc = cli.write_json(args.out, report)
+        if rc:
+            return rc
+        ok = report.get("determinism", {}).get("serve_matches_serial_sweep",
+                                               True)
+        bounded = report.get("backpressure", {}).get("bounded", True)
+        return 0 if (ok and bounded) else 1
+
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
