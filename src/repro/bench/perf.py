@@ -127,6 +127,14 @@ def fig3_init(compat: bool, nodes: int = 2, ppn: int = 4) -> int:
     return run.cluster.engine.events_executed
 
 
+def fig3_init_1k(compat: bool, nodes: int = 64, ppn: int = 16) -> int:
+    """Fig 3 Sessions-init at cluster scale (default 1024 simulated
+    ranks) — the large-scale point the paper's evaluation is about.
+    Same scenario as ``fig3-init``; split out as its own case so the
+    committed trajectory tracks the big configuration explicitly."""
+    return fig3_init(compat, nodes=nodes, ppn=ppn)
+
+
 # ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
@@ -152,7 +160,10 @@ CASES: List[BenchCase] = [
     BenchCase("recovery-soak", recovery_soak,
               dict(seeds=3), dict(seeds=1), min_speedup=None),
     BenchCase("fig3-init", fig3_init,
-              dict(nodes=2, ppn=4), dict(nodes=2, ppn=2), min_speedup=None),
+              dict(nodes=4, ppn=8), dict(nodes=2, ppn=2), min_speedup=None),
+    BenchCase("fig3-init-1k", fig3_init_1k,
+              dict(nodes=64, ppn=16), dict(nodes=16, ppn=8),
+              min_speedup=None),
 ]
 
 
@@ -206,6 +217,50 @@ def run_case_point(case: str, quick: bool = False,
     fans across processes via :mod:`repro.sweep`."""
     lookup = {c.name: c for c in CASES}
     return run_case(lookup[case], quick=quick, repeats=repeats)
+
+
+def check_regression(report: Dict[str, object], baseline: Dict[str, object],
+                     tolerance: float = 0.2) -> List[str]:
+    """Regression gate: compare a fresh bench report to a committed one.
+
+    Returns a list of human-readable failures (empty = gate passes):
+
+    * a case present in the baseline but absent from the report —
+      coverage must never silently shrink;
+    * an event-count drift at identical params — the determinism
+      contract is exact, so any drift is a hard failure regardless of
+      tolerance;
+    * a speedup below ``baseline * (1 - tolerance)`` — wall-clock noise
+      is real, so only the relative trajectory is gated.
+
+    Speedups are only comparable like-for-like: gate a full run against
+    a full baseline (``tools/bench.py --check``); a quick-vs-full
+    comparison still runs but skips the event check (params differ).
+    """
+    failures: List[str] = []
+    base_cases = baseline.get("cases", {})
+    cur_cases = report.get("cases", {})
+    for name in sorted(base_cases):
+        base = base_cases[name]
+        rec = cur_cases.get(name)
+        if rec is None:
+            failures.append(f"{name}: case missing from current report")
+            continue
+        if base.get("params") == rec.get("params") \
+                and base.get("events") != rec.get("events"):
+            failures.append(
+                f"{name}: event count drifted {base.get('events')} -> "
+                f"{rec.get('events')} at identical params (determinism "
+                f"contract; not subject to tolerance)"
+            )
+        floor = base["speedup"] * (1.0 - tolerance)
+        if rec["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {rec['speedup']:.2f}x fell below "
+                f"baseline {base['speedup']:.2f}x minus {tolerance:.0%} "
+                f"tolerance (floor {floor:.2f}x)"
+            )
+    return failures
 
 
 def run_bench(*, quick: bool = False, repeats: int = 3,

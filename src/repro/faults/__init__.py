@@ -108,10 +108,11 @@ class FaultManager:
         it is attached to every emitted ``faults.*`` event so dropped or
         duplicated packets can be located on the exported timeline.
         """
-        if self.plan is None:
+        plan = self.plan
+        if plan is None or not plan.msg_actions_for(layer):
             return None
         view = MsgView(layer=layer, src=src, dst=dst, tag=tag, time=self.engine.now)
-        disp = self.plan.on_message(view)
+        disp = plan.on_message(view)
         if not disp:
             return None
         for kind in disp.matched:

@@ -12,6 +12,7 @@ from repro.ompi.coll._tree import children_vranks, parent_vrank, rank_of, vrank_
 from repro.ompi.constants import _TAG_ALLREDUCE, _TAG_REDUCE, Op
 from repro.ompi.datatype import sizeof_payload
 from repro.ompi.errors import MPIErrRank
+from repro.simtime.process import SLEEP0, Sleep, Wait
 
 
 def reduce(comm, value, op: Op, root: int = 0, nbytes=None, tag: int = _TAG_REDUCE):
@@ -84,17 +85,41 @@ def allreduce_indexed(comm, members, my_idx: int, value, op: Op, nbytes=None,
         acc = op(acc, contrib)
 
     # Recursive doubling among the pof2 core.
+    rt = comm.runtime
+    fast_ep = None
+    if not rt.engine.compat and payload_bytes <= rt.machine.eager_limit:
+        # Fast path: the eager exchange skips the send Request — the
+        # observable work runs in eager_send_start, the injection busy
+        # time is charged here, and the post-recv zero-sleep stands in
+        # for the reference's wait on the already-completed send.
+        fast_ep = rt.endpoint
     mask = 1
     while mask < pof2:
         partner_idx = my_idx ^ mask
+        partner = members[partner_idx]
         # Exchange: send then receive (packets don't deadlock in the sim
         # since isend is buffered/eager for these sizes, and rendezvous
         # RTS/CTS also cannot deadlock — both posts happen eventually).
-        sreq = yield from comm._isend_internal(
-            acc, members[partner_idx], tag, nbytes=payload_bytes
-        )
-        contrib = yield from comm._recv_internal(members[partner_idx], tag)
-        yield from sreq.wait()
+        busy = None
+        if fast_ep is not None:
+            comm._check_damage()
+            busy = fast_ep.eager_send_start(comm, acc, partner, tag, payload_bytes)
+        if busy is not None:
+            if busy > 0:
+                yield Sleep(busy)
+            # Inlined _recv_internal: post, wait on the request event,
+            # read the payload — identical suspension points, two fewer
+            # generator frames per exchange.
+            rreq = comm._irecv_internal(partner, tag)
+            yield Wait(rreq.event)
+            contrib = rreq.payload
+            yield SLEEP0
+        else:
+            sreq = yield from comm._isend_internal(
+                acc, partner, tag, nbytes=payload_bytes
+            )
+            contrib = yield from comm._recv_internal(partner, tag)
+            yield from sreq.wait()
         # Order the combination by index so the parenthesization is
         # identical on both partners (deterministic for exact types).
         acc = op(acc, contrib) if my_idx < partner_idx else op(contrib, acc)

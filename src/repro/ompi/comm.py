@@ -43,7 +43,7 @@ from repro.ompi.excid import ExcidState
 from repro.ompi.group import Group
 from repro.ompi.request import Request
 from repro.ompi.status import Status
-from repro.simtime.process import Spawn
+from repro.simtime.process import SLEEP0, Sleep, Spawn
 
 
 class Communicator:
@@ -269,6 +269,28 @@ class Communicator:
             self._obs_end(sid)
 
     def _send_internal(self, obj, dest: int, tag: int, nbytes: Optional[int] = None):
+        rt = self.runtime
+        if not rt.engine.compat:
+            # Fast path (docs/performance.md): an eager send to a known
+            # peer runs its observable work inline via eager_send_start
+            # and replays the reference's exact two-suspension shape —
+            # Sleep(busy) for the injection, then a zero-sleep standing
+            # in for the wait on the already-completed request — without
+            # allocating the Request/SimEvent/Status machinery.
+            self._check_damage()
+            size = nbytes if nbytes is not None else sizeof_payload(obj)
+            ep = rt.endpoint
+            if size <= ep.machine.eager_limit:
+                busy = ep.eager_send_start(self, obj, dest, tag, size)
+                if busy is not None:
+                    if busy > 0:
+                        yield Sleep(busy)
+                    yield SLEEP0
+                    return
+            req = Request("send")
+            yield from ep.isend(self, obj, dest, tag, size, req)
+            yield from req.wait()
+            return
         req = yield from self._isend_internal(obj, dest, tag, nbytes)
         yield from req.wait()
 

@@ -12,7 +12,7 @@ machinery, "removing the need for any duplicate code".
 
 from __future__ import annotations
 
-from repro.simtime.process import Sleep
+from repro.simtime.process import Sleep, SleepUntil
 
 #: Subsystems the instance brings up, in dependency order.  Each costs
 #: ``machine.session_subsys_init`` on its first initialization per epoch.
@@ -32,7 +32,10 @@ SUBSYSTEMS = (
 
 def instance_acquire(runtime):
     """Sub-generator: retain (initializing on first use) every subsystem."""
-    machine = runtime.machine
+    if not runtime.engine.compat:
+        yield from _instance_acquire_fast(runtime)
+        runtime.instance_refcount += 1
+        return
     for name in SUBSYSTEMS:
         if name == "pml_ob1":
             init_fn = lambda: _pml_init(runtime)  # noqa: E731
@@ -45,6 +48,61 @@ def instance_acquire(runtime):
             cleanup_fn = None
         yield from runtime.subsystems.acquire(name, init_fn, cleanup_fn)
     runtime.instance_refcount += 1
+
+
+def _instance_acquire_fast(runtime):
+    """Fast-path acquire: fuse consecutive first-init subsystem sleeps.
+
+    The reference charges one ``session_subsys_init`` sleep per cold
+    subsystem, with only process-local bookkeeping between the resumes
+    (MCA registration, refcounts, cleanup registration).  Nothing outside
+    this rank can observe those intermediate instants, so a run of cold
+    subsystems collapses into a single :class:`SleepUntil` at the run's
+    final resume time — computed with the reference's exact float-add
+    sequence so timestamps stay byte-identical — followed by the same
+    bookkeeping in the same order.  A cold ``pml_ob1`` terminates a run:
+    its init registers the endpoint with the fabric and commits the modex
+    blob (an RPC), and the reference performs both at exactly the fused
+    run's end time anyway.  Warm subsystems sleep in neither mode, so
+    a warm entry between cold ones does not break fusion.
+    """
+    reg = runtime.subsystems
+    initialized = reg._initialized
+    engine = runtime.engine
+    d = runtime.machine.session_subsys_init
+    names = SUBSYSTEMS
+    n = len(names)
+    i = 0
+    while i < n:
+        seg = []                # (name, cold) in subsystem order
+        cold_sleeps = 0
+        t = engine.now
+        while i < n:
+            name = names[i]
+            cold = name not in initialized
+            seg.append((name, cold))
+            i += 1
+            if cold:
+                t = t + d       # replay the reference's exact float adds
+                cold_sleeps += 1
+                if name == "pml_ob1":
+                    break       # observable init work ends this segment
+        if cold_sleeps:
+            yield SleepUntil(t, cold_sleeps - 1)
+        for name, cold in seg:
+            if cold:
+                if name == "mca_base":
+                    _mca_register(runtime)
+                    reg.mark_initialized(
+                        name, lambda: _mca_cleanup(runtime))
+                elif name == "pml_ob1":
+                    _pml_setup(runtime)
+                    yield from runtime.pmix.commit()
+                    reg.mark_initialized(
+                        name, lambda: _pml_cleanup(runtime))
+                else:
+                    reg.mark_initialized(name, None)
+            reg.retain(name)
 
 
 def instance_release(runtime):
@@ -70,9 +128,15 @@ def _generic_init(runtime):
 
 def _mca_init(runtime):
     """Open MCA frameworks and register the standard components."""
+    yield Sleep(runtime.machine.session_subsys_init)
+    _mca_register(runtime)
+
+
+def _mca_register(runtime):
+    """The non-sleeping body of :func:`_mca_init` (shared with the fused
+    fast path, which performs the time charge separately)."""
     from repro.ompi.opal.mca import MCAComponent
 
-    yield Sleep(runtime.machine.session_subsys_init)
     pml = runtime.mca.framework("pml")
     if not pml.components():
         pml.register(MCAComponent("ob1", priority=20))
@@ -101,14 +165,20 @@ def _mca_cleanup(runtime):
 
 def _pml_init(runtime):
     """Bring up ob1: create the endpoint and publish our modex blob."""
+    yield Sleep(runtime.machine.session_subsys_init)
+    _pml_setup(runtime)
+    yield from runtime.pmix.commit()
+
+
+def _pml_setup(runtime):
+    """The non-sleeping setup of :func:`_pml_init` (shared with the fused
+    fast path): create the endpoint and stage our modex blob."""
     from repro.ompi.pml.ob1 import ENDPOINT_KEY, Ob1Endpoint
 
-    yield Sleep(runtime.machine.session_subsys_init)
     runtime.endpoint = Ob1Endpoint(runtime)
     runtime.pmix.put(
         ENDPOINT_KEY, {"node": runtime.node, "addr": f"ob1-{runtime.proc.rank}"}
     )
-    yield from runtime.pmix.commit()
 
 
 def _pml_cleanup(runtime):

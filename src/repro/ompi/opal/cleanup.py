@@ -86,19 +86,31 @@ class SubsystemRegistry:
                 result = init_fn()
                 if result is not None and hasattr(result, "__next__"):
                     yield from result
-            self._initialized.add(name)
-            self.init_epochs[name] = self.init_epochs.get(name, 0) + 1
-
-            def _teardown() -> None:
-                self._refcounts.pop(name, None)
-                self._initialized.discard(name)
-                if cleanup_fn is not None:
-                    cleanup_fn()
-
-            self.cleanup.register(name, _teardown)
-        self._refcounts[name] = self._refcounts.get(name, 0) + 1
+            self.mark_initialized(name, cleanup_fn)
+        self.retain(name)
         return
         yield  # pragma: no cover - makes this a generator even on fast path
+
+    def mark_initialized(self, name: str,
+                         cleanup_fn: Optional[Callable[[], None]] = None) -> None:
+        """Bookkeeping half of :meth:`acquire`, for callers that already
+        ran the init work themselves (the fused-sleep fast path in
+        :mod:`repro.ompi.instance`): record the init epoch and register
+        the teardown callback."""
+        self._initialized.add(name)
+        self.init_epochs[name] = self.init_epochs.get(name, 0) + 1
+
+        def _teardown() -> None:
+            self._refcounts.pop(name, None)
+            self._initialized.discard(name)
+            if cleanup_fn is not None:
+                cleanup_fn()
+
+        self.cleanup.register(name, _teardown)
+
+    def retain(self, name: str) -> None:
+        """Bump the refcount of an already-initialized subsystem."""
+        self._refcounts[name] = self._refcounts.get(name, 0) + 1
 
     def release(self, name: str) -> None:
         count = self._refcounts.get(name, 0)

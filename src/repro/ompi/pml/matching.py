@@ -16,36 +16,43 @@ MPI matching rules implemented here:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.ompi.constants import ANY_SOURCE, ANY_TAG
 
 
-@dataclass
 class PostedRecv:
     """A receive waiting for a message."""
 
-    src: int
-    tag: int
-    request: Any                       # ompi Request
-    cb: Any = None                     # protocol callback on match
+    __slots__ = ("src", "tag", "request", "cb")
+
+    def __init__(self, src: int, tag: int, request: Any, cb: Any = None) -> None:
+        self.src = src
+        self.tag = tag
+        self.request = request         # ompi Request
+        self.cb = cb                   # protocol callback on match
 
 
-@dataclass
 class IncomingMsg:
     """An arrived message (or rendezvous RTS) awaiting a receive."""
 
-    src: int
-    tag: int
-    seq: int
-    nbytes: int                        # user payload bytes
-    payload: Any = None
-    protocol: str = "eager"            # "eager" | "rts"
-    sender: Any = None                 # sender proc id (for CTS routing)
-    sender_req: Any = None             # sender-side request (rendezvous)
-    extended: bool = False             # carried an extended header
-    arrival: float = 0.0
+    __slots__ = ("src", "tag", "seq", "nbytes", "payload", "protocol",
+                 "sender", "sender_req", "extended", "arrival")
+
+    def __init__(self, src: int, tag: int, seq: int, nbytes: int,
+                 payload: Any = None, protocol: str = "eager",
+                 sender: Any = None, sender_req: Any = None,
+                 extended: bool = False, arrival: float = 0.0) -> None:
+        self.src = src
+        self.tag = tag
+        self.seq = seq
+        self.nbytes = nbytes           # user payload bytes
+        self.payload = payload
+        self.protocol = protocol       # "eager" | "rts"
+        self.sender = sender           # sender proc id (for CTS routing)
+        self.sender_req = sender_req   # sender-side request (rendezvous)
+        self.extended = extended       # carried an extended header
+        self.arrival = arrival
 
 
 def _compatible(posted: PostedRecv, msg: IncomingMsg) -> bool:
@@ -56,10 +63,12 @@ def _compatible(posted: PostedRecv, msg: IncomingMsg) -> bool:
     return posted.tag == msg.tag
 
 
-@dataclass
 class _CommQueues:
-    posted: Deque[PostedRecv] = field(default_factory=deque)
-    unexpected: Deque[IncomingMsg] = field(default_factory=deque)
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self) -> None:
+        self.posted: Deque[PostedRecv] = deque()
+        self.unexpected: Deque[IncomingMsg] = deque()
 
 
 class MatchingEngine:

@@ -26,13 +26,20 @@ Cost accounting:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ompi.btl.net import NetworkBTL
 from repro.ompi.btl.sm import SharedMemoryBTL
 from repro.ompi.errors import MPIErrIntern, MPIErrProcFailed
-from repro.ompi.pml.headers import ExtendedHeader, MatchHeader, header_bytes
+from repro.ompi.pml.headers import (
+    EXTENDED_HEADER_BYTES,
+    MATCH_HEADER_BYTES,
+    ExtendedHeader,
+    MatchHeader,
+    header_bytes,
+    pack_match,
+    unpack_match,
+)
 from repro.ompi.pml.matching import IncomingMsg, MatchingEngine, PostedRecv
 from repro.ompi.status import Status
 from repro.pmix.types import PmixProc
@@ -42,30 +49,56 @@ ENDPOINT_KEY = "ompi.ep"          # modex key holding a rank's endpoint blob
 FIRST_PEER_SETUP = 1.0e-6         # one-time add_procs cost per new peer
 
 
-@dataclass
 class Packet:
-    kind: str                     # "user" | "ack" | "cts" | "data"
-    src_proc: PmixProc
-    hdr: Optional[MatchHeader] = None
-    ext: Optional[ExtendedHeader] = None
-    payload: Any = None
-    nbytes: int = 0               # user payload bytes
-    protocol: str = "eager"       # for kind="user": "eager" | "rts"
-    sender_req: Any = None
-    recv_req: Any = None
-    ack_excid: Any = None
-    ack_cid: int = 0
-    fid: int = 0                  # observability flow id (send -> receive)
+    """One fabric packet.
+
+    ``hdr``/``ext`` come in two equivalent wire forms: the compat
+    reference carries the :class:`MatchHeader`/:class:`ExtendedHeader`
+    dataclasses, the fast send path carries the packed int from
+    :func:`pack_match` and an ``(excid_key, sender_cid)`` tuple.
+    Consumers branch on the concrete type; the stack-parity suite proves
+    both forms produce identical behavior.
+    """
+
+    __slots__ = ("kind", "src_proc", "hdr", "ext", "payload", "nbytes",
+                 "protocol", "sender_req", "recv_req", "ack_excid",
+                 "ack_cid", "fid", "_rts_payload", "_wire")
+
+    def __init__(self, kind: str, src_proc: PmixProc, hdr: Any = None,
+                 ext: Any = None, payload: Any = None, nbytes: int = 0,
+                 protocol: str = "eager", sender_req: Any = None,
+                 recv_req: Any = None, ack_excid: Any = None,
+                 ack_cid: int = 0, fid: int = 0) -> None:
+        self.kind = kind              # "user" | "ack" | "cts" | "data"
+        self.src_proc = src_proc
+        self.hdr = hdr
+        self.ext = ext
+        self.payload = payload
+        self.nbytes = nbytes          # user payload bytes
+        self.protocol = protocol      # for kind="user": "eager" | "rts"
+        self.sender_req = sender_req
+        self.recv_req = recv_req
+        self.ack_excid = ack_excid
+        self.ack_cid = ack_cid
+        self.fid = fid                # observability flow id (send -> recv)
+        self._rts_payload = None      # rendezvous payload (off-wire stash)
+        self._wire = -1               # cached wire_bytes()
 
     def wire_bytes(self) -> int:
-        if self.kind == "user":
-            size = header_bytes(self.ext)
-            if self.protocol == "eager":
-                size += self.nbytes
-            return size
-        if self.kind == "data":
-            return 8 + self.nbytes
-        return 18  # control packets: ACK / CTS
+        size = self._wire
+        if size < 0:
+            if self.kind == "user":
+                size = MATCH_HEADER_BYTES
+                if self.ext is not None:
+                    size += EXTENDED_HEADER_BYTES
+                if self.protocol == "eager":
+                    size += self.nbytes
+            elif self.kind == "data":
+                size = 8 + self.nbytes
+            else:
+                size = 18  # control packets: ACK / CTS
+            self._wire = size
+        return size
 
 
 class Fabric:
@@ -102,10 +135,17 @@ class Fabric:
         copies = 1
         faults = self.faults
         if faults is not None and faults.active:
-            if faults.is_dead_proc(dst) or faults.is_dead_proc(pkt.src_proc):
+            dead = faults.dead_procs
+            if dst in dead or pkt.src_proc in dead:
                 faults.dead_drop("pml", pkt.src_proc, dst, fid=pkt.fid)
                 return
-            tag = pkt.hdr.tag if pkt.hdr is not None else pkt.kind
+            hdr = pkt.hdr
+            if hdr is None:
+                tag = pkt.kind
+            elif hdr.__class__ is int:
+                tag = unpack_match(hdr)[2]
+            else:
+                tag = hdr.tag
             disp = faults.on_message("pml", pkt.src_proc, dst, tag, fid=pkt.fid)
             if disp is not None:
                 if disp.drop:
@@ -126,7 +166,7 @@ class Fabric:
         # the sender) may have died while the packet was in flight.
         faults = self.faults
         if faults is not None and faults.active and (
-            faults.is_dead_proc(ep.proc) or faults.is_dead_proc(pkt.src_proc)
+            ep.proc in faults.dead_procs or pkt.src_proc in faults.dead_procs
         ):
             faults.dead_drop("pml", pkt.src_proc, ep.proc, fid=pkt.fid)
             return
@@ -154,6 +194,7 @@ class Ob1Endpoint:
         self._send_seq: Dict[PmixProc, int] = {}
         self._recv_seq: Dict[PmixProc, int] = {}
         self._known_peers: set = set()
+        self._btl_cache: Dict[PmixProc, Any] = {}   # peer -> chosen BTL
         # In-flight requests whose completion depends on a peer: rendezvous
         # sends awaiting CTS, and matched rendezvous receives awaiting data.
         # Entries are (comm_identity, peer, request); peer_failed()/
@@ -206,21 +247,28 @@ class Ob1Endpoint:
     # injection helpers
     # ------------------------------------------------------------------
     def _btl_for(self, peer: PmixProc) -> Any:
-        peer_node = self.runtime.pmix.server.node_of(peer)
-        return self.btl_sm if peer_node == self.node else self.btl_net
+        btl = self._btl_cache.get(peer)
+        if btl is None:
+            peer_node = self.runtime.pmix.server.node_of(peer)
+            btl = self.btl_sm if peer_node == self.node else self.btl_net
+            self._btl_cache[peer] = btl
+        return btl
 
     def _inject(self, peer: PmixProc, pkt: Packet) -> Tuple[float, float]:
         """Reserve the NIC; returns (injection_done, delivery_time)."""
         btl = self._btl_for(peer)
-        now = self.engine.now
-        tr = self.engine.tracer
+        engine = self.engine
+        now = engine._now
+        tr = engine.tracer
         if tr.enabled:
             pkt.fid = tr.flow_begin(now, self.obs_track, f"pml.{pkt.kind}",
                                     nbytes=pkt.nbytes)
-        start = max(now, self.nic_free)
-        done = start + btl.injection_time(pkt.wire_bytes())
+        wire = pkt.wire_bytes()
+        nic_free = self.nic_free
+        start = now if now > nic_free else nic_free
+        done = start + btl.injection_time(wire)
         self.nic_free = done
-        delivery = done + btl.wire_time(pkt.wire_bytes())
+        delivery = done + btl.wire_time(wire)
         self.fabric.deliver_at(delivery, peer, pkt)
         return done, delivery
 
@@ -270,7 +318,7 @@ class Ob1Endpoint:
 
     def _peer_dead(self, peer: PmixProc) -> bool:
         faults = self.fabric.faults
-        return faults is not None and faults.is_dead_proc(peer)
+        return faults is not None and peer in faults.dead_procs
 
     # ------------------------------------------------------------------
     # send path
@@ -281,7 +329,8 @@ class Ob1Endpoint:
         peer = comm.group.proc(dest_rank)
         if self._peer_dead(peer):
             raise MPIErrProcFailed(f"{comm.name}: send to failed peer rank {dest_rank}")
-        yield from self._discover_peer(peer)
+        if peer not in self._known_peers:
+            yield from self._discover_peer(peer)
 
         ext = None
         ctx = comm.local_cid
@@ -323,6 +372,51 @@ class Ob1Endpoint:
             # Eager sends complete locally once the data is buffered/injected.
             request.complete(Status(source=comm.rank, tag=tag, count=nbytes))
         return request
+
+    def eager_send_start(self, comm, payload, dest_rank: int, tag: int,
+                         nbytes: int) -> Optional[float]:
+        """Fast-path half of an eager :meth:`isend` (docs/performance.md).
+
+        Performs every observable side effect of an eager-protocol send
+        to an already-discovered peer — dead-peer check, extended-header
+        decision, sequence allocation, stats/trace updates, NIC
+        reservation and fabric handoff — without the Request/SimEvent/
+        Status machinery the reference path allocates.  The header goes
+        out in packed-int form (:func:`repro.ompi.pml.headers.pack_match`)
+        and the extension as an ``(excid_key, sender_cid)`` tuple.
+
+        Returns the sender-side busy time (injection_done - now), which
+        the caller must charge with the same ``Sleep(busy)`` /
+        zero-sleep pair the reference path produces; returns None when
+        this send needs the reference path (peer not yet discovered).
+        Raises :class:`MPIErrProcFailed` exactly like the reference for
+        a dead peer.  Only called when ``engine.compat`` is false.
+        """
+        peer = comm.group.proc(dest_rank)
+        if self._peer_dead(peer):
+            raise MPIErrProcFailed(
+                f"{comm.name}: send to failed peer rank {dest_rank}")
+        if peer not in self._known_peers:
+            return None
+
+        ext = None
+        ctx = comm.local_cid
+        if comm.excid is not None:
+            peer_cid = comm.peer_cids.get(dest_rank)
+            if peer_cid is not None and not self.runtime.config.excid_always_extended:
+                ctx = peer_cid
+            else:
+                ext = (comm.excid.key(), comm.local_cid)
+
+        hdr = pack_match(ctx, comm.rank, tag, self._next_seq(peer, comm))
+        pkt = Packet(kind="user", src_proc=self.proc, hdr=hdr, ext=ext,
+                     payload=payload, nbytes=nbytes)
+        self.stats["sent"] += 1
+        if ext is not None:
+            self.stats["ext_sent"] += 1
+            self.runtime.cluster.trace("pml", "ext_send", dst=str(peer), tag=tag)
+        injection_done, _delivery = self._inject(peer, pkt)
+        return injection_done - self.engine._now
 
     # ------------------------------------------------------------------
     # receive path
@@ -367,46 +461,58 @@ class Ob1Endpoint:
             raise MPIErrIntern(f"unknown packet kind {pkt.kind}")
 
     def _deliver_user(self, pkt: Packet) -> None:
+        # The header arrives either packed (fast send path) or as the
+        # compat dataclass; unpack once into locals either way.
+        hdr = pkt.hdr
+        if hdr.__class__ is int:
+            ctx, src, tag, seq = unpack_match(hdr)
+        else:
+            ctx, src, tag, seq = hdr.ctx, hdr.src, hdr.tag, hdr.seq
+        ext = pkt.ext
         # Resolve the target communicator first: a packet may arrive
         # before this process finished registering the communicator
         # (constructor collectives release ranks at different times).
         # Stash such packets with NO state mutation — they are replayed
         # verbatim at registration.
-        if pkt.ext is not None:
-            comm = self.runtime.comm_by_excid(pkt.ext.excid)
+        if ext is not None:
+            if ext.__class__ is tuple:
+                excid_key, sender_cid = ext
+            else:
+                excid_key, sender_cid = ext.excid, ext.sender_cid
+            comm = self.runtime.comm_by_excid(excid_key)
             if comm is None:
-                self.runtime.stash_early_packet(pkt.ext.excid, pkt)
+                self.runtime.stash_early_packet(excid_key, pkt)
                 return
         else:
-            comm = self.runtime.comm_by_cid(pkt.hdr.ctx)
+            comm = self.runtime.comm_by_cid(ctx)
             if comm is None:
-                self.runtime.stash_early_cid_packet(pkt.hdr.ctx, pkt)
+                self.runtime.stash_early_cid_packet(ctx, pkt)
                 return
 
         self.stats["recv"] += 1
-        seq_key = (pkt.src_proc, comm.identity())
+        seq_key = (pkt.src_proc, comm._identity)
         expected = self._recv_seq.get(seq_key, 0)
-        if pkt.hdr.seq < expected:
+        if seq < expected:
             # Duplicate delivery (dup_msg fault): already consumed.
             self.stats["dup_dropped"] += 1
             return
-        if pkt.hdr.seq != expected:
+        if seq != expected:
             raise MPIErrIntern(
                 f"out-of-order delivery from {pkt.src_proc} on {comm.identity()}: "
-                f"seq {pkt.hdr.seq} != expected {expected}"
+                f"seq {seq} != expected {expected}"
             )
         self._recv_seq[seq_key] = expected + 1
 
         match_cost = self.machine.match_overhead
-        if pkt.ext is not None:
+        if ext is not None:
             self.stats["ext_recv"] += 1
             match_cost += self.machine.extended_match_overhead
             # Learn the sender's CID; reply with ours exactly once.
-            if pkt.hdr.src not in comm.peer_cids:
-                comm.peer_cids[pkt.hdr.src] = pkt.ext.sender_cid
-            if pkt.hdr.src not in comm.acks_sent:
-                comm.acks_sent.add(pkt.hdr.src)
-                self._send_ack(comm, pkt.hdr.src)
+            if src not in comm.peer_cids:
+                comm.peer_cids[src] = sender_cid
+            if src not in comm.acks_sent:
+                comm.acks_sent.add(src)
+                self._send_ack(comm, src)
             cid = comm.local_cid
         else:
             if comm.excid is not None:
@@ -415,24 +521,24 @@ class Ob1Endpoint:
                 # baseline's hash+validate (paper: "in some cases showing
                 # an improvement").
                 match_cost *= 0.97
-            cid = pkt.hdr.ctx
+            cid = ctx
 
+        now = self.engine._now
         msg = IncomingMsg(
-            src=pkt.hdr.src,
-            tag=pkt.hdr.tag,
-            seq=pkt.hdr.seq,
+            src=src,
+            tag=tag,
+            seq=seq,
             nbytes=pkt.nbytes,
-            payload=pkt.payload,
+            payload=pkt.payload if pkt.protocol == "eager" else pkt._rts_payload,
             protocol=pkt.protocol,
             sender=pkt.src_proc,
             sender_req=pkt.sender_req,
-            extended=pkt.ext is not None,
-            arrival=self.engine.now,
+            extended=ext is not None,
+            arrival=now,
         )
-        if pkt.protocol == "rts":
-            msg.payload = getattr(pkt, "_rts_payload", None)
 
-        start = max(self.engine.now, self.match_busy)
+        match_busy = self.match_busy
+        start = now if now > match_busy else match_busy
         complete_at = start + match_cost
         self.match_busy = complete_at
 
@@ -445,7 +551,9 @@ class Ob1Endpoint:
 
     def _consume_match(self, comm, posted: PostedRecv, msg: IncomingMsg) -> None:
         """A freshly posted receive matched an unexpected message."""
-        start = max(self.engine.now, self.match_busy)
+        now = self.engine._now
+        match_busy = self.match_busy
+        start = now if now > match_busy else match_busy
         complete_at = start + self.machine.match_overhead
         self.match_busy = complete_at
         self.engine.call_at(complete_at, lambda: self._match_complete(comm, posted, msg))

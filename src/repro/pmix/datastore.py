@@ -47,8 +47,9 @@ class Datastore:
         return dict(self._data.get(proc.nspace, {}).get(proc.rank, {}))
 
     def merge_blob(self, proc: PmixProc, blob: Dict[str, Any]) -> None:
-        for key, value in blob.items():
-            self.put(proc, key, value)
+        if not blob:
+            return
+        self._data.setdefault(proc.nspace, {}).setdefault(proc.rank, {}).update(blob)
 
     def namespaces(self) -> Iterable[str]:
         return self._data.keys()

@@ -104,9 +104,9 @@ class PmixProc:
         return self._hash
 
     def __eq__(self, other) -> bool:
-        if not isinstance(other, PmixProc):
-            return NotImplemented
-        return self.rank == other.rank and self.nspace == other.nspace
+        if other.__class__ is PmixProc:
+            return self.rank == other.rank and self.nspace == other.nspace
+        return NotImplemented
 
     def __lt__(self, other: "PmixProc") -> bool:
         return (self.nspace, self.rank) < (other.nspace, other.rank)

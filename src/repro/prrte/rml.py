@@ -231,8 +231,16 @@ class RoutingLayer:
             key = (msg.src, msg.dst)
             arrival = max(arrival, self._pair_floor.get(key, 0.0))
             self._pair_floor[key] = arrival
-        for _ in range(copies):
+        if copies == 1:
             self.engine.call_at(arrival, lambda: self._arrive(msg, deliver))
+        else:
+            # Fault-injected duplicates are the one genuinely same-instant
+            # fan-out in the stack: every copy arrives at the same time, so
+            # the whole burst collapses into one scheduled delivery on the
+            # fast path (the compat reference keeps one heap entry per copy).
+            self.engine.call_at_batch(
+                arrival, [lambda: self._arrive(msg, deliver)] * copies
+            )
 
     def _arrive(self, msg: RmlMessage, deliver: Callable[[RmlMessage], None]) -> None:
         # Booking happens at arrival time so deliveries from different

@@ -159,6 +159,48 @@ class Engine:
         already queued for it (equivalent to ``call_later(0, fn)``)."""
         return Timer(self._sched_soon(fn), self)
 
+    # -- logical-event batching (fast-path only; docs/performance.md) -----
+    def charge_events(self, extra: int) -> None:
+        """Account for ``extra`` logical events executed inside one
+        physical callback.
+
+        The determinism contract counts *logical* events: a fast-path
+        batch that folds N same-instant callbacks into one scheduled
+        delivery must still report N executed events, so digests and the
+        fast-vs-compat event-count cross-check stay exact."""
+        self.events_executed += extra
+
+    def call_at_batch(self, when: float, fns: list) -> None:
+        """Schedule ``fns`` at ``when`` as consecutive events.
+
+        On the compat reference every callback is its own heap entry —
+        exactly what a naive loop over :meth:`call_at` produces.  On the
+        fast path the whole batch becomes ONE physical entry that runs
+        the callbacks back-to-back and charges the extra logical events.
+        Because a loop scheduling N callbacks hands them consecutive
+        sequence numbers, nothing can interleave between them in the
+        reference order either — the two executions are byte-identical.
+
+        Only for fire-and-forget deliveries: batch entries cannot be
+        individually canceled.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self._now})"
+            )
+        if self.compat or len(fns) <= 1:
+            for fn in fns:
+                self._sched(when, fn)
+            return
+        extra = len(fns) - 1
+
+        def run_batch() -> None:
+            self.events_executed += extra
+            for fn in fns:
+                fn()
+
+        self._sched(when, run_batch)
+
     # -- lazy deletion ----------------------------------------------------
     def _cancel_entry(self, entry: list) -> None:
         if entry[2] is _CANCELED:

@@ -35,7 +35,7 @@ KINDS = KILL_KINDS + MSG_KINDS + ("lossy_msg",)
 LAYERS = ("rml", "pml")
 
 
-@dataclass
+@dataclass(slots=True)
 class MsgView:
     """What a fault point exposes about one message about to be delivered."""
 
@@ -189,6 +189,7 @@ class FaultPlan:
 
     def __init__(self, actions: Optional[List[FaultAction]] = None) -> None:
         self.actions: List[FaultAction] = []
+        self._msg_actions_by_layer: dict = {}
         for act in actions or []:
             self.add(act)
 
@@ -196,7 +197,28 @@ class FaultPlan:
         if not isinstance(action, FaultAction):
             raise TypeError(f"expected FaultAction, got {type(action).__name__}")
         self.actions.append(action)
+        self._msg_actions_by_layer.clear()
         return self
+
+    def msg_actions_for(self, layer: str) -> List[FaultAction]:
+        """Actions that can affect a message at the ``layer`` fault point.
+
+        Timed kills never react to traffic (``on_message`` skips them
+        without even counting the message), so they are filtered out
+        here along with actions pinned to another layer; the per-layer
+        list is cached so the per-message cost is one dict hit.  When
+        this comes back empty the fault point can skip the whole
+        consultation — observation counters are untouched either way.
+        """
+        acts = self._msg_actions_by_layer.get(layer)
+        if acts is None:
+            acts = [
+                a for a in self.actions
+                if (a.layer is None or a.layer == layer)
+                and (a.kind not in KILL_KINDS or a.message_triggered)
+            ]
+            self._msg_actions_by_layer[layer] = acts
+        return acts
 
     # convenience constructors -------------------------------------------
     def kill_proc(self, rank: int, **kw) -> "FaultPlan":
@@ -226,17 +248,27 @@ class FaultPlan:
         """Kill actions scheduled purely by the clock."""
         return [a for a in self.actions if a.kind in KILL_KINDS and not a.message_triggered]
 
-    def on_message(self, view: MsgView) -> Disposition:
-        """Consulted by the FaultManager at each fault point."""
-        disp = Disposition()
-        for act in self.actions:
+    def on_message(self, view: MsgView) -> Optional[Disposition]:
+        """Consulted by the FaultManager at each fault point.
+
+        Returns None when no action fired — equivalent to the (falsy)
+        empty Disposition, allocated lazily only on the first firing
+        action.  ``observe`` is still called on every candidate action,
+        so the ``seen`` counters advance exactly as before.
+        """
+        disp = None
+        for act in self.msg_actions_for(view.layer):
             if act.kind in KILL_KINDS:
-                if act.message_triggered and act.observe(view):
+                if act.observe(view):
+                    if disp is None:
+                        disp = Disposition()
                     disp.kills.append(act)
                     disp.matched.append(act.kind)
                 continue
             if not act.observe(view):
                 continue
+            if disp is None:
+                disp = Disposition()
             disp.matched.append(act.kind)
             if act.kind in ("drop_msg", "lossy_msg"):
                 disp.drop = True

@@ -62,6 +62,27 @@ class Sleep:
         self.delay = float(delay)
 
 
+class SleepUntil:
+    """Effect: suspend until absolute simulated time ``t``.
+
+    ``extra`` logical events are charged to the engine when the process
+    resumes: a fused sleep chain (N consecutive ``Sleep`` effects with no
+    externally observable work between them, collapsed into one
+    suspension) stands for ``extra + 1`` reference events, and the
+    determinism contract counts logical events (docs/performance.md).
+    ``t`` must be computed by replaying the reference's exact float
+    additions, so resume timestamps stay byte-identical.  If the process
+    is killed before ``t`` nothing is charged — matching a reference
+    chain canceled before its first sleep fires.
+    """
+
+    __slots__ = ("t", "extra")
+
+    def __init__(self, t: float, extra: int = 0) -> None:
+        self.t = t
+        self.extra = extra
+
+
 class Wait:
     """Effect: block until ``event`` triggers; evaluates to its value.
 
@@ -273,6 +294,23 @@ class SimProcess:
                         self._waiting_on = event
                         event.add_waiter(self._step)
                     return
+                if cls is SleepUntil:
+                    t = effect.t
+                    if t < engine._now:
+                        raise SimulationError(
+                            f"cannot sleep until the past ({t} < {engine._now})"
+                        )
+                    extra = effect.extra
+                    cb = (partial(self._charged_resume, extra) if extra
+                          else self._resume_cb)
+                    engine._seq = seq = engine._seq + 1
+                    entry = [t, seq, cb]
+                    if t == engine._now:
+                        engine._ready.append(entry)
+                    else:
+                        heappush(engine._queue, entry)
+                    self._pending_timer = entry
+                    return
                 if cls is Now:
                     value = engine._now
                 elif cls is Self:
@@ -299,6 +337,9 @@ class SimProcess:
                     self._pending_timer = self.engine.call_later(
                         effect.delay, lambda: self._step(None, None)
                     )
+                    return
+                elif isinstance(effect, SleepUntil):
+                    self._do_sleep_until(effect)
                     return
                 elif isinstance(effect, Wait):
                     self._do_wait(effect)
@@ -348,6 +389,9 @@ class SimProcess:
                         effect.delay, lambda: self._step(None, None)
                     )
                     return
+                elif isinstance(effect, SleepUntil):
+                    self._do_sleep_until(effect)
+                    return
                 elif isinstance(effect, Wait):
                     self._do_wait(effect)
                     return
@@ -367,6 +411,19 @@ class SimProcess:
             self._finish(None, killed)
         except BaseException as err:  # noqa: BLE001 - deliberate fail-fast
             self._finish(None, err)
+
+    def _charged_resume(self, extra: int) -> None:
+        self.engine.events_executed += extra
+        self._step(None, None)
+
+    def _do_sleep_until(self, effect: SleepUntil) -> None:
+        """SleepUntil via the public heap API (reference / fallback path).
+
+        Charges the fused logical events on resume in this mode too, so
+        the effect means the same thing under either trampoline."""
+        extra = effect.extra
+        cb = partial(self._charged_resume, extra) if extra else self._resume_cb
+        self._pending_timer = self.engine.call_at(effect.t, cb)
 
     def _do_wait(self, effect: Wait) -> None:
         event = effect.event

@@ -1,0 +1,100 @@
+"""Tier-1 guard for the ``tools/bench.py --check`` regression gate.
+
+The gate logic (``repro.bench.perf.check_regression``) is exercised on
+canned report payloads — no wall-clock measurement, so the assertions
+are exact — plus one end-to-end CLI pass over the smallest real case.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.perf import check_regression
+
+
+def _report(**cases):
+    return {"bench": "engine-fast-path", "mode": "full", "repeats": 3,
+            "python": "3", "cases": cases}
+
+
+def _case(speedup, events=100, params=None):
+    params = params or {"procs": 8}
+    return {"params": params, "events": events, "fast_s": 0.1,
+            "compat_s": 0.1 * speedup, "fast_eps": events / 0.1,
+            "compat_eps": events / (0.1 * speedup), "speedup": speedup,
+            "min_speedup": None}
+
+
+def test_gate_passes_when_equal():
+    base = _report(a=_case(2.0), b=_case(1.2))
+    assert check_regression(base, base) == []
+
+
+def test_gate_passes_inside_tolerance():
+    base = _report(a=_case(2.0))
+    cur = _report(a=_case(1.7))   # -15% with 20% tolerance
+    assert check_regression(cur, base, tolerance=0.2) == []
+
+
+def test_gate_fails_past_tolerance():
+    base = _report(a=_case(2.0))
+    cur = _report(a=_case(1.5))   # -25% with 20% tolerance
+    failures = check_regression(cur, base, tolerance=0.2)
+    assert len(failures) == 1 and "a:" in failures[0]
+    # A looser tolerance admits the same report.
+    assert check_regression(cur, base, tolerance=0.3) == []
+
+
+def test_gate_fails_on_event_drift_at_same_params():
+    base = _report(a=_case(2.0, events=100))
+    cur = _report(a=_case(2.0, events=101))
+    failures = check_regression(cur, base)
+    assert len(failures) == 1
+    assert "determinism" in failures[0]
+
+
+def test_gate_skips_event_check_when_params_differ():
+    base = _report(a=_case(2.0, events=100, params={"procs": 8}))
+    cur = _report(a=_case(2.0, events=9999, params={"procs": 64}))
+    assert check_regression(cur, base) == []
+
+
+def test_gate_fails_on_missing_case():
+    base = _report(a=_case(2.0), b=_case(1.5))
+    cur = _report(a=_case(2.0))
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and failures[0].startswith("b:")
+
+
+def test_gate_ignores_cases_added_since_baseline():
+    base = _report(a=_case(2.0))
+    cur = _report(a=_case(2.0), brand_new=_case(0.1))
+    assert check_regression(cur, base) == []
+
+
+def test_cli_check_roundtrip(tmp_path):
+    """End-to-end: a real quick run gated against its own output passes;
+    a doctored baseline demanding an impossible speedup fails."""
+    from tools.bench import main
+
+    out = tmp_path / "fresh.json"
+    baseline = tmp_path / "baseline.json"
+    argv = ["--quick", "--repeats", "1", "--cases", "comm-dup",
+            "--out", str(out)]
+    assert main(argv) == 0
+    report = json.loads(out.read_text())
+
+    # Wall-clock speedups are noisy run-to-run; floor the committed
+    # speedup so the pass verdict only depends on the deterministic
+    # checks (event counts at identical params, case coverage).
+    relaxed = json.loads(json.dumps(report))
+    relaxed["cases"]["comm-dup"]["speedup"] = 0.01
+    baseline.write_text(json.dumps(relaxed))
+    assert main(argv + ["--check", str(baseline)]) == 0
+
+    doctored = json.loads(out.read_text())
+    doctored["cases"]["comm-dup"]["speedup"] = 1000.0
+    baseline.write_text(json.dumps(doctored))
+    assert main(argv + ["--check", str(baseline)]) == 1
+
+    assert main(argv + ["--check", str(tmp_path / "missing.json")]) == 2

@@ -1,0 +1,42 @@
+"""Large-scale fig3-init benches (1k-4k simulated ranks).
+
+Marked ``slow``: excluded from tier-1 by the default ``-m "not slow"``
+addopts; run with ``pytest -m slow tests/bench/test_fig3_scale.py``.
+Each point runs the full Sessions-init stack fast and compat once and
+holds the determinism contract (identical logical event counts) plus a
+sanity floor on fast-path throughput at scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.perf import fig3_init_1k
+
+pytestmark = [pytest.mark.slow, pytest.mark.bench]
+
+
+@pytest.mark.parametrize(
+    "nodes,ppn",
+    [(64, 16),    # 1024 ranks — the committed BENCH_PR6 point
+     (128, 32)],  # 4096 ranks — the top of the ISSUE's scale band
+    ids=["1k-ranks", "4k-ranks"],
+)
+def test_fig3_init_at_scale(nodes, ppn):
+    t0 = time.perf_counter()
+    ev_fast = fig3_init_1k(False, nodes=nodes, ppn=ppn)
+    t_fast = time.perf_counter() - t0
+    ev_compat = fig3_init_1k(True, nodes=nodes, ppn=ppn)
+    assert ev_fast == ev_compat, (
+        f"event counts diverged at {nodes}x{ppn}: "
+        f"fast={ev_fast} compat={ev_compat}"
+    )
+    assert ev_fast > nodes * ppn  # the run actually exercised every rank
+    # Throughput floor: catastrophic scaling regressions (the fast path
+    # falling to interpreter-loop speeds) trip this long before the
+    # committed-trajectory gate sees a new BENCH file.
+    assert ev_fast / t_fast > 500, (
+        f"fig3-init at {nodes}x{ppn}: {ev_fast / t_fast:,.0f} ev/s"
+    )

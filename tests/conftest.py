@@ -1,4 +1,22 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Marker map (registered in pyproject.toml ``[tool.pytest.ini_options]``):
+
+* ``faults``      — fault-injection matrix tests.
+* ``obs``         — observability/tracing tests.
+* ``recovery``    — fault-recovery tests incl. the chaos soak.
+* ``bench``       — wall-clock performance benches; not part of tier-1.
+* ``serve``       — serving-layer tests incl. the loadgen smoke.
+* ``stackparity`` — the differential fast-vs-compat parity suite
+  (tests/stackparity/): every registered scenario and the recovery soak
+  run on both the optimized engine and ``Engine(compat=True)``, and the
+  exports must agree byte-for-byte.  The default-sized subset runs in
+  tier-1 as the parity smoke; ``pytest -m stackparity`` runs everything
+  not otherwise deselected.
+* ``slow``        — large-scale runs (1k+ simulated ranks, bigger parity
+  sweeps).  Excluded from tier-1 by ``addopts = -m "not slow"``; opt in
+  with ``pytest -m slow`` (or ``-m ""`` to run the whole matrix).
+"""
 
 from __future__ import annotations
 

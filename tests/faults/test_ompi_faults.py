@@ -9,7 +9,7 @@ bounded time.
 
 import pytest
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.faults import FaultPlan
 from repro.machine.presets import laptop
 from repro.ompi.constants import SUM
@@ -46,7 +46,7 @@ def _run_bounded(world):
 # ---------------------------------------------------------------------------
 class TestCidConsensusKill:
     def test_kill_during_cid_consensus(self):
-        world = make_world(6, machine=laptop(num_nodes=2), ppn=3)
+        world = make_world(spec=SimSpec(nprocs=6, machine=laptop(num_nodes=2), ppn=3))
         cluster, job = world.cluster, world.job
         outcomes = {}
         entered = []
@@ -96,7 +96,7 @@ COLLS = {
 # ---------------------------------------------------------------------------
 class TestCollectivesKillProc:
     def _world(self):
-        return make_world(4, machine=laptop(num_nodes=2), ppn=2)
+        return make_world(spec=SimSpec(nprocs=4, machine=laptop(num_nodes=2), ppn=2))
 
     @pytest.mark.parametrize("coll", sorted(COLLS))
     def test_kill_before_collective(self, coll):
@@ -183,7 +183,7 @@ class TestPmlMessageFaults:
     TAG = 42
 
     def _pair(self, plan):
-        world = make_world(2, machine=laptop(num_nodes=2), ppn=1)
+        world = make_world(spec=SimSpec(nprocs=2, machine=laptop(num_nodes=2), ppn=1))
         world.cluster.install_faults(plan)
         return world
 

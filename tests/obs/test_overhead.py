@@ -8,7 +8,7 @@ guarantee than "within noise" — the guard asserts exact equality.
 
 import pytest
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import jupiter
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -29,8 +29,9 @@ def _sessions_main(mpi):
 
 
 def _measure(tracer):
-    world = make_world(4, machine=jupiter(2), ppn=2,
-                       config=MpiConfig.sessions_prototype(), tracer=tracer)
+    world = make_world(spec=SimSpec(
+        nprocs=4, machine=jupiter(2), ppn=2,
+        config=MpiConfig.sessions_prototype(), tracer=tracer))
     procs = world.spawn_ranks(_sessions_main)
     t_end = world.run()
     for p in procs:
@@ -48,8 +49,9 @@ class TestZeroOverhead:
         assert res_on == res_off
 
     def test_disabled_default_records_nothing(self):
-        world = make_world(4, machine=jupiter(2), ppn=2,
-                           config=MpiConfig.sessions_prototype())
+        world = make_world(spec=SimSpec(
+            nprocs=4, machine=jupiter(2), ppn=2,
+            config=MpiConfig.sessions_prototype()))
         procs = world.spawn_ranks(_sessions_main)
         world.run()
         for p in procs:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 
@@ -18,11 +18,14 @@ def mpi_run():
             needs_sessions = sessions or getattr(fn, "_needs_sessions", False)
             config = MpiConfig.sessions_prototype() if needs_sessions else MpiConfig.baseline()
         return run_mpi(
-            nprocs,
-            fn,
-            machine=laptop(num_nodes=nodes),
-            ppn=ppn or max(1, (nprocs + nodes - 1) // nodes),
-            config=config,
+            spec=SimSpec(
+                nprocs=nprocs,
+                machine=laptop(num_nodes=nodes),
+                ppn=ppn or max(1, (nprocs + nodes - 1) // nodes),
+                config=config,
+                psets=kw.pop("psets", None),
+            ),
+            main=fn,
             **kw,
         )
 

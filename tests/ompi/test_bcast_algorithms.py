@@ -5,7 +5,7 @@ import importlib
 import numpy as np
 import pytest
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import jupiter, laptop
 from repro.ompi.config import MpiConfig
 
@@ -23,8 +23,9 @@ def timed_bcast(nbytes, nprocs=16, machine=None):
         yield from mpi.mpi_finalize()
         return out
 
-    return max(run_mpi(nprocs, main, machine=machine or jupiter(2), ppn=nprocs // 2,
-                       config=MpiConfig.baseline()))
+    return max(run_mpi(SimSpec(nprocs=nprocs, machine=machine or jupiter(2),
+                               ppn=nprocs // 2, config=MpiConfig.baseline()),
+                       main))
 
 
 def test_van_de_geijn_wins_for_large_messages(monkeypatch):
@@ -54,8 +55,8 @@ def test_object_payload_without_nbytes_uses_binomial_everywhere():
         yield from mpi.mpi_finalize()
         return int(got.sum())
 
-    results = run_mpi(4, main, machine=laptop(num_nodes=1), ppn=4,
-                      config=MpiConfig.baseline())
+    results = run_mpi(SimSpec(nprocs=4, machine=laptop(num_nodes=1), ppn=4,
+                              config=MpiConfig.baseline()), main)
     assert set(results) == {sum(range(1 << 16))}
 
 
@@ -70,8 +71,8 @@ def test_vdg_correct_for_any_size(n):
         yield from mpi.mpi_finalize()
         return got
 
-    results = run_mpi(n, main, machine=laptop(num_nodes=2), ppn=(n + 1) // 2,
-                      config=MpiConfig.baseline())
+    results = run_mpi(SimSpec(nprocs=n, machine=laptop(num_nodes=2),
+                              ppn=(n + 1) // 2, config=MpiConfig.baseline()), main)
     assert set(results) == {("big", 0)}
 
 
@@ -83,6 +84,6 @@ def test_vdg_nonzero_root():
         yield from mpi.mpi_finalize()
         return got
 
-    results = run_mpi(6, main, machine=laptop(num_nodes=2), ppn=3,
-                      config=MpiConfig.baseline())
+    results = run_mpi(SimSpec(nprocs=6, machine=laptop(num_nodes=2), ppn=3,
+                              config=MpiConfig.baseline()), main)
     assert set(results) == {"from-2"}

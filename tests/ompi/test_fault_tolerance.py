@@ -10,7 +10,7 @@
 
 import pytest
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -22,9 +22,10 @@ from repro.simtime.process import Sleep
 def test_roll_forward_after_failure():
     """4 ranks start a computation; rank 2 dies; the survivors build a
     new communicator over the living processes and finish the job."""
-    world = make_world(
-        4, machine=laptop(num_nodes=2), ppn=2, config=MpiConfig.sessions_prototype()
-    )
+    world = make_world(spec=SimSpec(
+        nprocs=4, machine=laptop(num_nodes=2), ppn=2,
+        config=MpiConfig.sessions_prototype(),
+    ))
     phase1_done = []
     results = {}
 
@@ -100,9 +101,10 @@ def test_roll_forward_after_failure():
 def test_session_isolation_under_failure():
     """Two sessions per rank; killing a peer that only participates in
     session B's communicator leaves session A fully usable."""
-    world = make_world(
-        3, machine=laptop(num_nodes=1), ppn=3, config=MpiConfig.sessions_prototype()
-    )
+    world = make_world(spec=SimSpec(
+        nprocs=3, machine=laptop(num_nodes=1), ppn=3,
+        config=MpiConfig.sessions_prototype(),
+    ))
     out = {}
     ready = []
 

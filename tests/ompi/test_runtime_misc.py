@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -12,8 +12,8 @@ def test_stale_cid_stash_dropped_on_free():
     """Regression (code review): a packet stashed for a freed
     communicator's CID must not be replayed into a new communicator
     that reuses the index."""
-    world = make_world(2, machine=laptop(num_nodes=2), ppn=1,
-                       config=MpiConfig.baseline())
+    world = make_world(spec=SimSpec(nprocs=2, machine=laptop(num_nodes=2),
+                                    ppn=1, config=MpiConfig.baseline()))
     out = {}
 
     def sender(mpi):
@@ -59,7 +59,7 @@ def test_stale_cid_stash_dropped_on_free():
 def test_excid_enabled_matrix():
     from repro.ompi.runtime import MpiRuntime
 
-    world = make_world(1, machine=laptop(num_nodes=1), ppn=1)
+    world = make_world(spec=SimSpec(nprocs=1, machine=laptop(num_nodes=1), ppn=1))
     cases = [
         (MpiConfig(cid_mode="excid", pml="ob1"), True),
         (MpiConfig(cid_mode="excid", pml="cm"), False),

@@ -8,7 +8,7 @@ spaces)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 
@@ -45,8 +45,8 @@ def test_consensus_agrees_and_is_locally_free(holes, ndups):
         yield from mpi.mpi_finalize()
         return agreed
 
-    results = run_mpi(NRANKS, main, machine=laptop(num_nodes=2), ppn=2,
-                      config=MpiConfig.baseline())
+    results = run_mpi(SimSpec(nprocs=NRANKS, machine=laptop(num_nodes=2),
+                              ppn=2, config=MpiConfig.baseline()), main)
     for per_dup in zip(*results):
         # Every rank observed the identical allgather outcome...
         assert all(x == per_dup[0] for x in per_dup)

@@ -5,7 +5,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import MAX, MIN, SUM
@@ -21,8 +21,8 @@ def run_world(n, body):
         yield from mpi.mpi_finalize()
         return result
 
-    return run_mpi(n, main, machine=laptop(num_nodes=2), ppn=(n + 1) // 2,
-                   config=MpiConfig.baseline())
+    return run_mpi(SimSpec(nprocs=n, machine=laptop(num_nodes=2),
+                           ppn=(n + 1) // 2, config=MpiConfig.baseline()), main)
 
 
 @given(sizes, values)

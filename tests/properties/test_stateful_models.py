@@ -96,11 +96,12 @@ class FileModelMachine(RuleBasedStateMachine):
 
     def __init__(self):
         super().__init__()
-        from repro.api import make_world
+        from repro.api import SimSpec, make_world
         from repro.machine.presets import laptop
         from repro.ompi.io import File
 
-        self.world = make_world(1, machine=laptop(num_nodes=1), ppn=1)
+        self.world = make_world(spec=SimSpec(
+            nprocs=1, machine=laptop(num_nodes=1), ppn=1))
         done = []
 
         def setup(mpi):

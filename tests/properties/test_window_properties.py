@@ -10,7 +10,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.ompi.constants import SUM
@@ -57,8 +57,8 @@ def test_window_matches_numpy_model(script):
         yield from mpi.mpi_finalize()
         return [s.tolist() for s in snapshots]
 
-    results = run_mpi(NRANKS, main, machine=laptop(num_nodes=1), ppn=NRANKS,
-                      config=MpiConfig.baseline())
+    results = run_mpi(SimSpec(nprocs=NRANKS, machine=laptop(num_nodes=1),
+                              ppn=NRANKS, config=MpiConfig.baseline()), main)
 
     # Reference model.
     model = [np.zeros(WIN) for _ in range(NRANKS)]

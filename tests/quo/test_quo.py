@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import run_mpi
+from repro.api import SimSpec, run_mpi
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.quo.context import QUO_OBJ_CORE, QUO_OBJ_SOCKET, QuoContext, QuoError
@@ -10,8 +10,8 @@ from repro.quo.context import QUO_OBJ_CORE, QUO_OBJ_SOCKET, QuoContext, QuoError
 
 def run(nprocs, main, sessions=False, nodes=2, ppn=None):
     config = MpiConfig.sessions_prototype() if sessions else MpiConfig.baseline()
-    return run_mpi(nprocs, main, machine=laptop(num_nodes=nodes),
-                   ppn=ppn or nprocs // nodes, config=config)
+    return run_mpi(SimSpec(nprocs=nprocs, machine=laptop(num_nodes=nodes),
+                           ppn=ppn or nprocs // nodes, config=config), main)
 
 
 class TestTopology:

@@ -26,10 +26,11 @@ class TestMetricsHarvest:
         assert reg.value("recovery.agree") == rec["agrees"]
 
     def test_non_recovery_snapshot_has_no_recovery_names(self):
-        from repro.api import make_world
+        from repro.api import SimSpec, make_world
         from repro.machine.presets import laptop
 
-        world = make_world(2, machine=laptop(num_nodes=2), ppn=1)
+        world = make_world(spec=SimSpec(
+            nprocs=2, machine=laptop(num_nodes=2), ppn=1))
 
         def main(mpi):
             yield from mpi.mpi_init()

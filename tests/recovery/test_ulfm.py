@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.faults import FaultPlan
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
@@ -23,8 +23,9 @@ CONFIGS = {
 
 
 def _world(ranks=6, nodes=3, config=None, seed=1):
-    return make_world(ranks, machine=laptop(num_nodes=nodes), ppn=ranks // nodes,
-                      config=config, recovery=True, recovery_seed=seed)
+    return make_world(spec=SimSpec(
+        nprocs=ranks, machine=laptop(num_nodes=nodes), ppn=ranks // nodes,
+        config=config, recovery=True, recovery_seed=seed))
 
 
 def _spawn(world, gens):

@@ -1,6 +1,6 @@
 """Tracer unit tests + white-box protocol traces through the stack."""
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
 from repro.simtime.trace import NullTracer, Tracer
@@ -109,10 +109,10 @@ class TestProtocolTraces:
     def test_excid_handshake_trace(self):
         """The trace shows: extended sends, exactly one ACK, one switch."""
         tracer = Tracer(categories={"pml"})
-        world = make_world(
-            2, machine=laptop(num_nodes=1), ppn=2,
+        world = make_world(spec=SimSpec(
+            nprocs=2, machine=laptop(num_nodes=1), ppn=2,
             config=MpiConfig.sessions_prototype(), tracer=tracer,
-        )
+        ))
 
         def main(mpi):
             session = yield from mpi.session_init()
@@ -139,10 +139,10 @@ class TestProtocolTraces:
 
     def test_baseline_has_no_handshake_traffic(self):
         tracer = Tracer(categories={"pml"})
-        world = make_world(
-            2, machine=laptop(num_nodes=1), ppn=2,
+        world = make_world(spec=SimSpec(
+            nprocs=2, machine=laptop(num_nodes=1), ppn=2,
             config=MpiConfig.baseline(), tracer=tracer,
-        )
+        ))
 
         def main(mpi):
             comm = yield from mpi.mpi_init()

@@ -1,0 +1,62 @@
+"""Shared machinery for the differential stack-parity suite.
+
+Every test here runs the same workload twice — once on the optimized
+default engine, once on ``Engine(compat=True)``, the pure-heap reference
+scheduler — and asserts that everything observable agrees *byte for
+byte*: Perfetto/Chrome trace exports, logical event counts, metric
+snapshots, per-phase span breakdowns, and (for the recovery soak) the
+canonical result digest.  Any fast-path optimization that changes
+scheduling order, timestamps, counters, or payload routing fails here
+before it can corrupt a benchmark result.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import pytest
+
+from repro.obs import export
+from repro.obs.scenarios import ObsRun, run_scenario
+
+
+@pytest.fixture
+def run_pair():
+    """Factory: run one scenario fast and compat, return both ObsRuns."""
+
+    def _run(name: str, **kwargs) -> Tuple[ObsRun, ObsRun]:
+        fast = run_scenario(name, engine_compat=False, **kwargs)
+        compat = run_scenario(name, engine_compat=True, **kwargs)
+        return fast, compat
+
+    return _run
+
+
+def trace_bytes(run: ObsRun) -> str:
+    """Canonical serialized Chrome-trace export for one run."""
+    return export.dumps(export.chrome_trace(run.tracer))
+
+
+def phase_breakdown(run: ObsRun):
+    """Per-phase (span-path) inclusive-time breakdown.
+
+    Aggregates closed spans by their full ancestry path — the same
+    decomposition ``obs.export.flame_report`` renders — so a fast-path
+    change that shifts time between stack layers (pmix vs prrte vs ompi)
+    is caught even if totals happen to coincide.
+    """
+    tracer = run.tracer
+    agg = {}
+    for span in tracer.spans.values():
+        if span.end is None:
+            continue
+        names = []
+        s = span
+        while s is not None:
+            names.append(s.name)
+            s = tracer.spans.get(s.parent)
+        path = tuple(reversed(names))
+        slot = agg.setdefault(path, [0.0, 0])
+        slot[0] += span.duration
+        slot[1] += 1
+    return {path: (total, count) for path, (total, count) in sorted(agg.items())}

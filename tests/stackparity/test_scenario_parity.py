@@ -1,0 +1,63 @@
+"""Differential parity: every registered obs scenario, fast vs compat.
+
+The default-size sweep (2 nodes x 2 ppn) is the tier-1 smoke subset;
+the larger sweeps are marked ``slow`` and run in the full matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.scenarios import scenario_names
+
+from .conftest import phase_breakdown, trace_bytes
+
+pytestmark = pytest.mark.stackparity
+
+ALL_SCENARIOS = scenario_names()
+
+
+def assert_parity(fast, compat):
+    """The full byte-identical contract between the two engines."""
+    # Logical event counts: batching must charge compensation exactly.
+    ev_fast = fast.cluster.engine.events_executed
+    ev_compat = compat.cluster.engine.events_executed
+    assert ev_fast == ev_compat, (
+        f"event count diverged: fast={ev_fast} compat={ev_compat}"
+    )
+    # Simulated end time to the last bit.
+    assert fast.t_end == compat.t_end
+    # Byte-identical Perfetto/Chrome export — span names, timestamps,
+    # flow edges, args, track layout, everything.
+    assert trace_bytes(fast) == trace_bytes(compat)
+    # Per-phase breakdown: inclusive time per span ancestry path.
+    assert phase_breakdown(fast) == phase_breakdown(compat)
+    # Metrics snapshot (counters/gauges/histograms incl. pml/rml stats).
+    assert fast.metrics.to_dict() == compat.metrics.to_dict()
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_scenario_parity_smoke(run_pair, name):
+    """Tier-1 smoke: default-size runs must agree byte-for-byte."""
+    fast, compat = run_pair(name)
+    assert_parity(fast, compat)
+    # Sanity: the runs actually did something.
+    assert fast.cluster.engine.events_executed > 0
+    assert fast.tracer.spans
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+@pytest.mark.parametrize("nodes,ppn", [(4, 4), (8, 8)])
+def test_scenario_parity_scaled(run_pair, name, nodes, ppn):
+    """Full matrix: the same contract at larger world sizes."""
+    fast, compat = run_pair(name, nodes=nodes, ppn=ppn)
+    assert_parity(fast, compat)
+
+
+def test_registry_covers_known_scenarios():
+    """The sweep must not silently shrink: these six are load-bearing
+    (new scenarios are picked up automatically via scenario_names)."""
+    for required in ("fig3-init", "fig3-init-world", "fig4-dup",
+                     "fence-chain", "pingpong", "faults-drop"):
+        assert required in ALL_SCENARIOS

@@ -1,0 +1,61 @@
+"""Differential parity for the recovery chaos soak (fault-matrix runs).
+
+``recovery.soak_run`` already promises an engine-independent digest;
+this suite holds it to that promise on every field of the result record
+*and* on the byte-identical trace export, fast vs compat, with the full
+fault stack active (lossy RML links, node kills, grpcomm restarts,
+shrink/agree consensus).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import export
+from repro.recovery import soak_run
+from repro.simtime.trace import Tracer
+
+pytestmark = [pytest.mark.stackparity, pytest.mark.recovery]
+
+
+def _pair(seed: int, **kwargs):
+    fast = soak_run(seed, engine_compat=False, **kwargs)
+    compat = soak_run(seed, engine_compat=True, **kwargs)
+    return fast, compat
+
+
+def test_soak_record_parity_smoke():
+    """Tier-1 smoke: one seed, full record equality field by field."""
+    fast, compat = _pair(0)
+    assert fast["ok"] and compat["ok"]
+    assert fast["digest"] == compat["digest"]
+    # The digest covers the record, but compare directly too so a
+    # mismatch names the diverging field instead of two hex strings.
+    assert fast == compat
+
+
+def test_soak_trace_parity_smoke():
+    """Tier-1 smoke: byte-identical trace export under faults."""
+    tr_fast, tr_compat = Tracer(), Tracer()
+    fast = soak_run(1, engine_compat=False, tracer=tr_fast)
+    compat = soak_run(1, engine_compat=True, tracer=tr_compat)
+    assert fast["digest"] == compat["digest"]
+    assert fast["events"] == compat["events"]
+    assert (export.dumps(export.chrome_trace(tr_fast))
+            == export.dumps(export.chrome_trace(tr_compat)))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [2, 3, 4, 5])
+def test_soak_record_parity_seeds(seed):
+    """Full matrix: more seeds, different fault schedules each."""
+    fast, compat = _pair(seed)
+    assert fast == compat
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_nodes,num_ranks", [(8, 16), (8, 32)])
+def test_soak_record_parity_scaled(num_nodes, num_ranks):
+    """Full matrix: the parity contract at larger soak sizes."""
+    fast, compat = _pair(0, num_nodes=num_nodes, num_ranks=num_ranks)
+    assert fast == compat

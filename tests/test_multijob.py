@@ -1,6 +1,6 @@
 """Several MPI jobs co-hosted on one DVM (the PRRTE model)."""
 
-from repro.api import make_world
+from repro.api import SimSpec, make_world
 from repro.cluster import Cluster
 from repro.machine.presets import laptop
 from repro.ompi.config import MpiConfig
@@ -23,8 +23,12 @@ def sessions_main(tag):
 
 def test_two_jobs_share_one_dvm():
     cluster = Cluster(machine=laptop(num_nodes=2))
-    wa = make_world(4, ppn=2, config=MpiConfig.sessions_prototype(), cluster=cluster)
-    wb = make_world(6, ppn=3, config=MpiConfig.sessions_prototype(), cluster=cluster)
+    wa = make_world(spec=SimSpec(nprocs=4, ppn=2,
+                                 config=MpiConfig.sessions_prototype()),
+                    cluster=cluster)
+    wb = make_world(spec=SimSpec(nprocs=6, ppn=3,
+                                 config=MpiConfig.sessions_prototype()),
+                    cluster=cluster)
     assert wa.job.nspace != wb.job.nspace
 
     pa = wa.spawn_ranks(sessions_main("job-a"))
@@ -66,8 +70,12 @@ def test_jobs_do_not_cross_talk():
 
         return main
 
-    wa = make_world(2, ppn=2, config=MpiConfig.sessions_prototype(), cluster=cluster)
-    wb = make_world(2, ppn=2, config=MpiConfig.sessions_prototype(), cluster=cluster)
+    wa = make_world(spec=SimSpec(nprocs=2, ppn=2,
+                                 config=MpiConfig.sessions_prototype()),
+                    cluster=cluster)
+    wb = make_world(spec=SimSpec(nprocs=2, ppn=2,
+                                 config=MpiConfig.sessions_prototype()),
+                    cluster=cluster)
     pa = wa.spawn_ranks(pingpong("from-A"))
     pb = wb.spawn_ranks(pingpong("from-B"))
     cluster.run()
@@ -83,4 +91,5 @@ def test_machine_and_cluster_conflict_rejected():
 
     cluster = Cluster(machine=laptop(num_nodes=1))
     with pytest.raises(ValueError):
-        make_world(2, machine=laptop(num_nodes=2), cluster=cluster)
+        make_world(spec=SimSpec(nprocs=2, machine=laptop(num_nodes=2)),
+                   cluster=cluster)

@@ -3,11 +3,13 @@
 
 Usage::
 
-    python tools/bench.py                     # full suite -> BENCH_PR4.json
+    python tools/bench.py                     # full suite -> BENCH_PR6.json
     python tools/bench.py --quick             # small scales, smoke-sized
     python tools/bench.py --cases fence-storm comm-dup --repeats 5
     python tools/bench.py --jobs 4            # one worker process per case
     python tools/bench.py --serve             # serve loadgen -> BENCH_PR5.json
+    python tools/bench.py --check             # gate vs committed BENCH_PR6.json
+    python tools/bench.py --check BENCH_PR4.json --tolerance 0.3
 
 Each case runs twice — once on the default fast-path scheduler, once on
 ``Engine(compat=True)`` — and reports events/second plus the speedup.
@@ -17,6 +19,14 @@ when they miss it.  See docs/performance.md for how to read the output.
 ``--jobs`` fans cases across worker processes via ``repro.sweep``; use
 it for a fast sanity pass, not for publishable numbers — concurrent
 cases contend for cores and perturb each other's wall times.
+
+``--check`` is the regression gate: after the run, the fresh report is
+compared case-by-case against a committed baseline (default
+``BENCH_PR6.json``) and the process exits non-zero if any case's
+speedup fell more than ``--tolerance`` below the committed trajectory,
+if event counts drifted at identical params, or if a baseline case went
+missing.  Gate full runs against full baselines — quick-mode numbers
+are smoke-sized and noisy.
 
 ``--serve`` benchmarks the ``repro.serve`` layer instead: a closed-loop
 load generator against an in-process server, emitting throughput,
@@ -32,7 +42,7 @@ import sys
 
 from repro import cli
 from repro.bench.harness import format_table
-from repro.bench.perf import CASES, run_case_point
+from repro.bench.perf import CASES, check_regression, run_case_point
 from repro.sweep import SweepPoint, run_sweep
 
 
@@ -40,7 +50,16 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=None, metavar="FILE",
                     help="where to write the JSON report (default: "
-                         "BENCH_PR4.json, or BENCH_PR5.json with --serve)")
+                         "BENCH_PR6.json, or BENCH_PR5.json with --serve)")
+    ap.add_argument("--check", nargs="?", const="BENCH_PR6.json",
+                    default=None, metavar="BASELINE",
+                    help="after running, gate the fresh report against a "
+                         "committed baseline JSON (default baseline: "
+                         "BENCH_PR6.json); exits non-zero on regression")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    metavar="FRAC",
+                    help="allowed relative speedup drop vs the baseline "
+                         "before --check fails (default: %(default)s)")
     ap.add_argument("--quick", action="store_true",
                     help="small scales (CI smoke), still both engines")
     ap.add_argument("--repeats", type=int, default=3,
@@ -60,7 +79,7 @@ def main(argv=None) -> int:
     if args.serve:
         return serve_bench(args)
     if args.out is None:
-        args.out = "BENCH_PR4.json"
+        args.out = "BENCH_PR6.json"
 
     selected = [c for c in CASES if args.cases is None or c.name in args.cases]
     points = [
@@ -106,12 +125,36 @@ def main(argv=None) -> int:
         rows,
     ))
 
+    # Load the baseline before writing: with --out == --check the gate
+    # must compare against the *committed* trajectory, not the file the
+    # fresh report just replaced.
+    baseline = None
+    if args.check is not None:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except OSError as err:
+            print(f"cannot read baseline {args.check!r}: {err}",
+                  file=sys.stderr)
+            return 2
+
     rc = cli.write_json(args.out, report)
     if rc:
         return rc
     if failed:
         print(f"FAILED speedup bars: {', '.join(failed)}", file=sys.stderr)
         return 1
+    if baseline is not None:
+        regressions = check_regression(report, baseline,
+                                       tolerance=args.tolerance)
+        if regressions:
+            print(f"FAILED regression gate vs {args.check}:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate vs {args.check}: ok "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 
