@@ -276,3 +276,28 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
         "python": sys.version.split()[0],
         "cases": results,
     }
+
+
+def ledger_records(report: Dict[str, object]) -> List[Dict[str, object]]:
+    """One :class:`repro.obs.RunLedger` row per bench case.
+
+    ``tools/bench.py --ledger`` appends these (``kind="bench"``), so the
+    run ledger holds the whole measured history next to the serve and
+    sweep rows — every perf claim traceable to a recorded run.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in sorted(report.get("cases", {})):
+        rec = report["cases"][name]
+        rows.append({
+            "kind": "bench",
+            "scenario": name,
+            "status": "ok",
+            "wall_s": rec["fast_s"],
+            "detail": {
+                "events": rec["events"],
+                "speedup": rec["speedup"],
+                "compat_s": rec["compat_s"],
+                "mode": report.get("mode"),
+            },
+        })
+    return rows

@@ -11,18 +11,36 @@ Built on the span/flow model in :mod:`repro.simtime.trace` (see
   span + causality DAG,
 * :mod:`repro.obs.scenarios` — canned instrumented runs for
   ``tools/obs_report.py`` and the bench ``--obs`` mode.
+
+Live (wall-clock) telemetry for the serving stack — see the "Live
+telemetry" section of ``docs/observability.md``:
+
+* :mod:`repro.obs.live` — real-time spans + trace-id propagation,
+* :mod:`repro.obs.events` — structured JSONL event log with rotation,
+* :mod:`repro.obs.store` — the persistent sqlite run ledger,
+* :mod:`repro.obs.prom` — Prometheus text exposition of the registry.
 """
 
 from repro.obs.critical_path import compute_critical_path
+from repro.obs.events import EventLog
 from repro.obs.export import chrome_trace, dumps, flame_report, validate_chrome_trace
+from repro.obs.live import LiveTelemetry, normalize_chrome_trace, trace_id
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.prom import prometheus_text
+from repro.obs.store import RunLedger
 
 __all__ = [
+    "EventLog",
     "Histogram",
+    "LiveTelemetry",
     "MetricsRegistry",
+    "RunLedger",
     "chrome_trace",
     "compute_critical_path",
     "dumps",
     "flame_report",
+    "normalize_chrome_trace",
+    "prometheus_text",
+    "trace_id",
     "validate_chrome_trace",
 ]

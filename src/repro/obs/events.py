@@ -1,0 +1,131 @@
+"""Structured JSONL event log with size-based rotation.
+
+One line per event, canonical JSON (sorted keys, compact separators)::
+
+    {"event":"serve.request.admitted","scenario":"sim","trace":"c-1","ts":...}
+
+The serve layer emits lifecycle events here (request admitted /
+rejected / completed, worker spawn / death / retry, cache hit / miss)
+when an :class:`EventLog` is attached; with none attached each site
+costs one branch, per the telemetry discipline (docs/observability.md).
+
+Rotation is size-based: when the active file exceeds ``max_bytes``
+after a write, it is renamed to ``<path>.1`` (shifting ``.1`` ->
+``.2`` ... up to ``backups``, dropping the oldest) and a fresh file is
+started — an always-bounded disk footprint for long-lived servers.
+
+Event names follow the metric convention ``layer.noun.verb``
+(``serve.worker.death``), so the log greps the same way the metrics
+read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class EventLog:
+    """Append-only JSONL log, opened lazily, rotated by size."""
+
+    def __init__(self, path: str, *, max_bytes: int = 1_000_000,
+                 backups: int = 2,
+                 clock: Callable[[], float] = time.time) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._clock = clock
+        self._fh = None
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    # -- writing -------------------------------------------------------------
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line; ``ts`` is stamped here."""
+        record = dict(fields)
+        record["event"] = event
+        record["ts"] = self._clock()
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                parent = os.path.dirname(self.path)
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
+                self._fh = open(self.path, "a")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.emitted += 1
+            if self._fh.tell() >= self.max_bytes:
+                self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        self._fh = None
+        if self.backups == 0:
+            os.remove(self.path)
+            return
+        # Shift path.1 -> path.2 -> ... dropping the oldest.
+        oldest = f"{self.path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for i in range(self.backups - 1, 0, -1):
+            src = f"{self.path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{i + 1}")
+        os.replace(self.path, f"{self.path}.1")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+    @staticmethod
+    def read(path: str) -> List[Dict[str, Any]]:
+        """Parse one log file (skipping any torn trailing line)."""
+        out: List[Dict[str, Any]] = []
+        try:
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        out.append(json.loads(line))
+                    except ValueError:
+                        continue
+        except OSError:
+            pass
+        return out
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        """All retained events, oldest first (rotated files included)."""
+        out: List[Dict[str, Any]] = []
+        for i in range(self.backups, 0, -1):
+            out.extend(self.read(f"{self.path}.{i}"))
+        out.extend(self.read(self.path))
+        return out
+
+
+def normalize_events(events: List[Dict[str, Any]],
+                     drop: Optional[set] = None) -> List[Dict[str, Any]]:
+    """Strip the wall-clock fields from event records so two identical
+    request sequences compare equal (the JSONL determinism contract)."""
+    drop = drop or {"ts", "latency_s", "wall_s", "wait_s", "run_s",
+                    "uptime_s"}
+    return [{k: v for k, v in ev.items() if k not in drop}
+            for ev in events]

@@ -14,6 +14,8 @@ linear interpolation, and no wall clock or PRNG is touched.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 LabelKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
@@ -24,27 +26,64 @@ def _key(name: str, labels: Dict[str, Any]) -> LabelKey:
 
 
 class Histogram:
-    """Raw-sample histogram with exact interpolated percentiles."""
+    """Raw-sample histogram with exact interpolated percentiles.
 
-    __slots__ = ("values",)
+    By default every sample is kept and percentiles are exact.  With
+    ``max_samples`` set, the raw list is bounded: below the cap,
+    behavior is identical (exact percentiles); past it, samples go
+    through a seeded reservoir (Vitter's Algorithm R), so memory stays
+    O(cap) under unbounded traffic (a long-lived serve loadgen) while
+    ``count``/``total``/``mean``/``min``/``max`` remain exact running
+    aggregates.  The reservoir PRNG is seeded, so summaries are a
+    deterministic function of the observation sequence.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("values", "max_samples", "_seed", "_rng",
+                 "_count", "_total", "_min", "_max")
+
+    def __init__(self, max_samples: Optional[int] = None,
+                 seed: int = 0) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self.values: List[float] = []
+        self.max_samples = max_samples
+        self._seed = seed
+        self._rng: Optional[random.Random] = None
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self.max_samples is None or len(self.values) < self.max_samples:
+            self.values.append(value)
+            return
+        # Reservoir (Algorithm R): keep each of the n samples seen so
+        # far with probability cap/n, deterministically via the seed.
+        if self._rng is None:
+            self._rng = random.Random(self._seed)
+        j = self._rng.randrange(self._count)
+        if j < self.max_samples:
+            self.values[j] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return math.fsum(self.values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     def percentile(self, p: float) -> float:
         """Interpolated percentile, ``p`` in [0, 100]."""
@@ -62,13 +101,12 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> Dict[str, float]:
-        if not self.values:
+        if not self._count:
             return {"count": 0}
-        ordered = sorted(self.values)
         return {
-            "count": len(ordered),
-            "min": ordered[0],
-            "max": ordered[-1],
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
@@ -85,8 +123,12 @@ class MetricsRegistry:
     live collection was off.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(self, enabled: bool = False,
+                 histogram_max_samples: Optional[int] = None,
+                 reservoir_seed: int = 0) -> None:
         self.enabled = enabled
+        self.histogram_max_samples = histogram_max_samples
+        self.reservoir_seed = reservoir_seed
         self.counters: Dict[LabelKey, float] = {}
         self.gauges: Dict[LabelKey, float] = {}
         self.histograms: Dict[LabelKey, Histogram] = {}
@@ -112,7 +154,12 @@ class MetricsRegistry:
         key = _key(name, labels)
         hist = self.histograms.get(key)
         if hist is None:
-            hist = self.histograms[key] = Histogram()
+            # Per-key seed: deterministic (crc32, not hash()) and
+            # distinct across label sets, so bounded reservoirs don't
+            # correlate their sampling decisions.
+            hist = self.histograms[key] = Histogram(
+                self.histogram_max_samples,
+                seed=self.reservoir_seed ^ zlib.crc32(repr(key).encode()))
         hist.observe(value)
 
     def clear(self) -> None:
@@ -155,11 +202,22 @@ class MetricsRegistry:
         return out
 
     def merged_histogram(self, name: str) -> Histogram:
-        """All samples for ``name`` across every label set."""
+        """All samples for ``name`` across every label set.
+
+        Label sets merge in sorted key order (deterministic), and the
+        exact running aggregates (count/total/min/max) merge exactly
+        even when the per-label histograms are bounded reservoirs.
+        """
         merged = Histogram()
-        for (n, _labels), hist in self.histograms.items():
-            if n == name:
-                merged.values.extend(hist.values)
+        for key in sorted(self.histograms):
+            if key[0] != name:
+                continue
+            hist = self.histograms[key]
+            merged.values.extend(hist.values)
+            merged._count += hist._count
+            merged._total += hist._total
+            merged._min = min(merged._min, hist._min)
+            merged._max = max(merged._max, hist._max)
         return merged
 
     # -- rendering ----------------------------------------------------------

@@ -21,8 +21,10 @@ from repro.serve.registry import (
     PROGRAMS,
     register_scenario,
     run_simspec,
+    run_simspec_traced,
     scenario,
     scenario_names,
+    traceable,
 )
 from repro.serve.server import ServerThread, ServeStats, SimServer
 
@@ -38,6 +40,8 @@ __all__ = [
     "WorkerDied",
     "register_scenario",
     "run_simspec",
+    "run_simspec_traced",
     "scenario",
     "scenario_names",
+    "traceable",
 ]

@@ -30,13 +30,27 @@ class ServeConnectionError(ConnectionError):
 
 
 class ServeClient:
-    """Blocking client; safe for one thread (use one per thread)."""
+    """Blocking client; safe for one thread (use one per thread).
+
+    ``trace="cli"`` makes the client mint one deterministic trace id per
+    submit (``cli-1``, ``cli-2``, ...) and send it on the wire; with
+    ``telemetry`` also given, each submit is wrapped in a wall-clock
+    ``serve.client.request`` span on the ``client:<prefix>`` track, so
+    the exported trace shows client-observed latency next to the
+    server's own spans for the same trace id.
+    """
 
     def __init__(self, host: str, port: int, *,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 trace: Optional[str] = None,
+                 telemetry: Any = None) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        self._trace_prefix = trace
+        self._trace_ids = itertools.count(1)
+        self.telemetry = telemetry if (telemetry is not None
+                                       and telemetry.enabled) else None
 
     # -- plumbing ------------------------------------------------------------
     def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
@@ -50,6 +64,12 @@ class ServeClient:
         assert response.get("id") in (None, msg["id"]), "response id mismatch"
         return response
 
+    def _mint(self) -> Optional[str]:
+        if self._trace_prefix is None:
+            return None
+        from repro.obs.live import trace_id
+        return trace_id(self._trace_prefix, next(self._trace_ids))
+
     # -- ops -----------------------------------------------------------------
     def submit(self, scenario: str, params: Optional[Dict[str, Any]] = None,
                *, deadline_s: Optional[float] = None) -> Dict[str, Any]:
@@ -57,6 +77,20 @@ class ServeClient:
                                "params": params or {}}
         if deadline_s is not None:
             msg["deadline_s"] = deadline_s
+        tid = self._mint()
+        if tid is not None:
+            msg["trace"] = tid
+        tel = self.telemetry
+        if tel is not None:
+            track = f"client:{self._trace_prefix or 'client'}"
+            sid = tel.begin(track, "serve.client.request",
+                            scenario=scenario, trace=tid)
+            try:
+                response = self._rpc(msg)
+            finally:
+                tel.end(sid)
+            tel.annotate(sid, status=response.get("status"))
+            return response
         return self._rpc(msg)
 
     def stats(self) -> Dict[str, Any]:
@@ -64,6 +98,9 @@ class ServeClient:
 
     def health(self) -> Dict[str, Any]:
         return self._rpc({"op": "health"})
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._rpc({"op": "metrics"})
 
     def drain(self) -> Dict[str, Any]:
         return self._rpc({"op": "drain"})
@@ -101,10 +138,14 @@ class AsyncServeClient:
         self._pending: Dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
+        self._trace_prefix: Optional[str] = None
+        self._trace_ids = itertools.count(1)
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+    async def connect(cls, host: str, port: int, *,
+                      trace: Optional[str] = None) -> "AsyncServeClient":
         self = cls()
+        self._trace_prefix = trace
         self._reader, self._writer = await asyncio.open_connection(host, port)
         self._reader_task = asyncio.ensure_future(self._read_loop())
         return self
@@ -145,6 +186,9 @@ class AsyncServeClient:
                                "params": params or {}}
         if deadline_s is not None:
             msg["deadline_s"] = deadline_s
+        if self._trace_prefix is not None:
+            from repro.obs.live import trace_id
+            msg["trace"] = trace_id(self._trace_prefix, next(self._trace_ids))
         return await self._rpc(msg)
 
     async def stats(self) -> Dict[str, Any]:
@@ -152,6 +196,9 @@ class AsyncServeClient:
 
     async def health(self) -> Dict[str, Any]:
         return await self._rpc({"op": "health"})
+
+    async def metrics(self) -> Dict[str, Any]:
+        return await self._rpc({"op": "metrics"})
 
     async def drain(self) -> Dict[str, Any]:
         return await self._rpc({"op": "drain"})

@@ -40,10 +40,17 @@ def _worker_main(conn) -> None:
             return
         if msg is None:                 # orderly retirement
             return
-        scenario, params = msg
+        scenario, params, meta = msg
         try:
-            fn = registry.scenario(scenario)
-            reply = ("ok", fn(**params))
+            # The telemetry meta (trace id + sim-trace export path)
+            # rides *beside* params, never inside them, so tracing a
+            # request cannot change its cache identity or its result.
+            sim_trace = (meta or {}).get("sim_trace")
+            if sim_trace and registry.traceable(scenario):
+                reply = ("ok", registry.run_traced(scenario, params, sim_trace))
+            else:
+                fn = registry.scenario(scenario)
+                reply = ("ok", fn(**params))
         except BaseException as err:    # noqa: BLE001 — the wire is the boundary
             reply = ("error", f"{type(err).__name__}: {err}")
         try:
@@ -69,14 +76,16 @@ class Worker:
     def alive(self) -> bool:
         return self.proc.is_alive()
 
-    def call(self, scenario: str, params: Dict[str, Any]) -> Tuple[str, Any]:
+    def call(self, scenario: str, params: Dict[str, Any],
+             meta: Optional[Dict[str, Any]] = None) -> Tuple[str, Any]:
         """Blocking request/reply; raises :class:`WorkerDied` on death.
 
         Runs on an executor thread — the asyncio side awaits it via
-        ``asyncio.to_thread``.
+        ``asyncio.to_thread``.  ``meta`` is telemetry-only side data
+        (trace id, sim-trace export path); it never enters ``params``.
         """
         try:
-            self.conn.send((scenario, params))
+            self.conn.send((scenario, params, meta))
             kind, payload = self.conn.recv()
         except (EOFError, OSError, BrokenPipeError) as err:
             raise WorkerDied(

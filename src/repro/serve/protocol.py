@@ -8,13 +8,18 @@ client does; the sync client keeps one request in flight).
 Requests::
 
     {"op": "submit", "id": 7, "scenario": "sim", "params": {...},
-     "deadline_s": 2.5}
-    {"op": "stats" | "health" | "drain" | "resize" | "shutdown", "id": 8,
-     ...op-specific fields...}
+     "deadline_s": 2.5, "trace": "cli-1"}
+    {"op": "stats" | "health" | "metrics" | "drain" | "resize"
+          | "shutdown", "id": 8, ...op-specific fields...}
 
 Responses always carry ``status``: ``ok`` | ``rejected`` | ``expired``
 | ``error``, plus op-specific payload fields (``result``, ``stats``,
 ``reason``...).  See docs/serving.md for the full catalogue.
+
+``trace`` is the optional client-minted trace id (live telemetry,
+docs/observability.md).  The server echoes it in the submit response
+and stamps it on every span, event-log line and ledger row the request
+produces; when absent the server mints a fallback ``s-<n>`` id.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ STATUS_EXPIRED = "expired"       # deadline passed in queue or mid-run
 STATUS_ERROR = "error"           # scenario raised, worker retries exhausted,
                                  # or the request itself was malformed
 
-OPS = ("submit", "stats", "health", "drain", "resize", "shutdown")
+OPS = ("submit", "stats", "health", "metrics", "drain", "resize", "shutdown")
 
 
 class ProtocolError(ValueError):

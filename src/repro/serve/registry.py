@@ -33,6 +33,7 @@ importers (fork start method) or live in an importable module
 
 from __future__ import annotations
 
+import dataclasses
 import difflib
 import hashlib
 import json
@@ -97,18 +98,29 @@ PROGRAMS: Dict[str, Callable] = {
 }
 
 
-def run_simspec(spec: Any, program: str = "allreduce", seed: int = 0) -> Dict[str, Any]:
-    """Build a world from a :class:`SimSpec` (or its payload), run one
-    named rank program, and return a deterministic result record.
+def run_simspec(spec: Any = None, program: str = "allreduce",
+                seed: int = 0) -> Dict[str, Any]:
+    """Build a world from a :class:`SimSpec` (or its payload; ``None``
+    means a default :class:`SimSpec`), run one named rank program, and
+    return a deterministic result record.
 
     The ``digest`` field is a sha256 over the canonical JSON of the
     per-rank results and the final simulated clock — byte-equal across
     serial, parallel and served executions of the same request.
     """
-    sp = spec if isinstance(spec, SimSpec) else SimSpec.from_payload(spec)
+    return _run_simspec(spec, program, seed, tracer=None)
+
+
+def _run_simspec(spec: Any, program: str, seed: int, tracer: Any) -> Dict[str, Any]:
+    if spec is None:
+        sp = SimSpec()
+    else:
+        sp = spec if isinstance(spec, SimSpec) else SimSpec.from_payload(spec)
     if program not in PROGRAMS:
         raise KeyError(f"unknown program {program!r}; "
                        f"have: {', '.join(sorted(PROGRAMS))}")
+    if tracer is not None:
+        sp = dataclasses.replace(sp, tracer=tracer)
     world = make_world(spec=sp)
     procs = world.spawn_ranks(PROGRAMS[program], args=(seed,))
     t_end = world.run()
@@ -126,6 +138,47 @@ def run_simspec(spec: Any, program: str = "allreduce", seed: int = 0) -> Dict[st
         "t_end": t_end,
         "digest": hashlib.sha256(blob.encode()).hexdigest(),
     }
+
+
+def run_simspec_traced(spec: Any = None, program: str = "allreduce",
+                       seed: int = 0, trace_path: str = "") -> Dict[str, Any]:
+    """:func:`run_simspec` with a simulated-time tracer attached.
+
+    The tracer observes but never steers the engine, so the returned
+    record — digest included — is byte-identical to the untraced run;
+    only the side effect differs: the sim-time Chrome trace is written
+    to ``trace_path``.  The live wall-clock trace links here via the
+    ``sim_trace`` span attribute (docs/observability.md).
+    """
+    from repro.obs.export import chrome_trace, dumps
+    from repro.simtime.trace import Tracer
+
+    tracer = Tracer()
+    result = _run_simspec(spec, program, seed, tracer=tracer)
+    if trace_path:
+        os.makedirs(os.path.dirname(trace_path) or ".", exist_ok=True)
+        with open(trace_path, "w") as fh:
+            fh.write(dumps(chrome_trace(tracer)))
+    return result
+
+
+_TRACEABLE = {"sim"}
+
+
+def traceable(name: str) -> bool:
+    """Can this scenario export a simulated-time trace of itself?"""
+    return name in _TRACEABLE
+
+
+def run_traced(name: str, params: Dict[str, Any], trace_path: str) -> Any:
+    """Run a :func:`traceable` scenario with sim-trace export.
+
+    Result (and therefore cache identity) is identical to the plain
+    ``scenario(name)(**params)`` call — tracing is a pure side channel.
+    """
+    if name == "sim":
+        return run_simspec_traced(trace_path=trace_path, **params)
+    raise KeyError(f"scenario {name!r} is not traceable")
 
 
 # ---------------------------------------------------------------------------

@@ -30,16 +30,21 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
+from repro.obs.events import EventLog
+from repro.obs.live import LiveTelemetry, trace_id
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import prometheus_text
+from repro.obs.store import RunLedger
 from repro.serve import protocol
 from repro.serve.pool import Worker, WorkerDied
-from repro.serve.registry import scenario_names
+from repro.serve.registry import scenario_names, traceable
 from repro.sweep import SweepCache, cache_key
 
 
@@ -53,6 +58,10 @@ class _Request:
     future: "asyncio.Future[Dict[str, Any]]"
     key: Optional[str] = None           # cache key, when a cache is attached
     attempts: int = 0                   # completed (failed) delivery attempts
+    trace: str = ""                     # live-telemetry trace id ("" = off)
+    sid: Optional[int] = None           # serve.request span (telemetry only)
+    sid_queue: Optional[int] = None     # serve.queue span (telemetry only)
+    sim_trace: str = ""                 # exported sim-time trace, if any
 
     def remaining(self, now: float) -> Optional[float]:
         if self.deadline_s is None:
@@ -100,6 +109,10 @@ class SimServer:
         retry_base: float = 0.02,
         mp_context: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[LiveTelemetry] = None,
+        event_log: Optional[Union[str, EventLog]] = None,
+        ledger: Optional[Union[str, RunLedger]] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -114,6 +127,17 @@ class SimServer:
         self.mp_context = mp_context
         self.metrics = metrics or MetricsRegistry(enabled=True)
         self.cache = SweepCache(cache_dir) if cache_dir else None
+        # Live telemetry (docs/observability.md): all four are optional
+        # and off by default; each instrumentation site costs exactly
+        # one `is not None` branch when disabled.
+        self.tel = telemetry if (telemetry is not None
+                                 and telemetry.enabled) else None
+        self.events = (EventLog(event_log) if isinstance(event_log, str)
+                       else event_log)
+        self.ledger = (RunLedger(ledger) if isinstance(ledger, str)
+                       else ledger)
+        self.trace_dir = trace_dir
+        self._trace_seq = itertools.count(1)   # fallback server-side ids
         self.stats = ServeStats()
         self._target_workers = workers
         self._queue: "asyncio.Queue[_Request]" = asyncio.Queue(maxsize=capacity)
@@ -158,6 +182,13 @@ class SimServer:
             req = self._queue.get_nowait()
             self._resolve(req, {"status": protocol.STATUS_ERROR,
                                 "error": "server stopped"})
+        if self.tel is not None and self.trace_dir is not None:
+            self.tel.write(os.path.join(self.trace_dir, "serve-trace.json"))
+        if self.events is not None:
+            self.events.emit("serve.stopped")
+            self.events.close()
+        if self.ledger is not None:
+            self.ledger.close()
         self.stopped.set()
 
     async def drain(self) -> None:
@@ -196,6 +227,9 @@ class SimServer:
             self._workers[wid] = worker
             self.stats.worker_spawns += 1
             self.metrics.inc("serve.worker.spawns")
+            if self.events is not None:
+                self.events.emit("serve.worker.spawned", wid=wid,
+                                 pid=worker.proc.pid)
         return worker
 
     def _kill_worker(self, wid: int) -> None:
@@ -230,7 +264,23 @@ class SimServer:
 
     async def _run_request(self, req: _Request, wid: int) -> None:
         loop = asyncio.get_running_loop()
-        self.metrics.observe("serve.queue.wait", loop.time() - req.enq_t)
+        wait_s = loop.time() - req.enq_t
+        self.metrics.observe("serve.queue.wait", wait_s)
+        tel = self.tel
+        if tel is not None:
+            if req.sid_queue is not None:
+                tel.annotate(req.sid_queue, wait_s=round(wait_s, 6))
+                tel.end(req.sid_queue)
+            # Flow edge: request track -> the worker track that picked
+            # it up, so Perfetto draws the hand-off arrow.
+            tel.flow("serve.dispatch", f"req:{req.trace}",
+                     f"serve:worker/{wid}", trace=req.trace)
+        meta: Optional[Dict[str, Any]] = None
+        if (tel is not None and self.trace_dir is not None
+                and req.trace and traceable(req.scenario)):
+            meta = {"trace": req.trace,
+                    "sim_trace": os.path.join(self.trace_dir,
+                                              f"sim-{req.trace}.json")}
         while True:
             remaining = req.remaining(loop.time())
             if remaining is not None and remaining <= 0:
@@ -240,8 +290,13 @@ class SimServer:
                 return
             worker = self._ensure_worker(wid)
             run_t0 = loop.time()
+            sid_run = None
+            if tel is not None:
+                sid_run = tel.begin(f"serve:worker/{wid}", "serve.run",
+                                    trace=req.trace, scenario=req.scenario,
+                                    attempt=req.attempts + 1)
             task = asyncio.ensure_future(
-                asyncio.to_thread(worker.call, req.scenario, req.params))
+                asyncio.to_thread(worker.call, req.scenario, req.params, meta))
             if remaining is not None:
                 done, _pending = await asyncio.wait({task}, timeout=remaining)
                 if not done:
@@ -253,6 +308,9 @@ class SimServer:
                         await task
                     except WorkerDied:
                         pass
+                    if tel is not None:
+                        tel.annotate(sid_run, outcome="expired")
+                        tel.end(sid_run)
                     self._expire(req, "deadline passed mid-run")
                     return
             try:
@@ -261,6 +319,13 @@ class SimServer:
                 self._kill_worker(wid)
                 self.stats.worker_deaths += 1
                 self.metrics.inc("serve.worker.deaths")
+                if tel is not None:
+                    tel.annotate(sid_run, outcome="worker-died")
+                    tel.end(sid_run)
+                if self.events is not None:
+                    self.events.emit("serve.worker.died", wid=wid,
+                                     trace=req.trace, scenario=req.scenario,
+                                     attempt=req.attempts + 1)
                 req.attempts += 1
                 if req.attempts > self.retry_limit:
                     self._resolve(req, {
@@ -272,9 +337,22 @@ class SimServer:
                     return
                 self.stats.retries += 1
                 self.metrics.inc("serve.retries")
+                if self.events is not None:
+                    self.events.emit("serve.request.retried", trace=req.trace,
+                                     scenario=req.scenario,
+                                     attempt=req.attempts)
                 await asyncio.sleep(self._backoff(req))
                 continue
-            self.metrics.observe("serve.run", loop.time() - run_t0)
+            run_s = loop.time() - run_t0
+            self.metrics.observe("serve.run", run_s)
+            if tel is not None:
+                if meta is not None and os.path.exists(meta["sim_trace"]):
+                    # Cross-link: wall-clock run span -> the simulated-
+                    # time trace the worker exported for this request.
+                    req.sim_trace = meta["sim_trace"]
+                    tel.annotate(sid_run, sim_trace=req.sim_trace)
+                tel.annotate(sid_run, outcome=kind)
+                tel.end(sid_run)
             if kind == "ok":
                 if self.cache is not None and req.key is not None:
                     self.cache.put(req.key, payload)
@@ -369,6 +447,9 @@ class SimServer:
             return {"status": protocol.STATUS_OK, "stats": self.snapshot()}
         if op == "health":
             return self._op_health()
+        if op == "metrics":
+            return {"status": protocol.STATUS_OK,
+                    "prometheus": prometheus_text(self.metrics)}
         if op == "drain":
             await self.drain()
             return {"status": protocol.STATUS_OK, "drained": True,
@@ -395,7 +476,6 @@ class SimServer:
         params = msg.get("params") or {}
         deadline_s = msg.get("deadline_s")
         self.stats.submitted += 1
-        self.metrics.inc("serve.requests.submitted")
         if scenario not in scenario_names():
             self.stats.errors += 1
             self.metrics.inc("serve.requests", status="error")
@@ -408,6 +488,19 @@ class SimServer:
             return {"status": protocol.STATUS_ERROR,
                     "error": "params must be a JSON object"}
 
+        # Trace id: client-minted when present on the wire, else a
+        # server fallback — but only when something will consume it.
+        trace = str(msg.get("trace") or "")
+        tel = self.tel
+        observing = (tel is not None or self.events is not None
+                     or self.ledger is not None)
+        if not trace and observing:
+            trace = trace_id("s", next(self._trace_seq))
+        sid = None
+        if tel is not None:
+            sid = tel.begin(f"req:{trace}", "serve.request",
+                            trace=trace, scenario=scenario)
+
         key = None
         if self.cache is not None:
             try:
@@ -415,9 +508,15 @@ class SimServer:
             except (TypeError, ValueError) as err:
                 self.stats.errors += 1
                 self.metrics.inc("serve.requests", status="error")
+                if tel is not None:
+                    tel.annotate(sid, status="error")
+                    tel.end(sid)
                 return {"status": protocol.STATUS_ERROR,
                         "error": f"params not cacheable: {err}"}
             hit = self.cache.get(key)
+            if tel is not None:
+                tel.event(f"req:{trace}", "serve.cache.probe", trace=trace,
+                          result="hit" if hit is not None else "miss")
             if hit is not None:
                 self.stats.cache_hits += 1
                 self.stats.ok += 1
@@ -425,10 +524,30 @@ class SimServer:
                 self.metrics.inc("serve.requests", status="ok")
                 latency = loop.time() - t0
                 self.metrics.observe("serve.latency", latency)
-                return {"status": protocol.STATUS_OK, "result": hit,
-                        "cached": True, "latency_s": latency}
+                if tel is not None:
+                    tel.annotate(sid, status="ok", cached=True)
+                    tel.end(sid)
+                if self.events is not None:
+                    self.events.emit("serve.cache.hit", trace=trace,
+                                     scenario=scenario, digest=key)
+                    self.events.emit("serve.request.completed", trace=trace,
+                                     scenario=scenario, status="ok",
+                                     cached=True, latency_s=latency)
+                if self.ledger is not None:
+                    self.ledger.record(kind="serve", scenario=scenario,
+                                       digest=key or "", status="ok",
+                                       wall_s=latency, cached=True,
+                                       trace=trace)
+                response = {"status": protocol.STATUS_OK, "result": hit,
+                            "cached": True, "latency_s": latency}
+                if trace:
+                    response["trace"] = trace
+                return response
             self.stats.cache_misses += 1
             self.metrics.inc("serve.cache", result="miss")
+            if self.events is not None:
+                self.events.emit("serve.cache.miss", trace=trace,
+                                 scenario=scenario, digest=key)
 
         reason = None
         if self._draining or self._stopping:
@@ -436,17 +555,38 @@ class SimServer:
         else:
             req = _Request(seq=next(self._seq), scenario=scenario,
                            params=params, deadline_s=deadline_s,
-                           enq_t=t0, future=loop.create_future(), key=key)
+                           enq_t=t0, future=loop.create_future(), key=key,
+                           trace=trace, sid=sid)
+            if tel is not None:
+                # Child span on the same track: Tracer nests it under
+                # the still-open serve.request span automatically.
+                req.sid_queue = tel.begin(f"req:{trace}", "serve.queue",
+                                          trace=trace)
             try:
                 self._queue.put_nowait(req)
             except asyncio.QueueFull:
                 reason = "queue full"
+                if tel is not None:
+                    tel.end(req.sid_queue)
+                    req.sid_queue = None
         if reason is not None:
             self.stats.rejected += 1
             self.metrics.inc("serve.requests", status="rejected")
-            return {"status": protocol.STATUS_REJECTED, "reason": reason,
-                    "capacity": self.capacity}
+            if tel is not None:
+                tel.annotate(sid, status="rejected", reason=reason)
+                tel.end(sid)
+            if self.events is not None:
+                self.events.emit("serve.request.rejected", trace=trace,
+                                 scenario=scenario, reason=reason)
+            response = {"status": protocol.STATUS_REJECTED, "reason": reason,
+                        "capacity": self.capacity}
+            if trace:
+                response["trace"] = trace
+            return response
         self._set_depth()
+        if self.events is not None:
+            self.events.emit("serve.request.admitted", trace=trace,
+                             scenario=scenario, depth=self._queue.qsize())
 
         response = dict(await req.future)
         latency = loop.time() - t0
@@ -460,6 +600,27 @@ class SimServer:
         else:
             self.stats.errors += 1
         self.metrics.inc("serve.requests", status=status)
+        if tel is not None:
+            tel.annotate(sid, status=status)
+            tel.end(sid)
+        if self.events is not None:
+            self.events.emit("serve.request.completed", trace=trace,
+                             scenario=scenario, status=status, cached=False,
+                             latency_s=latency,
+                             attempts=response.get("attempts"))
+        if self.ledger is not None:
+            digest = key
+            if digest is None:
+                try:
+                    digest = cache_key(scenario, params)
+                except (TypeError, ValueError):
+                    digest = ""
+            self.ledger.record(kind="serve", scenario=scenario,
+                               digest=digest or "", status=str(status),
+                               wall_s=latency, cached=False, trace=trace,
+                               trace_path=req.sim_trace)
+        if trace:
+            response["trace"] = trace
         return response
 
     def _op_health(self) -> Dict[str, Any]:

@@ -31,6 +31,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -128,12 +129,27 @@ def _invoke(payload: Tuple[Callable, Dict[str, Any]]) -> Any:
     return fn(**params)
 
 
+def _invoke_timed(payload: Tuple[Callable, Dict[str, Any]]) -> Tuple[Any, float]:
+    """:func:`_invoke` plus the point's own wall-clock seconds.
+
+    Only engaged when telemetry or a ledger is attached: with ``jobs >
+    1`` the parent cannot time individual points (they overlap), so the
+    child measures itself and ships the duration home with the result.
+    """
+    fn, params = payload
+    t0 = time.monotonic()
+    result = fn(**params)
+    return result, time.monotonic() - t0
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     *,
     jobs: int = 1,
     cache: Optional[SweepCache] = None,
     mp_context: Optional[str] = None,
+    telemetry: Any = None,
+    ledger: Any = None,
 ) -> List[Any]:
     """Evaluate all points; returns results in input order.
 
@@ -142,24 +158,51 @@ def run_sweep(
     ``multiprocessing`` pool; results are byte-identical to the serial
     run because every point is deterministic and order is restored by
     index.  A cache, when given, is consulted first and fed afterwards.
+
+    ``telemetry`` (:class:`repro.obs.LiveTelemetry`) records one
+    wall-clock ``sweep.task`` span per evaluated point on the
+    ``sweep:task`` track; ``ledger`` (:class:`repro.obs.RunLedger`)
+    appends one ``kind="sweep"`` row per point (cache hits included).
+    Both are off by default and never affect results.
     """
+    tel = telemetry if (telemetry is not None and telemetry.enabled) else None
+    observed = tel is not None or ledger is not None
     results: List[Any] = [None] * len(points)
     todo: List[int] = []
     keys: Dict[int, str] = {}
     for i, pt in enumerate(points):
+        if cache is not None or ledger is not None:
+            keys[i] = pt.key()
         if cache is not None:
-            key = keys[i] = pt.key()
-            hit = cache.get(key)
+            hit = cache.get(keys[i])
             if hit is not None:
                 results[i] = hit
+                if tel is not None:
+                    tel.event("sweep:task", "sweep.cache.hit",
+                              scenario=pt.scenario, index=i)
+                if ledger is not None:
+                    ledger.record(kind="sweep", scenario=pt.scenario,
+                                  digest=keys[i], wall_s=0.0, cached=True)
                 continue
         todo.append(i)
 
     if not todo:
         return results
 
+    timings: Dict[int, float] = {}
     if jobs <= 1 or len(todo) == 1:
-        computed = [_invoke((points[i].fn, points[i].params)) for i in todo]
+        computed = []
+        for i in todo:
+            if tel is not None:
+                with tel.span("sweep:task", "sweep.task",
+                              scenario=points[i].scenario, index=i):
+                    result, dt = _invoke_timed((points[i].fn, points[i].params))
+            elif observed:
+                result, dt = _invoke_timed((points[i].fn, points[i].params))
+            else:
+                result, dt = _invoke((points[i].fn, points[i].params)), 0.0
+            timings[i] = dt
+            computed.append(result)
     else:
         # fork keeps the warm interpreter (and the imported simulator)
         # on POSIX; spawn is the portable fallback.
@@ -167,15 +210,26 @@ def run_sweep(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
         ctx = multiprocessing.get_context(method)
+        payloads = [(points[i].fn, points[i].params) for i in todo]
         with ctx.Pool(processes=min(jobs, len(todo))) as pool:
-            computed = pool.map(
-                _invoke,
-                [(points[i].fn, points[i].params) for i in todo],
-                chunksize=1,
-            )
+            if observed:
+                timed = pool.map(_invoke_timed, payloads, chunksize=1)
+                computed = [r for r, _ in timed]
+                for i, (_, dt) in zip(todo, timed):
+                    timings[i] = dt
+                    if tel is not None:
+                        tel.event("sweep:task", "sweep.task.done",
+                                  scenario=points[i].scenario, index=i,
+                                  wall_s=round(dt, 6))
+            else:
+                computed = pool.map(_invoke, payloads, chunksize=1)
 
     for i, result in zip(todo, computed):
         results[i] = result
         if cache is not None:
             cache.put(keys[i], result)
+        if ledger is not None:
+            ledger.record(kind="sweep", scenario=points[i].scenario,
+                          digest=keys.get(i, ""), wall_s=timings.get(i),
+                          cached=False)
     return results

@@ -1,0 +1,102 @@
+"""Structured JSONL event log: emit, read back, rotation."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog, normalize_events
+
+pytestmark = pytest.mark.obs
+
+
+class TestEmit:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path, clock=lambda: 123.0) as log:
+            log.emit("serve.request.admitted", trace="c-1", scenario="sim")
+            log.emit("serve.request.completed", trace="c-1", status="ok")
+        events = EventLog.read(path)
+        assert [e["event"] for e in events] == [
+            "serve.request.admitted", "serve.request.completed"]
+        assert events[0]["trace"] == "c-1"
+        assert events[0]["ts"] == 123.0
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        path = str(tmp_path / "e.jsonl")
+        with EventLog(path, clock=lambda: 1.0) as log:
+            log.emit("x.y", b=2, a=1)
+        line = open(path).read().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_lazy_open_no_file_until_first_emit(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        log = EventLog(str(path))
+        assert not path.exists()
+        log.close()
+        assert not path.exists()
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"event":"a.b","ts":1}\n{"event":"c.d","ts"')
+        events = EventLog.read(str(path))
+        assert [e["event"] for e in events] == ["a.b"]
+
+
+class TestRotation:
+    def test_rotates_at_max_bytes(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        log = EventLog(path, max_bytes=120, backups=2, clock=lambda: 0.0)
+        for i in range(12):
+            log.emit("serve.tick", n=i)
+        log.close()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert "r.jsonl.1" in files
+        # Nothing is lost across active + retained backups, oldest first.
+        ns = [e["n"] for e in log.read_all()]
+        assert ns == sorted(ns)
+
+    def test_backup_count_is_bounded(self, tmp_path):
+        path = str(tmp_path / "b.jsonl")
+        log = EventLog(path, max_bytes=40, backups=1, clock=lambda: 0.0)
+        for i in range(20):
+            log.emit("serve.tick", n=i)
+        log.close()
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names <= {"b.jsonl", "b.jsonl.1"}
+
+    def test_zero_backups_truncates(self, tmp_path):
+        path = str(tmp_path / "z.jsonl")
+        log = EventLog(path, max_bytes=40, backups=0, clock=lambda: 0.0)
+        for i in range(10):
+            log.emit("serve.tick", n=i)
+        log.close()
+        assert {p.name for p in tmp_path.iterdir()} <= {"z.jsonl"}
+
+    def test_bad_limits_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(str(tmp_path / "x"), max_bytes=0)
+        with pytest.raises(ValueError):
+            EventLog(str(tmp_path / "x"), backups=-1)
+
+
+class TestNormalize:
+    def test_strips_wall_clock_fields(self):
+        events = [{"event": "serve.request.completed", "ts": 5.0,
+                   "latency_s": 0.25, "trace": "c-1", "status": "ok"}]
+        assert normalize_events(events) == [
+            {"event": "serve.request.completed", "trace": "c-1",
+             "status": "ok"}]
+
+    def test_identical_sequences_compare_equal(self, tmp_path):
+        def run(clock_base):
+            path = str(tmp_path / f"n{clock_base}.jsonl")
+            t = [clock_base]
+            with EventLog(path, clock=lambda: t[0]) as log:
+                for i in range(3):
+                    t[0] += 0.1 * clock_base
+                    log.emit("serve.request.admitted", trace=f"c-{i}",
+                             latency_s=0.01 * clock_base)
+            return EventLog.read(path)
+
+        assert normalize_events(run(1)) == normalize_events(run(9))

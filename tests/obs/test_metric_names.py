@@ -1,0 +1,124 @@
+"""Metric-name lint: every instrumentation site follows the scheme.
+
+Names are dotted ``layer.noun[.verb]`` paths (docs/observability.md):
+2-4 lowercase components, the first being a known layer.  Beyond the
+shape, the lint enforces *prefix-freedom*: no metric name may extend
+another metric name by more components — exactly the drift this caught
+at introduction, where ``serve.requests.submitted`` (a counter of its
+own) coexisted with ``serve.requests{status=...}`` (the same fact,
+labeled), splitting one metric's identity across two names.
+
+The walk is AST-based over ``src/repro`` and ``tools``: any call of an
+``.inc`` / ``.set`` / ``.observe`` method whose first argument is a
+string (or f-string) containing a dot is treated as a metric site;
+f-string interpolations become ``*`` wildcard components (shape-checked
+but exempt from prefix-freedom, which is only decidable for literals).
+"""
+
+import ast
+import os
+import re
+
+import pytest
+
+pytestmark = pytest.mark.obs
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+
+#: First dotted component must name a known layer.
+LAYERS = {
+    "serve", "sweep", "bench", "sim", "simtime", "obs",
+    "rml", "prrte", "pmix", "pml", "ompi", "faults", "recovery",
+}
+
+_COMPONENT = re.compile(r"^[a-z0-9_]+$")
+_METHODS = {"inc", "set", "observe"}
+
+
+def _name_of(node):
+    """Metric name of a call's first arg: literal str, or an f-string
+    with interpolations collapsed to '*'.  None = not a metric site."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def collect_metric_sites():
+    """(file, line, name) for every .inc/.set/.observe string call."""
+    sites = []
+    for root in (SRC, TOOLS):
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            if "__pycache__" in dirpath:
+                continue
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                with open(path) as fh:
+                    tree = ast.parse(fh.read(), filename=path)
+                for node in ast.walk(tree):
+                    if not (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in _METHODS
+                            and node.args):
+                        continue
+                    name = _name_of(node.args[0])
+                    if name is None or "." not in name:
+                        continue        # e.g. set() on other objects
+                    rel = os.path.relpath(path, os.path.join(SRC, ".."))
+                    sites.append((rel, node.lineno, name))
+    return sites
+
+
+def test_sites_were_found():
+    """The lint must actually be looking at something."""
+    names = {name for _, _, name in collect_metric_sites()}
+    assert {"serve.latency", "serve.queue.wait", "rml.messages"} <= names
+
+
+def test_names_follow_layer_noun_verb_shape():
+    bad = []
+    for rel, line, name in collect_metric_sites():
+        parts = name.split(".")
+        if not 2 <= len(parts) <= 4:
+            bad.append(f"{rel}:{line}: {name!r} has {len(parts)} components "
+                       f"(want 2-4)")
+            continue
+        if parts[0] not in LAYERS:
+            bad.append(f"{rel}:{line}: {name!r} layer {parts[0]!r} not in "
+                       f"the known set {sorted(LAYERS)}")
+        for part in parts:
+            if part != "*" and not _COMPONENT.match(part):
+                bad.append(f"{rel}:{line}: {name!r} component {part!r} is "
+                           f"not [a-z0-9_]+")
+    assert not bad, "\n".join(bad)
+
+
+def test_names_are_prefix_free():
+    """No literal metric name extends another literal metric name.
+
+    A name that is a dotted prefix of another means one fact is being
+    recorded under two identities (``serve.requests`` with a status
+    label vs a bare ``serve.requests.submitted`` counter) — the exact
+    drift that splits dashboards.  Facet with labels, not suffixes.
+    """
+    literal = sorted({name for _, _, name in collect_metric_sites()
+                      if "*" not in name})
+    conflicts = []
+    for name in literal:
+        for other in literal:
+            if other != name and other.startswith(name + "."):
+                conflicts.append(f"{name!r} is a dotted prefix of {other!r}")
+    assert not conflicts, (
+        "metric names must be prefix-free (facet with labels, not "
+        "suffixes):\n" + "\n".join(conflicts))

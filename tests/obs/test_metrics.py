@@ -49,6 +49,141 @@ class TestHistogram:
         assert set(s) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
 
 
+class TestPercentileEdges:
+    def test_empty_histogram_is_zero_everywhere(self):
+        h = Histogram()
+        for p in (0, 50, 100):
+            assert h.percentile(p) == 0.0
+
+    def test_single_sample_every_percentile(self):
+        h = Histogram()
+        h.observe(3.5)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 3.5
+
+    def test_exact_bounds(self):
+        h = Histogram()
+        for v in (5, 1, 9, 3):
+            h.observe(v)
+        assert h.percentile(0) == 1 and h.percentile(100) == 9
+
+    def test_duplicate_heavy_distribution(self):
+        h = Histogram()
+        for _ in range(99):
+            h.observe(1.0)
+        h.observe(100.0)
+        assert h.percentile(50) == 1.0
+        assert h.percentile(98) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_negative_and_fractional_p(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        h.observe(2.0)
+        assert h.percentile(75.0) == pytest.approx(1.75)
+
+
+class TestBoundedReservoir:
+    def test_exact_below_cap(self):
+        """Below the cap the bounded histogram is byte-for-byte the
+        unbounded one: same samples, same percentiles."""
+        bounded, unbounded = Histogram(max_samples=100), Histogram()
+        for v in range(50):
+            bounded.observe(float(v))
+            unbounded.observe(float(v))
+        assert bounded.values == unbounded.values
+        assert bounded.summary() == unbounded.summary()
+
+    def test_memory_bounded_past_cap(self):
+        h = Histogram(max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h.values) == 64
+
+    def test_running_aggregates_stay_exact(self):
+        h = Histogram(max_samples=8)
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert h.total == pytest.approx(500500.0)
+        assert h.mean == pytest.approx(500.5)
+        s = h.summary()
+        assert s["count"] == 1000 and s["min"] == 1.0 and s["max"] == 1000.0
+
+    def test_seeded_and_deterministic(self):
+        def fill(seed):
+            h = Histogram(max_samples=16, seed=seed)
+            for v in range(500):
+                h.observe(float(v))
+            return list(h.values)
+
+        assert fill(7) == fill(7)
+        assert fill(7) != fill(8)       # the seed matters
+
+    def test_reservoir_is_representative(self):
+        h = Histogram(max_samples=200, seed=3)
+        for v in range(10_000):
+            h.observe(float(v))
+        # Algorithm R keeps a uniform sample: the median estimate must
+        # land well inside the middle of the distribution.
+        assert 3000 < h.percentile(50) < 7000
+
+    def test_bad_cap_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(max_samples=0)
+
+    def test_registry_threads_cap_and_seed(self):
+        m = MetricsRegistry(enabled=True, histogram_max_samples=4,
+                            reservoir_seed=11)
+        for v in range(100):
+            m.observe("serve.latency", float(v))
+        h = m.histogram("serve.latency")
+        assert len(h.values) == 4 and h.count == 100
+
+    def test_registry_per_key_seeds_differ(self):
+        """Two label sets must not correlate their sampling decisions."""
+        m = MetricsRegistry(enabled=True, histogram_max_samples=8)
+        for v in range(200):
+            m.observe("serve.run", float(v), node=0)
+            m.observe("serve.run", float(v), node=1)
+        assert m.histogram("serve.run", node=0).values \
+            != m.histogram("serve.run", node=1).values
+
+
+class TestMergedHistogram:
+    def test_merges_label_sets_in_sorted_order(self):
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        a.observe("serve.latency", 1.0, node=0)
+        a.observe("serve.latency", 3.0, node=1)
+        b.observe("serve.latency", 3.0, node=1)     # reversed insertion
+        b.observe("serve.latency", 1.0, node=0)
+        assert a.merged_histogram("serve.latency").values \
+            == b.merged_histogram("serve.latency").values
+
+    def test_merge_keeps_exact_aggregates_with_bounded_reservoirs(self):
+        m = MetricsRegistry(enabled=True, histogram_max_samples=4)
+        for v in range(1, 101):
+            m.observe("serve.run", float(v), node=v % 2)
+        merged = m.merged_histogram("serve.run")
+        assert merged.count == 100
+        assert merged.total == pytest.approx(5050.0)
+        assert merged.mean == pytest.approx(50.5)
+        s = merged.summary()
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert len(merged.values) == 8              # 2 reservoirs of 4
+
+    def test_merge_ignores_other_names_and_handles_empty(self):
+        m = MetricsRegistry(enabled=True)
+        m.observe("serve.latency", 1.0)
+        m.observe("serve.run", 9.0)
+        assert m.merged_histogram("serve.latency").values == [1.0]
+        empty = m.merged_histogram("nothing.here")
+        assert empty.count == 0 and empty.summary() == {"count": 0}
+
+
 class TestRegistry:
     def test_disabled_by_default_force_overrides(self):
         m = MetricsRegistry()

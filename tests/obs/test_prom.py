@@ -1,0 +1,74 @@
+"""Prometheus text exposition of the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import prom_name, prometheus_text
+
+pytestmark = pytest.mark.obs
+
+
+class TestPromName:
+    def test_dots_become_underscores(self):
+        assert prom_name("serve.queue.depth") == "serve_queue_depth"
+
+    def test_invalid_chars_sanitized(self):
+        assert prom_name("a.b-c d") == "a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        assert prom_name("9lives") == "_9lives"
+
+
+class TestExposition:
+    def test_counter_and_gauge_families(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("serve.requests", status="ok")
+        m.inc("serve.requests", 2, status="error")
+        m.set("serve.queue.depth", 3)
+        text = prometheus_text(m)
+        assert "# TYPE serve_requests counter\n" in text
+        assert 'serve_requests{status="error"} 2\n' in text
+        assert 'serve_requests{status="ok"} 1\n' in text
+        assert "# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n" in text
+
+    def test_histogram_renders_as_summary(self):
+        m = MetricsRegistry(enabled=True)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            m.observe("serve.latency", v)
+        text = prometheus_text(m)
+        assert "# TYPE serve_latency summary" in text
+        assert 'serve_latency{quantile="0.5"} 0.25' in text
+        assert 'serve_latency{quantile="0.99"}' in text
+        assert "serve_latency_sum 1\n" in text
+        assert "serve_latency_count 4\n" in text
+
+    def test_histogram_labels_compose_with_quantile(self):
+        m = MetricsRegistry(enabled=True)
+        m.observe("sweep.task", 1.0, jobs=2)
+        text = prometheus_text(m)
+        assert 'sweep_task{jobs="2",quantile="0.5"} 1\n' in text
+        assert 'sweep_task_count{jobs="2"} 1\n' in text
+
+    def test_label_values_escaped(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("serve.errors", reason='bad "quote"\nnewline\\slash')
+        text = prometheus_text(m)
+        assert ('serve_errors{reason="bad \\"quote\\"\\nnewline\\\\slash"} 1'
+                in text)
+
+    def test_deterministic_across_insertion_order(self):
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        for reg, order in ((a, (0, 1)), (b, (1, 0))):
+            for i in order:
+                reg.inc("serve.requests", status=f"s{i}")
+                reg.observe("serve.latency", float(i + 1), node=i)
+        assert prometheus_text(a) == prometheus_text(b)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_output_ends_with_newline(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("a.b")
+        assert prometheus_text(m).endswith("\n")

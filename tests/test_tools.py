@@ -80,18 +80,50 @@ class TestRunRecovery:
 
 
 class TestBench:
-    def test_quick_bench_writes_report(self, tmp_path):
-        out = tmp_path / "BENCH_TEST.json"
-        proc = subprocess.run(
+    def run(self, *args):
+        return subprocess.run(
             [sys.executable, "tools/bench.py", "--quick", "--repeats", "1",
-             "--cases", "comm-dup", "--out", str(out)],
+             "--cases", "comm-dup", *args],
             capture_output=True, text=True, timeout=600, cwd=".",
         )
+
+    def test_quick_bench_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_TEST.json"
+        proc = self.run("--out", str(out))
         assert proc.returncode == 0, proc.stderr
         report = json.loads(out.read_text())
         rec = report["cases"]["comm-dup"]
         assert rec["events"] > 0
         assert rec["fast_eps"] > 0 and rec["compat_eps"] > 0
+
+    def test_check_gate_and_ledger(self, tmp_path):
+        """--check gates a rerun against its own baseline; --ledger
+        leaves a queryable bench row behind."""
+        out = tmp_path / "BASE.json"
+        ledger = tmp_path / "ledger.sqlite"
+        first = self.run("--out", str(out), "--ledger", str(ledger))
+        assert first.returncode == 0, first.stderr
+        assert "recorded 1 case(s)" in first.stdout
+
+        again = self.run("--out", str(tmp_path / "AGAIN.json"),
+                         "--check", str(out), "--tolerance", "5.0")
+        assert again.returncode == 0, again.stderr
+
+        report = subprocess.run(
+            [sys.executable, "tools/obs_report.py", "--runs", str(ledger)],
+            capture_output=True, text=True, timeout=120, cwd=".",
+        )
+        assert report.returncode == 0, report.stderr
+        assert "bench" in report.stdout and "comm-dup" in report.stdout
+
+    def test_runs_mode_missing_ledger_exits_2(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "tools/obs_report.py", "--runs",
+             str(tmp_path / "nope.sqlite")],
+            capture_output=True, text=True, timeout=120, cwd=".",
+        )
+        assert proc.returncode == 2
+        assert "no ledger" in proc.stderr
 
 
 @pytest.mark.serve
@@ -141,6 +173,67 @@ class TestServeCLI:
             if server.poll() is None:
                 server.kill()
             server.wait()
+
+    def test_telemetry_stats_json_and_metrics(self, tmp_path):
+        """A --telemetry server: stats/health round-trip through --json,
+        metrics prints Prometheus text, and the telemetry directory ends
+        up holding the event log, the ledger, and the wall trace."""
+        tel_dir = tmp_path / "tel"
+        server = subprocess.Popen(
+            [sys.executable, "tools/serve.py", "start", "--port", "0",
+             "--jobs", "1", "--telemetry", str(tel_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, cwd=".",
+        )
+        try:
+            banner = server.stderr.readline()
+            assert "serving on" in banner, banner
+            port = banner.split()[2].rsplit(":", 1)[1]
+            assert "telemetry" in server.stderr.readline()
+
+            submit = self.run("submit", "sleep", "--param", "seconds=0.01",
+                              "--port", port, "--json")
+            assert submit.returncode == 0, submit.stderr
+            assert json.loads(submit.stdout)["status"] == "ok"
+
+            stats = self.run("stats", "--port", port, "--json")
+            assert stats.returncode == 0, stats.stderr
+            payload = json.loads(stats.stdout)        # --json is valid JSON
+            assert payload["status"] == "ok"
+            assert payload["stats"]["submitted"] == 1
+            assert payload["stats"]["ok"] == 1
+
+            human = self.run("stats", "--port", port)
+            assert human.returncode == 0
+            assert "submitted: 1" in human.stdout
+            assert not human.stdout.lstrip().startswith("{")
+
+            health = self.run("health", "--port", port, "--json")
+            assert health.returncode == 0
+            hp = json.loads(health.stdout)
+            assert hp["status"] == "ok" and hp["workers"] >= 1
+
+            metrics = self.run("metrics", "--port", port)
+            assert metrics.returncode == 0, metrics.stderr
+            assert "# TYPE serve_requests counter" in metrics.stdout
+
+            down = self.run("shutdown", "--port", port)
+            assert down.returncode == 0
+            assert server.wait(timeout=30) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+            server.wait()
+
+        assert (tel_dir / "events.jsonl").exists()
+        assert (tel_dir / "ledger.sqlite").exists()
+        assert (tel_dir / "serve-trace.json").exists()
+        runs = subprocess.run(
+            [sys.executable, "tools/obs_report.py", "--runs",
+             str(tel_dir / "ledger.sqlite")],
+            capture_output=True, text=True, timeout=120, cwd=".",
+        )
+        assert runs.returncode == 0, runs.stderr
+        assert "serve" in runs.stdout and "sleep" in runs.stdout
 
     def test_submit_unreachable_server_fails_cleanly(self):
         proc = self.run("submit", "sleep", "--port", "1")    # nothing there

@@ -10,6 +10,7 @@ Usage::
     python tools/bench.py --serve             # serve loadgen -> BENCH_PR5.json
     python tools/bench.py --check             # gate vs committed BENCH_PR6.json
     python tools/bench.py --check BENCH_PR4.json --tolerance 0.3
+    python tools/bench.py --ledger obs/ledger.sqlite   # record runs
 
 Each case runs twice — once on the default fast-path scheduler, once on
 ``Engine(compat=True)`` — and reports events/second plus the speedup.
@@ -73,6 +74,9 @@ def main(argv=None) -> int:
     ap.add_argument("--serve", action="store_true",
                     help="benchmark the repro.serve layer (loadgen) instead "
                          "of the engine cases")
+    ap.add_argument("--ledger", metavar="PATH",
+                    help="append one kind=bench row per case to this "
+                         "RunLedger sqlite file (tools/obs_report.py --runs)")
     cli.add_seed(ap, help="workload seed for --serve (default: %(default)s)")
     args = ap.parse_args(argv)
 
@@ -141,6 +145,14 @@ def main(argv=None) -> int:
     rc = cli.write_json(args.out, report)
     if rc:
         return rc
+    if args.ledger:
+        from repro.bench.perf import ledger_records
+        from repro.obs import RunLedger
+
+        with RunLedger(args.ledger) as ledger:
+            for row in ledger_records(report):
+                ledger.record(**row)
+        print(f"recorded {len(report['cases'])} case(s) in {args.ledger}")
     if failed:
         print(f"FAILED speedup bars: {', '.join(failed)}", file=sys.stderr)
         return 1

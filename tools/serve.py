@@ -4,13 +4,23 @@
 Usage::
 
     python tools/serve.py start --jobs 4 --capacity 32 --port 7077
+    python tools/serve.py start --telemetry obs/ --port 7077
     python tools/serve.py submit sim --param seed=3 --param 'spec={"nprocs":4}'
     python tools/serve.py submit recovery-soak --param seed=7 --json
-    python tools/serve.py stats --port 7077
+    python tools/serve.py stats --port 7077 [--json]
+    python tools/serve.py health --port 7077 [--json]
+    python tools/serve.py metrics --port 7077
     python tools/serve.py drain --port 7077
     python tools/serve.py resize 8 --port 7077
     python tools/serve.py shutdown --port 7077
     python tools/serve.py loadgen --clients 4 --requests 32 --out BENCH_PR5.json
+
+``start --telemetry DIR`` switches on the live-telemetry stack
+(docs/observability.md): wall-clock spans to ``DIR/serve-trace.json``
+(written at shutdown, per-request sim traces next to it), the JSONL
+event log to ``DIR/events.jsonl``, and the run ledger to
+``DIR/ledger.sqlite`` (query with ``tools/obs_report.py --runs``).
+``metrics`` prints the server's registry as Prometheus text.
 
 ``start`` runs a server in the foreground until interrupted.  The
 other subcommands are thin wrappers over one wire op each.  ``loadgen``
@@ -30,6 +40,13 @@ import sys
 from repro import cli
 from repro.serve import ServeClient, SimServer, scenario_names
 from repro.serve.loadgen import bench_report, run_loadgen, sim_workload
+
+
+def _fmt(value) -> str:
+    """Human-readable scalar: floats rounded, everything else as-is."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
 
 
 def _param(text: str):
@@ -59,14 +76,29 @@ def _client(args) -> ServeClient:
 
 
 async def _serve_forever(args) -> None:
+    obs_kwargs = {}
+    if args.telemetry:
+        import os
+
+        from repro.obs import LiveTelemetry
+        os.makedirs(args.telemetry, exist_ok=True)
+        obs_kwargs = dict(
+            telemetry=LiveTelemetry(),
+            event_log=os.path.join(args.telemetry, "events.jsonl"),
+            ledger=os.path.join(args.telemetry, "ledger.sqlite"),
+            trace_dir=args.telemetry,
+        )
     server = await SimServer(
         workers=args.jobs, capacity=args.capacity, cache_dir=args.cache_dir,
         host=args.host, port=args.port, retry_seed=args.seed,
-        retry_limit=args.retry_limit,
+        retry_limit=args.retry_limit, **obs_kwargs,
     ).start()
     print(f"serving on {server.host}:{server.port} "
           f"(workers={args.jobs}, capacity={args.capacity}, "
           f"scenarios: {', '.join(scenario_names())})", file=sys.stderr)
+    if args.telemetry:
+        print(f"telemetry -> {args.telemetry} (events.jsonl, ledger.sqlite, "
+              f"serve-trace.json at shutdown)", file=sys.stderr)
     try:
         await server.stopped.wait()         # until SIGINT or a shutdown op
     finally:
@@ -89,6 +121,9 @@ def main(argv=None) -> int:
     cli.add_seed(p, help="retry-backoff jitter seed (default: %(default)s)")
     p.add_argument("--retry-limit", type=int, default=2, metavar="N",
                    help="worker-death retries per request (default: %(default)s)")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="enable live telemetry: wall-clock traces, JSONL "
+                        "event log, and run ledger under DIR")
 
     p = sub.add_parser("submit", help="submit one request and print the result")
     p.add_argument("scenario", help=f"one of: {', '.join(scenario_names())}")
@@ -101,7 +136,12 @@ def main(argv=None) -> int:
     cli.add_json_flag(p, help="print the full JSON response")
 
     for name, help_text in [("stats", "print serving statistics"),
-                            ("health", "print a liveness summary"),
+                            ("health", "print a liveness summary")]:
+        p = sub.add_parser(name, help=help_text)
+        _add_addr(p, default_port=7077)
+        cli.add_json_flag(p, help="print the full JSON response")
+
+    for name, help_text in [("metrics", "print Prometheus text exposition"),
                             ("drain", "stop admitting, wait for quiescence"),
                             ("shutdown", "stop the server")]:
         p = sub.add_parser(name, help=help_text)
@@ -155,10 +195,41 @@ def main(argv=None) -> int:
                       f"(cached: {response.get('cached', False)})")
         return 0 if response.get("status") == "ok" else 1
 
-    if args.cmd in ("stats", "health", "drain", "shutdown", "resize"):
+    if args.cmd in ("stats", "health"):
+        with _client(args) as client:
+            response = (client.stats if args.cmd == "stats"
+                        else client.health)()
+        if args.json:
+            print(json.dumps(response, sort_keys=True, indent=2))
+        else:
+            body = response.get("stats", response) if args.cmd == "stats" \
+                else response
+            for key in sorted(body):
+                if key in ("status", "id"):
+                    continue
+                value = body[key]
+                if isinstance(value, dict):
+                    rendered = "  ".join(
+                        f"{k}={_fmt(value[k])}" for k in sorted(value))
+                elif isinstance(value, list):
+                    rendered = ", ".join(str(v) for v in value)
+                else:
+                    rendered = _fmt(value)
+                print(f"{key}: {rendered}")
+        return 0 if response.get("status") == "ok" else 1
+
+    if args.cmd == "metrics":
+        with _client(args) as client:
+            response = client.metrics()
+        if response.get("status") != "ok":
+            print(json.dumps(response, sort_keys=True, indent=2))
+            return 1
+        sys.stdout.write(response.get("prometheus", ""))
+        return 0
+
+    if args.cmd in ("drain", "shutdown", "resize"):
         with _client(args) as client:
             response = {
-                "stats": client.stats, "health": client.health,
                 "drain": client.drain, "shutdown": client.shutdown,
                 "resize": lambda: client.resize(args.workers),
             }[args.cmd]()
