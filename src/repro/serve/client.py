@@ -12,6 +12,14 @@ Both speak the newline-JSON protocol of :mod:`repro.serve.protocol`::
     with ServeClient(host, port) as c:
         r = c.submit("sim", {"spec": spec.to_payload(), "seed": 3})
         assert r["status"] == "ok"
+
+Robustness (docs/robustness.md): both clients retry the initial
+connect with bounded seeded backoff, and :class:`ServeClient`
+additionally survives a connection dying *mid-rpc* — it reconnects and
+resubmits the same request up to ``retries`` times within an optional
+wall-clock ``retry_deadline_s``.  Resubmission is safe because the
+server single-flights by cache key: a retried submit coalesces onto
+(or cache-hits) the original computation, never re-running it.
 """
 
 from __future__ import annotations
@@ -19,7 +27,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, Optional
 
 from repro.serve import protocol
@@ -38,24 +48,87 @@ class ServeClient:
     ``serve.client.request`` span on the ``client:<prefix>`` track, so
     the exported trace shows client-observed latency next to the
     server's own spans for the same trace id.
+
+    ``retries`` bounds both connect attempts (``retries + 1`` total)
+    and mid-rpc reconnect-and-resubmit attempts; backoff between them
+    is seeded by ``retry_seed`` (deterministic), and
+    ``retry_deadline_s`` caps the total wall-clock spent retrying one
+    rpc.  ``chaos`` (:class:`repro.chaos.ChaosPlan`) is consulted at
+    the ``client.send`` site — a firing ``drop_conn`` tears the
+    connection down mid-line or after the send, exercising exactly the
+    failure the retry path exists for.
     """
 
     def __init__(self, host: str, port: int, *,
                  timeout: Optional[float] = None,
                  trace: Optional[str] = None,
-                 telemetry: Any = None) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+                 telemetry: Any = None,
+                 retries: int = 2,
+                 retry_base: float = 0.05,
+                 retry_seed: int = 0,
+                 retry_deadline_s: Optional[float] = None,
+                 chaos: Any = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_base = retry_base
+        self.retry_seed = retry_seed
+        self.retry_deadline_s = retry_deadline_s
+        self.chaos = chaos
+        self.reconnects = 0     # connections re-established mid-rpc
+        self.resubmits = 0      # requests resubmitted after a drop
         self._ids = itertools.count(1)
         self._trace_prefix = trace
         self._trace_ids = itertools.count(1)
         self.telemetry = telemetry if (telemetry is not None
                                        and telemetry.enabled) else None
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
 
     # -- plumbing ------------------------------------------------------------
-    def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
-        msg = dict(msg, id=next(self._ids))
-        self._file.write(protocol.encode(msg))
+    def _connect(self) -> None:
+        """(Re)establish the connection, retrying with seeded backoff."""
+        last: Optional[OSError] = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+                self._file = self._sock.makefile("rwb")
+                return
+            except OSError as err:
+                last = err
+                if attempt < self.retries:
+                    time.sleep(self._backoff(attempt + 1))
+        assert last is not None
+        raise last
+
+    def _backoff(self, attempt: int) -> float:
+        rng = random.Random(f"{self.retry_seed}:client:{attempt}")
+        return self.retry_base * (2 ** (attempt - 1)) * (0.5 + 0.5 * rng.random())
+
+    def _exchange(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """One write/read round-trip (no retry), with the chaos hook."""
+        data = protocol.encode(msg)
+        if self.chaos is not None:
+            for act in self.chaos.on("client.send",
+                                     scenario=msg.get("scenario")):
+                if act.kind != "drop_conn":
+                    continue
+                if act.phase == "mid":
+                    # A torn request: half the line, no newline, gone.
+                    self._file.write(data[:len(data) // 2])
+                    self._file.flush()
+                    self.close()
+                    raise ServeConnectionError(
+                        "chaos: connection dropped mid-line")
+                self._file.write(data)      # phase == "after"
+                self._file.flush()
+                self.close()
+                raise ServeConnectionError(
+                    "chaos: connection dropped awaiting reply")
+        self._file.write(data)
         self._file.flush()
         line = self._file.readline()
         if not line:
@@ -63,6 +136,29 @@ class ServeClient:
         response = json.loads(line)
         assert response.get("id") in (None, msg["id"]), "response id mismatch"
         return response
+
+    def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        msg = dict(msg, id=next(self._ids))
+        t0 = time.monotonic()
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(msg)
+            except (ServeConnectionError, OSError):
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                delay = self._backoff(attempt)
+                if self.retry_deadline_s is not None:
+                    remaining = self.retry_deadline_s - (time.monotonic() - t0)
+                    if remaining <= 0:
+                        raise
+                    delay = min(delay, remaining)
+                time.sleep(delay)
+                self.close()
+                self._connect()
+                self.reconnects += 1
+                self.resubmits += 1
 
     def _mint(self) -> Optional[str]:
         if self._trace_prefix is None:
@@ -112,14 +208,18 @@ class ServeClient:
         return self._rpc({"op": "shutdown"})
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -143,10 +243,26 @@ class AsyncServeClient:
 
     @classmethod
     async def connect(cls, host: str, port: int, *,
-                      trace: Optional[str] = None) -> "AsyncServeClient":
+                      trace: Optional[str] = None,
+                      retries: int = 2,
+                      retry_base: float = 0.05) -> "AsyncServeClient":
+        """Connect, retrying a refused/unreachable server ``retries``
+        times with exponential backoff before giving up."""
         self = cls()
         self._trace_prefix = trace
-        self._reader, self._writer = await asyncio.open_connection(host, port)
+        last: Optional[OSError] = None
+        for attempt in range(max(0, retries) + 1):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    host, port)
+                break
+            except OSError as err:
+                last = err
+                if attempt < retries:
+                    await asyncio.sleep(retry_base * (2 ** attempt))
+        else:
+            assert last is not None
+            raise last
         self._reader_task = asyncio.ensure_future(self._read_loop())
         return self
 

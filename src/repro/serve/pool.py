@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Dict, Optional, Tuple
 
 
@@ -77,13 +78,33 @@ class Worker:
         return self.proc.is_alive()
 
     def call(self, scenario: str, params: Dict[str, Any],
-             meta: Optional[Dict[str, Any]] = None) -> Tuple[str, Any]:
+             meta: Optional[Dict[str, Any]] = None, *,
+             chaos: Any = None) -> Tuple[str, Any]:
         """Blocking request/reply; raises :class:`WorkerDied` on death.
 
         Runs on an executor thread — the asyncio side awaits it via
         ``asyncio.to_thread``.  ``meta`` is telemetry-only side data
         (trace id, sim-trace export path); it never enters ``params``.
+        ``chaos`` (:class:`repro.chaos.ChaosPlan`) is consulted at the
+        ``worker.call`` site before the dispatch; a firing action kills
+        this worker, breaks its pipe, or stalls the call, all of which
+        surface through the existing :class:`WorkerDied` / retry path.
         """
+        if chaos is not None:
+            for act in chaos.on("worker.call", scenario=scenario,
+                                wid=self.wid):
+                if act.kind == "kill_worker":
+                    # The dead child tears the pipe down; the send or
+                    # recv below then raises exactly as a real crash.
+                    self.proc.kill()
+                    self.proc.join(timeout=5.0)
+                elif act.kind == "break_pipe":
+                    try:
+                        self.conn.close()
+                    except OSError:
+                        pass
+                elif act.kind == "hang_worker":
+                    time.sleep(act.delay)
         try:
             self.conn.send((scenario, params, meta))
             kind, payload = self.conn.recv()

@@ -21,6 +21,17 @@ sweeps use (``repro.sweep.SweepCache`` keyed by
 ``cache_key(scenario, params)``): a request the sweep CLIs already
 computed is answered without touching the pool, and vice versa.
 
+Robustness (docs/robustness.md): submits for a cache key already being
+computed coalesce onto the in-flight leader (*single-flight*), which is
+what makes client resubmits after a dropped reply safe — the retry
+never recomputes or double-counts.  A circuit breaker flips the server
+into cache-only *degraded* mode after ``breaker_threshold`` consecutive
+worker deaths (cache hits still answer; uncached submits are rejected
+with a ``degraded`` reason) and half-opens after a cooldown.  An
+optional :class:`repro.chaos.ChaosPlan` injects worker kills, pipe
+breaks, hangs and cache corruption through the ``worker.call`` and
+``cache.put`` hook points.
+
 Everything observable lands in a :class:`repro.obs.metrics
 .MetricsRegistry`: queue depth, admission rejections, cache hit rate,
 latency histograms (p50/p99 via the ``stats`` op), worker deaths.
@@ -35,7 +46,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.events import EventLog
 from repro.obs.live import LiveTelemetry, trace_id
@@ -85,6 +96,9 @@ class ServeStats:
     worker_deaths: int = 0
     worker_spawns: int = 0
     max_queue_depth: int = 0
+    breaker_trips: int = 0
+    degraded_rejects: int = 0
+    coalesced: int = 0
 
 
 class SimServer:
@@ -113,11 +127,16 @@ class SimServer:
         event_log: Optional[Union[str, EventLog]] = None,
         ledger: Optional[Union[str, RunLedger]] = None,
         trace_dir: Optional[str] = None,
+        chaos: Any = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         if capacity < 1:
             raise ValueError("need a queue capacity of at least one")
+        if breaker_threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
         self.capacity = capacity
         self.host = host
         self.port = port
@@ -126,7 +145,6 @@ class SimServer:
         self.retry_base = retry_base
         self.mp_context = mp_context
         self.metrics = metrics or MetricsRegistry(enabled=True)
-        self.cache = SweepCache(cache_dir) if cache_dir else None
         # Live telemetry (docs/observability.md): all four are optional
         # and off by default; each instrumentation site costs exactly
         # one `is not None` branch when disabled.
@@ -136,6 +154,26 @@ class SimServer:
                        else event_log)
         self.ledger = (RunLedger(ledger) if isinstance(ledger, str)
                        else ledger)
+        # Chaos plan (docs/robustness.md): consulted at worker.call and
+        # cache.put; injections show up as chaos.* metrics/events.
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.attach(metrics=self.metrics, events=self.events)
+        self.cache = (SweepCache(cache_dir, metrics=self.metrics,
+                                 events=self.events, chaos=chaos)
+                      if cache_dir else None)
+        # Circuit breaker: after `breaker_threshold` consecutive worker
+        # deaths the server flips to cache-only degraded mode; after
+        # `breaker_cooldown_s` it half-opens (one more death re-trips).
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.degraded = False
+        self._consec_deaths = 0
+        self._breaker_opened = 0.0
+        # Single-flight: one in-flight computation per cache key; later
+        # submits for the same key await the leader's future (this is
+        # what makes client resubmits after a dropped reply safe).
+        self._singleflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self.trace_dir = trace_dir
         self._trace_seq = itertools.count(1)   # fallback server-side ids
         self.stats = ServeStats()
@@ -148,6 +186,7 @@ class SimServer:
         self._retiring: set = set()
         self._next_wid = itertools.count()
         self._inflight = 0
+        self._conn_tasks: set = set()
         self._draining = False
         self._stopping = False
         self._server: Optional[asyncio.AbstractServer] = None
@@ -175,6 +214,14 @@ class SimServer:
             task.cancel()
         await asyncio.gather(*loops, return_exceptions=True)
         self._loops.clear()
+        # Connection handlers for abruptly-dropped clients can still be
+        # finishing; reap them so loop teardown never destroys a
+        # pending task.
+        conns = list(self._conn_tasks)
+        for task in conns:
+            task.cancel()
+        await asyncio.gather(*conns, return_exceptions=True)
+        self._conn_tasks.clear()
         for worker in list(self._workers.values()):
             worker.kill()
         self._workers.clear()
@@ -296,7 +343,8 @@ class SimServer:
                                     trace=req.trace, scenario=req.scenario,
                                     attempt=req.attempts + 1)
             task = asyncio.ensure_future(
-                asyncio.to_thread(worker.call, req.scenario, req.params, meta))
+                asyncio.to_thread(worker.call, req.scenario, req.params, meta,
+                                  chaos=self.chaos))
             if remaining is not None:
                 done, _pending = await asyncio.wait({task}, timeout=remaining)
                 if not done:
@@ -319,6 +367,7 @@ class SimServer:
                 self._kill_worker(wid)
                 self.stats.worker_deaths += 1
                 self.metrics.inc("serve.worker.deaths")
+                self._note_worker_death()
                 if tel is not None:
                     tel.annotate(sid_run, outcome="worker-died")
                     tel.end(sid_run)
@@ -343,6 +392,7 @@ class SimServer:
                                      attempt=req.attempts)
                 await asyncio.sleep(self._backoff(req))
                 continue
+            self._consec_deaths = 0     # a live worker answered
             run_s = loop.time() - run_t0
             self.metrics.observe("serve.run", run_s)
             if tel is not None:
@@ -370,6 +420,33 @@ class SimServer:
         rng = random.Random(f"{self.retry_seed}:{req.seq}:{req.attempts}")
         return self.retry_base * (2 ** (req.attempts - 1)) * (0.5 + 0.5 * rng.random())
 
+    # -- circuit breaker -----------------------------------------------------
+    def _note_worker_death(self) -> None:
+        self._consec_deaths += 1
+        if not self.degraded and self._consec_deaths >= self.breaker_threshold:
+            self.degraded = True
+            self._breaker_opened = asyncio.get_running_loop().time()
+            self.stats.breaker_trips += 1
+            self.metrics.inc("serve.breaker.trips")
+            if self.events is not None:
+                self.events.emit("serve.breaker.opened",
+                                 consecutive_deaths=self._consec_deaths,
+                                 threshold=self.breaker_threshold)
+
+    def _degraded_active(self, now: float) -> bool:
+        """Is cache-only mode in force right now?  Half-opens after the
+        cooldown: one probe request reaches the pool, and a single
+        further death re-trips immediately."""
+        if not self.degraded:
+            return False
+        if now - self._breaker_opened >= self.breaker_cooldown_s:
+            self.degraded = False
+            self._consec_deaths = self.breaker_threshold - 1
+            if self.events is not None:
+                self.events.emit("serve.breaker.half_open")
+            return False
+        return True
+
     def _expire(self, req: _Request, why: str) -> None:
         self._resolve(req, {"status": protocol.STATUS_EXPIRED, "reason": why,
                             "attempts": req.attempts})
@@ -387,6 +464,10 @@ class SimServer:
     # -- the wire ------------------------------------------------------------
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
+        me = asyncio.current_task()
+        if me is not None:
+            self._conn_tasks.add(me)
+            me.add_done_callback(self._conn_tasks.discard)
         lock = asyncio.Lock()
         tasks = set()
         try:
@@ -399,6 +480,13 @@ class SimServer:
                 task = asyncio.ensure_future(self._serve_line(line, writer, lock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            # Cancelled by stop(): finish cleanly rather than letting
+            # the cancellation propagate — the streams machinery's
+            # done-callback calls task.exception() and would log a
+            # spurious CancelledError for every still-open connection.
+            if not self._stopping:
+                raise
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
@@ -549,9 +637,50 @@ class SimServer:
                 self.events.emit("serve.cache.miss", trace=trace,
                                  scenario=scenario, digest=key)
 
+        # Single-flight: if the same cache key is already being computed,
+        # coalesce onto the leader's future instead of re-running it —
+        # a resubmit after a dropped reply costs no second computation.
+        leader = self._singleflight.get(key) if key is not None else None
+        if leader is not None and not leader.done():
+            self.stats.coalesced += 1
+            self.metrics.inc("serve.coalesced")
+            if self.events is not None:
+                self.events.emit("serve.request.coalesced", trace=trace,
+                                 scenario=scenario, digest=key)
+            response = dict(await leader)
+            latency = loop.time() - t0
+            response["latency_s"] = latency
+            response["coalesced"] = True
+            status = response.get("status")
+            if status == protocol.STATUS_OK:
+                self.stats.ok += 1
+                self.metrics.observe("serve.latency", latency)
+            elif status == protocol.STATUS_EXPIRED:
+                self.stats.expired += 1
+            else:
+                self.stats.errors += 1
+            self.metrics.inc("serve.requests", status=status)
+            if tel is not None:
+                tel.annotate(sid, status=status, coalesced=True)
+                tel.end(sid)
+            if self.events is not None:
+                self.events.emit("serve.request.completed", trace=trace,
+                                 scenario=scenario, status=status,
+                                 cached=False, latency_s=latency)
+            if self.ledger is not None:
+                self.ledger.record(kind="serve", scenario=scenario,
+                                   digest=key or "", status=str(status),
+                                   wall_s=latency, cached=False, trace=trace)
+            if trace:
+                response["trace"] = trace
+            return response
+
         reason = None
         if self._draining or self._stopping:
             reason = "draining"
+        elif self._degraded_active(t0):
+            reason = "degraded: cache-only mode (circuit breaker open)"
+            self.stats.degraded_rejects += 1
         else:
             req = _Request(seq=next(self._seq), scenario=scenario,
                            params=params, deadline_s=deadline_s,
@@ -564,6 +693,8 @@ class SimServer:
                                           trace=trace)
             try:
                 self._queue.put_nowait(req)
+                if key is not None:
+                    self._singleflight[key] = req.future
             except asyncio.QueueFull:
                 reason = "queue full"
                 if tel is not None:
@@ -588,7 +719,11 @@ class SimServer:
             self.events.emit("serve.request.admitted", trace=trace,
                              scenario=scenario, depth=self._queue.qsize())
 
-        response = dict(await req.future)
+        try:
+            response = dict(await req.future)
+        finally:
+            if key is not None and self._singleflight.get(key) is req.future:
+                del self._singleflight[key]
         latency = loop.time() - t0
         response["latency_s"] = latency
         status = response.get("status")
@@ -633,6 +768,13 @@ class SimServer:
             "queue_depth": self._queue.qsize(),
             "capacity": self.capacity,
             "draining": self._draining,
+            "degraded": self._degraded_active(loop.time()),
+            "breaker": {
+                "threshold": self.breaker_threshold,
+                "consecutive_deaths": self._consec_deaths,
+                "trips": self.stats.breaker_trips,
+                "cooldown_s": self.breaker_cooldown_s,
+            },
             "uptime_s": loop.time() - self.stats.started,
             "scenarios": scenario_names(),
         }
@@ -660,6 +802,10 @@ class SimServer:
             "retries": s.retries,
             "worker_deaths": s.worker_deaths,
             "worker_spawns": s.worker_spawns,
+            "breaker_trips": s.breaker_trips,
+            "degraded_rejects": s.degraded_rejects,
+            "coalesced": s.coalesced,
+            "degraded": self.degraded,
             "cache": {"hits": s.cache_hits, "misses": s.cache_misses,
                       "hit_rate": (s.cache_hits / (s.cache_hits + s.cache_misses)
                                    if (s.cache_hits + s.cache_misses) else 0.0)},
@@ -688,12 +834,18 @@ class ServerThread:
 
     def __enter__(self) -> "ServerThread":
         started = threading.Event()
+        boot_error: List[BaseException] = []
 
         def _run() -> None:
             self._loop = asyncio.new_event_loop()
             asyncio.set_event_loop(self._loop)
-            self.server = self._loop.run_until_complete(
-                SimServer(**self._kwargs).start())
+            try:
+                self.server = self._loop.run_until_complete(
+                    SimServer(**self._kwargs).start())
+            except BaseException as err:   # fail fast, don't hang __enter__
+                boot_error.append(err)
+                started.set()
+                return
             started.set()
             self._loop.run_forever()
 
@@ -702,6 +854,10 @@ class ServerThread:
         self._thread.start()
         if not started.wait(timeout=30.0):
             raise RuntimeError("serve server failed to start within 30s")
+        if boot_error:
+            self._thread.join(timeout=10.0)
+            self._loop = None
+            raise boot_error[0]
         return self
 
     @property

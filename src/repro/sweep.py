@@ -23,6 +23,24 @@ its parameters (the simulator's central promise), results are identical
 whether points run serially, in parallel, or arrive from the cache —
 ``tests/test_sweep.py`` and the ``run_recovery.py --jobs`` digest tests
 hold this to byte equality.
+
+Robustness (docs/robustness.md):
+
+* Cache entries are **checksummed**: :meth:`SweepCache.put` writes a
+  ``{"__sweep_cache__": 1, "sha256": ..., "result": ...}`` envelope and
+  :meth:`SweepCache.get` verifies it.  A torn, tampered or unparseable
+  file is *quarantined* (renamed to ``<key>.json.corrupt``) instead of
+  being re-read — and re-failed — every run, counted in
+  :attr:`SweepCache.corrupt` and surfaced as a ``sweep.cache.corrupt``
+  metric/event when a registry/event log is attached.
+* :func:`run_sweep` can **isolate point crashes** (``isolate=True``): a
+  raising point yields an :func:`error_record` and the sweep completes.
+* A ``checkpoint`` JSONL file persists each completed point as it
+  finishes, so an interrupted sweep resumes where it left off (error
+  records are never checkpointed — a resume recomputes them).
+* A :class:`repro.chaos.ChaosPlan` can be injected (``chaos=``) to
+  attack the cache (torn writes, corruption) and the points themselves
+  (``crash_point``) deterministically.
 """
 
 from __future__ import annotations
@@ -69,41 +87,110 @@ def cache_key(scenario: str, params: Dict[str, Any]) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: Envelope marker + format version for checksummed cache entries.
+ENVELOPE_KEY = "__sweep_cache__"
+ENVELOPE_VERSION = 1
+
+
+def result_digest(result: Any) -> str:
+    """sha256 over the canonical JSON of a cached result payload."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 class SweepCache:
-    """Directory of JSON result files keyed by :func:`cache_key`.
+    """Directory of checksummed JSON result files keyed by :func:`cache_key`.
 
     Writes are atomic (tmp file + rename), so a parallel sweep racing on
-    the same point at worst writes the identical bytes twice.
+    the same point at worst writes the identical bytes twice.  Every
+    entry is a checksum envelope (``{"__sweep_cache__": 1, "sha256":
+    ..., "result": ...}``); a read that fails to parse, lacks the
+    envelope, or fails checksum verification is quarantined — renamed to
+    ``<key>.json.corrupt`` — and counted as a miss, so a damaged entry
+    fails exactly once instead of every run.
+
+    ``metrics`` / ``events`` (both optional) surface quarantines as a
+    ``sweep.cache.corrupt`` counter/event; ``chaos`` is a
+    :class:`repro.chaos.ChaosPlan` whose ``cache.put`` site can corrupt
+    or tear writes for fault-injection tests.
     """
 
-    def __init__(self, cache_dir: str) -> None:
+    def __init__(self, cache_dir: str, *, metrics: Any = None,
+                 events: Any = None, chaos: Any = None) -> None:
         self.dir = cache_dir
         os.makedirs(cache_dir, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.metrics = metrics
+        self.events = events
+        self.chaos = chaos
 
     def _path(self, key: str) -> str:
         return os.path.join(self.dir, key + ".json")
 
     def get(self, key: str) -> Optional[Any]:
+        path = self._path(key)
         try:
-            with open(self._path(key)) as fh:
-                result = json.load(fh)
-        except (OSError, ValueError):
+            with open(path) as fh:
+                entry = json.load(fh)
+        except OSError:                       # absent/unreadable: plain miss
+            self.misses += 1
+            return None
+        except ValueError:                    # torn or garbage bytes
+            self._quarantine(key, path, "unparseable JSON")
+            self.misses += 1
+            return None
+        if not (isinstance(entry, dict)
+                and entry.get(ENVELOPE_KEY) == ENVELOPE_VERSION
+                and "sha256" in entry and "result" in entry):
+            self._quarantine(key, path, "missing checksum envelope")
+            self.misses += 1
+            return None
+        if result_digest(entry["result"]) != entry["sha256"]:
+            self._quarantine(key, path, "checksum mismatch")
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return entry["result"]
 
     def put(self, key: str, result: Any) -> None:
         path = self._path(key)
+        data = json.dumps({ENVELOPE_KEY: ENVELOPE_VERSION,
+                           "sha256": result_digest(result),
+                           "result": result}, sort_keys=True)
+        if self.chaos is not None:
+            for act in self.chaos.on("cache.put", key=key):
+                if act.kind == "torn_write":
+                    data = data[:max(1, len(data) // 2)]
+                elif act.kind == "corrupt_cache":
+                    mid = len(data) // 2
+                    blot = "\x00chaos\x00"
+                    data = data[:mid] + blot + data[mid + len(blot):]
         tmp = path + f".tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
-            json.dump(result, fh, sort_keys=True)
+            fh.write(data)
         os.replace(tmp, path)
 
+    def _quarantine(self, key: str, path: str, why: str) -> None:
+        """Move a damaged entry aside so it cannot fail again."""
+        self.corrupt += 1
+        quarantined = path + ".corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None                # racing reader beat us to it
+        if self.metrics is not None:
+            self.metrics.inc("sweep.cache.corrupt")
+        if self.events is not None:
+            self.events.emit("sweep.cache.corrupt", digest=key, reason=why,
+                             quarantined=bool(quarantined))
+
     def report(self) -> str:
-        return f"cache: {self.hits} hit(s), {self.misses} miss(es) in {self.dir}"
+        line = f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt entr(ies) quarantined"
+        return line + f" in {self.dir}"
 
 
 @dataclass
@@ -124,6 +211,25 @@ class SweepPoint:
         return cache_key(self.scenario, self.params)
 
 
+class SweepPointCrash(RuntimeError):
+    """A sweep point was killed by an injected ``crash_point`` fault."""
+
+
+def error_record(scenario: str, err: BaseException) -> Dict[str, Any]:
+    """The in-band record an isolated crashing point yields.
+
+    Error records are never cached or checkpointed, so a re-run (or a
+    checkpoint resume) recomputes exactly the failed points.
+    """
+    return {"sweep_error": {"scenario": scenario,
+                            "type": type(err).__name__,
+                            "message": str(err)}}
+
+
+def is_error_record(obj: Any) -> bool:
+    return isinstance(obj, dict) and "sweep_error" in obj
+
+
 def _invoke(payload: Tuple[Callable, Dict[str, Any]]) -> Any:
     fn, params = payload
     return fn(**params)
@@ -142,6 +248,44 @@ def _invoke_timed(payload: Tuple[Callable, Dict[str, Any]]) -> Tuple[Any, float]
     return result, time.monotonic() - t0
 
 
+def _invoke_shielded(
+        payload: Tuple[Callable, Dict[str, Any], str]) -> Tuple[Any, float]:
+    """:func:`_invoke_timed` with per-point crash isolation: a raising
+    point comes back as an :func:`error_record` instead of poisoning the
+    pool.  KeyboardInterrupt/SystemExit still propagate."""
+    fn, params, scenario = payload
+    t0 = time.monotonic()
+    try:
+        result = fn(**params)
+    except Exception as err:        # noqa: BLE001 — isolation is the point
+        result = error_record(scenario, err)
+    return result, time.monotonic() - t0
+
+
+def _load_checkpoint(path: str) -> Dict[str, Any]:
+    """Completed points from a checkpoint file, keyed by cache key.
+
+    A torn trailing line (interrupted mid-write) is skipped, matching
+    the event-log convention."""
+    out: Dict[str, Any] = {}
+    try:
+        fh = open(path)
+    except OSError:
+        return out
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(obj, dict) and "key" in obj and "result" in obj:
+                out[obj["key"]] = obj["result"]
+    return out
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     *,
@@ -150,6 +294,9 @@ def run_sweep(
     mp_context: Optional[str] = None,
     telemetry: Any = None,
     ledger: Any = None,
+    isolate: bool = False,
+    checkpoint: Optional[str] = None,
+    chaos: Any = None,
 ) -> List[Any]:
     """Evaluate all points; returns results in input order.
 
@@ -164,15 +311,45 @@ def run_sweep(
     ``sweep:task`` track; ``ledger`` (:class:`repro.obs.RunLedger`)
     appends one ``kind="sweep"`` row per point (cache hits included).
     Both are off by default and never affect results.
+
+    Robustness controls (docs/robustness.md):
+
+    ``isolate=True``
+        A point that raises yields an :func:`error_record` in its slot
+        and the sweep completes; without it the first crash aborts the
+        sweep (the historical behavior).  Interrupts
+        (KeyboardInterrupt/SystemExit) always propagate.
+    ``checkpoint=PATH``
+        Completed points are appended to a JSONL file *as they finish*;
+        a re-run with the same checkpoint loads them instead of
+        recomputing, so an interrupted sweep resumes where it left off.
+        Error records are never checkpointed.
+    ``chaos=ChaosPlan``
+        Consults the plan's ``sweep.point`` site once per dispatched
+        point (in input order, so injections are deterministic); a
+        firing ``crash_point`` raises :class:`SweepPointCrash` in place
+        of the computation.
     """
     tel = telemetry if (telemetry is not None and telemetry.enabled) else None
     observed = tel is not None or ledger is not None
     results: List[Any] = [None] * len(points)
     todo: List[int] = []
     keys: Dict[int, str] = {}
+    need_keys = (cache is not None or ledger is not None
+                 or checkpoint is not None)
+    done = _load_checkpoint(checkpoint) if checkpoint else {}
     for i, pt in enumerate(points):
-        if cache is not None or ledger is not None:
+        if need_keys:
             keys[i] = pt.key()
+        if done and keys[i] in done:
+            results[i] = done[keys[i]]
+            if tel is not None:
+                tel.event("sweep:task", "sweep.checkpoint.hit",
+                          scenario=pt.scenario, index=i)
+            if ledger is not None:
+                ledger.record(kind="sweep", scenario=pt.scenario,
+                              digest=keys[i], wall_s=0.0, cached=True)
+            continue
         if cache is not None:
             hit = cache.get(keys[i])
             if hit is not None:
@@ -189,47 +366,102 @@ def run_sweep(
     if not todo:
         return results
 
-    timings: Dict[int, float] = {}
-    if jobs <= 1 or len(todo) == 1:
-        computed = []
+    # Chaos is consulted in input order at dispatch time (parent side),
+    # so injections are identical for serial and parallel runs.
+    crashed: set = set()
+    if chaos is not None:
         for i in todo:
-            if tel is not None:
-                with tel.span("sweep:task", "sweep.task",
-                              scenario=points[i].scenario, index=i):
-                    result, dt = _invoke_timed((points[i].fn, points[i].params))
-            elif observed:
-                result, dt = _invoke_timed((points[i].fn, points[i].params))
-            else:
-                result, dt = _invoke((points[i].fn, points[i].params)), 0.0
-            timings[i] = dt
-            computed.append(result)
-    else:
-        # fork keeps the warm interpreter (and the imported simulator)
-        # on POSIX; spawn is the portable fallback.
-        method = mp_context or (
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-        ctx = multiprocessing.get_context(method)
-        payloads = [(points[i].fn, points[i].params) for i in todo]
-        with ctx.Pool(processes=min(jobs, len(todo))) as pool:
-            if observed:
-                timed = pool.map(_invoke_timed, payloads, chunksize=1)
-                computed = [r for r, _ in timed]
-                for i, (_, dt) in zip(todo, timed):
-                    timings[i] = dt
-                    if tel is not None:
-                        tel.event("sweep:task", "sweep.task.done",
-                                  scenario=points[i].scenario, index=i,
-                                  wall_s=round(dt, 6))
-            else:
-                computed = pool.map(_invoke, payloads, chunksize=1)
+            for act in chaos.on("sweep.point", scenario=points[i].scenario,
+                                index=i):
+                if act.kind == "crash_point":
+                    crashed.add(i)
+        if crashed and not isolate:
+            i = min(crashed)
+            raise SweepPointCrash(
+                f"injected crash at sweep point {i} "
+                f"({points[i].scenario}); run with isolate=True to "
+                f"convert crashes into error records")
 
-    for i, result in zip(todo, computed):
+    ckpt_fh = open(checkpoint, "a") if checkpoint else None
+
+    def persist(i: int, result: Any, dt: Optional[float]) -> None:
         results[i] = result
-        if cache is not None:
-            cache.put(keys[i], result)
+        failed = is_error_record(result)
+        if not failed:
+            if cache is not None:
+                cache.put(keys[i], result)
+            if ckpt_fh is not None:
+                ckpt_fh.write(json.dumps(
+                    {"key": keys[i], "result": result},
+                    sort_keys=True, separators=(",", ":")) + "\n")
+                ckpt_fh.flush()
         if ledger is not None:
             ledger.record(kind="sweep", scenario=points[i].scenario,
-                          digest=keys.get(i, ""), wall_s=timings.get(i),
-                          cached=False)
+                          digest=keys.get(i, ""), wall_s=dt,
+                          status="error" if failed else "ok", cached=False)
+
+    try:
+        if jobs <= 1 or len(todo) == 1:
+            for i in todo:
+                try:
+                    if i in crashed:
+                        raise SweepPointCrash(
+                            f"injected crash at sweep point {i}")
+                    if tel is not None:
+                        with tel.span("sweep:task", "sweep.task",
+                                      scenario=points[i].scenario, index=i):
+                            result, dt = _invoke_timed(
+                                (points[i].fn, points[i].params))
+                    elif observed:
+                        result, dt = _invoke_timed(
+                            (points[i].fn, points[i].params))
+                    else:
+                        result, dt = _invoke(
+                            (points[i].fn, points[i].params)), 0.0
+                except Exception as err:    # noqa: BLE001 — isolation opt-in
+                    if not isolate:
+                        raise
+                    result, dt = error_record(points[i].scenario, err), 0.0
+                persist(i, result, dt)
+        else:
+            # fork keeps the warm interpreter (and the imported simulator)
+            # on POSIX; spawn is the portable fallback.
+            method = mp_context or (
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+            ctx = multiprocessing.get_context(method)
+            fanout = [i for i in todo if i not in crashed]
+            for i in sorted(crashed):
+                persist(i, error_record(points[i].scenario,
+                                        SweepPointCrash(
+                                            f"injected crash at sweep "
+                                            f"point {i}")), 0.0)
+            if fanout:
+                with ctx.Pool(processes=min(jobs, len(fanout))) as pool:
+                    if isolate:
+                        payloads = [(points[i].fn, points[i].params,
+                                     points[i].scenario) for i in fanout]
+                        timed = pool.imap(_invoke_shielded, payloads,
+                                          chunksize=1)
+                    elif observed:
+                        payloads = [(points[i].fn, points[i].params)
+                                    for i in fanout]
+                        timed = pool.imap(_invoke_timed, payloads,
+                                          chunksize=1)
+                    else:
+                        payloads = [(points[i].fn, points[i].params)
+                                    for i in fanout]
+                        timed = ((r, None) for r in
+                                 pool.imap(_invoke, payloads, chunksize=1))
+                    # imap streams in input order, so each completed
+                    # point is checkpointed/cached as soon as it lands.
+                    for i, (result, dt) in zip(fanout, timed):
+                        if tel is not None:
+                            tel.event("sweep:task", "sweep.task.done",
+                                      scenario=points[i].scenario, index=i,
+                                      wall_s=round(dt, 6))
+                        persist(i, result, dt)
+    finally:
+        if ckpt_fh is not None:
+            ckpt_fh.close()
     return results

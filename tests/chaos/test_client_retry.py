@@ -1,0 +1,125 @@
+"""Client hardening: connect retry, reconnect-and-resubmit under drops."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.chaos import ChaosPlan
+from repro.serve import AsyncServeClient, ServeClient, ServerThread
+
+pytestmark = pytest.mark.chaos
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestConnectRetry:
+    def test_sync_client_raises_after_bounded_retries(self):
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", _free_port(), retries=1,
+                        retry_base=0.001)
+
+    def test_async_client_raises_after_bounded_retries(self):
+        async def go():
+            await AsyncServeClient.connect("127.0.0.1", _free_port(),
+                                           retries=1, retry_base=0.001)
+        with pytest.raises(OSError):
+            asyncio.run(go())
+
+    def test_connect_retry_wins_when_server_appears(self):
+        """The server binds between the first (failing) and a later
+        connect attempt — the client must come up without an error."""
+        port = _free_port()
+        import threading
+        srv_box = {}
+
+        def boot():
+            srv_box["srv"] = ServerThread(workers=1, port=port).__enter__()
+
+        t = threading.Timer(0.15, boot)
+        t.start()
+        try:
+            with ServeClient("127.0.0.1", port, retries=8,
+                             retry_base=0.05) as client:
+                assert client.health()["status"] == "ok"
+        finally:
+            t.join()
+            srv_box["srv"].__exit__(None, None, None)
+
+
+class TestDropResubmit:
+    def test_drop_mid_line_is_resubmitted(self):
+        plan = ChaosPlan().drop_conn("mid", after_count=1)
+        with ServerThread(workers=1) as srv:
+            with ServeClient(srv.host, srv.port, retries=2,
+                             retry_base=0.001, chaos=plan) as client:
+                r = client.submit("sleep", {"seconds": 0.0, "tag": "t"})
+                assert r["status"] == "ok"
+                assert r["result"]["tag"] == "t"
+                assert (client.reconnects, client.resubmits) == (1, 1)
+        assert plan.stats == {"drop_conn": 1}
+
+    def test_drop_after_send_is_resubmitted_without_recompute(self):
+        """Reply lost after the server computed: the resubmit must be
+        answered from cache/single-flight, not recomputed."""
+        plan = ChaosPlan().drop_conn("after", after_count=1)
+        with ServerThread(workers=1, cache_dir=None) as srv:
+            # No cache: the dropped-reply request is recomputed, which
+            # is still correct for deterministic scenarios.
+            with ServeClient(srv.host, srv.port, retries=2,
+                             retry_base=0.001, chaos=plan) as client:
+                r = client.submit("sleep", {"seconds": 0.0})
+                assert r["status"] == "ok"
+                assert client.resubmits == 1
+
+    def test_drop_after_send_is_deduplicated_by_the_server(self, tmp_path):
+        """Reply lost after the server computed: the resubmit is
+        answered from the cache (first delivery already finished) or by
+        coalescing onto it (still in flight) — either way the scenario
+        ran exactly once."""
+        plan = ChaosPlan().drop_conn("after", after_count=1)
+        with ServerThread(workers=1, cache_dir=str(tmp_path)) as srv:
+            with ServeClient(srv.host, srv.port, retries=2,
+                             retry_base=0.001, chaos=plan) as client:
+                r = client.submit("sleep", {"seconds": 0.0})
+                assert r["status"] == "ok"
+            stats = srv.server.stats
+            assert stats.cache_hits + stats.coalesced == 1
+            assert srv.server.metrics.merged_histogram("serve.run").count == 1
+
+    def test_retry_budget_exhausted_raises(self):
+        plan = (ChaosPlan().drop_conn("mid", after_count=1)
+                .drop_conn("mid", after_count=2))
+        with ServerThread(workers=1) as srv:
+            with ServeClient(srv.host, srv.port, retries=1,
+                             retry_base=0.001, chaos=plan) as client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.submit("sleep", {"seconds": 0.0})
+
+    def test_retry_deadline_caps_the_retry_loop(self):
+        plan = ChaosPlan().drop_conn("mid", max_hits=None)
+        with ServerThread(workers=1) as srv:
+            with ServeClient(srv.host, srv.port, retries=50,
+                             retry_base=0.5, retry_deadline_s=0.05,
+                             chaos=plan) as client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.submit("sleep", {"seconds": 0.0})
+        # Far fewer sends than the nominal 50-retry budget.
+        assert plan.stats["drop_conn"] <= 3
+
+    def test_backoff_is_seeded_and_deterministic(self):
+        a = ServeClient.__new__(ServeClient)
+        a.retry_seed, a.retry_base = 7, 0.05
+        b = ServeClient.__new__(ServeClient)
+        b.retry_seed, b.retry_base = 7, 0.05
+        assert [a._backoff(i) for i in (1, 2, 3)] \
+            == [b._backoff(i) for i in (1, 2, 3)]
+        c = ServeClient.__new__(ServeClient)
+        c.retry_seed, c.retry_base = 8, 0.05
+        assert a._backoff(1) != c._backoff(1)

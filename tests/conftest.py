@@ -7,6 +7,11 @@ Marker map (registered in pyproject.toml ``[tool.pytest.ini_options]``):
 * ``recovery``    — fault-recovery tests incl. the chaos soak.
 * ``bench``       — wall-clock performance benches; not part of tier-1.
 * ``serve``       — serving-layer tests incl. the loadgen smoke.
+* ``chaos``       — operational fault injection (tests/chaos/): the
+  ``repro.chaos`` plan model, cache corruption/quarantine, client
+  reconnect-and-resubmit, the circuit breaker, and sweep crash
+  isolation.  The default-sized subset runs in tier-1 as the chaos
+  smoke; ``tools/run_chaos.py`` is the full soak.
 * ``stackparity`` — the differential fast-vs-compat parity suite
   (tests/stackparity/): every registered scenario and the recovery soak
   run on both the optimized engine and ``Engine(compat=True)``, and the

@@ -28,7 +28,7 @@ TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
 
 #: First dotted component must name a known layer.
 LAYERS = {
-    "serve", "sweep", "bench", "sim", "simtime", "obs",
+    "serve", "sweep", "bench", "sim", "simtime", "obs", "chaos",
     "rml", "prrte", "pmix", "pml", "ompi", "faults", "recovery",
 }
 

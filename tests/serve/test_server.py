@@ -183,6 +183,15 @@ def test_deadline_expires_mid_run():
     assert stats["worker_spawns"] >= 2
 
 
+def test_server_thread_boot_failure_raises_immediately():
+    """A broken server config must surface its real exception from
+    __enter__, not hang out the 30s startup timeout."""
+    t0 = time.monotonic()
+    with pytest.raises(TypeError, match="no_such_option"):
+        ServerThread(workers=1, no_such_option=True).__enter__()
+    assert time.monotonic() - t0 < 15.0
+
+
 # ---------------------------------------------------------------------------
 # worker death + retry
 # ---------------------------------------------------------------------------

@@ -47,6 +47,11 @@ def test_cache_tolerates_corrupt_entries(tmp_path):
     key = cache_key("s", {})
     (tmp_path / f"{key}.json").write_text("{not json")
     assert cache.get(key) is None    # treated as a miss, recomputed
+    # ... and quarantined, so it cannot fail again every run.
+    assert not (tmp_path / f"{key}.json").exists()
+    assert (tmp_path / f"{key}.json.corrupt").exists()
+    assert cache.corrupt == 1
+    assert "1 corrupt" in cache.report()
 
 
 def _points(deltas=(5, 10, 15, 20)):
@@ -142,9 +147,14 @@ def test_run_sweep_disabled_telemetry_records_nothing():
     assert tel.tracer.spans == {} and tel.tracer.instants == []
 
 
-def test_cached_payloads_are_canonical_json(tmp_path):
+def test_cached_payloads_are_canonical_checksummed_json(tmp_path):
+    from repro.sweep import ENVELOPE_KEY, ENVELOPE_VERSION, result_digest
+
     cache = SweepCache(str(tmp_path))
     key = cache_key("s", {})
     cache.put(key, {"b": 2, "a": 1})
     raw = (tmp_path / f"{key}.json").read_text()
-    assert raw == json.dumps({"a": 1, "b": 2}, sort_keys=True)
+    assert raw == json.dumps({ENVELOPE_KEY: ENVELOPE_VERSION,
+                              "result": {"a": 1, "b": 2},
+                              "sha256": result_digest({"a": 1, "b": 2})},
+                             sort_keys=True)

@@ -239,6 +239,41 @@ class TestServeCLI:
         proc = self.run("submit", "sleep", "--port", "1")    # nothing there
         assert proc.returncode == 1
         assert "cannot reach server" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_all_client_commands_fail_cleanly_when_server_down(self):
+        for cmd in (["stats"], ["health"], ["metrics"], ["drain"],
+                    ["shutdown"], ["resize", "2"]):
+            proc = self.run(*cmd, "--port", "1")
+            assert proc.returncode == 1, (cmd, proc.stderr)
+            assert "cannot reach server" in proc.stderr, cmd
+            assert "Traceback" not in proc.stderr, cmd
+
+
+class TestRunChaos:
+    def run(self, *args):
+        return subprocess.run(
+            [sys.executable, "tools/run_chaos.py", *args],
+            capture_output=True, text=True, timeout=600, cwd=".",
+        )
+
+    def test_verify_determinism_smoke(self):
+        proc = self.run("--seeds", "2", "--verify-determinism",
+                        "--skip-degraded", "--json")
+        assert proc.returncode == 0, proc.stderr
+        records = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert [r["seed"] for r in records] == [0, 1]
+        assert all(r["ok"] for r in records)
+        for r in records:
+            assert r["serve"]["clean_digest"] == r["serve"]["chaos_digest"]
+            assert r["sweep"]["clean_digest"] == r["sweep"]["chaos_digest"]
+        assert "2/2 seeds byte-identical" in proc.stderr
+        assert "NON-DETERMINISTIC" not in proc.stderr
+
+    def test_degraded_scenario_reported(self):
+        proc = self.run("--seed", "1", "--requests", "2", "--points", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "degraded-mode scenario: ok" in proc.stderr
 
 
 class TestExperimentsReport:

@@ -38,7 +38,8 @@ import json
 import sys
 
 from repro import cli
-from repro.serve import ServeClient, SimServer, scenario_names
+from repro.serve import ServeClient, ServeConnectionError, SimServer, \
+    scenario_names
 from repro.serve.loadgen import bench_report, run_loadgen, sim_workload
 
 
@@ -91,7 +92,9 @@ async def _serve_forever(args) -> None:
     server = await SimServer(
         workers=args.jobs, capacity=args.capacity, cache_dir=args.cache_dir,
         host=args.host, port=args.port, retry_seed=args.seed,
-        retry_limit=args.retry_limit, **obs_kwargs,
+        retry_limit=args.retry_limit,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown, **obs_kwargs,
     ).start()
     print(f"serving on {server.host}:{server.port} "
           f"(workers={args.jobs}, capacity={args.capacity}, "
@@ -121,6 +124,12 @@ def main(argv=None) -> int:
     cli.add_seed(p, help="retry-backoff jitter seed (default: %(default)s)")
     p.add_argument("--retry-limit", type=int, default=2, metavar="N",
                    help="worker-death retries per request (default: %(default)s)")
+    p.add_argument("--breaker-threshold", type=cli.positive_int, default=5,
+                   metavar="N", help="consecutive worker deaths that trip the "
+                   "cache-only circuit breaker (default: %(default)s)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="SECONDS", help="degraded-mode cooldown before the "
+                   "breaker half-opens (default: %(default)s)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="enable live telemetry: wall-clock traces, JSONL "
                         "event log, and run ledger under DIR")
@@ -168,7 +177,17 @@ def main(argv=None) -> int:
     _add_addr(p, default_port=0)
 
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except ServeConnectionError as err:
+        # The connection died mid-conversation (server shut down or
+        # crashed under us): one line, nonzero exit, no traceback.
+        print(f"lost connection to server at {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        return 1
 
+
+def _run(args) -> int:
     if args.cmd == "start":
         try:
             asyncio.run(_serve_forever(args))
