@@ -59,10 +59,13 @@ class SimSpec:
     recovery: bool = False
     recovery_seed: int = 0
     engine_compat: bool = False
+    partitions: int = 1                 # worker processes (repro.dsim); 1 = in-process
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
             raise ValueError("need at least one rank")
+        if self.partitions < 1:
+            raise ValueError("need at least one partition")
         if self.psets is not None:
             # Normalize to plain dict-of-tuples so equality and payloads
             # are insensitive to the caller's container choices.
@@ -99,6 +102,7 @@ class SimSpec:
             "recovery": self.recovery,
             "recovery_seed": self.recovery_seed,
             "engine_compat": self.engine_compat,
+            "partitions": self.partitions,
         }
 
     @classmethod
@@ -132,12 +136,20 @@ class MpiWorld:
     def num_ranks(self) -> int:
         return self.job.num_ranks
 
-    def spawn_ranks(self, main: Callable, args: Sequence[Any] = ()) -> List:
-        """Start ``main(runtime, *args)`` on every rank; returns processes."""
+    def spawn_ranks(self, main: Callable, args: Sequence[Any] = (),
+                    ranks: Optional[Sequence[int]] = None) -> List:
+        """Start ``main(runtime, *args)`` on every rank; returns processes.
+
+        ``ranks`` restricts spawning to a subset (``repro.dsim`` workers
+        start only the ranks their partition owns); the returned list
+        then covers exactly those ranks, in the given order.
+        """
         from repro.simtime.trace import track_for_proc
 
         procs = []
-        for rank, rt in enumerate(self.runtimes):
+        selected = range(len(self.runtimes)) if ranks is None else ranks
+        for rank in selected:
+            rt = self.runtimes[rank]
             gen = main(rt, *args)
             sim = self.cluster.spawn(
                 gen, name=f"rank{rank}", track=track_for_proc(self.job.proc(rank))

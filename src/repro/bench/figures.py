@@ -8,6 +8,7 @@ paper-scale sweeps.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional
 
 from repro.apps.twomesh.driver import PROBLEMS, run_twomesh
@@ -43,12 +44,19 @@ def table1() -> BenchResult:
 # ---------------------------------------------------------------------------
 # Fig 3: MPI initialization time
 # ---------------------------------------------------------------------------
-def fig3(ppn: int, quick: bool = True, obs: bool = False) -> BenchResult:
+def fig3(ppn: int, quick: bool = True, obs: bool = False,
+         partitions: int = 1) -> BenchResult:
     """Fig 3: MPI init time by node count, MPI_Init vs Sessions sequence.
 
     ``obs=True`` instruments every sessions run with a tracer and
     attaches a per-phase critical-path breakdown and metric counters to
     ``result.obs`` (one entry per node count).
+
+    ``partitions > 1`` computes each point across that many worker
+    processes (:mod:`repro.dsim`); the simulated timings — and therefore
+    the figure — are bit-identical to the single-process run.  Points
+    with fewer nodes than partitions fall back to one process (a
+    partition must own at least one node).
     """
     nodes_list = _init_nodes(quick) if ppn == 1 else _init_nodes_ppn28(quick)
     res = BenchResult(
@@ -58,22 +66,30 @@ def fig3(ppn: int, quick: bool = True, obs: bool = False) -> BenchResult:
     base = res.series_for("MPI_Init")
     sess = res.series_for("Sessions")
     for nodes in nodes_list:
-        base.add(nodes, osu_init(nodes, ppn, "world").total)
+        nparts = partitions if nodes >= partitions else 1
+        base.add(nodes, osu_init(nodes, ppn, "world",
+                                 partitions=nparts).total)
         tracer = None
         if obs:
             from repro.simtime.trace import Tracer
 
             tracer = Tracer()
-        timing = osu_init(nodes, ppn, "sessions", tracer=tracer)
+        timing = osu_init(nodes, ppn, "sessions", tracer=tracer,
+                          partitions=nparts)
         if tracer is not None:
             from repro.obs import compute_critical_path
 
             cp = compute_critical_path(tracer)
+            # Partitioned runs namespace merged-trace tracks as "p{k}:";
+            # attribution is partition-agnostic, so strip the prefixes
+            # to keep the figure payload bit-identical across modes.
+            strip = lambda t: re.sub(r"(^|->)p\d+:", r"\1", t)  # noqa: E731
             res.obs[f"nodes={nodes}"] = {
                 "total": cp.total,
                 "stages": [
-                    {"name": st.name, "track": st.track, "kind": st.kind,
-                     "start": st.start, "duration": st.duration}
+                    {"name": st.name, "track": strip(st.track),
+                     "kind": st.kind, "start": st.start,
+                     "duration": st.duration}
                     for st in cp.stages
                 ],
                 "by_stage": dict(cp.by_stage()),
@@ -90,14 +106,16 @@ def fig3(ppn: int, quick: bool = True, obs: bool = False) -> BenchResult:
     return res
 
 
-def fig3a(quick: bool = True, obs: bool = False) -> BenchResult:
+def fig3a(quick: bool = True, obs: bool = False,
+          partitions: int = 1) -> BenchResult:
     """Fig 3a: init time with 1 MPI process per node."""
-    return fig3(ppn=1, quick=quick, obs=obs)
+    return fig3(ppn=1, quick=quick, obs=obs, partitions=partitions)
 
 
-def fig3b(quick: bool = True, obs: bool = False) -> BenchResult:
+def fig3b(quick: bool = True, obs: bool = False,
+          partitions: int = 1) -> BenchResult:
     """Fig 3b: init time with 28 MPI processes per node."""
-    return fig3(ppn=28, quick=quick, obs=obs)
+    return fig3(ppn=28, quick=quick, obs=obs, partitions=partitions)
 
 
 # ---------------------------------------------------------------------------

@@ -65,41 +65,61 @@ class InitTiming:
 
 
 def osu_init(nodes: int, ppn: int, mode: str, machine_factory=jupiter,
-             tracer=None) -> InitTiming:
+             tracer=None, partitions: int = 1) -> InitTiming:
     """The osu_init benchmark (modified for sessions as in the paper).
 
     Pass a :class:`~repro.simtime.trace.Tracer` to record spans/flows for
     the run (the ``--obs`` mode of ``tools/run_figure.py``).
+
+    ``partitions > 1`` executes the same world across that many worker
+    processes (:mod:`repro.dsim`); all returned timings are simulated
+    time, so they are bit-identical to the single-process run — the flag
+    only changes the wall-clock side of the computation.
     """
     machine = machine_factory(nodes)
-    world = make_world(spec=SimSpec(nprocs=nodes * ppn, machine=machine,
-                                    ppn=ppn, config=_config_for(mode),
-                                    tracer=tracer))
+    spec = SimSpec(nprocs=nodes * ppn, machine=machine,
+                   ppn=ppn, config=_config_for(mode))
     nfs = machine.nfs_load_time(nodes * ppn)
-    marks: List[Tuple[float, ...]] = []
 
     def main(mpi):
+        # Marks are *returned* (not appended to a closure) so the same
+        # program runs under repro.dsim, where each rank executes in a
+        # worker process and only return values cross back.
         t0 = mpi.engine.now
         if mode == "world":
             yield from mpi.mpi_init()
-            marks.append((t0, mpi.engine.now))
+            t1 = mpi.engine.now
             yield from mpi.mpi_finalize()
-            return
+            return (t0, t1)
         session = yield from mpi.session_init()
         t1 = mpi.engine.now
         group = yield from session.group_from_pset("mpi://world")
         t2 = mpi.engine.now
         comm = yield from mpi.comm_create_from_group(group, "osu-init")
         t3 = mpi.engine.now
-        marks.append((t0, t1, t2, t3))
         comm.free()
         yield from session.finalize()
+        return (t0, t1, t2, t3)
 
-    procs = world.spawn_ranks(main)
-    world.run()
-    for p in procs:
-        if p.exception:
-            raise p.exception
+    if partitions > 1:
+        from repro import dsim
+        from repro.dsim.merge import adopt_tracer
+
+        res = dsim.run_partitioned(
+            spec.replace(partitions=partitions), main,
+            traced=tracer is not None)
+        res.raise_first_failure()
+        if tracer is not None:
+            adopt_tracer(tracer, res.tracer)
+        marks: List[Tuple[float, ...]] = res.result_list(spec.nprocs)
+    else:
+        world = make_world(spec=spec.replace(tracer=tracer))
+        procs = world.spawn_ranks(main)
+        world.run()
+        for p in procs:
+            if p.exception:
+                raise p.exception
+        marks = [p.result for p in procs]
     if mode == "world":
         total = max(t1 - t0 for t0, t1 in marks)
         return InitTiming(total=total, binary_load=nfs, handle=0.0, comm_construct=0.0)

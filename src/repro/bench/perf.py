@@ -28,6 +28,7 @@ tier-1.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -199,6 +200,7 @@ def run_case(case: BenchCase, *, quick: bool = False,
             f"({ev_fast} != {ev_compat}) — determinism contract broken"
         )
     return {
+        "kind": "scheduler",
         "params": case.quick_params if quick else case.params,
         "events": ev_fast,
         "fast_s": t_fast,
@@ -210,13 +212,121 @@ def run_case(case: BenchCase, *, quick: bool = False,
     }
 
 
+# ---------------------------------------------------------------------------
+# partitioned cases: one world, N worker processes (repro.dsim)
+# ---------------------------------------------------------------------------
+@dataclass
+class PartitionedCase:
+    """Serial vs partitioned execution of one full-stack workload.
+
+    A different axis from the scheduler cases: both sides run the
+    fast-path engine; the measured ratio is single-process wall time
+    over N-worker conservative-parallel wall time.  ``min_speedup`` is
+    a real-parallelism claim, so it is only *enforced* when the host
+    actually has at least ``partitions`` cores (the committed record
+    carries ``cores`` so the context of every measurement is explicit —
+    see docs/performance.md, "Partitioned execution").
+    """
+
+    name: str
+    params: Dict[str, int]          # nodes, ppn, partitions
+    quick_params: Dict[str, int]
+    min_speedup: Optional[float]
+
+
+PARTITIONED_CASES: List[PartitionedCase] = [
+    PartitionedCase("fig3-init-1k-p4",
+                    dict(nodes=64, ppn=16, partitions=4),
+                    dict(nodes=16, ppn=4, partitions=4),
+                    min_speedup=2.0),
+    PartitionedCase("fig3-init-4k",
+                    dict(nodes=256, ppn=16, partitions=4),
+                    dict(nodes=32, ppn=4, partitions=4),
+                    min_speedup=None),
+]
+
+
+def _partitioned_spec(nodes: int, ppn: int):
+    from repro.api import SimSpec
+    from repro.machine.presets import jupiter
+    from repro.ompi.config import MpiConfig
+
+    return SimSpec(nprocs=nodes * ppn, machine=jupiter(nodes), ppn=ppn,
+                   config=MpiConfig.sessions_prototype())
+
+
+def run_partitioned_case(case: PartitionedCase, *, quick: bool = False,
+                         repeats: int = 3) -> Dict[str, object]:
+    """Measure one case serially vs partitioned; returns the record.
+
+    Both sides run untraced (tracing skews a wall-clock claim) and must
+    execute exactly the same number of engine events — the dsim
+    bit-equivalence contract, cross-checked here on every measurement.
+    """
+    from repro import dsim
+    from repro.api import make_world
+    from repro.obs.scenarios import _sessions_init_main
+
+    p = case.quick_params if quick else case.params
+    nodes, ppn, nparts = p["nodes"], p["ppn"], p["partitions"]
+    spec = _partitioned_spec(nodes, ppn)
+
+    def serial() -> int:
+        world = make_world(spec=spec)
+        procs = world.spawn_ranks(_sessions_init_main)
+        world.run()
+        for proc in procs:
+            if proc.exception is not None:
+                raise proc.exception
+        return world.cluster.engine.events_executed
+
+    shape: Dict[str, int] = {}
+
+    def partitioned() -> int:
+        res = dsim.run_partitioned(spec.replace(partitions=nparts),
+                                   _sessions_init_main)
+        res.raise_first_failure()
+        shape["windows"] = res.windows
+        shape["boundary_msgs"] = res.boundary_msgs
+        return res.events
+
+    ev_serial, t_serial = measure(serial, repeats)
+    ev_part, t_part = measure(partitioned, repeats)
+    if ev_serial != ev_part:
+        raise RuntimeError(
+            f"{case.name}: serial/partitioned event counts diverge "
+            f"({ev_serial} != {ev_part}) — dsim equivalence contract broken"
+        )
+    cores = os.cpu_count() or 1
+    return {
+        "kind": "partitioned",
+        "params": p,
+        "events": ev_serial,
+        "partitions": nparts,
+        "cores": cores,
+        "windows": shape["windows"],
+        "boundary_msgs": shape["boundary_msgs"],
+        "serial_s": t_serial,
+        "partitioned_s": t_part,
+        "serial_eps": ev_serial / t_serial,
+        "partitioned_eps": ev_part / t_part,
+        "speedup": t_serial / t_part,
+        "min_speedup": case.min_speedup,
+        "enforced": case.min_speedup is not None and cores >= nparts,
+    }
+
+
 def run_case_point(case: str, quick: bool = False,
                    repeats: int = 3) -> Dict[str, object]:
     """Sweep-friendly wrapper (module-level, picklable): run one named
     case and return its result record — what ``tools/bench.py --jobs``
     fans across processes via :mod:`repro.sweep`."""
     lookup = {c.name: c for c in CASES}
-    return run_case(lookup[case], quick=quick, repeats=repeats)
+    if case in lookup:
+        return run_case(lookup[case], quick=quick, repeats=repeats)
+    part_lookup = {c.name: c for c in PARTITIONED_CASES}
+    return run_partitioned_case(part_lookup[case], quick=quick,
+                                repeats=repeats)
 
 
 def check_regression(report: Dict[str, object], baseline: Dict[str, object],
@@ -246,6 +356,14 @@ def check_regression(report: Dict[str, object], baseline: Dict[str, object],
         if rec is None:
             failures.append(f"{name}: case missing from current report")
             continue
+        if base.get("kind", "scheduler") != rec.get("kind", "scheduler"):
+            failures.append(
+                f"{name}: case kind changed "
+                f"{base.get('kind', 'scheduler')!r} -> "
+                f"{rec.get('kind', 'scheduler')!r}; speedups are only "
+                f"comparable within a kind"
+            )
+            continue
         if base.get("params") == rec.get("params") \
                 and base.get("events") != rec.get("events"):
             failures.append(
@@ -253,6 +371,11 @@ def check_regression(report: Dict[str, object], baseline: Dict[str, object],
                 f"{rec.get('events')} at identical params (determinism "
                 f"contract; not subject to tolerance)"
             )
+        if rec.get("kind") == "partitioned" \
+                and rec.get("cores") != base.get("cores"):
+            # A partitioned speedup is a property of the host's core
+            # count; comparing across hosts gates nothing meaningful.
+            continue
         floor = base["speedup"] * (1.0 - tolerance)
         if rec["speedup"] < floor:
             failures.append(
@@ -269,6 +392,10 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
     selected = [c for c in CASES if cases is None or c.name in cases]
     results = {case.name: run_case(case, quick=quick, repeats=repeats)
                for case in selected}
+    for case in PARTITIONED_CASES:
+        if cases is None or case.name in cases:
+            results[case.name] = run_partitioned_case(case, quick=quick,
+                                                      repeats=repeats)
     return {
         "bench": "engine-fast-path",
         "mode": "quick" if quick else "full",
@@ -288,16 +415,29 @@ def ledger_records(report: Dict[str, object]) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
     for name in sorted(report.get("cases", {})):
         rec = report["cases"][name]
-        rows.append({
-            "kind": "bench",
-            "scenario": name,
-            "status": "ok",
-            "wall_s": rec["fast_s"],
-            "detail": {
+        if rec.get("kind") == "partitioned":
+            detail = {
+                "events": rec["events"],
+                "speedup": rec["speedup"],
+                "serial_s": rec["serial_s"],
+                "partitions": rec["partitions"],
+                "cores": rec["cores"],
+                "mode": report.get("mode"),
+            }
+            wall = rec["partitioned_s"]
+        else:
+            detail = {
                 "events": rec["events"],
                 "speedup": rec["speedup"],
                 "compat_s": rec["compat_s"],
                 "mode": report.get("mode"),
-            },
+            }
+            wall = rec["fast_s"]
+        rows.append({
+            "kind": "bench",
+            "scenario": name,
+            "status": "ok",
+            "wall_s": wall,
+            "detail": detail,
         })
     return rows

@@ -1,0 +1,147 @@
+"""Cross-partition message envelopes and the request-token codec.
+
+An *envelope* is the picklable form of one in-flight message crossing a
+partition boundary, as a plain tuple::
+
+    (kind, dst_pid, arrival, origin, payload, copies)
+
+* ``kind`` — ``"rml"`` (daemon-to-daemon) or ``"pml"`` (ob1 packet),
+* ``dst_pid`` — destination partition (routing key for the coordinator),
+* ``arrival`` — exact sender-computed simulated arrival time (every
+  sender-side effect — busy booking, fault delays, FIFO floors — has
+  already been folded in, so the receiver schedules at this instant
+  verbatim),
+* ``origin`` — ``(send_time, src_pid, seq)``: the deterministic
+  injection tie-break key.  Envelopes are injected sorted by
+  ``(arrival, origin)`` so same-instant arrivals at one destination
+  keep the single-process send order,
+* ``payload`` — the :class:`~repro.prrte.rml.RmlMessage` itself, or
+  ``(dst_proc, packet_slots)`` for pml,
+* ``copies`` — fault-injected duplicate count (scheduling shape is
+  mirrored exactly: one batch entry for rml, N entries for pml).
+
+ob1 :class:`~repro.ompi.pml.ob1.Packet` objects can carry live
+``Request`` handles (``sender_req``/``recv_req``) that must never be
+pickled: a request is engine-side state owned by exactly one partition.
+:class:`RequestTokens` replaces a handle with a ``("tok", home_pid,
+idx)`` tuple at encode time and resolves it back *only* in its home
+partition — tokens belonging to another partition pass through
+untouched, which is exactly the rendezvous protocol's round trip (RTS
+carries the sender's request to the receiver, CTS carries it home
+again alongside the receiver's request, DATA returns the receiver's).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.ompi.pml.ob1 import Packet
+
+_TOK = "tok"
+_PKT_SLOTS = Packet.__slots__
+
+
+class RequestTokens:
+    """Per-partition identity table for request handles."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self._by_idx: Dict[int, Any] = {}
+        self._idx_of: Dict[int, int] = {}    # id(obj) -> idx
+        self._next = 0
+
+    def encode(self, obj: Any) -> Any:
+        if obj is None:
+            return None
+        if isinstance(obj, tuple) and len(obj) == 3 and obj[0] == _TOK:
+            return obj                       # foreign token: pass through
+        idx = self._idx_of.get(id(obj))
+        if idx is None:
+            self._next += 1
+            idx = self._next
+            self._idx_of[id(obj)] = idx
+            self._by_idx[idx] = obj          # strong ref: id() stays valid
+        return (_TOK, self.pid, idx)
+
+    def decode(self, value: Any) -> Any:
+        if (isinstance(value, tuple) and len(value) == 3
+                and value[0] == _TOK and value[1] == self.pid):
+            return self._by_idx[value[2]]
+        return value
+
+
+def encode_packet(pkt: Packet, tokens: RequestTokens) -> Dict[str, Any]:
+    """Slot-dict form of a packet; request handles become tokens.
+
+    Only set slots are captured, so lazily-initialized slots stay unset
+    after decode (``getattr`` raises exactly as it would locally).
+    """
+    state: Dict[str, Any] = {}
+    for slot in _PKT_SLOTS:
+        try:
+            v = getattr(pkt, slot)
+        except AttributeError:
+            continue
+        if slot in ("sender_req", "recv_req"):
+            v = tokens.encode(v)
+        state[slot] = v
+    return state
+
+
+def decode_packet(state: Dict[str, Any], tokens: RequestTokens) -> Packet:
+    pkt = Packet.__new__(Packet)
+    for slot, v in state.items():
+        if slot in ("sender_req", "recv_req"):
+            v = tokens.decode(v)
+        setattr(pkt, slot, v)
+    return pkt
+
+
+class Boundary:
+    """Sender-side boundary: collects outbound envelopes for one window.
+
+    Installed as ``rml.boundary`` / ``fabric.boundary``; the delivery
+    paths call :meth:`ship_rml`/:meth:`ship_pml` *instead of* scheduling
+    the arrival locally (all sender-side counters and bookings have
+    already run, so partition counter sums equal the single-process
+    values).  The worker drains the buffer at every window barrier.
+    """
+
+    def __init__(self, ctx, engine, tokens: RequestTokens) -> None:
+        self.ctx = ctx
+        self.engine = engine
+        self.tokens = tokens
+        self.out: list = []
+        self.shipped = 0
+        self._seq = 0
+
+    def owns_node(self, node: int) -> bool:
+        return self.ctx.owns_node(node)
+
+    def owns_proc(self, proc: Any) -> bool:
+        return self.ctx.owns_proc(proc)
+
+    def _origin(self) -> Tuple[float, int, int]:
+        self._seq += 1
+        return (self.engine.now, self.ctx.pid, self._seq)
+
+    def ship_rml(self, arrival: float, msg: Any, copies: int) -> None:
+        self.shipped += 1
+        self.out.append(("rml", self.ctx.pmap.node_partition(msg.dst),
+                         arrival, self._origin(), msg, copies))
+
+    def ship_pml(self, when: float, dst: Any, pkt: Packet, copies: int) -> None:
+        self.shipped += 1
+        self.out.append(("pml", self.ctx.proc_partition(dst), when,
+                         self._origin(), (dst, encode_packet(pkt, self.tokens)),
+                         copies))
+
+    def ship_ctl(self, arrival: float, dst: Any, payload: Tuple[str, Any]) -> None:
+        """Out-of-band control traffic (ULFM revoke fan-out)."""
+        self.shipped += 1
+        self.out.append(("ctl", self.ctx.proc_partition(dst), arrival,
+                         self._origin(), (dst, payload), 1))
+
+    def drain(self) -> list:
+        out, self.out = self.out, []
+        return out

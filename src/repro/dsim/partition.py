@@ -1,0 +1,124 @@
+"""Partitioning of one simulated world across worker processes.
+
+A partition owns a contiguous block of *nodes* (and therefore every
+daemon, PMIx server and rank hosted on them).  Contiguous blocks keep
+the HNP (node 0) in partition 0 and make ownership checks pure
+arithmetic — no per-message dict lookups on the hot boundary path.
+
+Everything here is shared by the coordinator (parent process) and the
+workers: both sides build the same :class:`PartitionMap` from
+``(partitions, num_nodes)`` and therefore agree on ownership without
+exchanging any state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.simtime.faults import KILL_KINDS, FaultPlan
+
+
+class PartitionError(ValueError):
+    """A run cannot be partitioned as requested (one-line reason)."""
+
+
+class PartitionMap:
+    """Block placement of ``num_nodes`` nodes over ``nparts`` partitions.
+
+    Partition ``k`` owns the ``k``-th contiguous block; the first
+    ``num_nodes % nparts`` partitions get one extra node.  Node 0 (the
+    HNP) always lands in partition 0.
+    """
+
+    def __init__(self, nparts: int, num_nodes: int) -> None:
+        if nparts < 1:
+            raise PartitionError("need at least one partition")
+        if num_nodes < 1:
+            raise PartitionError("need at least one node")
+        if nparts > num_nodes:
+            raise PartitionError(
+                f"cannot split {num_nodes} node(s) across {nparts} partitions"
+                " (at most one partition per node)")
+        self.nparts = nparts
+        self.num_nodes = num_nodes
+        self._base, self._rem = divmod(num_nodes, nparts)
+
+    def node_partition(self, node: int) -> int:
+        """The partition owning ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0,{self.num_nodes})")
+        big = self._rem * (self._base + 1)
+        if node < big:
+            return node // (self._base + 1)
+        return self._rem + (node - big) // self._base
+
+    def nodes_of(self, pid: int) -> range:
+        """The contiguous node block owned by partition ``pid``."""
+        if not 0 <= pid < self.nparts:
+            raise ValueError(f"partition {pid} out of range [0,{self.nparts})")
+        start = pid * self._base + min(pid, self._rem)
+        size = self._base + (1 if pid < self._rem else 0)
+        return range(start, start + size)
+
+
+class PartitionCtx:
+    """One partition's view: its id, the map, and rank->node bindings.
+
+    Attached to the :class:`~repro.faults.FaultManager` (``faults.dsim``)
+    and consulted by the RML/fabric boundary hooks, so it must answer
+    ownership questions for both daemons (by node id) and rank procs
+    (via the bound job topologies).
+    """
+
+    def __init__(self, pid: int, pmap: PartitionMap) -> None:
+        self.pid = pid
+        self.pmap = pmap
+        self.nparts = pmap.nparts
+        self._jobs: Dict[str, Any] = {}     # nspace -> Topology
+
+    def bind_job(self, nspace: str, topology: Any) -> None:
+        self._jobs[nspace] = topology
+
+    def node_of_proc(self, proc: Any) -> int:
+        try:
+            topo = self._jobs[proc.nspace]
+        except KeyError:
+            raise PartitionError(
+                f"no topology bound for namespace {proc.nspace!r}") from None
+        return topo.node_of(proc.rank)
+
+    def owns_node(self, node: int) -> bool:
+        return self.pmap.node_partition(node) == self.pid
+
+    def owns_proc(self, proc: Any) -> bool:
+        return self.owns_node(self.node_of_proc(proc))
+
+    def proc_partition(self, proc: Any) -> int:
+        return self.pmap.node_partition(self.node_of_proc(proc))
+
+
+def validate_plan(plan: FaultPlan, nparts: int) -> None:
+    """Reject fault plans whose semantics cannot be partitioned.
+
+    Message actions are consulted *sender-side*; their ``seen``/``hits``
+    counters and (for lossy links) PRNG roll sequences stay globally
+    consistent only when every matching message originates in a single
+    partition — i.e. the action is pinned to one layer and one concrete
+    source.  Kills must be clock-triggered: an ``after_count`` kill
+    fires on the Nth matching message, and no partition observes the
+    global message stream.
+    """
+    if nparts <= 1 or plan is None:
+        return
+    for act in plan.actions:
+        if act.kind in KILL_KINDS:
+            if act.after_count is not None:
+                raise PartitionError(
+                    f"fault action '{act.describe()}' is not partition-safe: "
+                    "message-triggered kills need the global message stream "
+                    "(use at_time= instead of after_count=)")
+        elif act.layer is None or act.src is None:
+            raise PartitionError(
+                f"fault action '{act.describe()}' is not partition-safe: "
+                "message actions must pin layer= and a concrete src= so one "
+                "partition observes every matching message")

@@ -67,6 +67,24 @@ class FaultManager:
         # arm per-collective timeout timers so no protocol race can hang
         # the simulation — see docs/faults.md "bounded termination".
         self.active = False
+        # Partition context under repro.dsim (None = single-process).
+        # Kills execute fully in the owner partition; everywhere else
+        # only the replicated liveness bookkeeping runs (dead sets,
+        # daemon.alive, local-runtime notification) so sender-side fault
+        # checks in remote partitions see deaths at the exact same
+        # simulated time as the single-process reference.
+        self.dsim = None
+
+    def _owns_kill(self, act: "FaultAction") -> bool:
+        """Whether this partition owns the kill target (dsim mode)."""
+        if self.dsim is None:
+            return True
+        if act.kind == "kill_node":
+            return self.dsim.owns_node(act.node)
+        job = self.default_job
+        if job is None:
+            return self.dsim.pid == 0
+        return self.dsim.owns_node(job.topology.node_of(act.rank))
 
     # -- wiring ------------------------------------------------------------
     def install(self, plan: FaultPlan) -> None:
@@ -75,10 +93,20 @@ class FaultManager:
             raise RuntimeError("a FaultPlan is already installed on this cluster")
         self.plan = plan
         self.active = True
-        self.cluster.trace("faults", "plan_installed", plan=plan.describe())
+        if self.dsim is None or self.dsim.pid == 0:
+            self.cluster.trace("faults", "plan_installed", plan=plan.describe())
         for act in plan.timed_kills():
             when = max(self.engine.now, act.at_time)
-            self.engine.call_at(when, lambda a=act: self._execute(a))
+            if self._owns_kill(act):
+                self.engine.call_at(when, lambda a=act: self._execute(a))
+            else:
+                # Non-owner partitions replicate the bookkeeping at the
+                # same instant but must not perturb the logical event
+                # count: the charge_events(-1) cancels this entry's +1.
+                def run_silent(a=act):
+                    self.engine.charge_events(-1)
+                    self._execute(a)
+                self.engine.call_at(when, run_silent)
 
     def register_runtime(self, runtime) -> None:
         self._runtimes.append(runtime)
@@ -165,6 +193,13 @@ class FaultManager:
             return
         self.active = True
         self.dead_procs.add(proc)
+        node = job.topology.node_of(rank)
+        if self.dsim is not None and not self.dsim.owns_node(node):
+            # Remote kill: replicate liveness only.  Stats, traces, the
+            # SimProcess kill and the PMIx abort belong to the owner;
+            # local MPI runtimes still learn of the death here.
+            self._notify_runtimes(proc)
+            return
         self.stats["kill_proc"] += 1
         sim = sim_proc if sim_proc is not None else self._rank_procs.get(proc)
         self.cluster.trace("faults", "kill_proc", proc=str(proc), rank=rank,
@@ -172,7 +207,6 @@ class FaultManager:
                            span=getattr(sim, "obs_span", 0) if sim else 0)
         if sim is not None:
             sim.kill(f"fault injection: {reason} (rank {rank})")
-        node = job.topology.node_of(rank)
         self.cluster.servers[node].client_aborted(proc, code=code)
         self._notify_runtimes(proc)
 
@@ -188,8 +222,10 @@ class FaultManager:
             return
         self.active = True
         self.dead_nodes.add(node)
-        self.stats["kill_node"] += 1
-        self.cluster.trace("faults", "kill_node", node=node, reason=reason)
+        owner = self.dsim is None or self.dsim.owns_node(node)
+        if owner:
+            self.stats["kill_node"] += 1
+            self.cluster.trace("faults", "kill_node", node=node, reason=reason)
         daemon = dvm.daemon_for(node)
         daemon.alive = False
 
@@ -212,11 +248,15 @@ class FaultManager:
             self._notify_runtimes(proc)
 
         # Failure detection: after the detect latency the HNP notices the
-        # lost daemon and xcasts daemon_down over the routing tree.
-        self.engine.call_later(
-            self.machine.daemon_failure_detect,
-            lambda: dvm.announce_daemon_down(node),
-        )
+        # lost daemon and xcasts daemon_down over the routing tree.  The
+        # announcement is the HNP's event: under dsim only the partition
+        # owning the HNP schedules it (the xcast reaches every other
+        # partition's daemons as ordinary cross-partition RML traffic).
+        if self.dsim is None or self.dsim.owns_node(dvm.hnp_node):
+            self.engine.call_later(
+                self.machine.daemon_failure_detect,
+                lambda: dvm.announce_daemon_down(node),
+            )
 
     # -- MPI-runtime notification ------------------------------------------
     def _notify_runtimes(self, proc: PmixProc) -> None:

@@ -33,7 +33,13 @@ def _natural(track: str) -> Tuple:
 
 def _track_layout(tracer) -> Tuple[Dict[str, Tuple[int, int]], List[str]]:
     """Deterministic track -> (pid, tid) assignment, grouped by prefix."""
-    tracks = sorted(tracer.tracks(), key=_natural)
+    return _layout_from_tracks(tracer.tracks())
+
+
+def _layout_from_tracks(
+    track_names,
+) -> Tuple[Dict[str, Tuple[int, int]], List[str]]:
+    tracks = sorted(track_names, key=_natural)
     groups: List[str] = []
     for t in tracks:
         g = t.split(":", 1)[0]
@@ -120,6 +126,78 @@ def chrome_trace(tracer) -> Dict[str, Any]:
         "displayTimeUnit": "ms",
         "otherData": {"generator": "repro.obs"},
     }
+
+
+#: Arg keys dropped by :func:`canonical_chrome_trace`: they carry raw
+#: tracer span/flow ids, which are allocation-order artifacts (a
+#: partitioned run strides its id spaces, see ``repro.dsim``).
+CANON_DROP_ARGS = frozenset({"flow", "span"})
+
+_PARTITION_PREFIX = re.compile(r"^p\d+:")
+
+
+def canonical_chrome_trace(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Partition-invariant normal form of a Chrome trace object.
+
+    A partitioned run (``repro.dsim``) namespaces its tracks ``p{k}:``
+    and allocates span/flow ids with a per-partition stride, so its raw
+    export differs from the single-process reference in exactly three
+    id-shaped ways.  This strips all three — track prefixes (tracks are
+    re-laid-out with the standard :func:`_track_layout` algorithm),
+    flow ids (renumbered by event content), and the ``flow``/``span``
+    arg keys — and re-sorts events by content.  Timestamps, durations,
+    names and all remaining args are kept verbatim: two runs of the
+    same world are equivalent iff their canonical forms are
+    byte-identical under :func:`dumps`.
+    """
+    events = obj["traceEvents"]
+    old_track: Dict[Tuple[int, int], str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            old_track[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    stripped = {key: _PARTITION_PREFIX.sub("", t)
+                for key, t in old_track.items()}
+    layout, groups = _layout_from_tracks(set(stripped.values()))
+
+    out: List[Dict[str, Any]] = []
+    for g in groups:
+        out.append({"ph": "M", "name": "process_name",
+                    "pid": 1 + groups.index(g), "tid": 0, "args": {"name": g}})
+    for track in sorted(layout, key=_natural):
+        pid, tid = layout[track]
+        out.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": track}})
+
+    flows: Dict[Any, List[Dict[str, Any]]] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ev = dict(ev)
+        pid, tid = layout[stripped[(ev["pid"], ev["tid"])]]
+        ev["pid"], ev["tid"] = pid, tid
+        if "args" in ev:
+            ev["args"] = {k: v for k, v in ev["args"].items()
+                          if k not in CANON_DROP_ARGS}
+        if ph in ("s", "t", "f"):
+            flows.setdefault(ev["id"], []).append(ev)
+        else:
+            out.append(ev)
+
+    def flow_key(evs: List[Dict[str, Any]]) -> str:
+        return dumps(sorted(
+            ({k: v for k, v in e.items() if k != "id"} for e in evs),
+            key=dumps))
+
+    renumbered = sorted(flows.items(), key=lambda kv: (flow_key(kv[1]), kv[0]))
+    for new_id, (_old, evs) in enumerate(renumbered, start=1):
+        for e in evs:
+            e["id"] = new_id
+            out.append(e)
+
+    out.sort(key=lambda e: (e["ph"] != "M", dumps(e)))
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs"}}
 
 
 def dumps(obj: Any) -> str:

@@ -23,10 +23,15 @@ MACHINES = {"jupiter": jupiter, "trinity": trinity, "laptop": laptop}
 
 @dataclass
 class ObsRun:
-    """One instrumented scenario execution."""
+    """One instrumented scenario execution.
+
+    ``world`` is ``None`` for partitioned executions (each worker
+    process owned its own world replica; only the merged trace and
+    metrics travel back — see ``repro.dsim``).
+    """
 
     name: str
-    world: MpiWorld
+    world: Optional[MpiWorld]
     tracer: Tracer
     metrics: MetricsRegistry
     t_end: float
@@ -47,7 +52,13 @@ def _execute(
     plan=None,
     tolerate_errors: bool = False,
     engine_compat: bool = False,
+    partitions: int = 1,
 ) -> ObsRun:
+    if partitions > 1:
+        return _execute_partitioned(
+            name, main, nodes=nodes, ppn=ppn, config=config, machine=machine,
+            plan=plan, tolerate_errors=tolerate_errors,
+            engine_compat=engine_compat, partitions=partitions)
     tracer = Tracer()
     world = make_world(spec=SimSpec(
         nprocs=nodes * ppn,
@@ -69,6 +80,40 @@ def _execute(
     snapshot_cluster(world.cluster.metrics, world.cluster, world)
     return ObsRun(name=name, world=world, tracer=tracer,
                   metrics=world.cluster.metrics, t_end=t_end)
+
+
+def _execute_partitioned(
+    name: str,
+    main: Callable,
+    *,
+    nodes: int,
+    ppn: int,
+    config: MpiConfig,
+    machine: str,
+    plan,
+    tolerate_errors: bool,
+    engine_compat: bool,
+    partitions: int,
+) -> ObsRun:
+    from repro import dsim
+
+    if engine_compat:
+        raise dsim.PartitionError(
+            "engine_compat runs on the reference scheduler, which has no "
+            "window-bounded execution; use partitions=1")
+    spec = SimSpec(
+        nprocs=nodes * ppn,
+        machine=MACHINES[machine](nodes),
+        ppn=ppn,
+        config=config,
+        partitions=partitions,
+    )
+    res = dsim.run_partitioned(spec, main, plan=plan, traced=True,
+                               metrics_on=True)
+    if not tolerate_errors:
+        res.raise_first_failure()
+    return ObsRun(name=name, world=None, tracer=res.tracer,
+                  metrics=res.metrics, t_end=res.t_end)
 
 
 # ---------------------------------------------------------------------------
@@ -176,12 +221,16 @@ def run_scenario(
     ppn: int = 2,
     machine: str = "jupiter",
     engine_compat: bool = False,
+    partitions: int = 1,
 ) -> ObsRun:
     """Run a named scenario and return its :class:`ObsRun`.
 
     ``engine_compat=True`` runs on the pure-heap reference scheduler —
     the golden-trace tests compare its byte-exact export against the
-    default fast-path engine's.
+    default fast-path engine's.  ``partitions=N`` executes the same
+    world across N worker processes (``repro.dsim``); scenarios whose
+    fault plan is not partition-safe raise
+    :class:`~repro.dsim.PartitionError`.
     """
     try:
         spec = _SPECS[name]
@@ -200,4 +249,5 @@ def run_scenario(
         plan=plan_factory() if plan_factory is not None else None,
         tolerate_errors=spec.get("tolerate_errors", False),
         engine_compat=engine_compat,
+        partitions=partitions,
     )

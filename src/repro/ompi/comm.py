@@ -732,8 +732,21 @@ class Communicator:
         rt.cluster.recovery_stats["revoke"] += 1
         ident = self.identity()
         failed = getattr(rt, "failed_procs", set())
+        boundary = rt.fabric.boundary
         for proc in self.group.members():
             if proc == rt.proc or proc in failed:
+                continue
+            if boundary is not None and not boundary.owns_proc(proc):
+                # Partitioned run: the member's live runtime is in
+                # another partition (its local replica never spawned, so
+                # it has no endpoint here).  Ship the revoke to the
+                # owner; dead peers are skipped like the ``ep is None``
+                # case below — death deregisters the endpoint.
+                if proc in rt.cluster.faults.dead_procs:
+                    continue
+                delay = rt.machine.wire_time(False, 64)
+                boundary.ship_ctl(rt.engine.now + delay, proc,
+                                  ("revoke", ident))
                 continue
             ep = rt.fabric._endpoints.get(proc)
             if ep is None:

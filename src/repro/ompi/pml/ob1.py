@@ -112,6 +112,14 @@ class Fabric:
         self._endpoints: Dict[PmixProc, "Ob1Endpoint"] = {}
         self.packets = 0
         self.bytes = 0
+        # Cross-partition boundary (repro.dsim); None = single-process.
+        # When set, packets whose destination rank lives in another
+        # partition are shipped as serialized envelopes instead of being
+        # scheduled locally — every sender-side effect above the
+        # scheduling point (fault checks, counters, NIC booking) has
+        # already happened by then, so counter sums across partitions
+        # equal the single-process values.
+        self.boundary = None
         # FIFO floor per (src, dst): delay/dup faults must not reorder a
         # pair's packets (the seq check would flag it as corruption).
         self._pair_floor: Dict[tuple, float] = {}
@@ -157,6 +165,10 @@ class Fabric:
             self._pair_floor[key] = when
         self.packets += 1
         self.bytes += pkt.wire_bytes()
+        boundary = self.boundary
+        if boundary is not None and not boundary.owns_proc(dst):
+            boundary.ship_pml(when, dst, pkt, copies)
+            return
         ep = self.endpoint(dst)
         for _ in range(copies):
             self.engine.call_at(when, lambda: self._deliver_checked(ep, pkt))

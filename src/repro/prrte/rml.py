@@ -84,6 +84,11 @@ class RoutingLayer:
         # sequence numbers enforce FIFO end-to-end regardless, but the
         # floor still keeps the *wire* arrival order sane.
         self._pair_floor: Dict[tuple, float] = {}
+        # Cross-partition boundary (repro.dsim); None = single-process.
+        # Messages to daemons owned by another partition are shipped as
+        # (arrival, msg) envelopes after every sender-side effect has
+        # run, and re-enter via _arrive in the owner partition.
+        self.boundary = None
         # Reliability state (inert until enable_reliability()).
         self.reliable = False
         self._seed = 0
@@ -231,6 +236,10 @@ class RoutingLayer:
             key = (msg.src, msg.dst)
             arrival = max(arrival, self._pair_floor.get(key, 0.0))
             self._pair_floor[key] = arrival
+        boundary = self.boundary
+        if boundary is not None and not boundary.owns_node(msg.dst):
+            boundary.ship_rml(arrival, msg, copies)
+            return
         if copies == 1:
             self.engine.call_at(arrival, lambda: self._arrive(msg, deliver))
         else:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 from typing import Any, Dict, Optional
 
 from repro.api import SimSpec, make_world
@@ -83,11 +84,35 @@ def _soak_main(mpi, t_safe: float):
 
 
 def soak_plan(seed: int, *, num_ranks: int, num_nodes: int,
-              with_node_kill: bool = True, lossy: bool = True) -> FaultPlan:
+              with_node_kill: bool = True, lossy: bool = True,
+              partition_safe: bool = False) -> FaultPlan:
     """The per-seed fault plan: a survivable random plan, plus (so every
     soak run exercises the full recovery stack, per the acceptance
     criteria) one guaranteed lossy RML link and one guaranteed non-HNP
-    node kill inside the fault window."""
+    node kill inside the fault window.
+
+    ``partition_safe=True`` draws from the restricted action pool that
+    ``repro.dsim`` can replicate deterministically: timed kills only (no
+    ``after_count`` triggers, which count messages globally) and
+    src-pinned lossy RML links (so exactly one partition observes each
+    matching message).  Still seed-deterministic and survivable."""
+    if partition_safe:
+        rng = random.Random(seed)
+        plan = FaultPlan()
+        # Timed rank kills drawn from the upper ranks (rank 0 survives:
+        # it anchors the shrink results the record asserts on).
+        for _ in range(1 + rng.randrange(2)):
+            plan.kill_proc(rng.randrange(1, num_ranks),
+                           at_time=FAULT_START + rng.random() * FAULT_HORIZON)
+        if lossy:
+            for _ in range(1 + rng.randrange(2)):
+                plan.lossy_link(0.15, seed=seed ^ 0x5EED, layer="rml",
+                                src=rng.randrange(num_nodes),
+                                at_time=FAULT_START, max_hits=4)
+        if with_node_kill and num_nodes > 1:
+            plan.kill_node(1 + seed % (num_nodes - 1),
+                           at_time=FAULT_START + 0.4 * FAULT_HORIZON)
+        return plan
     plan = random_plan(
         seed,
         survivable=True,
@@ -117,13 +142,28 @@ def soak_run(
     tracer=None,
     return_world: bool = False,
     engine_compat: bool = False,
+    partitions: int = 1,
+    partition_safe: bool = False,
 ) -> Dict[str, Any]:
     """One chaos-soak run.  Returns a deterministic result record;
     ``result["ok"]`` is the pass/fail verdict.  ``return_world=True``
     additionally returns the (quiesced) world, for post-mortem
     inspection — metric harvesting, trace export.  ``engine_compat``
     selects the pure-heap reference scheduler; the digest must come out
-    identical either way (tested)."""
+    identical either way (tested).
+
+    ``partitions=N`` runs the soak across N worker processes
+    (``repro.dsim``); this requires ``partition_safe=True`` (the default
+    plan's message-count triggers are rejected) and produces a record —
+    digest included — identical to the ``partitions=1`` run of the same
+    arguments."""
+    if partitions > 1:
+        return _soak_run_partitioned(
+            seed, num_nodes=num_nodes, num_ranks=num_ranks,
+            with_node_kill=with_node_kill, lossy=lossy, config=config,
+            tracer=tracer, return_world=return_world,
+            engine_compat=engine_compat, partitions=partitions,
+            partition_safe=partition_safe)
     world = make_world(spec=SimSpec(
         nprocs=num_ranks,
         machine=laptop(num_nodes=num_nodes),
@@ -136,7 +176,8 @@ def soak_run(
     ))
     cluster = world.cluster
     plan = soak_plan(seed, num_ranks=num_ranks, num_nodes=num_nodes,
-                     with_node_kill=with_node_kill, lossy=lossy)
+                     with_node_kill=with_node_kill, lossy=lossy,
+                     partition_safe=partition_safe)
     cluster.faults.install(plan)
 
     procs = world.spawn_ranks(_soak_main, args=(T_SAFE,))
@@ -195,6 +236,104 @@ def soak_run(
     record["digest"] = digest(record)
     if return_world:
         return record, world
+    return record
+
+
+def _soak_run_partitioned(
+    seed: int,
+    *,
+    num_nodes: int,
+    num_ranks: int,
+    with_node_kill: bool,
+    lossy: bool,
+    config,
+    tracer,
+    return_world: bool,
+    engine_compat: bool,
+    partitions: int,
+    partition_safe: bool,
+) -> Dict[str, Any]:
+    from repro import dsim
+
+    if return_world:
+        raise dsim.PartitionError(
+            "return_world is meaningless for a partitioned soak: each "
+            "worker process owns its own world replica")
+    if tracer is not None:
+        raise dsim.PartitionError(
+            "pass no tracer to a partitioned soak (repro.dsim builds "
+            "per-worker tracers)")
+    if engine_compat:
+        raise dsim.PartitionError(
+            "engine_compat runs on the reference scheduler, which has no "
+            "window-bounded execution; use partitions=1")
+    plan = soak_plan(seed, num_ranks=num_ranks, num_nodes=num_nodes,
+                     with_node_kill=with_node_kill, lossy=lossy,
+                     partition_safe=partition_safe)
+    spec = SimSpec(
+        nprocs=num_ranks,
+        machine=laptop(num_nodes=num_nodes),
+        ppn=max(1, num_ranks // num_nodes),
+        config=config,
+        recovery=True,
+        recovery_seed=seed,
+        partitions=partitions,
+    )
+    res = dsim.run_partitioned(spec, _soak_main, args=(T_SAFE,), plan=plan)
+
+    t_end = res.t_end
+    bounded = t_end < SIM_BOUND
+    dead_ranks = res.dead_ranks
+    dead_set = set(dead_ranks)
+    expected_size = num_ranks - len(dead_ranks)
+
+    # Mirror the serial record construction exactly (rank order, dead
+    # ranks skipped, identical error strings) so digests compare equal.
+    errors = []
+    results = []
+    for rank in range(num_ranks):
+        if rank in dead_set:
+            continue
+        if rank in res.failures:
+            tname, msg = res.failures[rank]
+            errors.append(f"rank {rank}: {tname}: {msg}")
+        elif rank in res.results:
+            results.append(res.results[rank])
+
+    sizes = sorted({r["shrunk_size"] for r in results})
+    fresh_cids = all(r["shrunk_cid"] != r["world_cid"] for r in results)
+    ok = (
+        bounded
+        and not errors
+        and len(results) == expected_size
+        and all(r["ok"] for r in results)
+        and sizes == [expected_size]
+        and fresh_cids
+    )
+
+    c = res.counters
+    record = {
+        "seed": seed,
+        "ok": ok,
+        "bounded": bounded,
+        "t_end": t_end,
+        "dead_ranks": dead_ranks,
+        "survivors": len(results),
+        "shrunk_sizes": sizes,
+        "fresh_cids": fresh_cids,
+        "errors": errors,
+        "fence_retries": c["dvm.fence_retries"],
+        "retransmits": c["rml.retransmits"],
+        "dup_suppressed": c["rml.dup_suppressed"],
+        "retry_exhausted": c["rml.retry_exhausted"],
+        "reparents": c["dvm.heals"],
+        "grpcomm_restarts": c["dvm.grpcomm_restarts"],
+        "revokes": c["recovery_stats"].get("revoke", 0),
+        "agrees": c["recovery_stats"].get("agree", 0),
+        "shrinks": c["recovery_stats"].get("shrink", 0),
+        "events": res.events,
+    }
+    record["digest"] = digest(record)
     return record
 
 

@@ -30,6 +30,13 @@ def default_mp_context() -> str:
 
 
 def _worker_main(conn) -> None:
+    # The parent starts workers daemonic so a dying server never leaks
+    # them — that cleanup is driven by the *parent-side* flag.  The
+    # child-side copy of the flag only forbids grandchildren, which
+    # would break scenarios that themselves fork (partitioned runs,
+    # repro.dsim), so clear it here.  dsim children are tied to this
+    # process by their pipes and exit on EOF if it dies uncleanly.
+    multiprocessing.current_process().daemon = False
     # Resolved here, in the worker process, so spawn/forkserver children
     # see the built-in scenarios without inheriting parent state.
     from repro.serve import registry

@@ -317,3 +317,70 @@ class Engine:
             return self._now
         finally:
             self._running = False
+
+    # -- window-bounded execution (repro.dsim; docs/performance.md) -------
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the queue is
+        empty.
+
+        Canceled heap heads are popped on the way (they would otherwise
+        report phantom wake-ups to the :mod:`repro.dsim` coordinator and
+        cost a synchronization round each).  Safe to call only between
+        runs, never from inside a callback.
+        """
+        if self._ready:
+            for entry in self._ready:
+                if entry[2] is not _CANCELED:
+                    return self._now
+        q = self._queue
+        while q:
+            if q[0][2] is _CANCELED:
+                heapq.heappop(q)
+                self._ncanceled -= 1
+                continue
+            return q[0][0]
+        return None
+
+    def run_window(self, end: float) -> float:
+        """Run every event scheduled strictly *before* ``end``.
+
+        The conservative-window primitive of :mod:`repro.dsim`: a
+        partition may execute up to (but excluding) the window edge
+        without synchronizing, because the lookahead guarantees no
+        cross-partition message can arrive earlier than the edge.  Unlike
+        :meth:`run`, the clock is *not* advanced to ``end`` — it stays at
+        the last executed event so the final ``now`` of a partitioned
+        run equals the single-process reference.  Deadlock detection is
+        the coordinator's job (a partition cannot distinguish "blocked
+        forever" from "waiting on a remote message").
+
+        Returns the simulated time of the last executed event.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            ready = self._ready
+            q = self._queue
+            heappop = heapq.heappop
+            while True:
+                if ready and (not q or q[0][0] > self._now):
+                    fn = ready.popleft()[2]
+                    if fn is _CANCELED:
+                        self._ncanceled -= 1
+                        continue
+                elif q:
+                    when = q[0][0]
+                    if when >= end:
+                        return self._now
+                    fn = heappop(q)[2]
+                    if fn is _CANCELED:
+                        self._ncanceled -= 1
+                        continue
+                    self._now = when
+                else:
+                    return self._now
+                self.events_executed += 1
+                fn()
+        finally:
+            self._running = False

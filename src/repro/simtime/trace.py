@@ -110,7 +110,8 @@ class Tracer:
     """Collects trace records, spans and flows, optionally filtered by
     category (the first dotted component of a span/event name)."""
 
-    def __init__(self, categories: Optional[set] = None) -> None:
+    def __init__(self, categories: Optional[set] = None, *,
+                 id_start: int = 1, id_step: int = 1) -> None:
         self.records: List[TraceRecord] = []
         # Normalize to frozenset: accepts any iterable (a bare string
         # would otherwise filter per *character*, silently passing some
@@ -124,13 +125,22 @@ class Tracer:
         # category -> records index so find()/count() in hot test loops
         # are O(matches), not O(all records).
         self._by_category: Dict[str, List[TraceRecord]] = {}
-        # Span model state.
+        # Span model state.  ``id_start``/``id_step`` carve out disjoint
+        # sid/fid spaces per partition under repro.dsim (partition k of N
+        # allocates k+1, k+1+N, ...), so merged traces never collide and
+        # a flow id shipped inside a cross-partition message still names
+        # the sender's allocation.  The defaults reproduce today's ids.
         self.spans: Dict[int, Span] = {}
         self.instants: List[Instant] = []
         self.flows: Dict[int, FlowEdge] = {}
         self._stacks: Dict[str, List[int]] = {}   # track -> open span ids
-        self._next_sid = 1
-        self._next_fid = 1
+        self._id_start = id_start
+        self._id_step = id_step
+        self._next_sid = id_start
+        self._next_fid = id_start
+        # Under dsim a flow_end may arrive for a fid allocated in another
+        # partition; opt in to keeping the dst half (merged later).
+        self.record_unmatched_flow_ends = False
 
     # -- category filtering -------------------------------------------------
     def _wants(self, category: str) -> bool:
@@ -182,8 +192,8 @@ class Tracer:
         self.instants.clear()
         self.flows.clear()
         self._stacks.clear()
-        self._next_sid = 1
-        self._next_fid = 1
+        self._next_sid = self._id_start
+        self._next_fid = self._id_start
 
     # -- span API -----------------------------------------------------------
     def begin(self, time: float, track: str, name: str, **attrs: Any) -> int:
@@ -195,7 +205,7 @@ class Tracer:
         if not self.enabled or not self._wants(self._category_of(name)):
             return 0
         sid = self._next_sid
-        self._next_sid += 1
+        self._next_sid += self._id_step
         stack = self._stacks.setdefault(track, [])
         parent = stack[-1] if stack else 0
         self.spans[sid] = Span(sid, track, name, time, parent, None, attrs)
@@ -228,7 +238,7 @@ class Tracer:
         if not self.enabled or not self._wants(self._category_of(name)):
             return 0
         fid = self._next_fid
-        self._next_fid += 1
+        self._next_fid += self._id_step
         self.flows[fid] = FlowEdge(fid, name, track, time, self._top(track), attrs=attrs)
         return fid
 
@@ -238,7 +248,16 @@ class Tracer:
         if not fid:
             return
         flow = self.flows.get(fid)
-        if flow is None or flow.dst_time is not None:
+        if flow is None:
+            if not self.record_unmatched_flow_ends:
+                return
+            # The begin half lives in another partition (repro.dsim); keep
+            # the dst half under the sender-allocated fid so the merge can
+            # unify the two.  src_track="" marks the record as partial.
+            self.flows[fid] = FlowEdge(fid, "", "", 0.0, 0, track, time,
+                                       self._top(track))
+            return
+        if flow.dst_time is not None:
             return
         flow.dst_track = track
         flow.dst_time = time

@@ -72,6 +72,71 @@ def test_gate_ignores_cases_added_since_baseline():
     assert check_regression(cur, base) == []
 
 
+def _partitioned_case(speedup, events=100, cores=1, params=None):
+    params = params or {"nodes": 16, "ppn": 4, "partitions": 4}
+    return {"kind": "partitioned", "params": params, "events": events,
+            "partitions": params["partitions"], "cores": cores,
+            "windows": 10, "boundary_msgs": 5, "serial_s": 0.1 * speedup,
+            "partitioned_s": 0.1, "serial_eps": events / (0.1 * speedup),
+            "partitioned_eps": events / 0.1, "speedup": speedup,
+            "min_speedup": None, "enforced": False}
+
+
+def test_gate_fails_on_kind_change():
+    # A case that silently switched measurement axes (scheduler
+    # fast-vs-compat -> serial-vs-partitioned) must not have its
+    # speedups compared as if they meant the same thing.
+    base = _report(a=_case(2.0))
+    cur = _report(a=_partitioned_case(0.1))
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and "kind" in failures[0]
+
+
+def test_gate_compares_partitioned_like_for_like():
+    base = _report(a=_partitioned_case(0.8, cores=4))
+    cur = _report(a=_partitioned_case(0.7, cores=4))   # -12.5%, inside 20%
+    assert check_regression(cur, base) == []
+    cur = _report(a=_partitioned_case(0.5, cores=4))   # -37.5%
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and "speedup" in failures[0]
+
+
+def test_gate_skips_partitioned_speedup_across_core_counts():
+    # A 4-core baseline rerun on a 1-core host: the wall-clock ratio is
+    # a property of the machine, so the gate keeps only the
+    # deterministic checks (events, coverage).
+    base = _report(a=_partitioned_case(2.4, cores=4))
+    cur = _report(a=_partitioned_case(0.7, cores=1))
+    assert check_regression(cur, base) == []
+    # ... but event drift still fails across core counts.
+    cur = _report(a=_partitioned_case(0.7, cores=1, events=101))
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and "determinism" in failures[0]
+
+
+def test_committed_bench_pr9_is_self_consistent():
+    """The committed BENCH_PR9.json gates cleanly against itself and
+    carries the partitioned cases with their core-count context."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "BENCH_PR9.json")
+    committed = json.loads(open(path).read())
+    assert check_regression(committed, committed) == []
+    for name in ("fig3-init-1k-p4", "fig3-init-4k"):
+        rec = committed["cases"][name]
+        assert rec["kind"] == "partitioned"
+        assert rec["partitions"] == 4
+        assert rec["cores"] >= 1
+        assert rec["windows"] > 0
+        # The >=2x bar binds only when the host could actually run the
+        # partitions in parallel; the record says which it was.
+        assert rec["enforced"] == (rec["min_speedup"] is not None
+                                   and rec["cores"] >= rec["partitions"])
+    assert committed["cases"]["fig3-init-1k-p4"]["events"] \
+        == committed["cases"]["fig3-init-1k"]["events"]
+
+
 def test_cli_check_roundtrip(tmp_path):
     """End-to-end: a real quick run gated against its own output passes;
     a doctored baseline demanding an impossible speedup fails."""

@@ -37,3 +37,19 @@ def test_kernel_event_counts_match_compat():
         if case.min_speedup is not None:
             rec = run_case(case, quick=True, repeats=1)
             assert rec["events"] > 0
+
+
+def test_partitioned_case_smoke():
+    """Quick-scale partitioned case: the measurement machinery raises
+    if serial and dsim event counts diverge, and the record carries the
+    core-count context the acceptance bar is conditioned on."""
+    import os
+
+    from repro.bench.perf import PARTITIONED_CASES, run_partitioned_case
+
+    case = next(c for c in PARTITIONED_CASES if c.name == "fig3-init-1k-p4")
+    rec = run_partitioned_case(case, quick=True, repeats=1)
+    assert rec["kind"] == "partitioned"
+    assert rec["events"] > 0 and rec["windows"] > 0
+    assert rec["cores"] == (os.cpu_count() or 1)
+    assert rec["enforced"] == (rec["cores"] >= rec["partitions"])

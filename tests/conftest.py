@@ -12,6 +12,12 @@ Marker map (registered in pyproject.toml ``[tool.pytest.ini_options]``):
   reconnect-and-resubmit, the circuit breaker, and sweep crash
   isolation.  The default-sized subset runs in tier-1 as the chaos
   smoke; ``tools/run_chaos.py`` is the full soak.
+* ``dsim``        — the partitioned-simulation suite (tests/dsim/):
+  running one world across N forked worker partitions (``repro.dsim``)
+  must be bit-equivalent to one process — results, traces (canonically
+  normalized), metrics, soak digests — including under partition-safe
+  fault plans.  The small-scale subset runs in tier-1 as the dsim
+  smoke; the 4-partition and multi-seed sweeps are ``slow``.
 * ``stackparity`` — the differential fast-vs-compat parity suite
   (tests/stackparity/): every registered scenario and the recovery soak
   run on both the optimized engine and ``Engine(compat=True)``, and the

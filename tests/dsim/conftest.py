@@ -1,0 +1,47 @@
+"""Shared helpers for the partitioned-simulation (repro.dsim) suite.
+
+Every test here asserts the dsim contract: running one world across N
+forked worker partitions is *bit-equivalent* to running it in one
+process — same per-rank results, final clock, event totals, layer
+counters, soak digests, and canonically-normalized Perfetto traces,
+including under partition-safe fault plans.
+
+The suite carries the ``dsim`` marker; the small-scale parity cases run
+in tier-1 as the dsim smoke, the 4-partition and multi-seed sweeps are
+``slow``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs import export
+
+
+def trace_bytes(tracer) -> str:
+    """Canonically-normalized Chrome-trace serialization.
+
+    ``canonical_chrome_trace`` strips the merged trace's ``p{k}:`` track
+    namespacing, re-lays-out pids/tids, renumbers flow ids by content
+    and drops partition-dependent arg keys — the normalization under
+    which partitioned and single-process traces must agree byte-exactly.
+    """
+    return export.dumps(
+        export.canonical_chrome_trace(export.chrome_trace(tracer)))
+
+
+def metric_counters(metrics, *, skip_dsim: bool = True) -> Dict[Any, Any]:
+    """Counters + gauges as plain dicts, minus dsim's own meters.
+
+    ``dsim.window.advance`` / ``dsim.boundary.msgs`` only exist on the
+    partitioned side (they meter the machinery itself), so equality is
+    asserted over everything else.
+    """
+    def keep(key) -> bool:
+        name = key[0] if isinstance(key, tuple) else key
+        return not (skip_dsim and str(name).startswith("dsim."))
+
+    return {
+        "counters": {k: v for k, v in metrics.counters.items() if keep(k)},
+        "gauges": {k: v for k, v in metrics.gauges.items() if keep(k)},
+    }

@@ -1,0 +1,113 @@
+"""Partitioned-vs-serial parity: results, traces, metrics.
+
+The core bit-equivalence bar from the partitioned-worlds design: for
+every observable a user can export, ``partitions=N`` must be
+indistinguishable from one process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import dsim
+from repro.api import SimSpec, make_world
+from repro.machine.presets import jupiter, laptop
+from repro.obs.scenarios import run_scenario, scenario_names
+from repro.ompi.config import MpiConfig
+from repro.ompi.constants import SUM
+
+from .conftest import metric_counters, trace_bytes
+
+pytestmark = pytest.mark.dsim
+
+
+def _allreduce_main(mpi, seed: int):
+    world = yield from mpi.mpi_init()
+    total = yield from world.allreduce(world.rank + seed, op=SUM)
+    yield from mpi.mpi_finalize()
+    return total
+
+
+def _serial_reference(spec: SimSpec, main, args=()):
+    world = make_world(spec=spec)
+    procs = world.spawn_ranks(main, args)
+    t_end = world.run()
+    for p in procs:
+        if p.exception is not None:
+            raise p.exception
+    return [p.result for p in procs], t_end, world.cluster.engine.events_executed
+
+
+@pytest.mark.parametrize("preset", [laptop, jupiter])
+def test_allreduce_results_and_clock_match(preset):
+    spec = SimSpec(nprocs=8, machine=preset(num_nodes=4), ppn=2)
+    results, t_end, events = _serial_reference(spec, _allreduce_main, (3,))
+
+    res = dsim.run_partitioned(spec.replace(partitions=2),
+                               _allreduce_main, args=(3,))
+    res.raise_first_failure()
+    assert res.result_list(spec.nprocs) == results
+    assert res.t_end == t_end
+    assert res.events == events
+    assert res.windows > 0
+
+
+def test_partitions_one_is_inprocess_bypass():
+    # partitions=1 must never enter the dsim machinery: the same spec
+    # through the ordinary path is the definition of the reference.
+    spec = SimSpec(nprocs=4, machine=laptop(num_nodes=2), ppn=2)
+    results, t_end, _ = _serial_reference(spec, _allreduce_main, (0,))
+    again, t_again, _ = _serial_reference(spec, _allreduce_main, (0,))
+    assert (results, t_end) == (again, t_again)
+
+
+def test_sessions_program_matches():
+    def main(mpi, seed: int):
+        session = yield from mpi.session_init()
+        group = yield from session.group_from_pset("mpi://world")
+        comm = yield from mpi.comm_create_from_group(group, f"t-{seed}")
+        total = yield from comm.allreduce(comm.rank + seed, op=SUM)
+        comm.free()
+        yield from session.finalize()
+        return total
+
+    spec = SimSpec(nprocs=8, machine=jupiter(num_nodes=4), ppn=2,
+                   config=MpiConfig.sessions_prototype())
+    results, t_end, events = _serial_reference(spec, main, (1,))
+    res = dsim.run_partitioned(spec.replace(partitions=4), main, args=(1,))
+    res.raise_first_failure()
+    assert res.result_list(spec.nprocs) == results
+    assert (res.t_end, res.events) == (t_end, events)
+
+
+@pytest.mark.parametrize("name", ["fig3-init", "pingpong"])
+def test_scenario_trace_and_metrics_parity_p2(name):
+    serial = run_scenario(name, nodes=4, ppn=2)
+    part = run_scenario(name, nodes=4, ppn=2, partitions=2)
+    assert trace_bytes(part.tracer) == trace_bytes(serial.tracer)
+    assert metric_counters(part.metrics) == metric_counters(serial.metrics)
+    assert part.t_end == serial.t_end
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", [n for n in scenario_names()
+                                  if n != "faults-drop"])
+@pytest.mark.parametrize("partitions", [2, 4])
+def test_all_scenarios_trace_parity(name, partitions):
+    serial = run_scenario(name, nodes=4, ppn=2)
+    part = run_scenario(name, nodes=4, ppn=2, partitions=partitions)
+    assert trace_bytes(part.tracer) == trace_bytes(serial.tracer)
+    assert metric_counters(part.metrics) == metric_counters(serial.metrics)
+
+
+def test_track_namespacing_in_merged_trace():
+    # Before normalization the merged trace names tracks "p{k}:..." so
+    # per-partition timelines stay distinguishable in Perfetto.
+    from repro.obs import export
+
+    part = run_scenario("fig3-init", nodes=4, ppn=2, partitions=2)
+    raw = export.chrome_trace(part.tracer)
+    names = {ev["args"]["name"] for ev in raw["traceEvents"]
+             if ev.get("ph") == "M" and ev.get("name") == "thread_name"}
+    assert any(n.startswith("p0:") for n in names)
+    assert any(n.startswith("p1:") for n in names)

@@ -1,0 +1,66 @@
+"""Serve-layer partitioned execution: same record, same digest.
+
+``SimSpec.partitions`` rides inside the ``sim`` scenario's payload, so
+a served request, a batch sweep and a direct call must all agree —
+cache identity included — no matter how many worker processes computed
+the answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve import ServeClient, ServerThread
+from repro.serve.registry import run_simspec, run_simspec_traced
+from repro.api import SimSpec
+from repro.machine.presets import laptop
+from repro.ompi.config import MpiConfig
+
+pytestmark = [pytest.mark.dsim, pytest.mark.serve]
+
+
+def _payload(partitions: int, program: str = "allreduce") -> dict:
+    config = (MpiConfig.sessions_prototype() if program == "sessions"
+              else None)
+    return SimSpec(nprocs=8, machine=laptop(num_nodes=4), ppn=2,
+                   partitions=partitions, config=config).to_payload()
+
+
+@pytest.mark.parametrize("program", ["allreduce", "sessions"])
+def test_sim_scenario_digest_parity(program):
+    serial = run_simspec(spec=_payload(1, program), program=program, seed=3)
+    part = run_simspec(spec=_payload(2, program), program=program, seed=3)
+    # partitions is an execution detail: everything observable in the
+    # record except nprocs bookkeeping must match, digest first.
+    assert part["digest"] == serial["digest"]
+    assert part["results"] == serial["results"]
+    assert part["t_end"] == serial["t_end"]
+
+
+def test_served_request_runs_partitioned(tmp_path):
+    # Through the real server and its *daemonic* pool workers — the
+    # in-process tests above never fork, so only this path proves a
+    # worker may spawn dsim children (pool._worker_main clears the
+    # child-side daemon flag).
+    with ServerThread(workers=1, cache_dir=str(tmp_path)) as srv:
+        with ServeClient(srv.host, srv.port) as client:
+            serial = client.submit("sim", {"spec": _payload(1), "seed": 5})
+            part = client.submit("sim", {"spec": _payload(2), "seed": 5})
+    assert serial["status"] == "ok"
+    assert part["status"] == "ok", part.get("error")
+    assert part["result"]["digest"] == serial["result"]["digest"]
+    assert part["result"]["results"] == serial["result"]["results"]
+
+
+def test_sim_scenario_traced_digest_parity(tmp_path):
+    trace = tmp_path / "part.json"
+    serial = run_simspec(spec=_payload(1), program="allreduce", seed=0)
+    part = run_simspec_traced(spec=_payload(2), program="allreduce",
+                              seed=0, trace_path=str(trace))
+    assert part["digest"] == serial["digest"]
+    assert os.path.getsize(trace) > 0
+    obj = json.loads(trace.read_text())
+    assert obj["traceEvents"]

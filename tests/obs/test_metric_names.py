@@ -30,6 +30,7 @@ TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
 LAYERS = {
     "serve", "sweep", "bench", "sim", "simtime", "obs", "chaos",
     "rml", "prrte", "pmix", "pml", "ompi", "faults", "recovery",
+    "dsim",
 }
 
 _COMPONENT = re.compile(r"^[a-z0-9_]+$")

@@ -3,19 +3,24 @@
 
 Usage::
 
-    python tools/bench.py                     # full suite -> BENCH_PR6.json
+    python tools/bench.py                     # full suite -> BENCH_PR9.json
     python tools/bench.py --quick             # small scales, smoke-sized
     python tools/bench.py --cases fence-storm comm-dup --repeats 5
     python tools/bench.py --jobs 4            # one worker process per case
     python tools/bench.py --serve             # serve loadgen -> BENCH_PR5.json
-    python tools/bench.py --check             # gate vs committed BENCH_PR6.json
-    python tools/bench.py --check BENCH_PR4.json --tolerance 0.3
+    python tools/bench.py --check             # gate vs committed BENCH_PR9.json
+    python tools/bench.py --check BENCH_PR6.json --tolerance 0.3
     python tools/bench.py --ledger obs/ledger.sqlite   # record runs
 
-Each case runs twice — once on the default fast-path scheduler, once on
-``Engine(compat=True)`` — and reports events/second plus the speedup.
-Cases with an acceptance bar (the scheduler-bound kernels) fail the run
-when they miss it.  See docs/performance.md for how to read the output.
+Scheduler cases run twice — once on the default fast-path scheduler,
+once on ``Engine(compat=True)`` — and report events/second plus the
+speedup.  Partitioned cases (``fig3-init-1k-p4``, ``fig3-init-4k``)
+instead compare one-process execution against ``repro.dsim`` running
+the same world across N worker processes; their >=2x bar is only
+*enforced* when the host has at least that many cores (the report
+records ``cores``, so single-core measurements are tracked honestly —
+see docs/performance.md, "Partitioned execution").  Cases with an
+enforced acceptance bar fail the run when they miss it.
 
 ``--jobs`` fans cases across worker processes via ``repro.sweep``; use
 it for a fast sanity pass, not for publishable numbers — concurrent
@@ -43,7 +48,8 @@ import sys
 
 from repro import cli
 from repro.bench.harness import format_table
-from repro.bench.perf import CASES, check_regression, run_case_point
+from repro.bench.perf import (CASES, PARTITIONED_CASES, check_regression,
+                              run_case_point)
 from repro.sweep import SweepPoint, run_sweep
 
 
@@ -51,12 +57,12 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=None, metavar="FILE",
                     help="where to write the JSON report (default: "
-                         "BENCH_PR6.json, or BENCH_PR5.json with --serve)")
-    ap.add_argument("--check", nargs="?", const="BENCH_PR6.json",
+                         "BENCH_PR9.json, or BENCH_PR5.json with --serve)")
+    ap.add_argument("--check", nargs="?", const="BENCH_PR9.json",
                     default=None, metavar="BASELINE",
                     help="after running, gate the fresh report against a "
                          "committed baseline JSON (default baseline: "
-                         "BENCH_PR6.json); exits non-zero on regression")
+                         "BENCH_PR9.json); exits non-zero on regression")
     ap.add_argument("--tolerance", type=float, default=0.2,
                     metavar="FRAC",
                     help="allowed relative speedup drop vs the baseline "
@@ -66,7 +72,8 @@ def main(argv=None) -> int:
     ap.add_argument("--repeats", type=int, default=3,
                     help="best-of-N wall-clock repeats (default: 3)")
     ap.add_argument("--cases", nargs="+", metavar="NAME",
-                    choices=[c.name for c in CASES],
+                    choices=[c.name for c in CASES]
+                    + [c.name for c in PARTITIONED_CASES],
                     help="subset of cases (default: all)")
     cli.add_jobs(ap, help="worker processes (timings contend; keep 1 for "
                           "publishable numbers; with --serve: server pool "
@@ -83,9 +90,10 @@ def main(argv=None) -> int:
     if args.serve:
         return serve_bench(args)
     if args.out is None:
-        args.out = "BENCH_PR6.json"
+        args.out = "BENCH_PR9.json"
 
-    selected = [c for c in CASES if args.cases is None or c.name in args.cases]
+    selected = [c for c in CASES + PARTITIONED_CASES
+                if args.cases is None or c.name in args.cases]
     points = [
         SweepPoint("bench", run_case_point,
                    {"case": c.name, "quick": args.quick,
@@ -108,24 +116,40 @@ def main(argv=None) -> int:
     failed = []
     for case in selected:
         rec = report["cases"][case.name]
-        bar = f">={case.min_speedup:.1f}x" if case.min_speedup else "track"
-        # The acceptance bars are a full-scale claim; quick scales are
-        # smoke-sized and too noisy to fail a run on.
-        ok = (args.quick or case.min_speedup is None
-              or rec["speedup"] >= case.min_speedup)
+        if rec.get("kind") == "partitioned":
+            # serial vs N-worker dsim: the bar only binds when the host
+            # can actually run the workers in parallel.
+            if not rec["enforced"]:
+                bar = (f"track ({rec['cores']} core"
+                       f"{'s' if rec['cores'] != 1 else ''})"
+                       if case.min_speedup else "track")
+            else:
+                bar = f">={case.min_speedup:.1f}x"
+            ok = (args.quick or not rec["enforced"]
+                  or rec["speedup"] >= case.min_speedup)
+            ref_col = f"{rec['serial_eps']:,.0f}"
+            opt_col = f"{rec['partitioned_eps']:,.0f}"
+        else:
+            bar = f">={case.min_speedup:.1f}x" if case.min_speedup else "track"
+            # The acceptance bars are a full-scale claim; quick scales
+            # are smoke-sized and too noisy to fail a run on.
+            ok = (args.quick or case.min_speedup is None
+                  or rec["speedup"] >= case.min_speedup)
+            ref_col = f"{rec['compat_eps']:,.0f}"
+            opt_col = f"{rec['fast_eps']:,.0f}"
         if not ok:
             failed.append(case.name)
         rows.append([
             case.name,
             f"{rec['events']}",
-            f"{rec['fast_eps']:,.0f}",
-            f"{rec['compat_eps']:,.0f}",
+            ref_col,
+            opt_col,
             f"{rec['speedup']:.2f}x",
             bar,
             "ok" if ok else "FAIL",
         ])
     print(format_table(
-        ["case", "events", "fast ev/s", "compat ev/s", "speedup", "bar", ""],
+        ["case", "events", "ref ev/s", "opt ev/s", "speedup", "bar", ""],
         rows,
     ))
 

@@ -48,6 +48,8 @@ def _figure_kwargs(fn, args) -> dict:
         kwargs["presync"] = True
     if args.obs:
         kwargs["obs"] = True
+    if args.partitions > 1:
+        kwargs["partitions"] = args.partitions
     return kwargs
 
 
@@ -59,6 +61,11 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true", help="list available figures")
     parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
     parser.add_argument("--presync", action="store_true", help="fig5c: pair pre-sync")
+    parser.add_argument("--partitions", type=cli.positive_int, default=1,
+                        metavar="N",
+                        help="compute each run across N worker processes "
+                             "(repro.dsim); bit-identical results, only "
+                             "supported by some figures")
     parser.add_argument("--csv", metavar="FILE", help="also write the series as CSV")
     cli.add_obs(parser, help="instrument runs: attach critical-path "
                              "breakdowns (figures that support it)")
@@ -93,6 +100,15 @@ def main(argv=None) -> int:
         ]
         if unsupported:
             print(f"{', '.join(unsupported)} does not support --obs",
+                  file=sys.stderr)
+            return 2
+    if args.partitions > 1:
+        unsupported = [
+            name for name in args.figure
+            if "partitions" not in inspect.signature(catalog[name]).parameters
+        ]
+        if unsupported:
+            print(f"{', '.join(unsupported)} does not support --partitions",
                   file=sys.stderr)
             return 2
 

@@ -141,6 +141,11 @@ def main(argv=None) -> int:
                    "(JSON value; repeatable)")
     p.add_argument("--deadline", type=float, metavar="SECONDS",
                    help="per-request deadline from admission")
+    p.add_argument("--partitions", type=cli.positive_int, default=1,
+                   metavar="N",
+                   help="run the simulation across N worker processes "
+                        "(repro.dsim) — sim and recovery-soak only; "
+                        "results and digests are unchanged")
     _add_addr(p, default_port=7077)
     cli.add_json_flag(p, help="print the full JSON response")
 
@@ -196,8 +201,20 @@ def _run(args) -> int:
         return 0
 
     if args.cmd == "submit":
+        params = dict(args.param)
+        if args.partitions > 1:
+            if args.scenario == "sim":
+                spec = dict(params.get("spec") or {})
+                spec["partitions"] = args.partitions
+                params["spec"] = spec
+            elif args.scenario == "recovery-soak":
+                params["partitions"] = args.partitions
+            else:
+                print(f"scenario {args.scenario!r} does not support "
+                      f"--partitions", file=sys.stderr)
+                return 2
         with _client(args) as client:
-            response = client.submit(args.scenario, dict(args.param),
+            response = client.submit(args.scenario, params,
                                      deadline_s=args.deadline)
         if args.json:
             print(json.dumps(response, sort_keys=True, indent=2))
