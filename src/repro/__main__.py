@@ -1,0 +1,6 @@
+"""``python -m repro``: the unified CLI (see ``repro.cli.main``)."""
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,10 @@ Sites and the kinds that fire there (docs/robustness.md):
 ``sweep.point``    ``crash_point`` — the sweep point dies instead of
                    computing (exercises per-point crash isolation and
                    checkpoint/resume in :func:`repro.sweep.run_sweep`).
+``fleet.route``    ``kill_shard`` — the fleet router's kill hook stops
+                   the shard that owns the routed key; the router must
+                   detect the death and fail the key over to its ring
+                   successor (:func:`fleet_failover_run`).
 =================  ======================================================
 
 The plan is pure bookkeeping and holds no wall-clock or PRNG state of
@@ -70,6 +74,7 @@ KINDS = (
     "corrupt_cache",
     "torn_write",
     "crash_point",
+    "kill_shard",
 )
 
 #: Hook point each kind fires at.
@@ -81,6 +86,7 @@ SITE_OF = {
     "corrupt_cache": "cache.put",
     "torn_write": "cache.put",
     "crash_point": "sweep.point",
+    "kill_shard": "fleet.route",
 }
 
 SITES = tuple(sorted(set(SITE_OF.values())))
@@ -239,6 +245,9 @@ class ChaosPlan:
     def crash_point(self, **kw: Any) -> "ChaosPlan":
         return self.add(ChaosAction("crash_point", **kw))
 
+    def kill_shard(self, **kw: Any) -> "ChaosPlan":
+        return self.add(ChaosAction("kill_shard", **kw))
+
     def describe(self) -> str:
         return "; ".join(act.describe() for act in self.actions) or "<empty plan>"
 
@@ -358,7 +367,7 @@ def serve_soak(seed: int, workdir: str, *, requests: int = 4,
 
     with ServerThread(workers=2,
                       cache_dir=os.path.join(workdir, f"clean-{seed}")) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             clean = drive(client)
 
     plan = chaos_plan(seed, kinds=("kill_worker", "hang_worker",
@@ -366,7 +375,7 @@ def serve_soak(seed: int, workdir: str, *, requests: int = 4,
     with ServerThread(workers=2, retry_limit=3, retry_seed=seed,
                       breaker_threshold=1000, chaos=plan,
                       cache_dir=os.path.join(workdir, f"chaos-{seed}")) as srv:
-        with ServeClient(srv.host, srv.port, retries=4, retry_seed=seed,
+        with ServeClient(srv.address, retries=4, retry_seed=seed,
                          chaos=plan) as client:
             injected = drive(client)
             reconnects = client.reconnects
@@ -456,7 +465,7 @@ def degraded_run(workdir: Optional[str] = None) -> Dict[str, Any]:
         with ServerThread(workers=1, cache_dir=cache_dir, retry_limit=0,
                           breaker_threshold=2,
                           breaker_cooldown_s=3600.0) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 ok_a = client.submit("sim", params_a)
                 ok_b = client.submit("sim", params_b)
                 # Damage B's entry on disk behind the server's back.
@@ -499,3 +508,48 @@ def degraded_run(workdir: Optional[str] = None) -> Dict[str, Any]:
         record["quarantined"], trips == 1,
     ])
     return record
+
+
+def fleet_failover_run(*, shards: int = 2, requests: int = 4) -> Dict[str, Any]:
+    """The shard-death failover scenario (``python -m repro chaos``).
+
+    A ``kill_shard`` action armed at the ``fleet.route`` site takes
+    down the shard owning the next routed key; the router must detect
+    the death on the forward, fail the key over to its ring successor,
+    and keep serving — every subsequent submit must still answer
+    ``ok``.  Composes with the degraded-mode contract: with every shard
+    dead the router answers a structured ``rejected`` (asserted in
+    tests/serve/test_fleet.py), never a hang or a crash.
+    """
+    from repro.serve import FleetThread, ServeClient
+
+    plan = ChaosPlan().kill_shard(after_count=2)
+    with FleetThread(shards=shards, workers=1, chaos=plan) as fl:
+        with ServeClient(fl.address) as client:
+            results = [client.submit("sleep", {"seconds": 0.005, "tag": k})
+                       for k in range(requests)]
+            health = client.health()
+        failovers = fl.call(_fleet_failovers)
+    statuses = [r.get("status") for r in results]
+    shards_used = sorted({r.get("shard") for r in results
+                          if r.get("shard") is not None})
+    record = {
+        "shards": shards,
+        "requests": requests,
+        "statuses": statuses,
+        "shards_used": shards_used,
+        "killed": plan.stats.get("kill_shard", 0),
+        "failovers": failovers,
+        "live_after": health.get("live"),
+    }
+    record["ok"] = all([
+        all(s == "ok" for s in statuses),
+        record["killed"] == 1,
+        failovers >= 1,
+        health.get("live") == shards - 1,
+    ])
+    return record
+
+
+async def _fleet_failovers(fleet: Any) -> int:
+    return fleet.router.failovers

@@ -1,17 +1,22 @@
-"""Shared argparse conventions for the ``tools/`` CLIs.
+"""Shared argparse conventions for the ``python -m repro`` CLI.
 
-Every tool spells the common flags identically by building them here:
+Every subcommand spells the common flags identically by building them
+here:
 
 ``--jobs N``        worker processes (sweeps: ``repro.sweep``; serve: pool size)
 ``--cache-dir DIR`` on-disk result cache (``repro.sweep.SweepCache``)
 ``--seed N``        the base PRNG seed of whatever the tool sweeps/generates
 ``--obs``           attach observability instrumentation to the runs
 ``--json [FILE]``   machine-readable output (a path, or a flag for ndjson)
+``--addr ADDR``     a serve endpoint (``host:port`` or ``unix:/path``)
+``--partitions N``  conservative parallel simulation across N processes
 
 Keeping the definitions in one module keeps help strings, metavars and
-defaults from drifting between ``tools/run_figure.py``,
-``tools/run_recovery.py``, ``tools/bench.py``, ``tools/obs_report.py``
-and ``tools/serve.py``.
+defaults from drifting between the subcommand modules
+(``repro.cli.figure``, ``repro.cli.recovery``, ``repro.cli.chaos``,
+``repro.cli.faults``, ``repro.cli.bench``, ``repro.cli.obs``,
+``repro.cli.serve``) — and the deprecated ``tools/*.py`` shims that
+forward to them.
 """
 
 from __future__ import annotations
@@ -86,6 +91,38 @@ def add_json_flag(parser: argparse.ArgumentParser, *,
     parser.add_argument(
         "--json", action="store_true",
         help=help or "emit machine-readable JSON records on stdout")
+
+
+def add_addr(parser: argparse.ArgumentParser, *, default_port: int,
+             help: Optional[str] = None) -> None:          # noqa: A002
+    """``--addr`` plus the legacy ``--host``/``--port`` pair.
+
+    Resolve with :func:`address_from_args`; ``--addr`` wins when given.
+    """
+    parser.add_argument(
+        "--addr", metavar="ADDR", default=None,
+        help=help or "server address: host:port or unix:/path "
+                     "(overrides --host/--port)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=default_port,
+                        help="server port (default: %(default)s)")
+
+
+def address_from_args(args: argparse.Namespace):
+    """The :class:`repro.serve.ServeAddress` named by ``args``."""
+    from repro.serve.protocol import ServeAddress
+    if getattr(args, "addr", None):
+        return ServeAddress.parse(args.addr)
+    return ServeAddress(host=args.host, port=args.port)
+
+
+def add_partitions(parser: argparse.ArgumentParser, *,
+                   help: Optional[str] = None) -> None:    # noqa: A002
+    parser.add_argument(
+        "--partitions", type=positive_int, default=1, metavar="N",
+        help=help or "run the simulation across N conservatively "
+                     "synchronised worker processes (repro.dsim); results "
+                     "and digests are unchanged")
 
 
 def write_json(path: str, obj: Any, *, indent: Optional[int] = 2,

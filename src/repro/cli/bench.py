@@ -1,0 +1,326 @@
+"""Wall-clock benchmark CLI: fast-path engine vs compat reference.
+
+Usage::
+
+    python -m repro bench                     # full suite -> BENCH_PR9.json
+    python -m repro bench --quick             # small scales, smoke-sized
+    python -m repro bench --cases fence-storm comm-dup --repeats 5
+    python -m repro bench --jobs 4            # one worker process per case
+    python -m repro bench --serve             # serve loadgen -> BENCH_PR5.json
+    python -m repro bench --fleet             # sharded fleet -> BENCH_PR10.json
+    python -m repro bench --fleet --check     # gate vs committed BENCH_PR10.json
+    python -m repro bench --check             # gate vs committed BENCH_PR9.json
+    python -m repro bench --check BENCH_PR6.json --tolerance 0.3
+    python -m repro bench --ledger obs/ledger.sqlite   # record runs
+
+Scheduler cases run twice — once on the default fast-path scheduler,
+once on ``Engine(compat=True)`` — and report events/second plus the
+speedup.  Partitioned cases (``fig3-init-1k-p4``, ``fig3-init-4k``)
+instead compare one-process execution against ``repro.dsim`` running
+the same world across N worker processes; their >=2x bar is only
+*enforced* when the host has at least that many cores (the report
+records ``cores``, so single-core measurements are tracked honestly —
+see docs/performance.md, "Partitioned execution").  Cases with an
+enforced acceptance bar fail the run when they miss it.
+
+``--jobs`` fans cases across worker processes via ``repro.sweep``; use
+it for a fast sanity pass, not for publishable numbers — concurrent
+cases contend for cores and perturb each other's wall times.
+
+``--check`` is the regression gate: after the run, the fresh report is
+compared case-by-case against a committed baseline (default
+``BENCH_PR6.json``) and the process exits non-zero if any case's
+speedup fell more than ``--tolerance`` below the committed trajectory,
+if event counts drifted at identical params, or if a baseline case went
+missing.  Gate full runs against full baselines — quick-mode numbers
+are smoke-sized and noisy.
+
+``--serve`` benchmarks the ``repro.serve`` layer instead: a closed-loop
+load generator against an in-process server, emitting throughput,
+latency percentiles, the backpressure proof and the serve-vs-sweep
+determinism check (docs/serving.md).
+
+``--fleet`` benchmarks the sharded fleet (docs/serving.md, "Fleet
+mode"): the same workload through one server and through 1/2/4 shards
+behind the consistent-hash router, recording scaling, routing balance,
+fleet-wide dedup and hot-tier hit rates.  Like the partitioned cases,
+the fleet scaling bar is only *enforced* when the host has at least as
+many cores as shards; ``--check`` gates against ``BENCH_PR10.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import cli
+from repro.bench.harness import format_table
+from repro.bench.perf import (CASES, PARTITIONED_CASES, check_regression,
+                              run_case_point)
+from repro.sweep import SweepPoint, run_sweep
+
+# Sentinel for a bare ``--check``: resolved to the mode's committed
+# baseline (BENCH_PR9.json, or BENCH_PR10.json under --fleet) after
+# parsing, when the mode flags are known.
+_CHECK_DEFAULT = "__default_baseline__"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="where to write the JSON report (default: "
+                         "BENCH_PR9.json; BENCH_PR5.json with --serve; "
+                         "BENCH_PR10.json with --fleet)")
+    ap.add_argument("--check", nargs="?", const=_CHECK_DEFAULT,
+                    default=None, metavar="BASELINE",
+                    help="after running, gate the fresh report against a "
+                         "committed baseline JSON (default baseline: "
+                         "BENCH_PR9.json, or BENCH_PR10.json with --fleet); "
+                         "exits non-zero on regression")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    metavar="FRAC",
+                    help="allowed relative speedup drop vs the baseline "
+                         "before --check fails (default: %(default)s)")
+    ap.add_argument("--quick", action="store_true",
+                    help="small scales (CI smoke), still both engines")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of-N wall-clock repeats (default: 3)")
+    ap.add_argument("--cases", nargs="+", metavar="NAME",
+                    choices=[c.name for c in CASES]
+                    + [c.name for c in PARTITIONED_CASES],
+                    help="subset of cases (default: all)")
+    cli.add_jobs(ap, help="worker processes (timings contend; keep 1 for "
+                          "publishable numbers; with --serve: server pool "
+                          "size, default 2)")
+    ap.add_argument("--serve", action="store_true",
+                    help="benchmark the repro.serve layer (loadgen) instead "
+                         "of the engine cases")
+    ap.add_argument("--fleet", action="store_true",
+                    help="benchmark the sharded serve fleet (1/2/4 shards "
+                         "behind the consistent-hash router) instead of the "
+                         "engine cases")
+    ap.add_argument("--ledger", metavar="PATH",
+                    help="append one kind=bench row per case to this "
+                         "RunLedger sqlite file (python -m repro obs --runs)")
+    cli.add_seed(ap, help="workload seed for --serve (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    if args.check == _CHECK_DEFAULT:
+        args.check = "BENCH_PR10.json" if args.fleet else "BENCH_PR9.json"
+    if args.fleet:
+        return fleet_bench(args)
+    if args.serve:
+        return serve_bench(args)
+    if args.out is None:
+        args.out = "BENCH_PR9.json"
+
+    selected = [c for c in CASES + PARTITIONED_CASES
+                if args.cases is None or c.name in args.cases]
+    points = [
+        SweepPoint("bench", run_case_point,
+                   {"case": c.name, "quick": args.quick,
+                    "repeats": args.repeats})
+        for c in selected
+    ]
+    # Deliberately no cache here: a memoized wall time is a stale
+    # measurement, not a result.
+    records = run_sweep(points, jobs=args.jobs)
+
+    report = {
+        "bench": "engine-fast-path",
+        "mode": "quick" if args.quick else "full",
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "cases": {c.name: rec for c, rec in zip(selected, records)},
+    }
+
+    rows = []
+    failed = []
+    for case in selected:
+        rec = report["cases"][case.name]
+        if rec.get("kind") == "partitioned":
+            # serial vs N-worker dsim: the bar only binds when the host
+            # can actually run the workers in parallel.
+            if not rec["enforced"]:
+                bar = (f"track ({rec['cores']} core"
+                       f"{'s' if rec['cores'] != 1 else ''})"
+                       if case.min_speedup else "track")
+            else:
+                bar = f">={case.min_speedup:.1f}x"
+            ok = (args.quick or not rec["enforced"]
+                  or rec["speedup"] >= case.min_speedup)
+            ref_col = f"{rec['serial_eps']:,.0f}"
+            opt_col = f"{rec['partitioned_eps']:,.0f}"
+        else:
+            bar = f">={case.min_speedup:.1f}x" if case.min_speedup else "track"
+            # The acceptance bars are a full-scale claim; quick scales
+            # are smoke-sized and too noisy to fail a run on.
+            ok = (args.quick or case.min_speedup is None
+                  or rec["speedup"] >= case.min_speedup)
+            ref_col = f"{rec['compat_eps']:,.0f}"
+            opt_col = f"{rec['fast_eps']:,.0f}"
+        if not ok:
+            failed.append(case.name)
+        rows.append([
+            case.name,
+            f"{rec['events']}",
+            ref_col,
+            opt_col,
+            f"{rec['speedup']:.2f}x",
+            bar,
+            "ok" if ok else "FAIL",
+        ])
+    print(format_table(
+        ["case", "events", "ref ev/s", "opt ev/s", "speedup", "bar", ""],
+        rows,
+    ))
+
+    # Load the baseline before writing: with --out == --check the gate
+    # must compare against the *committed* trajectory, not the file the
+    # fresh report just replaced.
+    baseline = None
+    if args.check is not None:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except OSError as err:
+            print(f"cannot read baseline {args.check!r}: {err}",
+                  file=sys.stderr)
+            return 2
+
+    rc = cli.write_json(args.out, report)
+    if rc:
+        return rc
+    if args.ledger:
+        from repro.bench.perf import ledger_records
+        from repro.obs import RunLedger
+
+        with RunLedger(args.ledger) as ledger:
+            for row in ledger_records(report):
+                ledger.record(**row)
+        print(f"recorded {len(report['cases'])} case(s) in {args.ledger}")
+    if failed:
+        print(f"FAILED speedup bars: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        regressions = check_regression(report, baseline,
+                                       tolerance=args.tolerance)
+        if regressions:
+            print(f"FAILED regression gate vs {args.check}:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate vs {args.check}: ok "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def fleet_bench(args) -> int:
+    """--fleet: the sharded-fleet scaling benchmark (BENCH_PR10.json)."""
+    from repro.serve.loadgen import fleet_report
+
+    out = args.out or "BENCH_PR10.json"
+    report = fleet_report(quick=args.quick)
+
+    rows = []
+    failed = []
+    for name in sorted(report["cases"]):
+        rec = report["cases"][name]
+        if rec["min_speedup"] is None:
+            bar = "track"
+        elif not rec["enforced"]:
+            bar = (f"track ({rec['cores']} core"
+                   f"{'s' if rec['cores'] != 1 else ''})")
+        else:
+            bar = f">={rec['min_speedup']:.1f}x"
+        ok = (args.quick or not rec["enforced"]
+              or rec["speedup"] >= rec["min_speedup"])
+        if not ok:
+            failed.append(name)
+        rows.append([
+            name,
+            f"{rec['shards']}",
+            f"{rec['events']}",
+            f"{rec['throughput_rps']:.1f}",
+            f"{rec['speedup']:.2f}x",
+            f"{rec['balance']['max_over_mean']:.2f}",
+            f"{rec['dedup']['hit_rate']:.2f}",
+            f"{rec['hot']['hit_rate']:.2f}",
+            bar,
+            "ok" if ok else "FAIL",
+        ])
+    print(format_table(
+        ["case", "shards", "events", "req/s", "speedup", "imbalance",
+         "dedup", "hot", "bar", ""],
+        rows,
+    ))
+
+    baseline = None
+    if args.check is not None:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except OSError as err:
+            print(f"cannot read baseline {args.check!r}: {err}",
+                  file=sys.stderr)
+            return 2
+
+    rc = cli.write_json(out, report)
+    if rc:
+        return rc
+    if failed:
+        print(f"FAILED fleet scaling bars: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    if baseline is not None:
+        regressions = check_regression(report, baseline,
+                                       tolerance=args.tolerance)
+        if regressions:
+            print(f"FAILED regression gate vs {args.check}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate vs {args.check}: ok "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def serve_bench(args) -> int:
+    """--serve: the closed-loop serve-layer benchmark (BENCH_PR5.json)."""
+    from repro.serve.loadgen import bench_report
+
+    out = args.out or "BENCH_PR5.json"
+    workers = args.jobs if args.jobs > 1 else 2
+    requests = 12 if args.quick else 32
+    report = bench_report(clients=4, requests=requests, workers=workers,
+                          seed=args.seed,
+                          soak_seeds=2 if args.quick else 3)
+    lg, bp, det = (report["loadgen"], report["backpressure"],
+                   report["determinism"])
+    lat = lg["latency_s"]
+    print(format_table(
+        ["metric", "value"],
+        [["throughput", f"{lg['throughput_rps']:.1f} req/s"],
+         ["latency p50", f"{lat.get('p50', 0) * 1e3:.1f} ms"],
+         ["latency p99", f"{lat.get('p99', 0) * 1e3:.1f} ms"],
+         ["requests ok", f"{lg['by_status'].get('ok', 0)}/{lg['completed']}"],
+         ["backpressure", f"{bp['rejected']}/{bp['burst']} rejected, "
+                          f"max depth {bp['max_queue_depth']}/{bp['capacity']}"],
+         ["determinism", "byte-identical" if det["serve_matches_serial_sweep"]
+                         else "MISMATCH"]],
+    ))
+    rc = cli.write_json(out, report)
+    if rc:
+        return rc
+    if not (det["serve_matches_serial_sweep"] and bp["bounded"]
+            and bp["rejections_observed"]):
+        print("FAILED serve acceptance: determinism/backpressure",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

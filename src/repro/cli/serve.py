@@ -1,0 +1,344 @@
+"""Operate the ``repro.serve`` simulation-serving layer from the shell.
+
+Usage::
+
+    python -m repro serve start --jobs 4 --capacity 32 --port 7077
+    python -m repro serve start --telemetry obs/ --port 7077
+    python -m repro serve submit sim --param seed=3 --param 'spec={"nprocs":4}'
+    python -m repro serve submit recovery-soak --param seed=7 --json
+    python -m repro serve stats --addr 127.0.0.1:7077 [--json]
+    python -m repro serve health --port 7077 [--json]
+    python -m repro serve metrics --port 7077
+    python -m repro serve drain --port 7077
+    python -m repro serve resize 8 --port 7077
+    python -m repro serve shutdown --port 7077
+    python -m repro serve loadgen --clients 4 --requests 32 --out BENCH_PR5.json
+    python -m repro serve loadgen --shards 2 --requests 32 --out fleet.json
+
+Every subcommand names its endpoint the same way: ``--addr host:port``
+(or ``--addr unix:/path``), with the legacy ``--host``/``--port`` pair
+still accepted.  Routers and plain servers speak the same wire
+protocol, so ``--addr`` may point at either a :class:`SimServer` or a
+:class:`FleetRouter` front-end (docs/serving.md, "Fleet mode").
+
+``start --telemetry DIR`` switches on the live-telemetry stack
+(docs/observability.md): wall-clock spans to ``DIR/serve-trace.json``
+(written at shutdown, per-request sim traces next to it), the JSONL
+event log to ``DIR/events.jsonl``, and the run ledger to
+``DIR/ledger.sqlite`` (query with ``python -m repro obs --runs``).
+``metrics`` prints the server's registry as Prometheus text.
+
+``start`` runs a server in the foreground until interrupted.  The
+other subcommands are thin wrappers over one wire op each.  ``loadgen``
+self-hosts an in-process server (unless ``--addr``/``--port`` points at
+a running one, or ``--shards N`` self-hosts an N-shard fleet) and
+writes the closed-loop throughput/latency/backpressure/determinism
+report — the committed ``BENCH_PR5.json``; see docs/serving.md for how
+to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro import cli
+from repro.serve import FleetThread, ServeClient, ServeConnectionError, \
+    SimServer, scenario_names
+from repro.serve.loadgen import bench_report, run_loadgen, sim_workload
+
+
+def _fmt(value) -> str:
+    """Human-readable scalar: floats rounded, everything else as-is."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _param(text: str):
+    """``key=value`` with a JSON-parsed value (bare words stay strings)."""
+    key, sep, raw = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    try:
+        return key, json.loads(raw)
+    except ValueError:
+        return key, raw
+
+
+def _client(args) -> ServeClient:
+    address = cli.address_from_args(args)
+    try:
+        return ServeClient(address)
+    except OSError as err:
+        print(f"cannot reach server at {address}: {err}", file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+async def _serve_forever(args) -> None:
+    obs_kwargs = {}
+    if args.telemetry:
+        import os
+
+        from repro.obs import LiveTelemetry
+        os.makedirs(args.telemetry, exist_ok=True)
+        obs_kwargs = dict(
+            telemetry=LiveTelemetry(),
+            event_log=os.path.join(args.telemetry, "events.jsonl"),
+            ledger=os.path.join(args.telemetry, "ledger.sqlite"),
+            trace_dir=args.telemetry,
+        )
+    server = await SimServer(
+        workers=args.jobs, capacity=args.capacity, cache_dir=args.cache_dir,
+        address=cli.address_from_args(args), retry_seed=args.seed,
+        retry_limit=args.retry_limit,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown, **obs_kwargs,
+    ).start()
+    print(f"serving on {server.address} "
+          f"(workers={args.jobs}, capacity={args.capacity}, "
+          f"scenarios: {', '.join(scenario_names())})", file=sys.stderr)
+    if args.telemetry:
+        print(f"telemetry -> {args.telemetry} (events.jsonl, ledger.sqlite, "
+              f"serve-trace.json at shutdown)", file=sys.stderr)
+    try:
+        await server.stopped.wait()         # until SIGINT or a shutdown op
+    finally:
+        if not server.stopped.is_set():
+            await server.stop()
+
+
+async def _fleet_snapshot(fleet):
+    return fleet.snapshot()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("start", help="run a server in the foreground")
+    cli.add_addr(p, default_port=7077)
+    cli.add_jobs(p, default=2, help="worker processes in the pool "
+                                    "(default: %(default)s)")
+    p.add_argument("--capacity", type=cli.positive_int, default=16,
+                   metavar="N", help="bounded-queue depth; submits beyond it "
+                                     "are rejected (default: %(default)s)")
+    cli.add_cache_dir(p)
+    cli.add_seed(p, help="retry-backoff jitter seed (default: %(default)s)")
+    p.add_argument("--retry-limit", type=int, default=2, metavar="N",
+                   help="worker-death retries per request (default: %(default)s)")
+    p.add_argument("--breaker-threshold", type=cli.positive_int, default=5,
+                   metavar="N", help="consecutive worker deaths that trip the "
+                   "cache-only circuit breaker (default: %(default)s)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="SECONDS", help="degraded-mode cooldown before the "
+                   "breaker half-opens (default: %(default)s)")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="enable live telemetry: wall-clock traces, JSONL "
+                        "event log, and run ledger under DIR")
+
+    p = sub.add_parser("submit", help="submit one request and print the result")
+    p.add_argument("scenario", help=f"one of: {', '.join(scenario_names())}")
+    p.add_argument("--param", type=_param, action="append", default=[],
+                   metavar="KEY=VALUE", help="scenario parameter "
+                   "(JSON value; repeatable)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="per-request deadline from admission")
+    cli.add_partitions(p, help="run the simulation across N worker processes "
+                               "(repro.dsim) — sim and recovery-soak only; "
+                               "results and digests are unchanged")
+    cli.add_addr(p, default_port=7077)
+    cli.add_json_flag(p, help="print the full JSON response")
+
+    for name, help_text in [("stats", "print serving statistics"),
+                            ("health", "print a liveness summary")]:
+        p = sub.add_parser(name, help=help_text)
+        cli.add_addr(p, default_port=7077)
+        cli.add_json_flag(p, help="print the full JSON response")
+
+    for name, help_text in [("metrics", "print Prometheus text exposition"),
+                            ("drain", "stop admitting, wait for quiescence"),
+                            ("shutdown", "stop the server")]:
+        p = sub.add_parser(name, help=help_text)
+        cli.add_addr(p, default_port=7077)
+
+    p = sub.add_parser("resize", help="resize the worker pool")
+    p.add_argument("workers", type=cli.positive_int)
+    cli.add_addr(p, default_port=7077)
+
+    p = sub.add_parser("loadgen", help="closed-loop load test -> BENCH_PR5.json")
+    p.add_argument("--clients", type=cli.positive_int, default=4, metavar="N",
+                   help="concurrent closed-loop clients (default: %(default)s)")
+    p.add_argument("--requests", type=cli.positive_int, default=32, metavar="N",
+                   help="total requests across clients (default: %(default)s)")
+    cli.add_jobs(p, default=2, help="worker processes in the self-hosted "
+                                    "server (default: %(default)s)")
+    p.add_argument("--capacity", type=cli.positive_int, default=16, metavar="N")
+    p.add_argument("--nprocs", type=cli.positive_int, default=4, metavar="N",
+                   help="ranks per sim request (default: %(default)s)")
+    p.add_argument("--shards", type=cli.positive_int, default=None, metavar="N",
+                   help="self-host an N-shard fleet behind a consistent-hash "
+                        "router instead of a single server")
+    cli.add_cache_dir(p, help="serve through an on-disk result cache")
+    cli.add_seed(p, help="workload seed (default: %(default)s)")
+    p.add_argument("--out", default="BENCH_PR5.json", metavar="FILE",
+                   help="report path (default: %(default)s)")
+    cli.add_addr(p, default_port=0)
+
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except ServeConnectionError as err:
+        # The connection died mid-conversation (server shut down or
+        # crashed under us): one line, nonzero exit, no traceback.
+        print(f"lost connection to server at {cli.address_from_args(args)}: "
+              f"{err}", file=sys.stderr)
+        return 1
+
+
+def _run(args) -> int:
+    if args.cmd == "start":
+        try:
+            asyncio.run(_serve_forever(args))
+        except KeyboardInterrupt:
+            print("\nstopped", file=sys.stderr)
+        return 0
+
+    if args.cmd == "submit":
+        params = dict(args.param)
+        if args.partitions > 1:
+            if args.scenario == "sim":
+                spec = dict(params.get("spec") or {})
+                spec["partitions"] = args.partitions
+                params["spec"] = spec
+            elif args.scenario == "recovery-soak":
+                params["partitions"] = args.partitions
+            else:
+                print(f"scenario {args.scenario!r} does not support "
+                      f"--partitions", file=sys.stderr)
+                return 2
+        with _client(args) as client:
+            response = client.submit(args.scenario, params,
+                                     deadline_s=args.deadline)
+        if args.json:
+            print(json.dumps(response, sort_keys=True, indent=2))
+        else:
+            status = response.get("status")
+            print(f"status: {status}")
+            for key in ("reason", "error"):
+                if key in response:
+                    print(f"{key}: {response[key]}")
+            if "result" in response:
+                print(json.dumps(response["result"], sort_keys=True, indent=2))
+            if "latency_s" in response:
+                print(f"latency: {response['latency_s'] * 1e3:.1f} ms "
+                      f"(cached: {response.get('cached', False)})")
+        return 0 if response.get("status") == "ok" else 1
+
+    if args.cmd in ("stats", "health"):
+        with _client(args) as client:
+            response = (client.stats if args.cmd == "stats"
+                        else client.health)()
+        if args.json:
+            print(json.dumps(response, sort_keys=True, indent=2))
+        else:
+            body = response.get("stats", response) if args.cmd == "stats" \
+                else response
+            for key in sorted(body):
+                if key in ("status", "id"):
+                    continue
+                value = body[key]
+                if isinstance(value, dict):
+                    rendered = "  ".join(
+                        f"{k}={_fmt(value[k])}" for k in sorted(value))
+                elif isinstance(value, list):
+                    rendered = ", ".join(str(v) for v in value)
+                else:
+                    rendered = _fmt(value)
+                print(f"{key}: {rendered}")
+        return 0 if response.get("status") == "ok" else 1
+
+    if args.cmd == "metrics":
+        with _client(args) as client:
+            response = client.metrics()
+        if response.get("status") != "ok":
+            print(json.dumps(response, sort_keys=True, indent=2))
+            return 1
+        sys.stdout.write(response.get("prometheus", ""))
+        return 0
+
+    if args.cmd in ("drain", "shutdown", "resize"):
+        with _client(args) as client:
+            response = {
+                "drain": client.drain, "shutdown": client.shutdown,
+                "resize": lambda: client.resize(args.workers),
+            }[args.cmd]()
+        print(json.dumps(response, sort_keys=True, indent=2))
+        return 0 if response.get("status") == "ok" else 1
+
+    if args.cmd == "loadgen":
+        if args.addr or args.port:      # target an already-running endpoint
+            address = cli.address_from_args(args)
+            workload = sim_workload(args.requests, seed=args.seed,
+                                    nprocs=args.nprocs)
+            report = {"bench": "serve-loadgen",
+                      "target": str(address),
+                      "loadgen": run_loadgen(address, workload,
+                                             clients=args.clients)}
+        elif args.shards:               # self-host a sharded fleet
+            workload = sim_workload(args.requests, seed=args.seed,
+                                    nprocs=args.nprocs)
+            with FleetThread(shards=args.shards, workers=args.jobs,
+                             capacity=args.capacity,
+                             cache_dir=args.cache_dir) as fleet:
+                lg = run_loadgen(fleet.address, workload,
+                                 clients=args.clients)
+                snap = fleet.call(_fleet_snapshot)
+            report = {"bench": "serve-fleet-loadgen", "shards": args.shards,
+                      "loadgen": lg, "fleet": snap}
+        else:
+            report = bench_report(
+                clients=args.clients, requests=args.requests,
+                workers=args.jobs, capacity=args.capacity,
+                nprocs=args.nprocs, seed=args.seed, cache_dir=args.cache_dir)
+        lg = report["loadgen"]
+        lat = lg["latency_s"]
+        print(f"{lg['completed']} requests, {lg['clients']} clients: "
+              f"{lg['throughput_rps']:.1f} req/s  "
+              f"p50 {lat.get('p50', 0) * 1e3:.1f} ms  "
+              f"p99 {lat.get('p99', 0) * 1e3:.1f} ms")
+        if "fleet" in report:
+            fl = report["fleet"]
+            routed = fl.get("routed", {})
+            print(f"fleet: {fl.get('live', 0)}/{fl.get('shards', 0)} shards "
+                  f"live, routed " +
+                  " ".join(f"shard{sid}={routed[sid]}"
+                           for sid in sorted(routed)) +
+                  f", coalesced {fl.get('coalesced', 0)}")
+        if "backpressure" in report:
+            bp = report["backpressure"]
+            print(f"backpressure: {bp['rejected']}/{bp['burst']} rejected at "
+                  f"{bp['oversubscription']}x oversubscription, max queue "
+                  f"depth {bp['max_queue_depth']}/{bp['capacity']}")
+        if "determinism" in report:
+            det = report["determinism"]
+            verdict = "byte-identical" if det["serve_matches_serial_sweep"] \
+                else f"MISMATCH: {det['mismatched_seeds']} {det['errors']}"
+            print(f"determinism: served soak seeds {det['seeds']} vs serial "
+                  f"sweep: {verdict}")
+        rc = cli.write_json(args.out, report)
+        if rc:
+            return rc
+        ok = report.get("determinism", {}).get("serve_matches_serial_sweep",
+                                               True)
+        bounded = report.get("backpressure", {}).get("bounded", True)
+        return 0 if (ok and bounded) else 1
+
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

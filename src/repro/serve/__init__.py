@@ -11,12 +11,26 @@ seeded backoff.  See docs/serving.md.
     from repro.serve import ServerThread, ServeClient
 
     with ServerThread(workers=4, cache_dir=".servecache") as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
+            client.submit("sim", {"spec": spec.to_payload(), "seed": 1})
+
+Fleet mode (docs/serving.md, "Fleet mode"): :class:`SimFleet` runs N
+shards behind a consistent-hash :class:`FleetRouter` sharing one
+two-tier :class:`ResultStore`, making the per-server single-flight
+dedup fleet-wide.  Endpoints everywhere are named by one
+:class:`ServeAddress` (TCP or unix socket)::
+
+    from repro.serve import FleetThread, ServeClient
+
+    with FleetThread(shards=2, workers=1) as fleet:
+        with ServeClient(fleet.address) as client:
             client.submit("sim", {"spec": spec.to_payload(), "seed": 1})
 """
 
 from repro.serve.client import AsyncServeClient, ServeClient, ServeConnectionError
+from repro.serve.fleet import FleetThread, SimFleet
 from repro.serve.pool import Worker, WorkerDied
+from repro.serve.protocol import VERSION, ServeAddress
 from repro.serve.registry import (
     PROGRAMS,
     register_scenario,
@@ -26,16 +40,25 @@ from repro.serve.registry import (
     scenario_names,
     traceable,
 )
+from repro.serve.router import FleetRouter, HashRing
 from repro.serve.server import ServerThread, ServeStats, SimServer
+from repro.serve.store import ResultStore
 
 __all__ = [
     "AsyncServeClient",
+    "FleetRouter",
+    "FleetThread",
+    "HashRing",
     "PROGRAMS",
+    "ResultStore",
+    "ServeAddress",
     "ServeClient",
     "ServeConnectionError",
     "ServeStats",
     "ServerThread",
+    "SimFleet",
     "SimServer",
+    "VERSION",
     "Worker",
     "WorkerDied",
     "register_scenario",

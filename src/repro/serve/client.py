@@ -7,9 +7,12 @@ connection; the natural fit for scripts and per-thread loadgen actors.
 ``submit()`` awaitables share one connection, matched to out-of-order
 server completions by request id.
 
-Both speak the newline-JSON protocol of :mod:`repro.serve.protocol`::
+Both speak the newline-JSON protocol of :mod:`repro.serve.protocol`
+and address endpoints through one :class:`~repro.serve.protocol
+.ServeAddress` (TCP or unix socket; legacy separate host/port
+arguments still work behind a ``DeprecationWarning``)::
 
-    with ServeClient(host, port) as c:
+    with ServeClient(srv.address) as c:
         r = c.submit("sim", {"spec": spec.to_payload(), "seed": 3})
         assert r["status"] == "ok"
 
@@ -30,9 +33,10 @@ import json
 import random
 import socket
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.serve import protocol
+from repro.serve.protocol import ServeAddress, as_address
 
 
 class ServeConnectionError(ConnectionError):
@@ -59,7 +63,9 @@ class ServeClient:
     failure the retry path exists for.
     """
 
-    def __init__(self, host: str, port: int, *,
+    def __init__(self, address: Union[ServeAddress, str, None] = None,
+                 port: Optional[int] = None, *,
+                 host: Optional[str] = None,
                  timeout: Optional[float] = None,
                  trace: Optional[str] = None,
                  telemetry: Any = None,
@@ -68,8 +74,10 @@ class ServeClient:
                  retry_seed: int = 0,
                  retry_deadline_s: Optional[float] = None,
                  chaos: Any = None) -> None:
-        self.host = host
-        self.port = port
+        self.address = as_address(address, port, host=host,
+                                  caller="ServeClient")
+        self.host = self.address.host
+        self.port = self.address.port
         self.timeout = timeout
         self.retries = max(0, retries)
         self.retry_base = retry_base
@@ -93,8 +101,14 @@ class ServeClient:
         last: Optional[OSError] = None
         for attempt in range(self.retries + 1):
             try:
-                self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout)
+                if self.address.is_unix:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(self.address.path)
+                    self._sock = sock
+                else:
+                    self._sock = socket.create_connection(
+                        (self.host, self.port), timeout=self.timeout)
                 self._file = self._sock.makefile("rwb")
                 return
             except OSError as err:
@@ -138,7 +152,7 @@ class ServeClient:
         return response
 
     def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
-        msg = dict(msg, id=next(self._ids))
+        msg = dict(msg, id=next(self._ids), v=protocol.VERSION)
         t0 = time.monotonic()
         attempt = 0
         while True:
@@ -240,9 +254,12 @@ class AsyncServeClient:
         self._write_lock = asyncio.Lock()
         self._trace_prefix: Optional[str] = None
         self._trace_ids = itertools.count(1)
+        self._dead: Optional[Exception] = None
 
     @classmethod
-    async def connect(cls, host: str, port: int, *,
+    async def connect(cls, address: Union[ServeAddress, str, None] = None,
+                      port: Optional[int] = None, *,
+                      host: Optional[str] = None,
                       trace: Optional[str] = None,
                       retries: int = 2,
                       retry_base: float = 0.05) -> "AsyncServeClient":
@@ -250,11 +267,18 @@ class AsyncServeClient:
         times with exponential backoff before giving up."""
         self = cls()
         self._trace_prefix = trace
+        addr = as_address(address, port, host=host,
+                          caller="AsyncServeClient.connect")
+        self.address = addr
         last: Optional[OSError] = None
         for attempt in range(max(0, retries) + 1):
             try:
-                self._reader, self._writer = await asyncio.open_connection(
-                    host, port)
+                if addr.is_unix:
+                    self._reader, self._writer = (
+                        await asyncio.open_unix_connection(addr.path))
+                else:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        addr.host, addr.port)
                 break
             except OSError as err:
                 last = err
@@ -279,6 +303,11 @@ class AsyncServeClient:
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
+            # Fail everything in flight *and* mark the client dead, so
+            # an rpc racing the reader's exit can't register a future
+            # nobody will ever resolve (the fleet router leans on this
+            # to detect a shard death promptly).
+            self._dead = ServeConnectionError("server closed the connection")
             for fut in self._pending.values():
                 if not fut.done():
                     fut.set_exception(
@@ -286,14 +315,32 @@ class AsyncServeClient:
             self._pending.clear()
 
     async def _rpc(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        if self._dead is not None:
+            raise ServeConnectionError(str(self._dead))
         rid = next(self._ids)
-        msg = dict(msg, id=rid)
+        msg = dict(msg, id=rid, v=protocol.VERSION)
         fut = asyncio.get_running_loop().create_future()
         self._pending[rid] = fut
-        async with self._write_lock:
-            self._writer.write(protocol.encode(msg))
-            await self._writer.drain()
+        if self._dead is not None:      # reader died while we registered
+            self._pending.pop(rid, None)
+            raise ServeConnectionError(str(self._dead))
+        try:
+            async with self._write_lock:
+                self._writer.write(protocol.encode(msg))
+                await self._writer.drain()
+        except (ConnectionError, OSError) as err:
+            self._pending.pop(rid, None)
+            raise ServeConnectionError(
+                f"send failed: {type(err).__name__}: {err}") from None
         return await fut
+
+    async def request(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward a raw, pre-built request object (fleet router path).
+
+        The client assigns its own ``id`` and protocol ``v``; every
+        other field (``op``, ``scenario``, ``params``, ``trace``,
+        ``deadline_s``...) passes through untouched."""
+        return await self._rpc(dict(msg))
 
     async def submit(self, scenario: str,
                      params: Optional[Dict[str, Any]] = None, *,

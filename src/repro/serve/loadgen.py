@@ -26,14 +26,16 @@ self-hosts an in-process server and produces the three sections of
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api import SimSpec
 from repro.obs.metrics import Histogram
 from repro.recovery import soak_run
 from repro.serve.client import ServeClient
+from repro.serve.protocol import ServeAddress, as_address
 from repro.serve.server import ServerThread
 from repro.sweep import SweepPoint, run_sweep
 
@@ -54,22 +56,33 @@ def sim_workload(requests: int, *, seed: int = 0, nprocs: int = 4,
     return out
 
 
-def run_loadgen(host: str, port: int, workload: Workload, *,
+def run_loadgen(address: Union[ServeAddress, str],
+                port: Optional[Any] = None,
+                workload: Optional[Workload] = None, *,
                 clients: int = 4,
                 deadline_s: Optional[float] = None) -> Dict[str, Any]:
     """Drive ``workload`` through ``clients`` closed-loop clients.
 
-    Requests are dealt round-robin to the clients; each client issues
-    its share back-to-back.  Returns throughput + latency aggregates
-    and the per-status counts.
+    ``address`` is a :class:`ServeAddress` (a fleet router counts — the
+    loadgen cannot tell it from a single server); the legacy
+    ``run_loadgen(host, port, workload)`` spelling still works behind
+    the deprecation shim.  Requests are dealt round-robin to the
+    clients; each client issues its share back-to-back.  Returns
+    throughput + latency aggregates and the per-status counts.
     """
+    if workload is None and not isinstance(port, int):
+        workload = port          # new spelling: run_loadgen(address, workload)
+        port = None
+    addr = as_address(address, port, caller="run_loadgen")
+    if workload is None:
+        raise TypeError("run_loadgen needs a workload")
     shares: List[Workload] = [workload[i::clients] for i in range(clients)]
     records: List[List[Dict[str, Any]]] = [[] for _ in range(clients)]
     errors: List[str] = []
 
     def actor(idx: int) -> None:
         try:
-            with ServeClient(host, port) as client:
+            with ServeClient(addr) as client:
                 for scenario, params in shares[idx]:
                     t0 = time.monotonic()
                     response = client.submit(scenario, params,
@@ -128,7 +141,7 @@ def backpressure_probe(*, capacity: int = 4, oversubscription: int = 4,
     burst = oversubscription * capacity
     with ServerThread(workers=1, capacity=capacity,
                       mp_context=mp_context) as srv:
-        with ServeClient(srv.host, srv.port) as warm:
+        with ServeClient(srv.address) as warm:
             # Pin the worker so every burst submit meets a busy server.
             pin = threading.Thread(
                 target=lambda: warm.submit("sleep", {"seconds": hold_s}),
@@ -140,7 +153,7 @@ def backpressure_probe(*, capacity: int = 4, oversubscription: int = 4,
 
             def one(i: int) -> None:
                 try:
-                    with ServeClient(srv.host, srv.port) as c:
+                    with ServeClient(srv.address) as c:
                         r = c.submit("sleep", {"seconds": hold_s / 10,
                                                "tag": i})
                         statuses[i] = r.get("status", "error")
@@ -186,7 +199,7 @@ def determinism_check(seeds: Sequence[int], *, workers: int = 2,
 
         def actor(idx: int) -> None:
             try:
-                with ServeClient(srv.host, srv.port) as client:
+                with ServeClient(srv.address) as client:
                     for j in range(idx, len(workload), clients):
                         scenario, p = workload[j]
                         r = client.submit(scenario, p)
@@ -229,8 +242,8 @@ def bench_report(*, clients: int = 4, requests: int = 32, workers: int = 2,
     workload = sim_workload(requests, seed=seed, nprocs=nprocs)
     with ServerThread(workers=workers, capacity=capacity,
                       cache_dir=cache_dir, mp_context=mp_context) as srv:
-        loadgen = run_loadgen(srv.host, srv.port, workload, clients=clients)
-        with ServeClient(srv.host, srv.port) as client:
+        loadgen = run_loadgen(srv.address, workload, clients=clients)
+        with ServeClient(srv.address) as client:
             server_stats = client.stats()["stats"]
 
     return {
@@ -245,4 +258,125 @@ def bench_report(*, clients: int = 4, requests: int = 32, workers: int = 2,
         "backpressure": backpressure_probe(mp_context=mp_context),
         "determinism": determinism_check(list(range(soak_seeds)),
                                          mp_context=mp_context),
+    }
+
+
+# ---------------------------------------------------------------------------
+# fleet cases (BENCH_PR10.json)
+# ---------------------------------------------------------------------------
+def run_fleet_case(shards: int, *, requests: int = 48, clients: int = 4,
+                   workers: int = 1, capacity: int = 32, nprocs: int = 2,
+                   seed: int = 0, repeat_every: int = 4,
+                   hot_capacity: int = 256,
+                   min_speedup: Optional[float] = None,
+                   mp_context: Optional[str] = None) -> Dict[str, Any]:
+    """One fleet bench point: the same seeded ``sim`` workload through a
+    single server and an ``shards``-shard fleet, both memoizing through
+    a fresh two-tier :class:`~repro.serve.store.ResultStore`.
+
+    The record carries the three fleet health numbers the ISSUE asks
+    for — per-shard balance, fleet-wide dedup (coalesced) hit rate, and
+    the hot-tier hit rate — plus ``speedup`` (single wall over fleet
+    wall).  Like the partitioned cases, a scaling claim is a property
+    of the host: ``enforced`` is only true when ``cores >= shards``
+    (docs/performance.md precedent), so a 1-core CI box records the
+    trajectory honestly without gating on parallelism it cannot have.
+    """
+    from repro.serve.fleet import FleetThread
+    from repro.serve.store import ResultStore
+
+    workload = sim_workload(requests, seed=seed, nprocs=nprocs,
+                            repeat_every=repeat_every)
+
+    single_store = ResultStore(None, hot_capacity=hot_capacity)
+    with ServerThread(workers=workers, capacity=capacity, store=single_store,
+                      mp_context=mp_context) as srv:
+        t0 = time.monotonic()
+        single = run_loadgen(srv.address, workload, clients=clients)
+        single_s = max(time.monotonic() - t0, 1e-9)
+
+    with FleetThread(shards=shards, workers=workers, capacity=capacity,
+                     hot_capacity=hot_capacity, mp_context=mp_context) as fl:
+        t0 = time.monotonic()
+        fleet = run_loadgen(fl.address, workload, clients=clients)
+        fleet_s = max(time.monotonic() - t0, 1e-9)
+        snap = fl.call(_snapshot_async)
+
+    ok_single = single["by_status"].get("ok", 0)
+    ok_fleet = fleet["by_status"].get("ok", 0)
+    if ok_single != ok_fleet:
+        raise RuntimeError(
+            f"fleet-{shards}: ok counts diverge single={ok_single} "
+            f"fleet={ok_fleet} — routing must not change outcomes")
+    routed = {str(k): v for k, v in sorted(snap["routed"].items())}
+    counts = list(routed.values()) or [0]
+    mean = sum(counts) / len(counts)
+    hot = snap["store"]["hot"]
+    cores = os.cpu_count() or 1
+    return {
+        "kind": "fleet",
+        "params": {"shards": shards, "requests": requests,
+                   "clients": clients, "workers": workers,
+                   "nprocs": nprocs, "seed": seed,
+                   "repeat_every": repeat_every},
+        "shards": shards,
+        "cores": cores,
+        "events": ok_fleet,
+        "single_s": single_s,
+        "fleet_s": fleet_s,
+        "speedup": single_s / fleet_s,
+        "balance": {
+            "routed": routed,
+            "max_over_mean": (max(counts) / mean) if mean else 0.0,
+        },
+        "dedup": {
+            "coalesced": snap["coalesced"],
+            "hit_rate": snap["coalesced"] / requests if requests else 0.0,
+        },
+        "hot": {
+            "hits": hot["hits"],
+            "misses": hot["misses"],
+            "hit_rate": hot["hit_rate"],
+            "evictions": hot["evictions"],
+        },
+        "throughput_rps": fleet["throughput_rps"],
+        "min_speedup": min_speedup,
+        "enforced": min_speedup is not None and cores >= shards,
+    }
+
+
+async def _snapshot_async(fleet: Any) -> Dict[str, Any]:
+    return fleet.snapshot()
+
+
+#: The committed fleet trajectory: shards -> acceptance bar (None =
+#: tracked only; the 4-shard scaling bar is enforced only on hosts with
+#: at least 4 cores, mirroring the partitioned-case precedent).
+FLEET_CASES: List[Tuple[int, Optional[float]]] = [
+    (1, None),
+    (2, None),
+    (4, 1.5),
+]
+
+
+def fleet_report(*, quick: bool = False,
+                 shards_list: Optional[Sequence[int]] = None,
+                 mp_context: Optional[str] = None) -> Dict[str, Any]:
+    """The BENCH_PR10 payload: fleet records at 1/2/4 shards, shaped so
+    :func:`repro.bench.perf.check_regression` gates them directly."""
+    import sys as _sys
+
+    bars = dict(FLEET_CASES)
+    chosen = list(shards_list) if shards_list is not None else sorted(bars)
+    kwargs = dict(requests=16, clients=2, nprocs=2) if quick else {}
+    cases = {
+        f"fleet-{n}": run_fleet_case(n, min_speedup=bars.get(n),
+                                     mp_context=mp_context, **kwargs)
+        for n in chosen
+    }
+    return {
+        "bench": "serve-fleet",
+        "mode": "quick" if quick else "full",
+        "python": _sys.version.split()[0],
+        "cases": cases,
     }

@@ -29,7 +29,34 @@ def default_mp_context() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+# Listening-socket fds of every live server/router in this process.
+# Fork-started workers inherit these fds, and a child holding one keeps
+# the kernel accepting on the port after the parent closes it — so a
+# "stopped" shard's address would still take connections that nobody
+# ever answers (the fleet failover path hangs instead of failing over).
+# Workers close their inherited copies first thing; under spawn the
+# child imports a fresh, empty set and there is nothing to close.
+_listener_fds: set = set()
+
+
+def share_listener(fd: int) -> None:
+    """Register a listening socket so forked workers close their copy."""
+    _listener_fds.add(fd)
+
+
+def release_listener(fd: int) -> None:
+    """Unregister a listener (its server stopped); keeps later forks
+    from closing an unrelated fd that reused the number."""
+    _listener_fds.discard(fd)
+
+
 def _worker_main(conn) -> None:
+    for fd in list(_listener_fds):      # inherited via fork, see above
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _listener_fds.clear()
     # The parent starts workers daemonic so a dying server never leaks
     # them — that cleanup is driven by the *parent-side* flag.  The
     # child-side copy of the flag only forbids grandchildren, which

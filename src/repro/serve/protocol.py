@@ -7,25 +7,43 @@ client does; the sync client keeps one request in flight).
 
 Requests::
 
-    {"op": "submit", "id": 7, "scenario": "sim", "params": {...},
+    {"op": "submit", "id": 7, "v": 1, "scenario": "sim", "params": {...},
      "deadline_s": 2.5, "trace": "cli-1"}
     {"op": "stats" | "health" | "metrics" | "drain" | "resize"
-          | "shutdown", "id": 8, ...op-specific fields...}
+          | "shutdown", "id": 8, "v": 1, ...op-specific fields...}
 
 Responses always carry ``status``: ``ok`` | ``rejected`` | ``expired``
 | ``error``, plus op-specific payload fields (``result``, ``stats``,
 ``reason``...).  See docs/serving.md for the full catalogue.
 
+``v`` is the protocol version (:data:`VERSION`).  The clients stamp it
+on every request; a server receiving a different version answers a
+one-line structured error (:func:`version_error`) instead of guessing —
+required for mixed-version fleets, where a router and its shards may
+be upgraded at different times.  Requests *without* ``v`` are accepted
+as version-1 legacy traffic.
+
 ``trace`` is the optional client-minted trace id (live telemetry,
 docs/observability.md).  The server echoes it in the submit response
 and stamps it on every span, event-log line and ledger row the request
 produces; when absent the server mints a fallback ``s-<n>`` id.
+
+:class:`ServeAddress` is the one address type every client, server and
+CLI in the serve layer accepts — TCP ``host:port``, a unix-domain
+socket path, and an optional fleet ``role`` — replacing the five
+independently-duplicated ``host``/``port`` kwarg pairs that predated
+it (the legacy kwargs keep working behind a ``DeprecationWarning``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Wire-protocol version stamped by clients and validated by servers.
+VERSION = 1
 
 # Submission outcome statuses (docs/serving.md).
 STATUS_OK = "ok"
@@ -36,9 +54,135 @@ STATUS_ERROR = "error"           # scenario raised, worker retries exhausted,
 
 OPS = ("submit", "stats", "health", "metrics", "drain", "resize", "shutdown")
 
+#: Fleet roles an address may advertise (purely descriptive).
+ROLES = ("server", "router", "shard")
+
 
 class ProtocolError(ValueError):
     """A line that is not a JSON object with a valid ``op``."""
+
+
+@dataclass(frozen=True)
+class ServeAddress:
+    """Where a serve endpoint lives: TCP ``host:port`` or a unix socket.
+
+    ``port=0`` requests an ephemeral port (servers rebind it after
+    listening).  ``path`` switches the endpoint to a unix-domain socket
+    (``host``/``port`` are then ignored).  ``role`` is an optional
+    fleet annotation: ``"router"`` for the fleet front door,
+    ``"shard"`` for a backend :class:`~repro.serve.server.SimServer`,
+    ``"server"`` (the default) for a standalone one.
+
+    Accepted everywhere an endpoint is named::
+
+        ServeClient(ServeAddress("127.0.0.1", 7077))
+        ServeClient(ServeAddress.parse("127.0.0.1:7077"))
+        ServeClient(ServeAddress.parse("unix:/run/repro-serve.sock"))
+        SimServer(address=ServeAddress(port=0))
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    path: Optional[str] = None      # unix-domain socket path (overrides TCP)
+    role: str = "server"
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"unknown role {self.role!r} (have {ROLES})")
+        if self.path is None and not (0 <= int(self.port) <= 65535):
+            raise ValueError(f"port out of range: {self.port}")
+
+    @property
+    def is_unix(self) -> bool:
+        return self.path is not None
+
+    @classmethod
+    def parse(cls, text: str, *, role: str = "server") -> "ServeAddress":
+        """``host:port``, ``:port``, ``host``, or ``unix:/path``."""
+        text = text.strip()
+        if text.startswith("unix:"):
+            path = text[len("unix:"):]
+            if not path:
+                raise ValueError("unix: address needs a socket path")
+            return cls(path=path, role=role)
+        host, sep, port = text.rpartition(":")
+        if not sep:
+            return cls(host=text or "127.0.0.1", role=role)
+        try:
+            return cls(host=host or "127.0.0.1", port=int(port), role=role)
+        except ValueError:
+            raise ValueError(f"bad address {text!r}: port must be an integer "
+                             f"(or use 'unix:/path')") from None
+
+    def with_port(self, port: int) -> "ServeAddress":
+        """The same address bound to a concrete port (post-listen)."""
+        return ServeAddress(host=self.host, port=port, path=self.path,
+                            role=self.role)
+
+    def __str__(self) -> str:
+        if self.path is not None:
+            return f"unix:{self.path}"
+        return f"{self.host}:{self.port}"
+
+
+def as_address(address: Any = None, port: Any = None, *,
+               host: Any = None, default: Optional[ServeAddress] = None,
+               caller: str = "this API") -> ServeAddress:
+    """Normalize the one-address-type API surface.
+
+    New style: a :class:`ServeAddress` (or a parseable string) as the
+    single ``address`` argument.  Legacy style: separate ``host``/
+    ``port`` values — still honored, with a :class:`DeprecationWarning`
+    naming the caller, so the five historical host/port kwarg pairs
+    keep working during the migration (docs/serving.md).
+    """
+    legacy_host: Optional[str] = None
+    if host is not None:
+        legacy_host = str(host)
+    elif isinstance(address, str) and port is not None:
+        legacy_host = address          # positional (host, port) call
+        address = None
+    if legacy_host is not None or port is not None:
+        if isinstance(address, ServeAddress):
+            raise TypeError(f"{caller}: pass either a ServeAddress or "
+                            f"legacy host/port, not both")
+        warnings.warn(
+            f"{caller}: separate host/port arguments are deprecated; "
+            f"pass a repro.serve.ServeAddress (or 'host:port' string)",
+            DeprecationWarning, stacklevel=3)
+        base = default or ServeAddress()
+        return ServeAddress(host=legacy_host or base.host,
+                            port=int(port if port is not None else base.port),
+                            role=base.role)
+    if address is None:
+        return default or ServeAddress()
+    if isinstance(address, ServeAddress):
+        return address
+    if isinstance(address, str):
+        return ServeAddress.parse(address)
+    raise TypeError(f"{caller}: expected ServeAddress, 'host:port' string, "
+                    f"or legacy host/port, got {type(address).__name__}")
+
+
+def version_error(got: Any) -> Dict[str, Any]:
+    """The structured one-line reply to a version-mismatched request."""
+    return {
+        "status": STATUS_ERROR,
+        "error": f"protocol version mismatch: server speaks v{VERSION}, "
+                 f"request carried v={got!r}",
+        "v": VERSION,
+        "client_v": got,
+    }
+
+
+def check_version(msg: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The mismatch error for ``msg``, or ``None`` when compatible.
+
+    A missing ``v`` is accepted (pre-versioning clients are v1)."""
+    v = msg.get("v")
+    if v is None or v == VERSION:
+        return None
+    return version_error(v)
 
 
 def encode(obj: Dict[str, Any]) -> bytes:

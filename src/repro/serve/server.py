@@ -54,7 +54,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import prometheus_text
 from repro.obs.store import RunLedger
 from repro.serve import protocol
-from repro.serve.pool import Worker, WorkerDied
+from repro.serve.pool import (
+    Worker,
+    WorkerDied,
+    release_listener,
+    share_listener,
+)
 from repro.serve.registry import scenario_names, traceable
 from repro.sweep import SweepCache, cache_key
 
@@ -116,8 +121,11 @@ class SimServer:
         workers: int = 2,
         capacity: int = 16,
         cache_dir: Optional[str] = None,
-        host: str = "127.0.0.1",
-        port: int = 0,
+        address: Optional[Union[protocol.ServeAddress, str]] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        store: Any = None,
+        shard_id: Optional[int] = None,
         retry_limit: int = 2,
         retry_seed: int = 0,
         retry_base: float = 0.02,
@@ -138,8 +146,11 @@ class SimServer:
         if breaker_threshold < 1:
             raise ValueError("breaker threshold must be >= 1")
         self.capacity = capacity
-        self.host = host
-        self.port = port
+        self.address = protocol.as_address(address, port, host=host,
+                                           caller="SimServer")
+        self.host = self.address.host
+        self.port = self.address.port
+        self.shard_id = shard_id
         self.retry_limit = retry_limit
         self.retry_seed = retry_seed
         self.retry_base = retry_base
@@ -159,9 +170,15 @@ class SimServer:
         self.chaos = chaos
         if chaos is not None:
             chaos.attach(metrics=self.metrics, events=self.events)
-        self.cache = (SweepCache(cache_dir, metrics=self.metrics,
-                                 events=self.events, chaos=chaos)
-                      if cache_dir else None)
+        # Result storage: an externally-shared store (the fleet's
+        # two-tier ResultStore — every shard points at one) wins over a
+        # private per-server SweepCache built from cache_dir.
+        if store is not None:
+            self.cache = store
+        else:
+            self.cache = (SweepCache(cache_dir, metrics=self.metrics,
+                                     events=self.events, chaos=chaos)
+                          if cache_dir else None)
         # Circuit breaker: after `breaker_threshold` consecutive worker
         # deaths the server flips to cache-only degraded mode; after
         # `breaker_cooldown_s` it half-opens (one more death re-trips).
@@ -198,9 +215,24 @@ class SimServer:
         self.stats.started = loop.time()
         for _ in range(self._target_workers):
             self._add_loop()
-        self._server = await asyncio.start_server(
-            self._handle_conn, host=self.host, port=self.port)
-        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.address.is_unix:
+            try:
+                os.unlink(self.address.path)   # stale socket from a dead run
+            except OSError:
+                pass
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=self.address.path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=self.host, port=self.port)
+            self.host, self.port = self._server.sockets[0].getsockname()[:2]
+            self.address = self.address.with_port(self.port)
+        # Forked workers must close their inherited copy of the listen
+        # socket, or a stopped server's port would stay accepting for
+        # as long as any worker in the process lives (see serve.pool).
+        self._listen_fds = [sock.fileno() for sock in self._server.sockets]
+        for fd in self._listen_fds:
+            share_listener(fd)
         return self
 
     async def stop(self) -> None:
@@ -209,6 +241,14 @@ class SimServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+            for fd in getattr(self, "_listen_fds", ()):
+                release_listener(fd)
+            self._listen_fds = []
+            if self.address.is_unix:
+                try:
+                    os.unlink(self.address.path)
+                except OSError:
+                    pass
         loops = list(self._loops.values())
         for task in loops:
             task.cancel()
@@ -528,6 +568,10 @@ class SimServer:
                 pass            # client went away; the work still completed
 
     async def _dispatch(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        bad_version = protocol.check_version(msg)
+        if bad_version is not None:
+            self.metrics.inc("serve.requests", status="error")
+            return dict(bad_version)
         op = msg.get("op")
         if op == "submit":
             return await self._op_submit(msg)
@@ -763,6 +807,8 @@ class SimServer:
         alive = sum(1 for w in self._workers.values() if w.alive)
         return {
             "status": protocol.STATUS_OK,
+            "protocol_v": protocol.VERSION,
+            "shard_id": self.shard_id,
             "workers": self._target_workers,
             "workers_alive": alive,
             "queue_depth": self._queue.qsize(),
@@ -823,7 +869,7 @@ class ServerThread:
     sync client's examples::
 
         with ServerThread(workers=2) as srv:
-            client = ServeClient(srv.host, srv.port)
+            client = ServeClient(srv.address)
     """
 
     def __init__(self, **server_kwargs: Any) -> None:
@@ -859,6 +905,10 @@ class ServerThread:
             self._loop = None
             raise boot_error[0]
         return self
+
+    @property
+    def address(self) -> protocol.ServeAddress:
+        return self.server.address
 
     @property
     def host(self) -> str:

@@ -72,14 +72,17 @@ def test_gate_ignores_cases_added_since_baseline():
     assert check_regression(cur, base) == []
 
 
-def _partitioned_case(speedup, events=100, cores=1, params=None):
+def _partitioned_case(speedup, events=100, cores=1, params=None,
+                      min_speedup=2.0):
     params = params or {"nodes": 16, "ppn": 4, "partitions": 4}
     return {"kind": "partitioned", "params": params, "events": events,
             "partitions": params["partitions"], "cores": cores,
             "windows": 10, "boundary_msgs": 5, "serial_s": 0.1 * speedup,
             "partitioned_s": 0.1, "serial_eps": events / (0.1 * speedup),
             "partitioned_eps": events / 0.1, "speedup": speedup,
-            "min_speedup": None, "enforced": False}
+            "min_speedup": min_speedup,
+            "enforced": (min_speedup is not None
+                         and cores >= params["partitions"])}
 
 
 def test_gate_fails_on_kind_change():
@@ -112,6 +115,103 @@ def test_gate_skips_partitioned_speedup_across_core_counts():
     cur = _report(a=_partitioned_case(0.7, cores=1, events=101))
     failures = check_regression(cur, base)
     assert len(failures) == 1 and "determinism" in failures[0]
+
+
+def _fleet_case(speedup, events=48, cores=1, shards=2, params=None,
+                min_speedup=1.5):
+    params = params or {"shards": shards, "requests": 48, "clients": 4,
+                        "workers": 1, "nprocs": 2, "seed": 0,
+                        "repeat_every": 4}
+    return {"kind": "fleet", "params": params, "shards": shards,
+            "cores": cores, "events": events, "single_s": 0.1 * speedup,
+            "fleet_s": 0.1, "speedup": speedup,
+            "balance": {"routed": {"0": events}, "max_over_mean": 1.0},
+            "dedup": {"coalesced": 0, "hit_rate": 0.0},
+            "hot": {"hits": 0, "misses": events, "hit_rate": 0.0,
+                    "evictions": 0},
+            "throughput_rps": events / 0.1, "min_speedup": min_speedup,
+            "enforced": min_speedup is not None and cores >= shards}
+
+
+def test_gate_compares_fleet_like_for_like():
+    base = _report(a=_fleet_case(1.6, cores=4))
+    cur = _report(a=_fleet_case(1.4, cores=4))    # -12.5%, inside 20%
+    assert check_regression(cur, base) == []
+    cur = _report(a=_fleet_case(0.9, cores=4))    # -44%
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and "speedup" in failures[0]
+
+
+def test_gate_skips_fleet_speedup_across_core_counts():
+    # Fleet scaling is a property of the host's parallelism, exactly
+    # like the partitioned cases: a 4-core baseline rechecked on 1 core
+    # keeps only the deterministic checks.
+    base = _report(a=_fleet_case(1.8, cores=4))
+    cur = _report(a=_fleet_case(0.6, cores=1))
+    assert check_regression(cur, base) == []
+    cur = _report(a=_fleet_case(0.6, cores=1, events=47))
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and "determinism" in failures[0]
+
+
+def test_gate_skips_unenforced_scaling_speedups():
+    # Un-enforced records (no bar, or a host that cannot actually run
+    # the shards/partitions in parallel) track the trajectory honestly
+    # but their sub-second wall-clock ratios are noise: a 1-core CI box
+    # re-gating its own committed fleet report must not flake.
+    base = _report(a=_fleet_case(1.2, cores=1))        # 1 < shards=2
+    cur = _report(a=_fleet_case(0.6, cores=1))
+    assert check_regression(cur, base) == []
+    base = _report(a=_fleet_case(1.2, cores=1, min_speedup=None, shards=1))
+    cur = _report(a=_fleet_case(0.6, cores=1, min_speedup=None, shards=1))
+    assert check_regression(cur, base) == []
+    base = _report(a=_partitioned_case(2.4, cores=2))  # 2 < partitions=4
+    cur = _report(a=_partitioned_case(0.5, cores=2))
+    assert check_regression(cur, base) == []
+    # ... while the deterministic checks still bind for all of them.
+    cur = _report(a=_partitioned_case(0.5, cores=2, events=101))
+    failures = check_regression(cur, base)
+    assert len(failures) == 1 and "determinism" in failures[0]
+
+
+def test_fleet_smoke_two_shards_in_process():
+    """Tier-1 fleet smoke: one real 2-shard bench point, small enough
+    for a 1-core box, checked for shape and the routing invariants."""
+    from repro.serve.loadgen import run_fleet_case
+
+    rec = run_fleet_case(2, requests=8, clients=2, nprocs=2)
+    assert rec["kind"] == "fleet" and rec["shards"] == 2
+    assert rec["events"] == 8                 # every request answered ok
+    assert sum(rec["balance"]["routed"].values()) == 8
+    assert rec["speedup"] > 0
+    assert rec["enforced"] is False           # no bar requested
+    # sim_workload repeats every 4th point: the repeat either hits the
+    # shared hot tier or coalesces in flight on its owner shard.
+    assert rec["hot"]["hits"] + rec["dedup"]["coalesced"] >= 1
+    # The record gates cleanly against itself.
+    assert check_regression(_report(f2=rec), _report(f2=rec)) == []
+
+
+def test_committed_bench_pr10_is_self_consistent():
+    """The committed BENCH_PR10.json gates cleanly against itself and
+    carries the 1/2/4-shard trajectory with core-count context."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "BENCH_PR10.json")
+    committed = json.loads(open(path).read())
+    assert check_regression(committed, committed) == []
+    assert set(committed["cases"]) == {"fleet-1", "fleet-2", "fleet-4"}
+    for name, rec in committed["cases"].items():
+        assert rec["kind"] == "fleet"
+        assert rec["shards"] == int(name.split("-")[1])
+        assert rec["events"] > 0
+        assert sum(rec["balance"]["routed"].values()) == rec["events"]
+        # The scaling bar binds only when the host could actually run
+        # the shards in parallel; the record says which it was.
+        assert rec["enforced"] == (rec["min_speedup"] is not None
+                                   and rec["cores"] >= rec["shards"])
+    assert committed["cases"]["fleet-4"]["min_speedup"] is not None
 
 
 def test_committed_bench_pr9_is_self_consistent():

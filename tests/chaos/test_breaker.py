@@ -31,7 +31,7 @@ def _server(tmp_path, **kw):
 class TestTrip:
     def test_consecutive_deaths_trip_the_breaker(self, tmp_path):
         with _server(tmp_path) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 assert client.health()["degraded"] is False
                 assert _flaky(client, tmp_path, "a")["status"] == "error"
                 assert client.health()["degraded"] is False    # 1 < threshold
@@ -45,7 +45,7 @@ class TestTrip:
 
     def test_success_resets_the_death_streak(self, tmp_path):
         with _server(tmp_path) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 assert _flaky(client, tmp_path, "a")["status"] == "error"
                 assert client.submit("sleep",
                                      {"seconds": 0.0})["status"] == "ok"
@@ -58,7 +58,7 @@ class TestTrip:
 class TestDegradedMode:
     def test_cache_only_service_while_degraded(self, tmp_path):
         with _server(tmp_path) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 warm = client.submit("sleep", {"seconds": 0.0, "tag": "w"})
                 assert warm["status"] == "ok"
                 _flaky(client, tmp_path, "a")
@@ -75,7 +75,7 @@ class TestDegradedMode:
 
     def test_degraded_visible_in_stats_snapshot(self, tmp_path):
         with _server(tmp_path) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 _flaky(client, tmp_path, "a")
                 _flaky(client, tmp_path, "b")
                 stats = client.stats()["stats"]
@@ -86,7 +86,7 @@ class TestDegradedMode:
 class TestHalfOpen:
     def test_cooldown_reopens_admission(self, tmp_path):
         with _server(tmp_path, breaker_cooldown_s=0.2) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 _flaky(client, tmp_path, "a")
                 _flaky(client, tmp_path, "b")
                 assert client.health()["degraded"] is True
@@ -98,7 +98,7 @@ class TestHalfOpen:
 
     def test_death_during_half_open_retrips_immediately(self, tmp_path):
         with _server(tmp_path, breaker_cooldown_s=0.2) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 _flaky(client, tmp_path, "a")
                 _flaky(client, tmp_path, "b")
                 time.sleep(0.25)
@@ -109,8 +109,8 @@ class TestHalfOpen:
 
 class TestSingleFlight:
     def test_concurrent_same_key_submits_coalesce(self, tmp_path):
-        async def go(host, port):
-            client = await AsyncServeClient.connect(host, port)
+        async def go(address):
+            client = await AsyncServeClient.connect(address)
             try:
                 return await asyncio.gather(
                     client.submit("sleep", {"seconds": 0.1, "tag": "sf"}),
@@ -119,7 +119,7 @@ class TestSingleFlight:
                 await client.close()
 
         with _server(tmp_path, retry_limit=2) as srv:
-            r1, r2 = asyncio.run(go(srv.host, srv.port))
+            r1, r2 = asyncio.run(go(srv.address))
             assert r1["status"] == r2["status"] == "ok"
             assert r1["result"] == r2["result"]
             coalesced = [r.get("coalesced", False) for r in (r1, r2)]

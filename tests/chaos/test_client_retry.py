@@ -8,7 +8,8 @@ import socket
 import pytest
 
 from repro.chaos import ChaosPlan
-from repro.serve import AsyncServeClient, ServeClient, ServerThread
+from repro.serve import AsyncServeClient, ServeAddress, ServeClient, \
+    ServerThread
 
 pytestmark = pytest.mark.chaos
 
@@ -22,12 +23,12 @@ def _free_port() -> int:
 class TestConnectRetry:
     def test_sync_client_raises_after_bounded_retries(self):
         with pytest.raises(OSError):
-            ServeClient("127.0.0.1", _free_port(), retries=1,
+            ServeClient(ServeAddress(port=_free_port()), retries=1,
                         retry_base=0.001)
 
     def test_async_client_raises_after_bounded_retries(self):
         async def go():
-            await AsyncServeClient.connect("127.0.0.1", _free_port(),
+            await AsyncServeClient.connect(ServeAddress(port=_free_port()),
                                            retries=1, retry_base=0.001)
         with pytest.raises(OSError):
             asyncio.run(go())
@@ -40,12 +41,13 @@ class TestConnectRetry:
         srv_box = {}
 
         def boot():
-            srv_box["srv"] = ServerThread(workers=1, port=port).__enter__()
+            srv_box["srv"] = ServerThread(
+                workers=1, address=ServeAddress(port=port)).__enter__()
 
         t = threading.Timer(0.15, boot)
         t.start()
         try:
-            with ServeClient("127.0.0.1", port, retries=8,
+            with ServeClient(ServeAddress(port=port), retries=8,
                              retry_base=0.05) as client:
                 assert client.health()["status"] == "ok"
         finally:
@@ -57,7 +59,7 @@ class TestDropResubmit:
     def test_drop_mid_line_is_resubmitted(self):
         plan = ChaosPlan().drop_conn("mid", after_count=1)
         with ServerThread(workers=1) as srv:
-            with ServeClient(srv.host, srv.port, retries=2,
+            with ServeClient(srv.address, retries=2,
                              retry_base=0.001, chaos=plan) as client:
                 r = client.submit("sleep", {"seconds": 0.0, "tag": "t"})
                 assert r["status"] == "ok"
@@ -72,7 +74,7 @@ class TestDropResubmit:
         with ServerThread(workers=1, cache_dir=None) as srv:
             # No cache: the dropped-reply request is recomputed, which
             # is still correct for deterministic scenarios.
-            with ServeClient(srv.host, srv.port, retries=2,
+            with ServeClient(srv.address, retries=2,
                              retry_base=0.001, chaos=plan) as client:
                 r = client.submit("sleep", {"seconds": 0.0})
                 assert r["status"] == "ok"
@@ -85,7 +87,7 @@ class TestDropResubmit:
         ran exactly once."""
         plan = ChaosPlan().drop_conn("after", after_count=1)
         with ServerThread(workers=1, cache_dir=str(tmp_path)) as srv:
-            with ServeClient(srv.host, srv.port, retries=2,
+            with ServeClient(srv.address, retries=2,
                              retry_base=0.001, chaos=plan) as client:
                 r = client.submit("sleep", {"seconds": 0.0})
                 assert r["status"] == "ok"
@@ -97,7 +99,7 @@ class TestDropResubmit:
         plan = (ChaosPlan().drop_conn("mid", after_count=1)
                 .drop_conn("mid", after_count=2))
         with ServerThread(workers=1) as srv:
-            with ServeClient(srv.host, srv.port, retries=1,
+            with ServeClient(srv.address, retries=1,
                              retry_base=0.001, chaos=plan) as client:
                 with pytest.raises((ConnectionError, OSError)):
                     client.submit("sleep", {"seconds": 0.0})
@@ -105,7 +107,7 @@ class TestDropResubmit:
     def test_retry_deadline_caps_the_retry_loop(self):
         plan = ChaosPlan().drop_conn("mid", max_hits=None)
         with ServerThread(workers=1) as srv:
-            with ServeClient(srv.host, srv.port, retries=50,
+            with ServeClient(srv.address, retries=50,
                              retry_base=0.5, retry_deadline_s=0.05,
                              chaos=plan) as client:
                 with pytest.raises((ConnectionError, OSError)):

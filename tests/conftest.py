@@ -18,6 +18,12 @@ Marker map (registered in pyproject.toml ``[tool.pytest.ini_options]``):
   normalized), metrics, soak digests — including under partition-safe
   fault plans.  The small-scale subset runs in tier-1 as the dsim
   smoke; the 4-partition and multi-seed sweeps are ``slow``.
+* ``fleet``       — the sharded-fleet suite (tests/serve/test_fleet.py):
+  the consistent-hash ring's movement bounds, fleet-vs-single-server
+  byte identity, fleet-wide single-flight coalescing, shard-death
+  failover to the ring successor, and the two-tier result store's hit
+  accounting.  The small-scale subset runs in tier-1 as the fleet
+  smoke; ``python -m repro bench --fleet`` is the scaling benchmark.
 * ``stackparity`` — the differential fast-vs-compat parity suite
   (tests/stackparity/): every registered scenario and the recovery soak
   run on both the optimized engine and ``Engine(compat=True)``, and the

@@ -46,7 +46,7 @@ def test_served_request_runs_partitioned(tmp_path):
     # worker may spawn dsim children (pool._worker_main clears the
     # child-side daemon flag).
     with ServerThread(workers=1, cache_dir=str(tmp_path)) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             serial = client.submit("sim", {"spec": _payload(1), "seed": 5})
             part = client.submit("sim", {"spec": _payload(2), "seed": 5})
     assert serial["status"] == "ok"

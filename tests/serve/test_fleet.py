@@ -1,0 +1,253 @@
+"""The sharded fleet: ring movement bounds, fleet-vs-single byte
+identity, fleet-wide single-flight, shard-death failover, store tiers.
+
+Scales are tiny except the acceptance-scale byte-identity run (a mixed
+200-request load at 4 shards), which leans on the shared store's cache
+so repeated points stay memory-speed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    FleetThread,
+    HashRing,
+    ResultStore,
+    ServeClient,
+    ServerThread,
+)
+from repro.serve.client import AsyncServeClient
+from repro.serve.loadgen import sim_workload
+
+pytestmark = [pytest.mark.fleet, pytest.mark.serve]
+
+
+# ---------------------------------------------------------------------------
+# consistent-hash ring: stability under shard add/remove
+# ---------------------------------------------------------------------------
+KEYS = [f"key-{i:04d}" for i in range(1000)]
+
+
+class TestHashRing:
+    def test_owner_total_and_deterministic(self):
+        ring = HashRing([0, 1, 2])
+        owners = {k: ring.owner(k) for k in KEYS}
+        assert set(owners.values()) <= {0, 1, 2}
+        again = HashRing([2, 1, 0])      # insertion order must not matter
+        assert {k: again.owner(k) for k in KEYS} == owners
+
+    def test_every_node_owns_a_share(self):
+        ring = HashRing([0, 1, 2, 3])
+        counts = {n: 0 for n in range(4)}
+        for k in KEYS:
+            counts[ring.owner(k)] += 1
+        # 64 virtual replicas keep the split coarse-grained fair: no
+        # shard below a third of, or above three times, the fair share.
+        fair = len(KEYS) / 4
+        assert all(fair / 3 <= c <= 3 * fair for c in counts.values()), counts
+
+    def test_add_moves_keys_only_onto_new_node(self):
+        ring = HashRing([0, 1, 2])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.add(3)
+        moved = 0
+        for k in KEYS:
+            after = ring.owner(k)
+            if after != before[k]:
+                assert after == 3       # movement only *onto* the new node
+                moved += 1
+        # expected ~K/(N+1) = 250; bound it loosely both ways
+        assert 0 < moved < 2 * len(KEYS) / 4
+
+    def test_remove_moves_only_the_removed_nodes_keys(self):
+        ring = HashRing([0, 1, 2, 3])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove(3)
+        for k in KEYS:
+            if before[k] != 3:          # survivors' keys must not move
+                assert ring.owner(k) == before[k]
+            else:
+                assert ring.owner(k) != 3
+
+    def test_dead_node_routes_to_successor_without_ring_mutation(self):
+        ring = HashRing([0, 1, 2])
+        for k in KEYS[:50]:
+            owner = ring.owner(k)
+            successor = ring.owner(k, dead=frozenset({owner}))
+            assert successor != owner
+            assert ring.owner(k) == owner          # ring itself unchanged
+        # Keys NOT owned by the dead node must not move at all.
+        dead = frozenset({2})
+        for k in KEYS[:200]:
+            if ring.owner(k) != 2:
+                assert ring.owner(k, dead=dead) == ring.owner(k)
+
+    def test_empty_or_fully_dead_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing([]).owner("k")
+        with pytest.raises(LookupError):
+            HashRing([0, 1]).owner("k", dead=frozenset({0, 1}))
+
+
+# ---------------------------------------------------------------------------
+# the two-tier store: LRU accounting, promotion, eviction
+# ---------------------------------------------------------------------------
+class TestResultStore:
+    def test_hot_tier_hit_and_eviction_accounting(self):
+        store = ResultStore(None, hot_capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1                  # a is now most-recent
+        store.put("c", 3)                           # evicts b (LRU)
+        assert store.get("b") is None
+        assert store.get("a") == 1 and store.get("c") == 3
+        stats = store.stats()
+        assert stats["hot"]["evictions"] == 1
+        assert stats["hot"]["hits"] == 3 and stats["hot"]["misses"] == 1
+        assert stats["hot"]["size"] == 2
+        assert stats["puts"] == 3
+        assert stats["disk"]["enabled"] is False
+
+    def test_disk_hit_promotes_into_hot_tier(self, tmp_path):
+        store = ResultStore(str(tmp_path), hot_capacity=4)
+        store.put("k", {"x": 1})
+        # Evict the hot copy; the disk tier still holds it.
+        for i in range(4):
+            store.put(f"fill-{i}", i)
+        assert store.hot_size == 4
+        value = store.get("k")
+        assert value == {"x": 1}
+        stats = store.stats()
+        assert stats["disk"]["hits"] == 1
+        # Promoted: the next probe hits the hot tier, not the disk.
+        assert store.get("k") == {"x": 1}
+        assert store.stats()["hot"]["hits"] == stats["hot"]["hits"] + 1
+        assert store.stats()["disk"]["hits"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultStore(None, hot_capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# fleet-wide single-flight: identical concurrent submits coalesce on
+# the key's owner shard, wherever they enter the fleet
+# ---------------------------------------------------------------------------
+async def _snapshot(fleet):
+    return fleet.snapshot()
+
+
+def test_fleet_wide_coalescing_of_identical_submits():
+    k = 4
+    with FleetThread(shards=2, workers=1) as fl:
+        async def go():
+            client = await AsyncServeClient.connect(fl.address)
+            try:
+                return await asyncio.gather(*[
+                    client.submit("sleep", {"seconds": 0.1, "tag": "same"})
+                    for _ in range(k)])
+            finally:
+                await client.close()
+
+        results = asyncio.run(go())
+        snap = fl.call(_snapshot)
+    assert all(r["status"] == "ok" for r in results)
+    assert len({json.dumps(r["result"], sort_keys=True)
+                for r in results}) == 1
+    shards = {r["shard"] for r in results}
+    assert len(shards) == 1             # one owner shard for one key
+    assert all(r["forwarded"] for r in results)
+    # k submits, one run: the other k-1 coalesced on the owner shard.
+    assert snap["coalesced"] == k - 1
+    # Only one shard ever saw the key.
+    assert {sid for sid, n in snap["routed"].items() if n} == shards
+
+
+# ---------------------------------------------------------------------------
+# shard death: failover to the ring successor, structured degradation
+# ---------------------------------------------------------------------------
+async def _kill(fleet, sid):
+    await fleet.kill_shard(sid)
+
+
+def test_shard_death_fails_over_to_ring_successor():
+    with FleetThread(shards=2, workers=1) as fl:
+        with ServeClient(fl.address) as client:
+            first = client.submit("sleep", {"seconds": 0.01, "tag": "fo"})
+            assert first["status"] == "ok"
+            victim = first["shard"]
+            fl.call(_kill, victim)
+            # The same key must now answer from the surviving shard.
+            second = client.submit("sleep", {"seconds": 0.01, "tag": "fo"})
+            assert second["status"] == "ok"
+            assert second["shard"] != victim
+            assert second["result"] == first["result"]   # identity held
+            health = client.health()
+            snap = fl.call(_snapshot)
+    assert health["live"] == 1
+    assert victim in health["dead"]
+    assert snap["failovers"] >= 1
+
+
+def test_all_shards_dead_degrades_to_structured_reject():
+    with FleetThread(shards=2, workers=1) as fl:
+        with ServeClient(fl.address) as client:
+            fl.call(_kill, 0)
+            fl.call(_kill, 1)
+            response = client.submit("sleep", {"seconds": 0.01, "tag": "x"})
+    assert response["status"] == "rejected"
+    assert "no live shards" in response["reason"]
+
+
+# ---------------------------------------------------------------------------
+# the acceptance-scale invariant: a mixed 200-request load through a
+# 4-shard fleet is byte-identical to the same stream through one server
+# ---------------------------------------------------------------------------
+def _mixed_workload():
+    """184 sim requests (every 4th a repeat) + 16 recovery-soak
+    requests over 4 seeds = 200, interleaved deterministically."""
+    workload = sim_workload(184, seed=3, nprocs=2, repeat_every=4)
+    for i in range(16):
+        workload.insert(i * 12, ("recovery-soak",
+                                 {"seed": 100 + i % 4, "num_nodes": 2,
+                                  "num_ranks": 4}))
+    assert len(workload) == 200
+    return workload
+
+
+def _drive(address, workload):
+    """Submit the stream in order; return the canonical result bytes."""
+    out = []
+    with ServeClient(address) as client:
+        for scenario, params in workload:
+            response = client.submit(scenario, params)
+            assert response["status"] == "ok", response
+            out.append(json.dumps(response["result"], sort_keys=True))
+    return out
+
+
+def test_fleet_results_byte_identical_to_single_server(tmp_path):
+    workload = _mixed_workload()
+    with ServerThread(workers=1, capacity=16,
+                      cache_dir=str(tmp_path / "single")) as srv:
+        single = _drive(srv.address, workload)
+    with FleetThread(shards=4, workers=1, capacity=16,
+                     cache_dir=str(tmp_path / "fleet")) as fl:
+        fleet = _drive(fl.address, workload)
+        snap = fl.call(_snapshot)
+    assert fleet == single              # byte-for-byte, in stream order
+    # The recovery-soak runs landed with digests intact on both paths.
+    digests = [json.loads(r)["digest"] for r, (scenario, _) in
+               zip(single, workload) if scenario == "recovery-soak"]
+    assert len(digests) == 16 and all(len(d) == 64 for d in digests)
+    assert len(set(digests)) == 4       # one digest per distinct seed
+    # The load actually spread over the ring...
+    assert len(snap["routed"]) == 4
+    assert sum(snap["routed"].values()) == 200
+    # ...and the shared hot tier absorbed the repeats.
+    assert snap["store"]["hot"]["hits"] > 0
+    assert snap["ok"] == 200

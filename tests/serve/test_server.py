@@ -93,8 +93,8 @@ def test_serve_smoke(tmp_path):
     workload = sim_workload(8, seed=0, nprocs=2)
     with ServerThread(workers=2, capacity=8,
                       cache_dir=str(tmp_path)) as srv:
-        report = run_loadgen(srv.host, srv.port, workload, clients=2)
-        with ServeClient(srv.host, srv.port) as client:
+        report = run_loadgen(srv.address, workload, clients=2)
+        with ServeClient(srv.address) as client:
             health = client.health()
             stats = client.stats()["stats"]
     assert report["by_status"] == {"ok": 8}
@@ -116,7 +116,7 @@ def test_fifo_admission_single_worker():
     async def drive():
         server = await SimServer(workers=1, capacity=8).start()
         try:
-            client = await AsyncServeClient.connect(server.host, server.port)
+            client = await AsyncServeClient.connect(server.address)
             try:
                 subs = [asyncio.ensure_future(
                             client.submit("sleep", {"seconds": 0.01, "tag": i}))
@@ -149,7 +149,7 @@ def test_deadline_expires_queued_request():
     async def drive():
         server = await SimServer(workers=1, capacity=8).start()
         try:
-            client = await AsyncServeClient.connect(server.host, server.port)
+            client = await AsyncServeClient.connect(server.address)
             try:
                 blocker = asyncio.ensure_future(
                     client.submit("sleep", {"seconds": 0.3}))
@@ -173,7 +173,7 @@ def test_deadline_expires_queued_request():
 
 def test_deadline_expires_mid_run():
     with ServerThread(workers=1, capacity=4) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             doomed = client.submit("sleep", {"seconds": 5.0}, deadline_s=0.1)
             ok_after = client.submit("sleep", {"seconds": 0.01})
             stats = client.stats()["stats"]
@@ -197,7 +197,7 @@ def test_server_thread_boot_failure_raises_immediately():
 # ---------------------------------------------------------------------------
 def test_worker_death_is_retried(tmp_path):
     with ServerThread(workers=1, capacity=4, retry_limit=2) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             response = client.submit("flaky", {
                 "state_dir": str(tmp_path), "key": "once",
                 "crashes": 1, "value": 99})
@@ -211,7 +211,7 @@ def test_worker_death_is_retried(tmp_path):
 
 def test_retry_budget_exhausts(tmp_path):
     with ServerThread(workers=1, capacity=4, retry_limit=1) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             response = client.submit("flaky", {
                 "state_dir": str(tmp_path), "key": "always", "crashes": 99})
             ok_after = client.submit("sleep", {"seconds": 0.01})
@@ -227,7 +227,7 @@ def test_cache_serves_repeats_without_recompute(tmp_path):
     params = {"spec": SimSpec(nprocs=2).to_payload(), "seed": 5}
     with ServerThread(workers=1, capacity=4,
                       cache_dir=str(tmp_path)) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             first = client.submit("sim", params)
             second = client.submit("sim", params)
             stats = client.stats()["stats"]
@@ -252,7 +252,7 @@ def test_concurrent_serve_matches_serial_sweep():
 # ---------------------------------------------------------------------------
 def test_resize_and_health():
     with ServerThread(workers=1, capacity=4) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             assert client.resize(3) == {"status": "ok", "workers": 3,
                                         "id": 1}
             health = client.health()
@@ -262,7 +262,7 @@ def test_resize_and_health():
 
 def test_drain_then_reject():
     with ServerThread(workers=1, capacity=4) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             assert client.submit("sleep", {"seconds": 0.01})["status"] == "ok"
             assert client.drain()["drained"] is True
             after = client.submit("sleep", {"seconds": 0.01})
@@ -272,7 +272,7 @@ def test_drain_then_reject():
 
 def test_wire_errors():
     with ServerThread(workers=1, capacity=4) as srv:
-        with ServeClient(srv.host, srv.port) as client:
+        with ServeClient(srv.address) as client:
             unknown = client.submit("no-such-scenario")
             assert unknown["status"] == "error"
             assert "unknown scenario" in unknown["error"]

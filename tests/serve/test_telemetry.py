@@ -48,7 +48,7 @@ class TestEndToEnd:
         with ServerThread(workers=1, cache_dir=str(td / "cache"),
                           telemetry=tel, event_log=events, ledger=ledger,
                           trace_dir=str(td)) as srv:
-            with ServeClient(srv.host, srv.port, trace="cli") as client:
+            with ServeClient(srv.address, trace="cli") as client:
                 first = client.submit(
                     "sim", {"spec": spec.to_payload(),
                             "program": "allreduce", "seed": 0})
@@ -165,7 +165,7 @@ class TestDeterminism:
         spec = SimSpec(nprocs=2)
         with ServerThread(workers=1, cache_dir=str(td / "cache"),
                           telemetry=tel, event_log=events) as srv:
-            with ServeClient(srv.host, srv.port, trace="cli") as client:
+            with ServeClient(srv.address, trace="cli") as client:
                 for seed in (0, 0):          # second one hits the cache
                     r = client.submit("sim", {"spec": spec.to_payload(),
                                               "program": "allreduce",
@@ -192,7 +192,7 @@ class TestWorkerDeathTelemetry:
         events = str(tmp_path / "events.jsonl")
         with ServerThread(workers=1, retry_limit=2, telemetry=tel,
                           event_log=events) as srv:
-            with ServeClient(srv.host, srv.port, trace="cli") as client:
+            with ServeClient(srv.address, trace="cli") as client:
                 r = client.submit("flaky", {"state_dir": str(tmp_path),
                                             "crashes": 1, "value": 5})
         assert r["status"] == "ok" and r["attempts"] == 2
@@ -215,7 +215,7 @@ class TestAsyncClientTrace:
         tel = LiveTelemetry()
         with ServerThread(workers=1, telemetry=tel) as srv:
             async def go():
-                client = await AsyncServeClient.connect(srv.host, srv.port,
+                client = await AsyncServeClient.connect(srv.address,
                                                         trace="ac")
                 try:
                     return await client.submit("sleep", {"seconds": 0.0})
@@ -231,7 +231,7 @@ class TestServerFallbackTraceIds:
     def test_untraced_client_gets_server_minted_ids(self, tmp_path):
         tel = LiveTelemetry()
         with ServerThread(workers=1, telemetry=tel) as srv:
-            with ServeClient(srv.host, srv.port) as client:   # no trace=
+            with ServeClient(srv.address) as client:   # no trace=
                 a = client.submit("sleep", {"seconds": 0.0})
                 b = client.submit("sleep", {"seconds": 0.0})
         assert a["trace"] == "s-1" and b["trace"] == "s-2"
@@ -245,7 +245,7 @@ class TestTelemetryOff:
             server = srv.server
             assert server.tel is None and server.events is None \
                 and server.ledger is None
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 r = client.submit("sleep", {"seconds": 0.0})
         assert r["status"] == "ok"
         assert "trace" not in r
@@ -253,7 +253,7 @@ class TestTelemetryOff:
     def test_disabled_telemetry_object_treated_as_off(self):
         tel = LiveTelemetry(enabled=False)
         with ServerThread(workers=1, telemetry=tel) as srv:
-            with ServeClient(srv.host, srv.port) as client:
+            with ServeClient(srv.address) as client:
                 r = client.submit("sleep", {"seconds": 0.0})
         assert r["status"] == "ok"
         assert tel.tracer.spans == {}
@@ -276,7 +276,7 @@ class TestTelemetryOff:
                               event_log=str(tmp_path / "e.jsonl"),
                               ledger=str(tmp_path / "l.sqlite"))
             with ServerThread(workers=1, **kwargs) as srv:
-                with ServeClient(srv.host, srv.port) as client:
+                with ServeClient(srv.address) as client:
                     t0 = time.monotonic()
                     for _ in range(10):
                         assert client.submit("sleep", {"seconds": 0.0}

@@ -1,233 +1,18 @@
 #!/usr/bin/env python
-"""Wall-clock benchmark CLI: fast-path engine vs compat reference.
+"""Deprecated location: forwards to ``python -m repro bench``.
 
-Usage::
-
-    python tools/bench.py                     # full suite -> BENCH_PR9.json
-    python tools/bench.py --quick             # small scales, smoke-sized
-    python tools/bench.py --cases fence-storm comm-dup --repeats 5
-    python tools/bench.py --jobs 4            # one worker process per case
-    python tools/bench.py --serve             # serve loadgen -> BENCH_PR5.json
-    python tools/bench.py --check             # gate vs committed BENCH_PR9.json
-    python tools/bench.py --check BENCH_PR6.json --tolerance 0.3
-    python tools/bench.py --ledger obs/ledger.sqlite   # record runs
-
-Scheduler cases run twice — once on the default fast-path scheduler,
-once on ``Engine(compat=True)`` — and report events/second plus the
-speedup.  Partitioned cases (``fig3-init-1k-p4``, ``fig3-init-4k``)
-instead compare one-process execution against ``repro.dsim`` running
-the same world across N worker processes; their >=2x bar is only
-*enforced* when the host has at least that many cores (the report
-records ``cores``, so single-core measurements are tracked honestly —
-see docs/performance.md, "Partitioned execution").  Cases with an
-enforced acceptance bar fail the run when they miss it.
-
-``--jobs`` fans cases across worker processes via ``repro.sweep``; use
-it for a fast sanity pass, not for publishable numbers — concurrent
-cases contend for cores and perturb each other's wall times.
-
-``--check`` is the regression gate: after the run, the fresh report is
-compared case-by-case against a committed baseline (default
-``BENCH_PR6.json``) and the process exits non-zero if any case's
-speedup fell more than ``--tolerance`` below the committed trajectory,
-if event counts drifted at identical params, or if a baseline case went
-missing.  Gate full runs against full baselines — quick-mode numbers
-are smoke-sized and noisy.
-
-``--serve`` benchmarks the ``repro.serve`` layer instead: a closed-loop
-load generator against an in-process server, emitting throughput,
-latency percentiles, the backpressure proof and the serve-vs-sweep
-determinism check (docs/serving.md).
+The implementation moved to :mod:`repro.cli.bench`; this shim keeps
+existing ``python tools/bench.py ...`` invocations working with
+identical flags, output, and exit codes.  See docs/serving.md
+("Migrating to python -m repro") for the full mapping.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
+import os
 import sys
 
-from repro import cli
-from repro.bench.harness import format_table
-from repro.bench.perf import (CASES, PARTITIONED_CASES, check_regression,
-                              run_case_point)
-from repro.sweep import SweepPoint, run_sweep
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-
-def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default=None, metavar="FILE",
-                    help="where to write the JSON report (default: "
-                         "BENCH_PR9.json, or BENCH_PR5.json with --serve)")
-    ap.add_argument("--check", nargs="?", const="BENCH_PR9.json",
-                    default=None, metavar="BASELINE",
-                    help="after running, gate the fresh report against a "
-                         "committed baseline JSON (default baseline: "
-                         "BENCH_PR9.json); exits non-zero on regression")
-    ap.add_argument("--tolerance", type=float, default=0.2,
-                    metavar="FRAC",
-                    help="allowed relative speedup drop vs the baseline "
-                         "before --check fails (default: %(default)s)")
-    ap.add_argument("--quick", action="store_true",
-                    help="small scales (CI smoke), still both engines")
-    ap.add_argument("--repeats", type=int, default=3,
-                    help="best-of-N wall-clock repeats (default: 3)")
-    ap.add_argument("--cases", nargs="+", metavar="NAME",
-                    choices=[c.name for c in CASES]
-                    + [c.name for c in PARTITIONED_CASES],
-                    help="subset of cases (default: all)")
-    cli.add_jobs(ap, help="worker processes (timings contend; keep 1 for "
-                          "publishable numbers; with --serve: server pool "
-                          "size, default 2)")
-    ap.add_argument("--serve", action="store_true",
-                    help="benchmark the repro.serve layer (loadgen) instead "
-                         "of the engine cases")
-    ap.add_argument("--ledger", metavar="PATH",
-                    help="append one kind=bench row per case to this "
-                         "RunLedger sqlite file (tools/obs_report.py --runs)")
-    cli.add_seed(ap, help="workload seed for --serve (default: %(default)s)")
-    args = ap.parse_args(argv)
-
-    if args.serve:
-        return serve_bench(args)
-    if args.out is None:
-        args.out = "BENCH_PR9.json"
-
-    selected = [c for c in CASES + PARTITIONED_CASES
-                if args.cases is None or c.name in args.cases]
-    points = [
-        SweepPoint("bench", run_case_point,
-                   {"case": c.name, "quick": args.quick,
-                    "repeats": args.repeats})
-        for c in selected
-    ]
-    # Deliberately no cache here: a memoized wall time is a stale
-    # measurement, not a result.
-    records = run_sweep(points, jobs=args.jobs)
-
-    report = {
-        "bench": "engine-fast-path",
-        "mode": "quick" if args.quick else "full",
-        "repeats": args.repeats,
-        "python": sys.version.split()[0],
-        "cases": {c.name: rec for c, rec in zip(selected, records)},
-    }
-
-    rows = []
-    failed = []
-    for case in selected:
-        rec = report["cases"][case.name]
-        if rec.get("kind") == "partitioned":
-            # serial vs N-worker dsim: the bar only binds when the host
-            # can actually run the workers in parallel.
-            if not rec["enforced"]:
-                bar = (f"track ({rec['cores']} core"
-                       f"{'s' if rec['cores'] != 1 else ''})"
-                       if case.min_speedup else "track")
-            else:
-                bar = f">={case.min_speedup:.1f}x"
-            ok = (args.quick or not rec["enforced"]
-                  or rec["speedup"] >= case.min_speedup)
-            ref_col = f"{rec['serial_eps']:,.0f}"
-            opt_col = f"{rec['partitioned_eps']:,.0f}"
-        else:
-            bar = f">={case.min_speedup:.1f}x" if case.min_speedup else "track"
-            # The acceptance bars are a full-scale claim; quick scales
-            # are smoke-sized and too noisy to fail a run on.
-            ok = (args.quick or case.min_speedup is None
-                  or rec["speedup"] >= case.min_speedup)
-            ref_col = f"{rec['compat_eps']:,.0f}"
-            opt_col = f"{rec['fast_eps']:,.0f}"
-        if not ok:
-            failed.append(case.name)
-        rows.append([
-            case.name,
-            f"{rec['events']}",
-            ref_col,
-            opt_col,
-            f"{rec['speedup']:.2f}x",
-            bar,
-            "ok" if ok else "FAIL",
-        ])
-    print(format_table(
-        ["case", "events", "ref ev/s", "opt ev/s", "speedup", "bar", ""],
-        rows,
-    ))
-
-    # Load the baseline before writing: with --out == --check the gate
-    # must compare against the *committed* trajectory, not the file the
-    # fresh report just replaced.
-    baseline = None
-    if args.check is not None:
-        try:
-            with open(args.check) as fh:
-                baseline = json.load(fh)
-        except OSError as err:
-            print(f"cannot read baseline {args.check!r}: {err}",
-                  file=sys.stderr)
-            return 2
-
-    rc = cli.write_json(args.out, report)
-    if rc:
-        return rc
-    if args.ledger:
-        from repro.bench.perf import ledger_records
-        from repro.obs import RunLedger
-
-        with RunLedger(args.ledger) as ledger:
-            for row in ledger_records(report):
-                ledger.record(**row)
-        print(f"recorded {len(report['cases'])} case(s) in {args.ledger}")
-    if failed:
-        print(f"FAILED speedup bars: {', '.join(failed)}", file=sys.stderr)
-        return 1
-    if baseline is not None:
-        regressions = check_regression(report, baseline,
-                                       tolerance=args.tolerance)
-        if regressions:
-            print(f"FAILED regression gate vs {args.check}:",
-                  file=sys.stderr)
-            for line in regressions:
-                print(f"  {line}", file=sys.stderr)
-            return 1
-        print(f"regression gate vs {args.check}: ok "
-              f"(tolerance {args.tolerance:.0%})")
-    return 0
-
-
-def serve_bench(args) -> int:
-    """--serve: the closed-loop serve-layer benchmark (BENCH_PR5.json)."""
-    from repro.serve.loadgen import bench_report
-
-    out = args.out or "BENCH_PR5.json"
-    workers = args.jobs if args.jobs > 1 else 2
-    requests = 12 if args.quick else 32
-    report = bench_report(clients=4, requests=requests, workers=workers,
-                          seed=args.seed,
-                          soak_seeds=2 if args.quick else 3)
-    lg, bp, det = (report["loadgen"], report["backpressure"],
-                   report["determinism"])
-    lat = lg["latency_s"]
-    print(format_table(
-        ["metric", "value"],
-        [["throughput", f"{lg['throughput_rps']:.1f} req/s"],
-         ["latency p50", f"{lat.get('p50', 0) * 1e3:.1f} ms"],
-         ["latency p99", f"{lat.get('p99', 0) * 1e3:.1f} ms"],
-         ["requests ok", f"{lg['by_status'].get('ok', 0)}/{lg['completed']}"],
-         ["backpressure", f"{bp['rejected']}/{bp['burst']} rejected, "
-                          f"max depth {bp['max_queue_depth']}/{bp['capacity']}"],
-         ["determinism", "byte-identical" if det["serve_matches_serial_sweep"]
-                         else "MISMATCH"]],
-    ))
-    rc = cli.write_json(out, report)
-    if rc:
-        return rc
-    if not (det["serve_matches_serial_sweep"] and bp["bounded"]
-            and bp["rejections_observed"]):
-        print("FAILED serve acceptance: determinism/backpressure",
-              file=sys.stderr)
-        return 1
-    return 0
-
+from repro.cli.bench import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())

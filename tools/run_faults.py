@@ -1,178 +1,18 @@
 #!/usr/bin/env python
-"""Run a fault-injection scenario from the shell (see docs/faults.md).
+"""Deprecated location: forwards to ``python -m repro faults``.
 
-Usage::
-
-    python tools/run_faults.py --list
-    python tools/run_faults.py fence-kill
-    python tools/run_faults.py node-down
-    python tools/run_faults.py chaos --seed 7 --ranks 8
-
-Each scenario boots a small cluster, installs a deterministic
-:class:`repro.simtime.faults.FaultPlan`, runs to quiescence, and prints
-per-rank outcomes plus the FaultManager's statistics.  Same seed, same
-output — scenarios are bit-deterministic.
+The implementation moved to :mod:`repro.cli.faults`; this shim keeps
+existing ``python tools/run_faults.py ...`` invocations working with
+identical flags, output, and exit codes.  See docs/serving.md
+("Migrating to python -m repro") for the full mapping.
 """
 
-from __future__ import annotations
-
-import argparse
+import os
 import sys
 
-from repro.cluster import Cluster
-from repro.faults import FaultPlan, random_plan
-from repro.machine.presets import laptop
-from repro.pmix.types import PMIX_ERR_PROC_ABORTED, PmixError, status_name
-from repro.simtime.process import ProcessKilled, Sleep
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-
-def _boot(nodes: int, ranks: int, ppn: int):
-    cluster = Cluster(machine=laptop(num_nodes=nodes))
-    job = cluster.launch(ranks, ppn=ppn)
-    return cluster, job
-
-
-def _spawn(cluster, job, gens):
-    procs = []
-    for rank, gen in enumerate(gens):
-        sim = cluster.spawn(gen, name=f"rank{rank}")
-        cluster.faults.register_rank_proc(job.proc(rank), sim)
-        procs.append(sim)
-    for p in procs:
-        p.defuse()
-    return procs
-
-
-def _report(cluster, procs, outcomes):
-    for rank, sim in enumerate(procs):
-        if isinstance(sim.exception, ProcessKilled):
-            outcome = "killed"
-        else:
-            outcome = outcomes.get(rank, sim.result)
-        print(f"  rank {rank}: {outcome}")
-    stats = ", ".join(f"{k}={v}" for k, v in sorted(cluster.faults.stats.items()))
-    print(f"  fault stats: {stats or '<none>'}")
-    print(f"  sim time: {cluster.now * 1e3:.3f} ms")
-    return 0
-
-
-def scenario_fence_kill(args) -> int:
-    """Kill one rank mid-fence; survivors get a typed error, not a hang."""
-    ranks = args.ranks
-    cluster, job = _boot(nodes=4, ranks=ranks, ppn=max(1, ranks // 4))
-    victim = ranks - 1
-    # The kill fires when the first fence contribution crosses the RML —
-    # i.e. genuinely mid-collective, independent of startup timing.
-    plan = FaultPlan().kill_proc(victim, after_count=1, layer="rml", tag="grpcomm_up")
-    cluster.install_faults(plan)
-    outcomes = {}
-
-    def rank_proc(rank):
-        client = job.client(rank)
-        yield from client.init()
-        notified = []
-        client.register_event_handler(
-            [PMIX_ERR_PROC_ABORTED],
-            lambda code, src, info: notified.append(src.rank),
-        )
-        client.put("ep", f"ep-{rank}")
-        yield from client.commit()
-        if rank == victim:
-            # The victim dawdles: the others are already waiting in the
-            # fence when the kill fires, so it never contributes.
-            yield Sleep(5e-4)
-        try:
-            yield from client.fence()
-            outcomes[rank] = "fence ok"
-        except PmixError as err:
-            yield Sleep(1e-3)   # let the ABORTED notification drain
-            outcomes[rank] = f"fence failed ({status_name(err.status)}), notified of {sorted(set(notified))}"
-
-    procs = _spawn(cluster, job, [rank_proc(r) for r in range(ranks)])
-    cluster.run()
-    print(f"fence-kill: {ranks} ranks / 4 nodes, victim rank {victim}")
-    return _report(cluster, procs, outcomes)
-
-
-def scenario_node_down(args) -> int:
-    """Kill a whole node mid-group-construct; survivors evict its procs."""
-    ranks = args.ranks
-    cluster, job = _boot(nodes=4, ranks=ranks, ppn=max(1, ranks // 4))
-    plan = FaultPlan().kill_node(3, after_count=1, layer="rml", tag="grpcomm_up")
-    cluster.install_faults(plan)
-    outcomes = {}
-
-    def rank_proc(rank):
-        client = job.client(rank)
-        yield from client.init()
-        procs_all = [job.proc(r) for r in range(ranks)]
-        try:
-            pgcid = yield from client.group_construct("demo", procs_all)
-            outcomes[rank] = f"group ok (pgcid {pgcid})"
-        except PmixError as err:
-            outcomes[rank] = f"group failed ({status_name(err.status)})"
-
-    procs = _spawn(cluster, job, [rank_proc(r) for r in range(ranks)])
-    cluster.run()
-    print(f"node-down: {ranks} ranks / 4 nodes, killing node 3 mid-construct")
-    return _report(cluster, procs, outcomes)
-
-
-def scenario_chaos(args) -> int:
-    """Seeded-random faults against repeated fences (bounded termination)."""
-    ranks = args.ranks
-    cluster, job = _boot(nodes=4, ranks=ranks, ppn=max(1, ranks // 4))
-    plan = random_plan(args.seed, num_ranks=ranks, num_nodes=4)
-    cluster.install_faults(plan)
-    print(f"chaos (seed {args.seed}): {plan.describe()}")
-    outcomes = {}
-
-    def rank_proc(rank):
-        client = job.client(rank)
-        yield from client.init()
-        done = 0
-        try:
-            for _ in range(3):
-                yield from client.fence()
-                done += 1
-                yield Sleep(2e-4)
-            outcomes[rank] = f"{done}/3 fences ok"
-        except PmixError as err:
-            outcomes[rank] = f"stopped after {done} fences ({status_name(err.status)})"
-
-    procs = _spawn(cluster, job, [rank_proc(r) for r in range(ranks)])
-    cluster.run()
-    return _report(cluster, procs, outcomes)
-
-
-SCENARIOS = {
-    "fence-kill": scenario_fence_kill,
-    "node-down": scenario_node_down,
-    "chaos": scenario_chaos,
-}
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("scenario", nargs="?", help="scenario name (see --list)")
-    parser.add_argument("--list", action="store_true", help="list scenarios")
-    parser.add_argument("--seed", type=int, default=1, help="chaos: plan seed")
-    parser.add_argument("--ranks", type=int, default=8, help="job size")
-    args = parser.parse_args(argv)
-
-    unknown = args.scenario is not None and args.scenario not in SCENARIOS
-    if args.list or not args.scenario:
-        for name, fn in sorted(SCENARIOS.items()):
-            print(f"  {name:12s} {(fn.__doc__ or '').strip().splitlines()[0]}")
-        if unknown:
-            print(f"unknown scenario {args.scenario!r}; try --list", file=sys.stderr)
-            return 2
-        return 0
-    if unknown:
-        print(f"unknown scenario {args.scenario!r}; try --list", file=sys.stderr)
-        return 2
-    return SCENARIOS[args.scenario](args)
-
+from repro.cli.faults import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -1,158 +1,18 @@
 #!/usr/bin/env python
-"""Run one or more paper figures (or ablations) from the shell.
+"""Deprecated location: forwards to ``python -m repro figure``.
 
-Usage::
-
-    python tools/run_figure.py --list
-    python tools/run_figure.py fig3b
-    python tools/run_figure.py fig5c --presync
-    python tools/run_figure.py fig7 --full            # includes P3 (1,024 ranks)
-    python tools/run_figure.py fig3a fig3b fig4 --jobs 3
-    python tools/run_figure.py fig7 --cache-dir .figcache   # instant re-runs
-
-``--jobs N`` fans independent figures across processes; ``--cache-dir``
-memoizes results on disk keyed by (figure, params, source digest) — see
-docs/performance.md for the invalidation rules.
+The implementation moved to :mod:`repro.cli.figure`; this shim keeps
+existing ``python tools/run_figure.py ...`` invocations working with
+identical flags, output, and exit codes.  See docs/serving.md
+("Migrating to python -m repro") for the full mapping.
 """
 
-from __future__ import annotations
-
-import argparse
-import inspect
+import os
 import sys
-import time
 
-from repro import cli
-from repro.bench import figures
-from repro.bench.harness import BenchResult
-from repro.sweep import SweepPoint, run_sweep
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-
-def _unknown_msg(name: str, catalog) -> str:
-    import difflib
-
-    msg = f"unknown figure {name!r}; try --list"
-    close = difflib.get_close_matches(name, catalog, n=3)
-    if close:
-        msg += " (did you mean: " + ", ".join(close) + "?)"
-    return msg
-
-
-def _figure_kwargs(fn, args) -> dict:
-    """Per-figure kwargs from the CLI flags, filtered by signature."""
-    kwargs = {}
-    params = inspect.signature(fn).parameters
-    if "quick" in params:
-        kwargs["quick"] = not args.full
-    if "presync" in params and args.presync:
-        kwargs["presync"] = True
-    if args.obs:
-        kwargs["obs"] = True
-    if args.partitions > 1:
-        kwargs["partitions"] = args.partitions
-    return kwargs
-
-
-def main(argv=None) -> int:
-    catalog = figures.entry_points()
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("figure", nargs="*",
-                        help="entry point name(s) (see --list)")
-    parser.add_argument("--list", action="store_true", help="list available figures")
-    parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
-    parser.add_argument("--presync", action="store_true", help="fig5c: pair pre-sync")
-    parser.add_argument("--partitions", type=cli.positive_int, default=1,
-                        metavar="N",
-                        help="compute each run across N worker processes "
-                             "(repro.dsim); bit-identical results, only "
-                             "supported by some figures")
-    parser.add_argument("--csv", metavar="FILE", help="also write the series as CSV")
-    cli.add_obs(parser, help="instrument runs: attach critical-path "
-                             "breakdowns (figures that support it)")
-    cli.add_json_path(parser, help="write the result (series + obs data) as JSON")
-    cli.add_jobs(parser, help="run figures across N worker processes")
-    cli.add_cache_dir(parser)
-    args = parser.parse_args(argv)
-
-    # Validate the figure names even when --list is passed: listing must
-    # not mask a typo'd name with a zero exit status.
-    unknown = [name for name in args.figure if name not in catalog]
-
-    if args.list or not args.figure:
-        for name in sorted(catalog):
-            doc = (inspect.getdoc(catalog[name]) or "").splitlines()
-            print(f"  {name:28s} {doc[0] if doc else ''}")
-        for name in unknown:
-            print(_unknown_msg(name, catalog), file=sys.stderr)
-        return 2 if unknown else 0
-
-    if unknown:
-        for name in unknown:
-            print(_unknown_msg(name, catalog), file=sys.stderr)
-        return 2
-    if (args.csv or args.json) and len(args.figure) != 1:
-        print("--csv/--json need exactly one figure", file=sys.stderr)
-        return 2
-    if args.obs:
-        unsupported = [
-            name for name in args.figure
-            if "obs" not in inspect.signature(catalog[name]).parameters
-        ]
-        if unsupported:
-            print(f"{', '.join(unsupported)} does not support --obs",
-                  file=sys.stderr)
-            return 2
-    if args.partitions > 1:
-        unsupported = [
-            name for name in args.figure
-            if "partitions" not in inspect.signature(catalog[name]).parameters
-        ]
-        if unsupported:
-            print(f"{', '.join(unsupported)} does not support --partitions",
-                  file=sys.stderr)
-            return 2
-
-    points = [
-        SweepPoint("figure", figures.run_point,
-                   {"figure": name, **_figure_kwargs(catalog[name], args)})
-        for name in args.figure
-    ]
-    cache = cli.cache_from_args(args)
-
-    t0 = time.time()
-    payloads = run_sweep(points, jobs=args.jobs, cache=cache)
-    for i, payload in enumerate(payloads):
-        result = BenchResult.from_payload(payload)
-        if i:
-            print()
-        print(result.render())
-        if result.obs:
-            for key, data in result.obs.items():
-                print(f"\n-- obs {key}: critical-path attribution "
-                      f"(total {data['total'] * 1e3:.3f} ms) --")
-                for name, dur in data["by_stage"].items():
-                    pct = 100.0 * dur / data["total"] if data["total"] else 0.0
-                    print(f"  {dur * 1e3:>10.3f}ms {pct:5.1f}%  {name}")
-        if args.json:
-            try:
-                with open(args.json, "w") as fh:
-                    fh.write(result.to_json())
-            except OSError as err:
-                print(f"cannot write {args.json}: {err}", file=sys.stderr)
-                return 1
-            print(f"wrote {args.json}")
-        if args.csv:
-            try:
-                with open(args.csv, "w") as fh:
-                    fh.write(result.to_csv())
-            except OSError as err:
-                print(f"cannot write {args.csv}: {err}", file=sys.stderr)
-                return 1
-            print(f"wrote {args.csv}")
-    cli.report_cache(cache)
-    print(f"\n({time.time() - t0:.1f}s wall)")
-    return 0
-
+from repro.cli.figure import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())
